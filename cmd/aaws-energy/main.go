@@ -1,0 +1,92 @@
+// Command aaws-energy regenerates Figure 9: every kernel's energy
+// efficiency vs. performance under each AAWS technique subset, normalized
+// to the baseline runtime on the same system.
+//
+// Usage:
+//
+//	aaws-energy                  # 4B4L table
+//	aaws-energy -csv > fig9.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aaws/internal/core"
+	"aaws/internal/energymicro"
+	"aaws/internal/power"
+	"aaws/internal/wsrt"
+)
+
+func main() {
+	system := flag.String("system", "4B4L", "4B4L or 1B7L")
+	scale := flag.Float64("scale", 1.0, "input size multiplier")
+	seed := flag.Uint64("seed", 42, "seed")
+	csv := flag.Bool("csv", false, "CSV output")
+	micro := flag.Bool("micro", false, "run the Section IV-E energy microbenchmark suite instead")
+	flag.Parse()
+
+	if *micro {
+		results := energymicro.RunSuite(power.DefaultParams())
+		energymicro.Write(os.Stdout, results)
+		if err := energymicro.Validate(results, 1e-3); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("\nall microbenchmarks correlate with the first-order model (tol 0.1%)")
+		return
+	}
+
+	sys, ok := core.ParseSystem(*system)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
+		os.Exit(2)
+	}
+	opt := core.DefaultSweep(sys)
+	opt.Scale = *scale
+	opt.Seed = *seed
+	rows, err := core.Sweep(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	pts := core.Figure9(rows)
+
+	if *csv {
+		fmt.Println("kernel,variant,perf,energy_eff,power_ratio")
+		for _, p := range pts {
+			fmt.Printf("%s,%s,%.4f,%.4f,%.4f\n", p.Kernel, p.Variant, p.Perf, p.EnergyEff, p.PowerRatio)
+		}
+		return
+	}
+
+	fmt.Printf("Figure 9 — energy efficiency vs performance on %s, normalized to base\n", sys)
+	fmt.Printf("(points above the isopower diagonal draw less power than base)\n\n")
+	fmt.Printf("%-10s %-9s %10s %12s %12s %10s\n", "kernel", "variant", "perf", "energy-eff", "power", "isopower")
+	for _, p := range pts {
+		side := "below"
+		if p.PowerRatio <= 1 {
+			side = "above"
+		}
+		fmt.Printf("%-10s %-9s %9.3fx %11.3fx %11.3fx %10s\n",
+			p.Kernel, p.Variant, p.Perf, p.EnergyEff, p.PowerRatio, side)
+	}
+	for _, v := range []wsrt.Variant{wsrt.BaseP, wsrt.BasePS, wsrt.BasePSM, wsrt.BaseM} {
+		var nPerf, nEff, n int
+		for _, p := range pts {
+			if p.Variant != v {
+				continue
+			}
+			n++
+			if p.Perf > 1 {
+				nPerf++
+			}
+			if p.EnergyEff > 1 {
+				nEff++
+			}
+		}
+		fmt.Printf("\n%-9s: %d/%d kernels faster, %d/%d more energy-efficient", v, nPerf, n, nEff, n)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,151 @@
+// Command aaws-model evaluates the paper's first-order analytical model
+// (Section II): it regenerates the data behind Figures 2-5 and prints the
+// DVFS lookup tables derived from the marginal-utility optimization.
+//
+// Usage:
+//
+//	aaws-model -fig 2 [-csv]          # Figure 2 pareto cloud
+//	aaws-model -fig 3                 # Figure 3 HP-region optimum
+//	aaws-model -fig 4                 # Figure 4 speedup vs alpha/beta grid
+//	aaws-model -fig 5                 # Figure 5 LP-region optimum + single task
+//	aaws-model -lut pacing+sprinting  # print a DVFS lookup table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aaws/internal/model"
+	"aaws/internal/power"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (2, 3, 4, or 5)")
+	lutMode := flag.String("lut", "", "print a LUT: nominal | pacing | pacing+sprinting")
+	alpha := flag.Float64("alpha", 3, "big/little energy ratio")
+	beta := flag.Float64("beta", 2, "big/little IPC ratio")
+	nBig := flag.Int("nbig", 4, "big cores")
+	nLit := flag.Int("nlit", 4, "little cores")
+	csv := flag.Bool("csv", false, "emit CSV instead of a text summary")
+	flag.Parse()
+
+	cfg := model.Config{
+		Params: power.DefaultParams().WithAlphaBeta(*alpha, *beta),
+		NBig:   *nBig,
+		NLit:   *nLit,
+	}
+
+	switch {
+	case *lutMode != "":
+		printLUT(cfg, *lutMode)
+	case *fig == 2:
+		figure2(cfg, *csv)
+	case *fig == 3:
+		figure3(cfg)
+	case *fig == 4:
+		figure4(cfg, *csv)
+	case *fig == 5:
+		figure5(cfg)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printLUT(cfg model.Config, mode string) {
+	var m model.Mode
+	switch mode {
+	case "nominal":
+		m = model.ModeNominal
+	case "pacing":
+		m = model.ModePacing
+	case "pacing+sprinting":
+		m = model.ModePacingSprinting
+	default:
+		fmt.Fprintf(os.Stderr, "unknown LUT mode %q\n", mode)
+		os.Exit(2)
+	}
+	fmt.Print(model.GenerateLUT(cfg, m).String())
+}
+
+func figure2(cfg model.Config, csv bool) {
+	pts := model.Pareto(cfg, 24)
+	if csv {
+		fmt.Println("vbig,vlit,perf,energy_eff,power_ratio")
+		for _, p := range pts {
+			fmt.Printf("%.3f,%.3f,%.4f,%.4f,%.4f\n", p.VBig, p.VLit, p.Perf, p.EnergyEff, p.PowerRatio)
+		}
+		return
+	}
+	fmt.Printf("Figure 2: %dB%dL pareto cloud, %d points (normalized to nominal)\n",
+		cfg.NBig, cfg.NLit, len(pts))
+	var bestBoth model.ParetoPoint
+	for _, p := range pts {
+		if p.Perf > 1 && p.EnergyEff > 1 &&
+			p.Perf*p.EnergyEff > bestBoth.Perf*bestBoth.EnergyEff {
+			bestBoth = p
+		}
+	}
+	fmt.Printf("best win-win point: VB=%.2f VL=%.2f -> perf %.3fx, efficiency %.3fx, power %.3fx\n",
+		bestBoth.VBig, bestBoth.VLit, bestBoth.Perf, bestBoth.EnergyEff, bestBoth.PowerRatio)
+	fmt.Println("(upper-right quadrant exists: careful voltage tuning improves both at once)")
+}
+
+func figure3(cfg model.Config) {
+	r := model.Optimize(cfg, cfg.NBig, cfg.NLit, false)
+	fmt.Printf("Figure 3: %dB%dL all cores active, alpha=%.1f beta=%.1f\n",
+		cfg.NBig, cfg.NLit, cfg.Params.Alpha, cfg.Params.Beta)
+	fmt.Printf("  optimal:  VB=%.2fV VL=%.2fV  speedup %.3fx   (paper: 0.86V, 1.44V, 1.12x)\n",
+		r.Optimal.VBig, r.Optimal.VLit, r.SpeedupOptimal)
+	fmt.Printf("  feasible: VB=%.2fV VL=%.2fV  speedup %.3fx   (paper: 0.93V, Vmax, 1.10x)\n",
+		r.Feasible.VBig, r.Feasible.VLit, r.SpeedupFeasible)
+	mb := cfg.Params.MarginalUtility(power.Big, r.Optimal.VBig)
+	ml := cfg.Params.MarginalUtility(power.Little, r.Optimal.VLit)
+	fmt.Printf("  equi-marginal check: dP/dIPS big=%.4g little=%.4g (equal at optimum)\n", mb, ml)
+}
+
+func figure4(cfg model.Config, csv bool) {
+	alphas := []float64{1, 1.5, 2, 2.5, 3, 4, 5, 6, 8}
+	betas := []float64{1, 1.25, 1.5, 1.75, 2, 2.5, 3, 3.5, 4}
+	g := model.Figure4(cfg, alphas, betas)
+	if csv {
+		fmt.Println("alpha,beta,optimal_speedup,feasible_speedup")
+		for i, a := range alphas {
+			for j, b := range betas {
+				fmt.Printf("%.2f,%.2f,%.4f,%.4f\n", a, b, g.Optimal[i][j], g.Feasible[i][j])
+			}
+		}
+		return
+	}
+	fmt.Printf("Figure 4: optimal (feasible) all-active speedup vs alpha (rows) and beta (cols)\n%8s", "")
+	for _, b := range betas {
+		fmt.Printf("%14.2f", b)
+	}
+	fmt.Println()
+	for i, a := range alphas {
+		fmt.Printf("%8.2f", a)
+		for j := range betas {
+			fmt.Printf("  %.2f (%.2f) ", g.Optimal[i][j], g.Feasible[i][j])
+		}
+		fmt.Println()
+	}
+	fmt.Println("(largest gains when alpha/beta > 1: big cores pay much energy for moderate speedup)")
+}
+
+func figure5(cfg model.Config) {
+	r := model.Optimize(cfg, cfg.NBig/2, cfg.NLit/2, true)
+	fmt.Printf("Figure 5: %dB%dL with %dB%dL active, inactive cores resting at Vmin\n",
+		cfg.NBig, cfg.NLit, cfg.NBig/2, cfg.NLit/2)
+	fmt.Printf("  optimal:  VB=%.2fV VL=%.2fV  speedup %.3fx   (paper: 1.02V, 1.70V, 1.55x)\n",
+		r.Optimal.VBig, r.Optimal.VLit, r.SpeedupOptimal)
+	fmt.Printf("  feasible: VB=%.2fV VL=%.2fV  speedup %.3fx   (paper: 1.16V, Vmax, 1.45x)\n",
+		r.Feasible.VBig, r.Feasible.VLit, r.SpeedupFeasible)
+	st := model.SingleTask(cfg)
+	fmt.Println("single remaining task (everything else resting):")
+	fmt.Printf("  on little: optimal V=%.2fV, feasible speedup %.2fx vs little@VN (paper: 2.59V, 1.6x)\n",
+		st.LittleOptimalV, st.LittleFeasibleSpeedup)
+	fmt.Printf("  on big:    optimal V=%.2fV, feasible speedup %.2fx vs little@VN (paper: 1.51V, 3.3x)\n",
+		st.BigOptimalV, st.BigFeasibleSpeedup)
+	fmt.Println("(moving the last task to a big core wins: the motivation for work-mugging)")
+}

@@ -1,0 +1,45 @@
+// Command aaws-native regenerates Table II on the real host machine: it
+// measures this repository's concurrent work-stealing pool against
+// optimized serial code and a central-queue work-sharing pool on five PBBS
+// kernels.
+//
+// The paper compared its C++ runtime against Intel Cilk++ and Intel TBB on
+// an 8-core Xeon; neither is available to a pure-Go offline build, so the
+// central-queue pool plays the comparison-scheduler role (see DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"aaws/internal/native"
+)
+
+func main() {
+	n := flag.Int("n", 1<<20, "base input size")
+	workers := flag.Int("workers", 8, "worker goroutines (paper used 8 threads)")
+	trials := flag.Int("trials", 3, "best-of trials per measurement")
+	seed := flag.Uint64("seed", 7, "input seed")
+	flag.Parse()
+
+	fmt.Printf("Table II — native work-stealing runtime vs central-queue pool\n")
+	fmt.Printf("host: GOMAXPROCS=%d, %d workers, n=%d, best of %d\n\n",
+		runtime.GOMAXPROCS(0), *workers, *n, *trials)
+	if runtime.GOMAXPROCS(0) < 2 {
+		fmt.Println("NOTE: single-CPU host — parallel speedups are bounded at ~1x;")
+		fmt.Println("the comparison degenerates to scheduler-overhead measurement.")
+		fmt.Println()
+	}
+
+	rows, err := native.Table2(native.Table2Options{
+		Seed: *seed, N: *n, Workers: *workers, Trials: *trials,
+	}, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	native.WriteTable2(os.Stdout, rows)
+	fmt.Println("\npaper (8-core Xeon, vs TBB): dict +10%, radix +14%, rdups +4%, mis -1%, nbody -3%")
+}

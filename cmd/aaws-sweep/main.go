@@ -1,0 +1,112 @@
+// Command aaws-sweep regenerates Figure 8: execution-time breakdowns for
+// every kernel under every runtime variant on one (or both) systems, plus
+// the paper's headline summary statistics.
+//
+// Usage:
+//
+//	aaws-sweep                      # 4B4L, all kernels, all variants
+//	aaws-sweep -system 1B7L
+//	aaws-sweep -system both -scale 0.5
+//	aaws-sweep -kernels radix-2,hull -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"aaws/internal/core"
+	"aaws/internal/stats"
+	"aaws/internal/wsrt"
+)
+
+func main() {
+	system := flag.String("system", "4B4L", "4B4L, 1B7L, or both")
+	scale := flag.Float64("scale", 1.0, "input size multiplier")
+	seed := flag.Uint64("seed", 42, "seed")
+	list := flag.String("kernels", "", "comma-separated kernel subset (default all)")
+	csv := flag.Bool("csv", false, "CSV output")
+	flag.Parse()
+
+	var systems []core.System
+	switch *system {
+	case "both":
+		systems = []core.System{core.Sys4B4L, core.Sys1B7L}
+	default:
+		s, ok := core.ParseSystem(*system)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
+			os.Exit(2)
+		}
+		systems = []core.System{s}
+	}
+
+	for _, sys := range systems {
+		opt := core.DefaultSweep(sys)
+		opt.Scale = *scale
+		opt.Seed = *seed
+		if *list != "" {
+			opt.Kernels = strings.Split(*list, ",")
+		}
+		rows, err := core.Sweep(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *csv {
+			writeCSV(sys, rows)
+		} else {
+			writeTable(sys, rows)
+		}
+	}
+}
+
+func writeTable(sys core.System, rows []core.Figure8Row) {
+	fmt.Printf("\nFigure 8 — normalized execution time breakdown, %s (speedup over base)\n", sys)
+	fmt.Printf("%-10s", "kernel")
+	for _, v := range wsrt.Variants[1:] {
+		fmt.Printf("%10s", v)
+	}
+	fmt.Printf("   base regions: serial/HP/BI<LA/BI>=LA/oLP   mugs(psm)\n")
+	for _, r := range rows {
+		fmt.Printf("%-10s", r.Kernel)
+		for _, v := range wsrt.Variants[1:] {
+			fmt.Printf("%9.3fx", r.Speedup(v))
+		}
+		b := r.Results[0].Regions
+		var mugs int
+		for _, vr := range r.Results {
+			if vr.Variant == wsrt.BasePSM {
+				mugs = vr.Mugs
+			}
+		}
+		fmt.Printf("   %5.1f/%5.1f/%5.1f/%6.1f/%5.1f%%   %6d\n",
+			100*b.Frac(stats.RegionSerial), 100*b.Frac(stats.RegionHP),
+			100*b.Frac(stats.RegionBILessLA), 100*b.Frac(stats.RegionBIGeqLA),
+			100*b.Frac(stats.RegionOtherLP), mugs)
+	}
+	s := core.Summarize(rows, wsrt.BasePSM)
+	fmt.Printf("\nheadline (%s base+psm): speedup min/median/max = %.2fx/%.2fx/%.2fx", sys,
+		s.MinSpeedup, s.MedianSpeedup, s.MaxSpeedup)
+	fmt.Printf("   (paper 4B4L: 1.02x/1.10x/1.32x)\n")
+	fmt.Printf("energy efficiency min/median/max = %.2fx/%.2fx/%.2fx", s.MinEnergyEff, s.MedianEnergyEff, s.MaxEnergyEff)
+	fmt.Printf("   (paper 4B4L: median 1.11x, max 1.53x)\n")
+	fmt.Printf("%d/%d kernels faster, %d/%d more energy-efficient\n",
+		s.KernelsFaster, s.TotalKernels, s.KernelsMoreEff, s.TotalKernels)
+}
+
+func writeCSV(sys core.System, rows []core.Figure8Row) {
+	fmt.Println("system,kernel,variant,time_us,energy,speedup_vs_base,energy_eff_vs_base,serial,hp,bi_lt_la,bi_ge_la,olp,mugs,steals,dvfs_transitions")
+	for _, r := range rows {
+		for _, vr := range r.Results {
+			b := vr.Regions
+			fmt.Printf("%s,%s,%s,%.3f,%.6g,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%d,%d,%d\n",
+				sys, r.Kernel, vr.Variant, vr.Time.Micros(), vr.Energy,
+				r.Speedup(vr.Variant), r.EnergyEff(vr.Variant),
+				b.Frac(stats.RegionSerial), b.Frac(stats.RegionHP),
+				b.Frac(stats.RegionBILessLA), b.Frac(stats.RegionBIGeqLA),
+				b.Frac(stats.RegionOtherLP), vr.Mugs, vr.Steals, vr.DVFS)
+		}
+	}
+}

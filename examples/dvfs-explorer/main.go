@@ -1,0 +1,48 @@
+// DVFS-explorer: use the marginal-utility model as a standalone design
+// tool — derive the full DVFS lookup table for a custom asymmetric system
+// and inspect how the optimal operating points move with the core mix and
+// with alpha/beta.
+//
+//	go run ./examples/dvfs-explorer
+//	go run ./examples/dvfs-explorer -nbig 2 -nlit 6 -alpha 4 -beta 2.5
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"aaws/internal/model"
+	"aaws/internal/power"
+)
+
+func main() {
+	nBig := flag.Int("nbig", 4, "big cores")
+	nLit := flag.Int("nlit", 6, "little cores")
+	alpha := flag.Float64("alpha", 3.5, "big/little energy ratio")
+	beta := flag.Float64("beta", 2.2, "big/little IPC ratio")
+	flag.Parse()
+
+	cfg := model.Config{
+		Params: power.DefaultParams().WithAlphaBeta(*alpha, *beta),
+		NBig:   *nBig,
+		NLit:   *nLit,
+	}
+	fmt.Printf("custom system: %dB%dL, alpha=%.2f, beta=%.2f\n\n", *nBig, *nLit, *alpha, *beta)
+
+	// The all-active (work-pacing) operating point.
+	r := model.Optimize(cfg, *nBig, *nLit, false)
+	fmt.Printf("work-pacing point (all cores busy):\n")
+	fmt.Printf("  big cores -> %.2fV, little cores -> %.2fV, throughput +%.1f%%\n\n",
+		r.Feasible.VBig, r.Feasible.VLit, 100*(r.SpeedupFeasible-1))
+
+	// The complete sprinting LUT the DVFS controller would load.
+	lut := model.GenerateLUT(cfg, model.ModePacingSprinting)
+	fmt.Println(lut.String())
+
+	// How much does the last-task sprint gain from a big core?
+	st := model.SingleTask(cfg)
+	fmt.Printf("last-task analysis: little sprint %.2fx vs big sprint %.2fx (vs little@VN)\n",
+		st.LittleFeasibleSpeedup, st.BigFeasibleSpeedup)
+	fmt.Printf("=> mugging the final task to a big core is worth %.2fx\n",
+		st.BigFeasibleSpeedup/st.LittleFeasibleSpeedup)
+}

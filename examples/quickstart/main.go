@@ -1,0 +1,39 @@
+// Quickstart: run one kernel on the simulated 4B4L big.LITTLE system with
+// the asymmetry-oblivious baseline runtime and with the full AAWS runtime
+// (work-pacing + work-sprinting + work-mugging), and compare.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"aaws/internal/core"
+	"aaws/internal/wsrt"
+)
+
+func main() {
+	fmt.Println("AAWS quickstart: sorting 60K integers (cilksort) on a simulated 4B4L system")
+	fmt.Println()
+
+	// Run the same workload, same seed, under the baseline runtime...
+	base := core.MustRun(core.DefaultSpec("cilksort", core.Sys4B4L, wsrt.Base))
+
+	// ...and under the complete AAWS runtime.
+	aaws := core.MustRun(core.DefaultSpec("cilksort", core.Sys4B4L, wsrt.BasePSM))
+
+	fmt.Printf("%-22s %14s %14s\n", "", "base", "base+psm (AAWS)")
+	fmt.Printf("%-22s %14v %14v\n", "execution time", base.Report.ExecTime, aaws.Report.ExecTime)
+	fmt.Printf("%-22s %14.4g %14.4g\n", "energy (model units)", base.Report.TotalEnergy, aaws.Report.TotalEnergy)
+	fmt.Printf("%-22s %14d %14d\n", "steals", base.Report.Steals, aaws.Report.Steals)
+	fmt.Printf("%-22s %14d %14d\n", "mugs", base.Report.Mugs, aaws.Report.Mugs)
+	fmt.Printf("%-22s %14d %14d\n", "DVFS transitions", base.Report.DVFSTransitions, aaws.Report.DVFSTransitions)
+	fmt.Println()
+
+	speedup := float64(base.Report.ExecTime) / float64(aaws.Report.ExecTime)
+	eff := base.Report.TotalEnergy / aaws.Report.TotalEnergy
+	fmt.Printf("AAWS speedup:            %.3fx\n", speedup)
+	fmt.Printf("AAWS energy efficiency:  %.3fx\n", eff)
+	fmt.Println("\nBoth runs validated the sorted output against a serial reference.")
+	fmt.Println("Try other kernels with: go run ./cmd/aaws-sim -list")
+}

@@ -1,0 +1,3 @@
+module aaws
+
+go 1.22

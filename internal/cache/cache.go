@@ -1,0 +1,202 @@
+// Package cache models the memory hierarchy of Table I: per-core L1
+// instruction/data caches, a shared banked L2, MESI-style ownership
+// tracking for inter-core transfers, and fixed-latency DRAM.
+//
+// The discrete-event simulator cannot afford per-load/store simulation of
+// the real kernels (the paper uses gem5 for that), so this package serves
+// two roles:
+//
+//  1. A real, trace-driven set-associative cache simulator with LRU
+//     replacement and a MESI-lite directory — unit- and property-tested on
+//     synthetic address streams, and exercised by the cache ablation
+//     benchmark to show miss-rate curves behave physically.
+//  2. A task-migration cost model derived from it: when a task moves
+//     between cores (steal or mug), the destination core re-fetches the
+//     task's resident working set through L2 or from the previous owner's
+//     L1 (a MESI transfer). MigrationModel converts a task's working-set
+//     estimate into an instruction-equivalent penalty, replacing the
+//     runtime's fixed cold-miss constants in high-fidelity mode.
+package cache
+
+import (
+	"fmt"
+)
+
+// Config describes one cache level.
+type Config struct {
+	SizeBytes int
+	LineBytes int
+	Ways      int
+}
+
+// Validate checks structural parameters.
+func (c Config) Validate() error {
+	if c.LineBytes <= 0 || c.SizeBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	lines := c.SizeBytes / c.LineBytes
+	if lines%c.Ways != 0 {
+		return fmt.Errorf("cache: %d lines not divisible by %d ways", lines, c.Ways)
+	}
+	sets := lines / c.Ways
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// L1D16K is Table I's per-core 16KB 2-way L1 data cache (64B lines).
+func L1D16K() Config { return Config{SizeBytes: 16 << 10, LineBytes: 64, Ways: 2} }
+
+// L2Shared1M is Table I's shared 8-way 1MB L2.
+func L2Shared1M() Config { return Config{SizeBytes: 1 << 20, LineBytes: 64, Ways: 8} }
+
+// line is one cache line's tag state.
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// lru is a per-set monotonic timestamp; larger = more recent.
+	lru uint64
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+}
+
+// MissRate returns misses / accesses (0 for no accesses).
+func (s Stats) MissRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(total)
+}
+
+// Cache is a set-associative, write-back, write-allocate cache with LRU
+// replacement.
+type Cache struct {
+	cfg     Config
+	sets    [][]line
+	setMask uint64
+	shift   uint
+	clock   uint64
+	stats   Stats
+}
+
+// New builds a cache; it panics on invalid geometry (a configuration bug).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nSets := cfg.SizeBytes / cfg.LineBytes / cfg.Ways
+	c := &Cache{cfg: cfg, setMask: uint64(nSets - 1)}
+	for s := uint(1); ; s++ {
+		if 1<<s >= cfg.LineBytes {
+			c.shift = s
+			break
+		}
+	}
+	c.sets = make([][]line, nSets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns accumulated counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Lines returns the total line capacity.
+func (c *Cache) Lines() int { return c.cfg.SizeBytes / c.cfg.LineBytes }
+
+// addrSet splits an address into (set index, tag).
+func (c *Cache) addrSet(addr uint64) (uint64, uint64) {
+	lineAddr := addr >> c.shift
+	return lineAddr & c.setMask, lineAddr >> 0
+}
+
+// Access performs one load (write=false) or store (write=true). It returns
+// hit, plus whether a dirty line was written back.
+func (c *Cache) Access(addr uint64, write bool) (hit, writeback bool) {
+	set, tag := c.addrSet(addr)
+	c.clock++
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			c.stats.Hits++
+			ways[i].lru = c.clock
+			if write {
+				ways[i].dirty = true
+			}
+			return true, false
+		}
+	}
+	c.stats.Misses++
+	// Choose the LRU victim.
+	victim := 0
+	for i := 1; i < len(ways); i++ {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].lru < ways[victim].lru {
+			victim = i
+		}
+	}
+	if ways[victim].valid {
+		c.stats.Evictions++
+		if ways[victim].dirty {
+			c.stats.Writebacks++
+			writeback = true
+		}
+	}
+	ways[victim] = line{tag: tag, valid: true, dirty: write, lru: c.clock}
+	return false, writeback
+}
+
+// Contains reports whether addr's line is resident (no LRU update).
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.addrSet(addr)
+	for _, l := range c.sets[set] {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops addr's line if resident (MESI invalidation), returning
+// whether it was dirty.
+func (c *Cache) Invalidate(addr uint64) (wasDirty bool) {
+	set, tag := c.addrSet(addr)
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			wasDirty = ways[i].dirty
+			ways[i] = line{}
+			return wasDirty
+		}
+	}
+	return false
+}
+
+// Resident returns the number of valid lines (diagnostics).
+func (c *Cache) Resident() int {
+	n := 0
+	for _, set := range c.sets {
+		for _, l := range set {
+			if l.valid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,134 @@
+package cache
+
+// Hierarchy composes per-core L1 data caches over a shared L2 with a
+// MESI-lite directory: each line has at most one L1 owner; an access by a
+// different core transfers ownership (invalidating the previous owner's
+// copy), modelling the cache-to-cache transfer cost a migrated task pays.
+//
+// Latencies follow Table I: 1-cycle L1, 20-cycle L2, 200 ns DRAM.
+type Hierarchy struct {
+	L1  []*Cache
+	L2  *Cache
+	dir map[uint64]int // line address -> owning core (-1 shared/none)
+
+	// Latencies in core cycles at nominal frequency.
+	L1Cycles   int
+	L2Cycles   int
+	DRAMCycles int
+	// XferCycles is the extra cost of a dirty cache-to-cache transfer.
+	XferCycles int
+
+	shift uint
+	stats HierarchyStats
+}
+
+// HierarchyStats aggregates cross-level events.
+type HierarchyStats struct {
+	L1Hits      uint64
+	L2Hits      uint64
+	DRAMFills   uint64
+	Transfers   uint64 // MESI ownership transfers between L1s
+	TotalCycles uint64
+}
+
+// NewHierarchy builds the Table I memory system for n cores.
+func NewHierarchy(n int) *Hierarchy {
+	h := &Hierarchy{
+		L2:         New(L2Shared1M()),
+		dir:        map[uint64]int{},
+		L1Cycles:   1,
+		L2Cycles:   20,
+		DRAMCycles: 67, // 200ns at 333MHz
+		XferCycles: 20, // like an L2 access through the crossbar
+	}
+	l1cfg := L1D16K()
+	for i := 0; i < n; i++ {
+		h.L1 = append(h.L1, New(l1cfg))
+	}
+	for s := uint(1); ; s++ {
+		if 1<<s >= l1cfg.LineBytes {
+			h.shift = s
+			break
+		}
+	}
+	return h
+}
+
+// Stats returns the aggregate counters.
+func (h *Hierarchy) Stats() HierarchyStats { return h.stats }
+
+// Access performs one memory access by core on addr and returns its
+// latency in cycles.
+func (h *Hierarchy) Access(core int, addr uint64, write bool) int {
+	lineAddr := addr >> h.shift
+	cycles := h.L1Cycles
+	if hit, _ := h.L1[core].Access(addr, write); hit {
+		// MESI: a write to a line another core still holds shared would
+		// invalidate; the single-owner directory already guarantees
+		// exclusivity on fill, so an L1 hit is free of coherence traffic.
+		h.stats.L1Hits++
+		h.stats.TotalCycles += uint64(cycles)
+		return cycles
+	}
+	// L1 miss: check ownership for a cache-to-cache transfer.
+	if owner, ok := h.dir[lineAddr]; ok && owner != core && owner >= 0 {
+		dirty := h.L1[owner].Invalidate(addr)
+		h.stats.Transfers++
+		cycles += h.XferCycles
+		if dirty {
+			cycles += h.L2Cycles // write the dirty copy through L2
+		}
+	}
+	h.dir[lineAddr] = core
+	// L2 lookup.
+	if hit, _ := h.L2.Access(addr, write); hit {
+		h.stats.L2Hits++
+		cycles += h.L2Cycles
+	} else {
+		h.stats.DRAMFills++
+		cycles += h.L2Cycles + h.DRAMCycles
+	}
+	h.stats.TotalCycles += uint64(cycles)
+	return cycles
+}
+
+// MigrationModel estimates the instruction-equivalent penalty a core pays
+// when a task's working set migrates to it — the high-fidelity replacement
+// for the runtime's fixed cold-miss constants.
+type MigrationModel struct {
+	// LineBytes is the coherence granularity.
+	LineBytes int
+	// L1Lines caps how much of a working set can be resident (and thus
+	// need refetching).
+	L1Lines int
+	// RefillCycles is the per-line refetch cost (L2 or cache-to-cache:
+	// both ~20 cycles in Table I).
+	RefillCycles int
+	// ResidentFrac scales the working set to the fraction realistically
+	// still resident at the previous owner when the migration happens.
+	ResidentFrac float64
+}
+
+// DefaultMigrationModel returns Table I-derived parameters.
+func DefaultMigrationModel() MigrationModel {
+	l1 := L1D16K()
+	return MigrationModel{
+		LineBytes:    l1.LineBytes,
+		L1Lines:      l1.SizeBytes / l1.LineBytes,
+		RefillCycles: 20,
+		ResidentFrac: 0.5,
+	}
+}
+
+// PenaltyInstr converts a task's working-set size in bytes into an
+// instruction-equivalent migration penalty (cycles at IPC 1).
+func (m MigrationModel) PenaltyInstr(workingSetBytes float64) float64 {
+	if workingSetBytes <= 0 {
+		return 0
+	}
+	lines := workingSetBytes / float64(m.LineBytes) * m.ResidentFrac
+	if max := float64(m.L1Lines); lines > max {
+		lines = max
+	}
+	return lines * float64(m.RefillCycles)
+}

@@ -1,0 +1,267 @@
+// Package core is the top-level facade of the AAWS reproduction: it wires
+// kernels, the simulated machine, the work-stealing runtime, region
+// tracking and activity tracing into single-call experiment drivers used by
+// the command-line tools, the examples, and the benchmark harness.
+package core
+
+import (
+	"fmt"
+
+	"aaws/internal/dvfs"
+	"aaws/internal/kernels"
+	"aaws/internal/machine"
+	"aaws/internal/model"
+	"aaws/internal/power"
+	"aaws/internal/sim"
+	"aaws/internal/stats"
+	"aaws/internal/trace"
+	"aaws/internal/wsrt"
+)
+
+// System identifies one of the paper's two target systems.
+type System int
+
+const (
+	// Sys4B4L is the four-big/four-little system of Table I.
+	Sys4B4L System = iota
+	// Sys1B7L is the one-big/seven-little system.
+	Sys1B7L
+)
+
+// String implements fmt.Stringer.
+func (s System) String() string {
+	if s == Sys1B7L {
+		return "1B7L"
+	}
+	return "4B4L"
+}
+
+// Counts returns the big/little core mix.
+func (s System) Counts() (nBig, nLit int) {
+	if s == Sys1B7L {
+		return 1, 7
+	}
+	return 4, 4
+}
+
+// ParseSystem converts "4B4L"/"1B7L".
+func ParseSystem(s string) (System, bool) {
+	switch s {
+	case "4B4L", "4b4l":
+		return Sys4B4L, true
+	case "1B7L", "1b7l":
+		return Sys1B7L, true
+	}
+	return 0, false
+}
+
+// Spec describes one simulation run.
+type Spec struct {
+	Kernel  string
+	System  System
+	Variant wsrt.Variant
+	Seed    uint64
+	Scale   float64
+	// WithTrace records the per-core activity/DVFS profile (Figures 1, 7).
+	WithTrace bool
+	// MemStall enables the optional frequency-independent memory-stall
+	// model derived from the kernel's MPKI (ablation; the paper's
+	// first-order model keeps IPC constant).
+	MemStall bool
+	// Check validates the kernel result against its serial reference.
+	Check bool
+	// InterruptCycles overrides the mug interrupt latency in nominal
+	// cycles (0 = the paper's 20; Section IV-D sweeps to 1000).
+	InterruptCycles int
+	// TransitionNsPerStep overrides the regulator step latency (0 = the
+	// paper's 40 ns; Section IV-D sweeps to 250 ns).
+	TransitionNsPerStep float64
+	// DisableBiasing turns off work-biasing (ablation; the aggressive
+	// baseline keeps it on, Section III-C).
+	DisableBiasing bool
+	// Victim overrides the steal-victim policy (default occupancy-based).
+	Victim wsrt.VictimPolicy
+	// AdaptiveDVFS layers the online counter-driven tuner (the paper's
+	// future-work adaptive controller) on top of the lookup table.
+	AdaptiveDVFS bool
+	// LUTAlpha/LUTBeta, when non-zero, generate the offline DVFS lookup
+	// table with *these* estimates instead of the kernel's true alpha and
+	// beta — emulating a mis-calibrated LUT for the adaptive-DVFS study.
+	LUTAlpha, LUTBeta float64
+	// NBig/NLit, when both set (NBig >= 1), override System with a custom
+	// core mix — the model, LUT generation, runtime, and region tracking
+	// all generalize to arbitrary shapes.
+	NBig, NLit int
+	// CacheModel switches steal/mug migration penalties from fixed
+	// constants to the Table I cache-hierarchy model driven by each
+	// task's working-set estimate (high-fidelity mode).
+	CacheModel bool
+	// Sched selects work stealing (default) or the central-queue
+	// work-sharing organization (extension study).
+	Sched wsrt.Scheduler
+}
+
+// counts resolves the effective core mix.
+func (s Spec) counts() (nBig, nLit int) {
+	if s.NBig > 0 {
+		return s.NBig, s.NLit
+	}
+	return s.System.Counts()
+}
+
+// DefaultSpec returns a Spec with the evaluation defaults.
+func DefaultSpec(kernel string, sys System, v wsrt.Variant) Spec {
+	return Spec{Kernel: kernel, System: sys, Variant: v, Seed: 42, Scale: 1.0, Check: true}
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Spec    Spec
+	Report  wsrt.Report
+	Regions stats.Breakdown
+	Trace   *trace.Recorder // nil unless Spec.WithTrace
+	// SerialInstr is the total app+serial instruction count: the cost of
+	// an optimized serial implementation doing the same work.
+	SerialInstr float64
+	CheckErr    error
+	// Alpha and Beta echo the kernel's Table III parameters.
+	Alpha, Beta float64
+}
+
+// SerialTimeLittle returns the modelled execution time of the serial
+// implementation on one little in-order core at nominal frequency
+// (Table III's "Opt IO Cyc" baseline).
+func (r Result) SerialTimeLittle() float64 {
+	p := power.DefaultParams().WithAlphaBeta(r.Alpha, r.Beta)
+	return r.SerialInstr / p.NominalIPS(power.Little)
+}
+
+// SerialTimeBig returns the serial time on one big core at nominal
+// frequency.
+func (r Result) SerialTimeBig() float64 {
+	p := power.DefaultParams().WithAlphaBeta(r.Alpha, r.Beta)
+	return r.SerialInstr / p.NominalIPS(power.Big)
+}
+
+// SpeedupVsLittle returns parallel speedup over the serial little-core run.
+func (r Result) SpeedupVsLittle() float64 {
+	return r.SerialTimeLittle() / r.Report.ExecTime.Seconds()
+}
+
+// SpeedupVsBig returns parallel speedup over the serial big-core run.
+func (r Result) SpeedupVsBig() float64 {
+	return r.SerialTimeBig() / r.Report.ExecTime.Seconds()
+}
+
+// Run executes one simulation per spec and returns the result.
+func Run(spec Spec) (Result, error) {
+	k := kernels.Get(spec.Kernel)
+	if k == nil {
+		return Result{}, fmt.Errorf("core: unknown kernel %q (have %v)", spec.Kernel, kernels.Names())
+	}
+	if spec.Scale <= 0 {
+		spec.Scale = 1.0
+	}
+	nBig, nLit := spec.counts()
+	p := power.DefaultParams().WithAlphaBeta(k.Alpha, k.Beta)
+	lutParams := p
+	if spec.LUTAlpha > 0 && spec.LUTBeta > 0 {
+		lutParams = p.WithAlphaBeta(spec.LUTAlpha, spec.LUTBeta)
+	}
+	lut := model.GenerateLUT(model.Config{Params: lutParams, NBig: nBig, NLit: nLit}, spec.Variant.LUTMode())
+
+	eng := sim.NewEngine()
+	mcfg := machine.Config{
+		BigCores: nBig, LittleCores: nLit, Params: p, LUT: lut, InterruptCycles: 20,
+		TransitionNsPerStep: spec.TransitionNsPerStep,
+	}
+	if spec.InterruptCycles > 0 {
+		mcfg.InterruptCycles = spec.InterruptCycles
+	}
+	if spec.MemStall {
+		// MPKI misses * 200ns DRAM latency amortized per instruction.
+		mcfg.MemStallPsPerInstr = k.MPKI / 1000 * 200e3
+	}
+	m, err := machine.New(eng, mcfg)
+	if err != nil {
+		return Result{}, err
+	}
+
+	tracker := stats.NewTracker(coreClasses(nBig, nLit))
+	var rec *trace.Recorder
+	if spec.WithTrace {
+		rec = trace.NewRecorder(nBig + nLit)
+	}
+	m.OnState = func(now sim.Time, id int, st power.CoreState) {
+		tracker.OnState(now, id, st)
+		if rec != nil {
+			rec.OnState(now, id, st)
+		}
+	}
+	m.OnSerial = tracker.OnSerial
+	if rec != nil {
+		m.OnVoltage = rec.OnVoltage
+	}
+
+	rcfg := wsrt.DefaultConfig(spec.Variant)
+	rcfg.Seed = spec.Seed
+	rcfg.Victim = spec.Victim
+	rcfg.CacheMigration = spec.CacheModel
+	rcfg.Sched = spec.Sched
+	if spec.DisableBiasing {
+		rcfg.Biasing = false
+	}
+	rt := wsrt.New(m, rcfg)
+	if spec.AdaptiveDVFS {
+		tuner := dvfs.NewTuner(eng, m.Ctl,
+			dvfs.Sensors{Retired: m.TotalRetired, Power: m.InstantPower},
+			p.TargetPower(nBig, nLit), p.VF, dvfs.DefaultTunerConfig(), rt.Running)
+		m.Ctl.SetTuner(tuner)
+		tuner.Start()
+	}
+	w := k.New(spec.Seed, spec.Scale)
+	rep := rt.Execute(w.Run)
+
+	res := Result{
+		Spec:        spec,
+		Report:      rep,
+		Regions:     tracker.Finish(rep.ExecTime),
+		Trace:       rec,
+		SerialInstr: rep.AppInstr + rep.SerialInstr,
+		Alpha:       k.Alpha,
+		Beta:        k.Beta,
+	}
+	if rec != nil {
+		rec.Finish(rep.ExecTime)
+	}
+	if spec.Check {
+		res.CheckErr = w.Check()
+	}
+	return res, nil
+}
+
+// MustRun is Run that panics on configuration errors (for benches/examples
+// with hardcoded specs).
+func MustRun(spec Spec) Result {
+	r, err := Run(spec)
+	if err != nil {
+		panic(err)
+	}
+	if r.CheckErr != nil {
+		panic(fmt.Sprintf("core: %s/%s/%s failed validation: %v",
+			spec.Kernel, spec.System, spec.Variant, r.CheckErr))
+	}
+	return r
+}
+
+func coreClasses(nBig, nLit int) []power.CoreClass {
+	cls := make([]power.CoreClass, nBig+nLit)
+	for i := range cls {
+		if i < nBig {
+			cls[i] = power.Big
+		} else {
+			cls[i] = power.Little
+		}
+	}
+	return cls
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"aaws/internal/stats"
+	"aaws/internal/wsrt"
+)
+
+func TestRunBasic(t *testing.T) {
+	res, err := Run(DefaultSpec("cilksort", Sys4B4L, wsrt.Base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CheckErr != nil {
+		t.Fatalf("validation failed: %v", res.CheckErr)
+	}
+	if res.Report.ExecTime <= 0 || res.Report.TotalEnergy <= 0 {
+		t.Fatal("degenerate report")
+	}
+	if got := res.Regions.Total(); got != res.Report.ExecTime {
+		t.Errorf("region durations %v != exec time %v", got, res.Report.ExecTime)
+	}
+	if res.SpeedupVsLittle() < 2 {
+		t.Errorf("4B4L speedup vs little serial = %.2f, expected healthy parallel speedup", res.SpeedupVsLittle())
+	}
+}
+
+func TestRunUnknownKernel(t *testing.T) {
+	if _, err := Run(DefaultSpec("nope", Sys4B4L, wsrt.Base)); err == nil {
+		t.Fatal("expected error for unknown kernel")
+	}
+}
+
+func TestRunWithTrace(t *testing.T) {
+	spec := DefaultSpec("qsort-1", Sys4B4L, wsrt.BasePSM)
+	spec.Scale = 0.25
+	spec.WithTrace = true
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("no trace recorded")
+	}
+	var sb strings.Builder
+	res.Trace.RenderASCII(&sb, nil, 100)
+	out := sb.String()
+	if !strings.Contains(out, "#") {
+		t.Error("trace render contains no activity")
+	}
+	if strings.Count(out, "\n") < 16 {
+		t.Errorf("trace render too short:\n%s", out)
+	}
+}
+
+// TestHeadlineShape is the repository's core reproduction check for the
+// paper's Section V headline: "On a system with four big and four little
+// cores, an AAWS runtime achieves speedups from 1.02-1.32x (median 1.10x).
+// At the same time, all but one kernel achieves improved energy efficiency
+// with a maximum improvement of 1.53x (median 1.11x)."
+//
+// We assert the *shape* at reduced input scale: every kernel at least
+// breaks even, the median speedup and median energy efficiency land near
+// the paper's, and the extremes stay in a plausible band.
+func TestHeadlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	opt := DefaultSweep(Sys4B4L)
+	opt.Scale = 0.5
+	rows, err := Sweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 20 {
+		t.Fatalf("sweep covered %d kernels, want >= 20", len(rows))
+	}
+	s := Summarize(rows, wsrt.BasePSM)
+	if s.MinSpeedup < 0.97 {
+		t.Errorf("min base+psm speedup %.3f: some kernel regresses", s.MinSpeedup)
+	}
+	if s.MedianSpeedup < 1.05 || s.MedianSpeedup > 1.20 {
+		t.Errorf("median base+psm speedup %.3f, paper reports 1.10", s.MedianSpeedup)
+	}
+	if s.MaxSpeedup < 1.15 {
+		t.Errorf("max base+psm speedup %.3f, paper reports up to 1.32", s.MaxSpeedup)
+	}
+	if s.MedianEnergyEff < 1.03 || s.MedianEnergyEff > 1.25 {
+		t.Errorf("median energy efficiency %.3f, paper reports 1.11", s.MedianEnergyEff)
+	}
+	if s.KernelsMoreEff < s.TotalKernels-1 {
+		t.Errorf("only %d/%d kernels improved energy efficiency; paper reports all but one",
+			s.KernelsMoreEff, s.TotalKernels)
+	}
+
+	// Variant ordering: the full AAWS runtime should not lose to pacing
+	// alone on the median.
+	sp := Summarize(rows, wsrt.BaseP)
+	if s.MedianSpeedup+1e-9 < sp.MedianSpeedup-0.02 {
+		t.Errorf("base+psm median %.3f well below base+p median %.3f", s.MedianSpeedup, sp.MedianSpeedup)
+	}
+	// Mugging alone must help but less than the full runtime on median.
+	sm := Summarize(rows, wsrt.BaseM)
+	if sm.MedianSpeedup < 1.0 {
+		t.Errorf("base+m median %.3f < 1: mugging alone should not hurt", sm.MedianSpeedup)
+	}
+	if sm.MedianSpeedup > s.MedianSpeedup {
+		t.Errorf("base+m median %.3f exceeds base+psm %.3f", sm.MedianSpeedup, s.MedianSpeedup)
+	}
+}
+
+// TestMuggingEliminatesMuggableRegions reproduces Figure 8's observation:
+// "work-mugging eliminates all BI<LA and BI>=LA regions".
+func TestMuggingEliminatesMuggableRegions(t *testing.T) {
+	for _, kernel := range []string{"hull", "radix-2", "sarray"} {
+		spec := DefaultSpec(kernel, Sys4B4L, wsrt.BasePSM)
+		spec.Scale = 0.5
+		spec.Check = false
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		muggable := res.Regions.Frac(stats.RegionBILessLA) + res.Regions.Frac(stats.RegionBIGeqLA)
+		if muggable > 0.03 {
+			t.Errorf("%s: %.1f%% of base+psm time still in muggable LP regions",
+				kernel, 100*muggable)
+		}
+	}
+}
+
+// TestFigure7Radix2Reduction reproduces Figure 7's caption: the complete
+// AAWS runtime reduces radix-2's 4B4L execution time noticeably (paper: 24%).
+func TestFigure7Radix2Reduction(t *testing.T) {
+	times := map[wsrt.Variant]float64{}
+	for _, v := range wsrt.Variants {
+		spec := DefaultSpec("radix-2", Sys4B4L, v)
+		spec.Check = false
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[v] = res.Report.ExecTime.Seconds()
+	}
+	reduction := 1 - times[wsrt.BasePSM]/times[wsrt.Base]
+	if reduction < 0.03 {
+		t.Errorf("radix-2 base+psm reduction = %.1f%%, paper reports 24%%", 100*reduction)
+	}
+	// Pacing must shrink the HP region relative to base (Figure 7b).
+	if times[wsrt.BaseP] >= times[wsrt.Base] {
+		t.Errorf("base+p (%.4g) not faster than base (%.4g) on radix-2", times[wsrt.BaseP], times[wsrt.Base])
+	}
+}
+
+// TestTable3Shape checks the Table III characterization is internally
+// consistent: 4B4L at least matches 1B7L (paper: "the 4B4L system strictly
+// increases performance over the 1B7L system"), and speedups vs the little
+// core exceed speedups vs the big core by the kernel's beta.
+func TestTable3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table sweep in -short mode")
+	}
+	rows, err := Table3(42, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Allow a little scheduling noise on kernels where the two systems
+		// effectively tie.
+		if r.Speedup4B4LvsIO < r.Speedup1B7LvsIO*0.95 {
+			t.Errorf("%s: 4B4L speedup %.2f below 1B7L %.2f", r.Kernel.Name,
+				r.Speedup4B4LvsIO, r.Speedup1B7LvsIO)
+		}
+		ratio := r.Speedup4B4LvsIO / r.Speedup4B4LvsO3
+		if ratio < r.Kernel.Beta*0.99 || ratio > r.Kernel.Beta*1.01 {
+			t.Errorf("%s: IO/O3 speedup ratio %.3f != beta %.2f", r.Kernel.Name, ratio, r.Kernel.Beta)
+		}
+		if r.NumTasks < 8 {
+			t.Errorf("%s: only %d tasks", r.Kernel.Name, r.NumTasks)
+		}
+		if r.DInstM <= 0 {
+			t.Errorf("%s: no instructions", r.Kernel.Name)
+		}
+	}
+}
+
+// TestFigure9Points: points must track the isopower diagonal direction —
+// on average more performance comes with more energy efficiency (paper
+// Figure 9's general trend).
+func TestFigure9Points(t *testing.T) {
+	opt := DefaultSweep(Sys4B4L)
+	opt.Scale = 0.35
+	opt.Kernels = []string{"qsort-1", "radix-2", "hull", "dict", "cilksort", "mis"}
+	rows, err := Sweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := Figure9(rows)
+	if len(pts) != len(opt.Kernels)*4 {
+		t.Fatalf("got %d points, want %d", len(pts), len(opt.Kernels)*4)
+	}
+	better := 0
+	for _, p := range pts {
+		if p.Perf > 0.97 && p.EnergyEff > 0.97 {
+			better++
+		}
+	}
+	if better < len(pts)*3/4 {
+		t.Errorf("only %d/%d points improve both performance and efficiency", better, len(pts))
+	}
+}
+
+func TestParseSystem(t *testing.T) {
+	if s, ok := ParseSystem("4B4L"); !ok || s != Sys4B4L {
+		t.Error("ParseSystem 4B4L failed")
+	}
+	if s, ok := ParseSystem("1b7l"); !ok || s != Sys1B7L {
+		t.Error("ParseSystem 1b7l failed")
+	}
+	if _, ok := ParseSystem("2B6L"); ok {
+		t.Error("ParseSystem accepted invalid input")
+	}
+	nB, nL := Sys1B7L.Counts()
+	if nB != 1 || nL != 7 {
+		t.Error("1B7L counts wrong")
+	}
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"aaws/internal/kernels"
+	"aaws/internal/sim"
+	"aaws/internal/stats"
+	"aaws/internal/wsrt"
+)
+
+// This file implements the evaluation-section sweeps: Figure 8 (execution
+// time breakdowns across runtime variants), Figure 9 (energy efficiency vs.
+// performance), Table III (kernel characterization), and the paper's
+// headline summary statistics.
+
+// VariantResult is one kernel × variant run within a sweep.
+type VariantResult struct {
+	Variant wsrt.Variant
+	Time    sim.Time
+	Energy  float64
+	Power   float64 // average power over the run
+	Regions stats.Breakdown
+	Mugs    int
+	Steals  int
+	DVFS    int // regulator transitions
+}
+
+// Figure8Row is one kernel's bar group in Figure 8.
+type Figure8Row struct {
+	Kernel  string
+	System  System
+	Results []VariantResult // in wsrt.Variants order
+}
+
+// Speedup returns variant v's speedup over base.
+func (r Figure8Row) Speedup(v wsrt.Variant) float64 {
+	var baseT, vt sim.Time
+	for _, vr := range r.Results {
+		if vr.Variant == wsrt.Base {
+			baseT = vr.Time
+		}
+		if vr.Variant == v {
+			vt = vr.Time
+		}
+	}
+	if vt == 0 {
+		return 0
+	}
+	return float64(baseT) / float64(vt)
+}
+
+// EnergyEff returns variant v's energy-efficiency improvement over base
+// (base energy / variant energy, > 1 is better).
+func (r Figure8Row) EnergyEff(v wsrt.Variant) float64 {
+	var baseE, ve float64
+	for _, vr := range r.Results {
+		if vr.Variant == wsrt.Base {
+			baseE = vr.Energy
+		}
+		if vr.Variant == v {
+			ve = vr.Energy
+		}
+	}
+	if ve == 0 {
+		return 0
+	}
+	return baseE / ve
+}
+
+// SweepOptions configures a full-evaluation sweep.
+type SweepOptions struct {
+	System   System
+	Kernels  []string // nil = all
+	Variants []wsrt.Variant
+	Seed     uint64
+	Scale    float64
+	Check    bool
+}
+
+// DefaultSweep returns the Figure 8 sweep configuration for a system.
+func DefaultSweep(sys System) SweepOptions {
+	return SweepOptions{
+		System:   sys,
+		Variants: wsrt.Variants,
+		Seed:     42,
+		Scale:    1.0,
+		Check:    false, // sweeps rerun validated kernels; checks are covered by tests
+	}
+}
+
+// Sweep runs kernels × variants on one system (the data behind Figures 8
+// and 9).
+func Sweep(opt SweepOptions) ([]Figure8Row, error) {
+	names := opt.Kernels
+	if names == nil {
+		names = kernels.Names()
+	}
+	if opt.Variants == nil {
+		opt.Variants = wsrt.Variants
+	}
+	var rows []Figure8Row
+	for _, name := range names {
+		row := Figure8Row{Kernel: name, System: opt.System}
+		for _, v := range opt.Variants {
+			spec := Spec{
+				Kernel: name, System: opt.System, Variant: v,
+				Seed: opt.Seed, Scale: opt.Scale, Check: opt.Check,
+			}
+			res, err := Run(spec)
+			if err != nil {
+				return nil, err
+			}
+			if res.CheckErr != nil {
+				return nil, fmt.Errorf("%s/%v: %w", name, v, res.CheckErr)
+			}
+			row.Results = append(row.Results, VariantResult{
+				Variant: v,
+				Time:    res.Report.ExecTime,
+				Energy:  res.Report.TotalEnergy,
+				Power:   res.Report.TotalEnergy / res.Report.ExecTime.Seconds(),
+				Regions: res.Regions,
+				Mugs:    res.Report.Mugs,
+				Steals:  res.Report.Steals,
+				DVFS:    res.Report.DVFSTransitions,
+			})
+		}
+		rows = append(rows, row)
+	}
+	// Paper sorts Figure 8 kernels by base+psm speedup.
+	sort.SliceStable(rows, func(i, j int) bool {
+		return rows[i].Speedup(wsrt.BasePSM) > rows[j].Speedup(wsrt.BasePSM)
+	})
+	return rows, nil
+}
+
+// Summary holds the paper's headline statistics (Section I / V).
+type Summary struct {
+	System          System
+	Variant         wsrt.Variant
+	MinSpeedup      float64
+	MedianSpeedup   float64
+	MaxSpeedup      float64
+	MinEnergyEff    float64
+	MedianEnergyEff float64
+	MaxEnergyEff    float64
+	KernelsFaster   int
+	KernelsMoreEff  int
+	TotalKernels    int
+}
+
+// Summarize reduces sweep rows to headline statistics for one variant.
+func Summarize(rows []Figure8Row, v wsrt.Variant) Summary {
+	var sp, ee []float64
+	s := Summary{Variant: v, TotalKernels: len(rows)}
+	if len(rows) > 0 {
+		s.System = rows[0].System
+	}
+	for _, r := range rows {
+		spd := r.Speedup(v)
+		eff := r.EnergyEff(v)
+		sp = append(sp, spd)
+		ee = append(ee, eff)
+		if spd > 1 {
+			s.KernelsFaster++
+		}
+		if eff > 1 {
+			s.KernelsMoreEff++
+		}
+	}
+	sort.Float64s(sp)
+	sort.Float64s(ee)
+	if len(sp) > 0 {
+		s.MinSpeedup, s.MaxSpeedup = sp[0], sp[len(sp)-1]
+		s.MedianSpeedup = median(sp)
+		s.MinEnergyEff, s.MaxEnergyEff = ee[0], ee[len(ee)-1]
+		s.MedianEnergyEff = median(ee)
+	}
+	return s
+}
+
+func median(sorted []float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// Table3Row is one row of the Table III characterization.
+type Table3Row struct {
+	Kernel   *kernels.Kernel
+	DInstM   float64 // dynamic instructions (millions), app + serial
+	NumTasks int
+	TaskSize float64 // average task size in instructions
+	// SerialLittleCyc is the serial implementation's cycle count on the
+	// little in-order core (the "Opt IO Cyc" column), in millions.
+	SerialLittleCycM float64
+	// Speedups of the baseline runtime over serial implementations.
+	Speedup1B7LvsO3 float64
+	Speedup1B7LvsIO float64
+	Speedup4B4LvsO3 float64
+	Speedup4B4LvsIO float64
+}
+
+// Table3 characterizes every kernel under the baseline runtime on both
+// systems.
+func Table3(seed uint64, scale float64) ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, k := range kernels.All() {
+		spec4 := Spec{Kernel: k.Name, System: Sys4B4L, Variant: wsrt.Base, Seed: seed, Scale: scale}
+		r4, err := Run(spec4)
+		if err != nil {
+			return nil, err
+		}
+		spec1 := spec4
+		spec1.System = Sys1B7L
+		r1, err := Run(spec1)
+		if err != nil {
+			return nil, err
+		}
+		row := Table3Row{
+			Kernel:           k,
+			DInstM:           r4.SerialInstr / 1e6,
+			NumTasks:         r4.Report.TasksExecuted,
+			SerialLittleCycM: r4.SerialInstr / 1e6, // IPC_L = 1: cycles == instructions
+			Speedup1B7LvsO3:  r1.SpeedupVsBig(),
+			Speedup1B7LvsIO:  r1.SpeedupVsLittle(),
+			Speedup4B4LvsO3:  r4.SpeedupVsBig(),
+			Speedup4B4LvsIO:  r4.SpeedupVsLittle(),
+		}
+		if row.NumTasks > 0 {
+			row.TaskSize = r4.Report.AppInstr / float64(row.NumTasks)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Figure9Point is one marker in the Figure 9 scatter: a kernel × variant's
+// performance and energy efficiency normalized to base on the same system.
+type Figure9Point struct {
+	Kernel     string
+	Variant    wsrt.Variant
+	Perf       float64 // base time / variant time
+	EnergyEff  float64 // base energy / variant energy
+	PowerRatio float64 // variant power / base power
+}
+
+// Figure9 converts sweep rows into the scatter points of Figure 9.
+func Figure9(rows []Figure8Row) []Figure9Point {
+	var pts []Figure9Point
+	for _, r := range rows {
+		var base *VariantResult
+		for i := range r.Results {
+			if r.Results[i].Variant == wsrt.Base {
+				base = &r.Results[i]
+			}
+		}
+		if base == nil {
+			continue
+		}
+		for _, vr := range r.Results {
+			if vr.Variant == wsrt.Base {
+				continue
+			}
+			pts = append(pts, Figure9Point{
+				Kernel:     r.Kernel,
+				Variant:    vr.Variant,
+				Perf:       float64(base.Time) / float64(vr.Time),
+				EnergyEff:  base.Energy / vr.Energy,
+				PowerRatio: vr.Power / base.Power,
+			})
+		}
+	}
+	return pts
+}

@@ -1,0 +1,204 @@
+// Package cpu models one core of the asymmetric multicore as seen by the
+// discrete-event simulator.
+//
+// Following the paper's first-order model (Section II-A), a core retires
+// instructions at IPC * f(V) where IPC is a per-class constant (the paper's
+// kernels are "fairly compute-bound"). An optional frequency-independent
+// memory-stall term can be enabled to study memory-bound behaviour (the
+// L2-miss latency does not scale with core voltage); it defaults to off to
+// match the paper's model.
+//
+// Execution is fully preemptible in simulated time: a computation is a
+// pending completion event, and a frequency change or a mug interrupt
+// converts elapsed time into retired instructions and reschedules (or
+// abandons) the remainder.
+package cpu
+
+import (
+	"fmt"
+
+	"aaws/internal/power"
+	"aaws/internal/sim"
+	"aaws/internal/vf"
+	"aaws/internal/vr"
+)
+
+// Core is one simulated core.
+type Core struct {
+	ID    int
+	Class power.CoreClass
+
+	eng *sim.Engine
+	reg *vr.Regulator
+	vfm vf.Model
+	ipc float64
+
+	// memStallPs is an optional frequency-independent stall per
+	// instruction, in picoseconds (models fixed-latency memory misses
+	// amortized per instruction).
+	memStallPs float64
+
+	busy      bool
+	remaining float64 // instructions left in the current computation
+	segStart  sim.Time
+	segRate   float64 // instructions per second at segment start
+	doneEv    *sim.Event
+	onDone    func()
+
+	retired float64 // lifetime retired instructions
+}
+
+// New returns a core attached to a regulator. The caller (the machine) must
+// arrange for Retime to be invoked on the regulator's effective-voltage
+// changes so in-flight computations are retimed.
+func New(eng *sim.Engine, id int, class power.CoreClass, params power.Params, reg *vr.Regulator) *Core {
+	return &Core{
+		ID:    id,
+		Class: class,
+		eng:   eng,
+		reg:   reg,
+		vfm:   params.VF,
+		ipc:   params.IPC(class),
+	}
+}
+
+// SetMemStallPs configures the optional frequency-independent per-
+// instruction stall (picoseconds). Must not be called mid-computation.
+func (c *Core) SetMemStallPs(ps float64) {
+	if c.busy {
+		panic("cpu: SetMemStallPs while busy")
+	}
+	c.memStallPs = ps
+}
+
+// IPC returns the core's base IPC.
+func (c *Core) IPC() float64 { return c.ipc }
+
+// Voltage returns the core's current effective voltage.
+func (c *Core) Voltage() float64 { return c.reg.Effective() }
+
+// Freq returns the core's current clock frequency in Hz.
+func (c *Core) Freq() float64 { return c.vfm.Freq(c.reg.Effective()) }
+
+// Busy reports whether a computation is in flight.
+func (c *Core) Busy() bool { return c.busy }
+
+// Retired returns the lifetime count of retired instructions.
+func (c *Core) Retired() float64 { return c.retired }
+
+// rate returns the current retirement rate in instructions/second.
+func (c *Core) rate() float64 {
+	f := c.Freq()
+	if f <= 0 {
+		return 0
+	}
+	perInstrSec := 1/(c.ipc*f) + c.memStallPs*1e-12
+	return 1 / perInstrSec
+}
+
+// TimeFor returns the simulated duration of executing n instructions at the
+// core's *current* rate (ignoring future frequency changes). Used by the
+// runtime for fixed scheduler overheads.
+func (c *Core) TimeFor(n float64) sim.Time {
+	r := c.rate()
+	if r <= 0 {
+		panic(fmt.Sprintf("cpu: core %d has zero rate", c.ID))
+	}
+	t := sim.FromSeconds(n / r)
+	if t < 1 && n > 0 {
+		t = 1
+	}
+	return t
+}
+
+// Start begins executing n instructions, invoking onDone at completion.
+// The computation is retimed transparently across frequency changes.
+func (c *Core) Start(n float64, onDone func()) {
+	if c.busy {
+		panic(fmt.Sprintf("cpu: core %d Start while busy", c.ID))
+	}
+	if n < 0 {
+		panic("cpu: negative instruction count")
+	}
+	c.busy = true
+	c.remaining = n
+	c.onDone = onDone
+	c.schedule()
+}
+
+// schedule sets the completion event for the remaining work at the current
+// rate.
+func (c *Core) schedule() {
+	c.segStart = c.eng.Now()
+	c.segRate = c.rate()
+	if c.segRate <= 0 {
+		// Stalled (no clock). Progress resumes on the next retime.
+		c.doneEv = nil
+		return
+	}
+	d := sim.FromSeconds(c.remaining / c.segRate)
+	if d < 1 && c.remaining > 0 {
+		d = 1 // guarantee forward progress
+	}
+	c.doneEv = c.eng.After(d, c.complete)
+}
+
+// syncProgress folds the elapsed portion of the current segment into the
+// retired counters.
+func (c *Core) syncProgress() {
+	if !c.busy {
+		return
+	}
+	elapsed := (c.eng.Now() - c.segStart).Seconds()
+	done := elapsed * c.segRate
+	if done > c.remaining {
+		done = c.remaining
+	}
+	c.remaining -= done
+	c.retired += done
+	c.segStart = c.eng.Now()
+}
+
+// Retime must be called when the effective voltage (hence frequency)
+// changes; it folds progress at the old rate and reschedules the remainder
+// at the new rate.
+func (c *Core) Retime() {
+	if !c.busy {
+		return
+	}
+	c.syncProgress()
+	if c.doneEv != nil {
+		c.doneEv.Cancel()
+	}
+	c.schedule()
+}
+
+// complete fires when the remaining work reaches zero.
+func (c *Core) complete() {
+	c.retired += c.remaining
+	c.remaining = 0
+	c.busy = false
+	c.doneEv = nil
+	done := c.onDone
+	c.onDone = nil
+	if done != nil {
+		done()
+	}
+}
+
+// Preempt cancels the in-flight computation and returns the number of
+// instructions that had not yet retired. The completion callback will not
+// fire. Preempting an idle core panics.
+func (c *Core) Preempt() float64 {
+	if !c.busy {
+		panic(fmt.Sprintf("cpu: core %d Preempt while idle", c.ID))
+	}
+	c.syncProgress()
+	if c.doneEv != nil {
+		c.doneEv.Cancel()
+	}
+	c.doneEv = nil
+	c.busy = false
+	c.onDone = nil
+	return c.remaining
+}

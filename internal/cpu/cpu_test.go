@@ -1,0 +1,160 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"aaws/internal/power"
+	"aaws/internal/sim"
+	"aaws/internal/vf"
+	"aaws/internal/vr"
+)
+
+func newCore(t *testing.T, class power.CoreClass, v float64) (*sim.Engine, *Core, *vr.Regulator) {
+	if t != nil {
+		t.Helper()
+	}
+	eng := sim.NewEngine()
+	reg := vr.New(eng, v)
+	c := New(eng, 0, class, power.DefaultParams(), reg)
+	reg.OnChange = c.Retime
+	return eng, c, reg
+}
+
+func TestExecutionTimeAtNominal(t *testing.T) {
+	eng, c, _ := newCore(t, power.Little, vf.VNominal)
+	done := false
+	c.Start(333e6, func() { done = true }) // exactly one second at IPC=1, 333MHz
+	eng.Run(0)
+	if !done {
+		t.Fatal("computation never completed")
+	}
+	if got := eng.Now().Seconds(); math.Abs(got-1.0) > 1e-6 {
+		t.Errorf("333e6 instructions took %.6f s at nominal, want 1.0", got)
+	}
+}
+
+func TestBigCoreFaster(t *testing.T) {
+	engL, cl, _ := newCore(t, power.Little, vf.VNominal)
+	engB, cb, _ := newCore(t, power.Big, vf.VNominal)
+	cl.Start(1e6, nil)
+	cb.Start(1e6, nil)
+	engL.Run(0)
+	engB.Run(0)
+	ratio := float64(engL.Now()) / float64(engB.Now())
+	if math.Abs(ratio-2.0) > 1e-6 {
+		t.Errorf("big/little speed ratio = %.4f, want beta=2", ratio)
+	}
+}
+
+func TestFrequencyChangeMidFlight(t *testing.T) {
+	eng, c, reg := newCore(t, power.Little, vf.VNominal)
+	var finish sim.Time
+	c.Start(333e6, func() { finish = eng.Now() })
+	// Halfway through, sprint to VMax (f = 5.544e8).
+	eng.At(sim.FromSeconds(0.5), func() { reg.Set(vf.VMax) })
+	eng.Run(0)
+	// First half: 166.5e6 instr. Transition 80ns at old rate (continues
+	// executing through the transition). Remaining at 5.544e8: ~0.3 s.
+	rem := 333e6/2 - 80e-9*333e6
+	want := 0.5 + 80e-9 + rem/5.544e8
+	if got := finish.Seconds(); math.Abs(got-want) > 1e-4 {
+		t.Errorf("finish at %.6f s, want ~%.6f", got, want)
+	}
+}
+
+func TestPreemptReturnsRemaining(t *testing.T) {
+	eng, c, _ := newCore(t, power.Little, vf.VNominal)
+	completed := false
+	c.Start(1e6, func() { completed = true })
+	eng.RunUntil(sim.FromSeconds(1e6 / 333e6 / 2)) // halfway
+	rem := c.Preempt()
+	if math.Abs(rem-5e5) > 1 {
+		t.Errorf("remaining = %g, want ~5e5", rem)
+	}
+	eng.Run(0)
+	if completed {
+		t.Error("preempted computation still completed")
+	}
+	if c.Busy() {
+		t.Error("core busy after preempt")
+	}
+}
+
+func TestPreemptIdlePanics(t *testing.T) {
+	_, c, _ := newCore(t, power.Big, vf.VNominal)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	c.Preempt()
+}
+
+func TestStartWhileBusyPanics(t *testing.T) {
+	_, c, _ := newCore(t, power.Big, vf.VNominal)
+	c.Start(100, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	c.Start(100, nil)
+}
+
+func TestRetiredConservation(t *testing.T) {
+	// Property: total retired instructions equal the started amount no
+	// matter where frequency changes land.
+	f := func(switchFrac8 uint8, upDown bool) bool {
+		eng, c, reg := newCore(nil, power.Little, vf.VNominal)
+		const n = 1e6
+		done := false
+		c.Start(n, func() { done = true })
+		frac := float64(switchFrac8) / 255
+		at := sim.FromSeconds(frac * n / 333e6)
+		eng.At(at, func() {
+			if upDown {
+				reg.Set(vf.VMax)
+			} else {
+				reg.Set(vf.VMin)
+			}
+		})
+		eng.Run(0)
+		return done && math.Abs(c.Retired()-n) < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemStallSlowsExecution(t *testing.T) {
+	eng1, c1, _ := newCore(t, power.Little, vf.VNominal)
+	c1.Start(1e6, nil)
+	eng1.Run(0)
+
+	eng2 := sim.NewEngine()
+	reg2 := vr.New(eng2, vf.VNominal)
+	c2 := New(eng2, 0, power.Little, power.DefaultParams(), reg2)
+	reg2.OnChange = c2.Retime
+	c2.SetMemStallPs(1000) // 1ns per instruction of fixed stalls
+	c2.Start(1e6, nil)
+	eng2.Run(0)
+	if eng2.Now() <= eng1.Now() {
+		t.Error("memory stalls did not slow execution")
+	}
+	want := eng1.Now().Seconds() + 1e6*1e-9
+	if got := eng2.Now().Seconds(); math.Abs(got-want) > 1e-6 {
+		t.Errorf("stalled time %.6f, want %.6f", got, want)
+	}
+}
+
+func TestTimeForMinimumOnePicosecond(t *testing.T) {
+	_, c, _ := newCore(t, power.Big, vf.VNominal)
+	if got := c.TimeFor(1e-9); got < 1 {
+		t.Errorf("TimeFor tiny work = %v, want >= 1ps", got)
+	}
+	if got := c.TimeFor(0); got != 0 {
+		t.Errorf("TimeFor(0) = %v, want 0", got)
+	}
+}

@@ -1,0 +1,138 @@
+// Package deque implements the Chase-Lev dynamic circular work-stealing
+// deque [Chase & Lev, SPAA 2005], the task-queue structure used by the
+// paper's runtime (Section IV-C).
+//
+// The owner thread pushes and pops at the *bottom* (tail); thieves steal
+// from the *top* (head). The implementation is lock-free: a single CAS
+// arbitrates the race between a thief and the owner taking the last
+// element. The deque grows dynamically by copying into a larger circular
+// buffer; buffers are immutable once published, so readers racing with a
+// grow operation still observe consistent storage.
+//
+// The same implementation serves both runtimes in this repository: the
+// native runtime (internal/native) exercises it concurrently from multiple
+// goroutines, while the simulated runtime (internal/wsrt) calls it from the
+// single-threaded discrete-event loop, where it simply behaves as a fast
+// deque with the exact semantics the paper's runtime relies on.
+package deque
+
+import (
+	"sync/atomic"
+)
+
+const initialLogCap = 6 // 64 entries
+
+// buffer is an immutable-capacity circular array.
+type buffer[T any] struct {
+	logCap int
+	items  []atomic.Pointer[T]
+}
+
+func newBuffer[T any](logCap int) *buffer[T] {
+	return &buffer[T]{logCap: logCap, items: make([]atomic.Pointer[T], 1<<logCap)}
+}
+
+func (b *buffer[T]) cap() int64 { return int64(1) << b.logCap }
+
+func (b *buffer[T]) get(i int64) *T {
+	return b.items[i&(b.cap()-1)].Load()
+}
+
+func (b *buffer[T]) put(i int64, v *T) {
+	b.items[i&(b.cap()-1)].Store(v)
+}
+
+// grow returns a buffer of twice the capacity holding elements [top, bottom).
+func (b *buffer[T]) grow(top, bottom int64) *buffer[T] {
+	nb := newBuffer[T](b.logCap + 1)
+	for i := top; i < bottom; i++ {
+		nb.put(i, b.get(i))
+	}
+	return nb
+}
+
+// Deque is a Chase-Lev work-stealing deque of *T. The zero value is not
+// usable; construct with New.
+type Deque[T any] struct {
+	top    atomic.Int64 // next index to steal
+	bottom atomic.Int64 // next index to push
+	buf    atomic.Pointer[buffer[T]]
+}
+
+// New returns an empty deque.
+func New[T any]() *Deque[T] {
+	d := &Deque[T]{}
+	d.buf.Store(newBuffer[T](initialLogCap))
+	return d
+}
+
+// Size returns a linearizable-enough estimate of the number of queued
+// elements, used for occupancy-based victim selection. It may be stale
+// under concurrency but is never negative.
+func (d *Deque[T]) Size() int {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if n := b - t; n > 0 {
+		return int(n)
+	}
+	return 0
+}
+
+// Empty reports whether the deque appears empty.
+func (d *Deque[T]) Empty() bool { return d.Size() == 0 }
+
+// Push adds v at the bottom. Only the owner may call Push.
+func (d *Deque[T]) Push(v *T) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	buf := d.buf.Load()
+	if b-t >= buf.cap() {
+		buf = buf.grow(t, b)
+		d.buf.Store(buf)
+	}
+	buf.put(b, v)
+	// Publish the element before publishing the new bottom.
+	d.bottom.Store(b + 1)
+}
+
+// Pop removes and returns the most recently pushed element (LIFO), or nil
+// if the deque is empty. Only the owner may call Pop.
+func (d *Deque[T]) Pop() *T {
+	b := d.bottom.Load() - 1
+	buf := d.buf.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	switch {
+	case b < t:
+		// Already empty: restore bottom.
+		d.bottom.Store(t)
+		return nil
+	case b > t:
+		// More than one element: no race possible for this slot.
+		return buf.get(b)
+	default:
+		// Exactly one element: race with thieves via CAS on top.
+		v := buf.get(b)
+		if !d.top.CompareAndSwap(t, t+1) {
+			v = nil // lost the race to a thief
+		}
+		d.bottom.Store(t + 1)
+		return v
+	}
+}
+
+// Steal removes and returns the oldest element (FIFO), or nil if the deque
+// is empty or the thief lost a race. Any thread may call Steal.
+func (d *Deque[T]) Steal() *T {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil
+	}
+	buf := d.buf.Load()
+	v := buf.get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil // lost a race; caller retries or picks another victim
+	}
+	return v
+}

@@ -1,0 +1,234 @@
+package deque
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestLIFOOwner(t *testing.T) {
+	d := New[int]()
+	vals := []int{1, 2, 3, 4, 5}
+	for i := range vals {
+		d.Push(&vals[i])
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		got := d.Pop()
+		if got == nil || *got != vals[i] {
+			t.Fatalf("Pop = %v, want %d", got, vals[i])
+		}
+	}
+	if d.Pop() != nil {
+		t.Error("Pop on empty deque should return nil")
+	}
+}
+
+func TestFIFOThief(t *testing.T) {
+	d := New[int]()
+	vals := []int{1, 2, 3, 4, 5}
+	for i := range vals {
+		d.Push(&vals[i])
+	}
+	for i := 0; i < len(vals); i++ {
+		got := d.Steal()
+		if got == nil || *got != vals[i] {
+			t.Fatalf("Steal = %v, want %d", got, vals[i])
+		}
+	}
+	if d.Steal() != nil {
+		t.Error("Steal on empty deque should return nil")
+	}
+}
+
+func TestMixedEnds(t *testing.T) {
+	d := New[int]()
+	vals := []int{10, 20, 30, 40}
+	for i := range vals {
+		d.Push(&vals[i])
+	}
+	if v := d.Steal(); v == nil || *v != 10 {
+		t.Fatalf("Steal = %v, want 10", v)
+	}
+	if v := d.Pop(); v == nil || *v != 40 {
+		t.Fatalf("Pop = %v, want 40", v)
+	}
+	if d.Size() != 2 {
+		t.Errorf("Size = %d, want 2", d.Size())
+	}
+}
+
+func TestGrowth(t *testing.T) {
+	d := New[int]()
+	n := 10000 // far beyond the initial 64 capacity
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = i
+		d.Push(&vals[i])
+	}
+	if d.Size() != n {
+		t.Fatalf("Size = %d, want %d", d.Size(), n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		v := d.Pop()
+		if v == nil || *v != i {
+			t.Fatalf("Pop = %v, want %d", v, i)
+		}
+	}
+}
+
+// TestSequentialProperty drives the deque with a random operation sequence
+// and checks it against a straightforward slice model.
+func TestSequentialProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		d := New[int]()
+		var ref []int
+		next := 0
+		storage := make([]int, 0, len(ops))
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // push
+				storage = append(storage, next)
+				d.Push(&storage[len(storage)-1])
+				ref = append(ref, next)
+				next++
+			case 1: // pop (bottom of ref)
+				got := d.Pop()
+				if len(ref) == 0 {
+					if got != nil {
+						return false
+					}
+				} else {
+					want := ref[len(ref)-1]
+					ref = ref[:len(ref)-1]
+					if got == nil || *got != want {
+						return false
+					}
+				}
+			case 2: // steal (top of ref)
+				got := d.Steal()
+				if len(ref) == 0 {
+					if got != nil {
+						return false
+					}
+				} else {
+					want := ref[0]
+					ref = ref[1:]
+					if got == nil || *got != want {
+						return false
+					}
+				}
+			}
+			if d.Size() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentNoLossNoDup hammers one owner and several thieves and
+// verifies every pushed element is consumed exactly once.
+func TestConcurrentNoLossNoDup(t *testing.T) {
+	const (
+		nItems   = 200000
+		nThieves = 4
+	)
+	d := New[int64]()
+	vals := make([]int64, nItems)
+	var consumed [nItems]atomic.Int32
+	var total atomic.Int64
+
+	var wg sync.WaitGroup
+	record := func(v *int64) {
+		if v == nil {
+			return
+		}
+		if consumed[*v].Add(1) != 1 {
+			t.Errorf("element %d consumed twice", *v)
+		}
+		total.Add(1)
+	}
+
+	for i := 0; i < nThieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for total.Load() < nItems {
+				record(d.Steal())
+			}
+		}()
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < nItems; i++ {
+			vals[i] = int64(i)
+			d.Push(&vals[i])
+			if i%3 == 0 {
+				record(d.Pop())
+			}
+		}
+		for total.Load() < nItems {
+			record(d.Pop())
+		}
+	}()
+
+	wg.Wait()
+	if total.Load() != nItems {
+		t.Fatalf("consumed %d items, want %d", total.Load(), nItems)
+	}
+}
+
+// TestConcurrentStealOrderPrefix: thieves collectively observe elements in
+// FIFO order when the owner only pushes.
+func TestConcurrentStealOrder(t *testing.T) {
+	const n = 50000
+	d := New[int]()
+	vals := make([]int, n)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < n; i++ {
+			vals[i] = i
+			d.Push(&vals[i])
+		}
+		close(done)
+	}()
+	var got []int
+	for len(got) < n {
+		if v := d.Steal(); v != nil {
+			got = append(got, *v)
+		}
+	}
+	<-done
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("single thief observed out-of-order steals: %d after %d", got[i], got[i-1])
+		}
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	d := New[int]()
+	v := 42
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Push(&v)
+		d.Pop()
+	}
+}
+
+func BenchmarkPushSteal(b *testing.B) {
+	d := New[int]()
+	v := 42
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Push(&v)
+		d.Steal()
+	}
+}

@@ -1,0 +1,186 @@
+// Package dvfs implements the lookup-table-based global DVFS controller of
+// Section III-A / IV-D.
+//
+// The runtime toggles per-core activity bits with lightweight hint
+// instructions; the controller maps (#active big, #active little) through a
+// lookup table generated offline by the marginal-utility model and commands
+// the per-core integrated regulators. Per the paper, cores keep executing
+// through transitions at the lower frequency, and the controller makes no
+// new decision until the previous transition has fully settled.
+package dvfs
+
+import (
+	"aaws/internal/model"
+	"aaws/internal/power"
+	"aaws/internal/sim"
+	"aaws/internal/vr"
+)
+
+// Controller is the global DVFS controller.
+type Controller struct {
+	eng     *sim.Engine
+	lut     *model.LUT
+	regs    []*vr.Regulator
+	classes []power.CoreClass
+
+	active  []bool // activity bits as toggled by hint instructions
+	serial  bool   // serial-region bit
+	serCore int    // core executing the serial region
+
+	inFlight    int  // regulators still settling from the current decision
+	pendingEval bool // an activity change arrived during a transition
+
+	// tuner, when set, adjusts LUT entries online using performance and
+	// power counters (the paper's future-work adaptive controller).
+	tuner interface {
+		Adjust(nBA, nLA int, e model.VPair) model.VPair
+	}
+
+	// Stats.
+	decisions   int
+	transitions int
+}
+
+// New returns a controller for the given cores. classes[i] and regs[i]
+// describe core i. Cores start flagged active (they boot into the parallel
+// runtime holding work or probing for it; the runtime corrects the bits
+// immediately).
+func New(eng *sim.Engine, lut *model.LUT, classes []power.CoreClass, regs []*vr.Regulator) *Controller {
+	c := &Controller{
+		eng:     eng,
+		lut:     lut,
+		regs:    regs,
+		classes: classes,
+		active:  make([]bool, len(classes)),
+		serCore: -1,
+	}
+	for i := range c.active {
+		c.active[i] = true
+	}
+	for _, r := range regs {
+		r.OnSettle = c.settled
+	}
+	return c
+}
+
+// LUT returns the controller's lookup table.
+func (c *Controller) LUT() *model.LUT { return c.lut }
+
+// ActivityBit returns core id's activity bit as last toggled by a hint.
+func (c *Controller) ActivityBit(id int) bool { return c.active[id] }
+
+// Serial reports whether the serial-region bit is set.
+func (c *Controller) Serial() bool { return c.serial }
+
+// Decisions returns the number of times the controller re-evaluated targets.
+func (c *Controller) Decisions() int { return c.decisions }
+
+// Transitions returns the number of regulator transitions commanded.
+func (c *Controller) Transitions() int { return c.transitions }
+
+// RestsInactive reports whether this controller parks inactive cores at
+// VMin (work-sprinting semantics).
+func (c *Controller) RestsInactive() bool { return c.lut.RestInactive }
+
+// SetActivity is the hint-instruction entry point: core id toggles its
+// activity bit to active.
+func (c *Controller) SetActivity(id int, active bool) {
+	if c.active[id] == active {
+		return
+	}
+	c.active[id] = active
+	c.evaluate()
+}
+
+// SetSerial flags (or clears) a truly serial region executing on core id.
+func (c *Controller) SetSerial(id int, on bool) {
+	if c.serial == on {
+		return
+	}
+	c.serial = on
+	if on {
+		c.serCore = id
+	} else {
+		c.serCore = -1
+	}
+	c.evaluate()
+}
+
+// counts returns the number of active big and little cores per the bits.
+func (c *Controller) counts() (nBA, nLA int) {
+	for i, a := range c.active {
+		if !a {
+			continue
+		}
+		if c.classes[i] == power.Big {
+			nBA++
+		} else {
+			nLA++
+		}
+	}
+	return
+}
+
+// targetFor computes the commanded voltage for core id under the current
+// bits.
+func (c *Controller) targetFor(id int, e model.VPair, restV float64) float64 {
+	if c.serial && c.lut.SerialSprint {
+		if id == c.serCore {
+			return c.lut.SerialV
+		}
+		return restV
+	}
+	if !c.active[id] {
+		return restV
+	}
+	if c.classes[id] == power.Big {
+		return e.VBig
+	}
+	return e.VLit
+}
+
+// evaluate recomputes regulator targets. If a transition is still settling
+// the evaluation is deferred until it completes (Section IV-D: "new
+// decisions cannot be made until the previous transition completes").
+func (c *Controller) evaluate() {
+	if c.inFlight > 0 {
+		c.pendingEval = true
+		return
+	}
+	c.decisions++
+	nBA, nLA := c.counts()
+	e := c.lut.Lookup(nBA, nLA)
+	if c.tuner != nil {
+		e = c.tuner.Adjust(nBA, nLA, e)
+	}
+	restV := c.lut.VRest
+	for i, r := range c.regs {
+		t := c.targetFor(i, e, restV)
+		if t != r.Target() {
+			c.transitions++
+			c.inFlight++
+			r.Set(t)
+		}
+	}
+}
+
+// SetTuner installs an online LUT tuner (see adaptive.go).
+func (c *Controller) SetTuner(t interface {
+	Adjust(nBA, nLA int, e model.VPair) model.VPair
+}) {
+	c.tuner = t
+}
+
+// Reevaluate re-runs the decision with the current bits (used by the tuner
+// after changing its offsets). Deferred like any decision if a transition
+// is in flight.
+func (c *Controller) Reevaluate() { c.evaluate() }
+
+// settled is invoked by each regulator when its transition completes.
+func (c *Controller) settled() {
+	c.inFlight--
+	if c.inFlight == 0 && c.pendingEval {
+		c.pendingEval = false
+		c.evaluate()
+	}
+}

@@ -1,0 +1,75 @@
+package energymicro
+
+import (
+	"strings"
+	"testing"
+
+	"aaws/internal/power"
+)
+
+// TestSuiteCorrelates is the Section IV-E correlation loop: every
+// microbenchmark's integrated energy must match the closed-form model.
+func TestSuiteCorrelates(t *testing.T) {
+	results := RunSuite(power.DefaultParams())
+	if len(results) < 30 {
+		t.Fatalf("suite ran only %d microbenchmarks", len(results))
+	}
+	if err := Validate(results, 1e-3); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSuiteCorrelatesAcrossParams repeats the correlation for per-kernel
+// alpha/beta corners from Table III.
+func TestSuiteCorrelatesAcrossParams(t *testing.T) {
+	for _, ab := range [][2]float64{{2.0, 3.6}, {3.7, 1.3}, {3.6, 2.3}} {
+		p := power.DefaultParams().WithAlphaBeta(ab[0], ab[1])
+		if err := Validate(RunSuite(p), 1e-3); err != nil {
+			t.Errorf("alpha=%.1f beta=%.1f: %v", ab[0], ab[1], err)
+		}
+	}
+}
+
+// TestEnergyPerInstrScaling checks the physics the microbenchmarks exist
+// to pin down: active energy/instruction grows ~V^2 (dynamic dominates),
+// the big core costs ~alpha per instruction, and resting is far below
+// waiting.
+func TestEnergyPerInstrScaling(t *testing.T) {
+	p := power.DefaultParams()
+	rs := RunSuite(p)
+	get := func(name string) Result {
+		for _, r := range rs {
+			if r.Name == name {
+				return r
+			}
+		}
+		t.Fatalf("missing %s", name)
+		return Result{}
+	}
+	lo := get("active-little-0.70V")
+	hi := get("active-little-1.30V")
+	if hi.EnergyPerInstr <= lo.EnergyPerInstr*1.5 {
+		t.Errorf("energy/instr at 1.3V (%.4g) should far exceed 0.7V (%.4g)",
+			hi.EnergyPerInstr, lo.EnergyPerInstr)
+	}
+	big := get("active-big-1.00V")
+	lit := get("active-little-1.00V")
+	ratio := big.EnergyPerInstr / lit.EnergyPerInstr
+	// Energy/instruction ratio at nominal ~ alpha (leakage shifts it a bit).
+	if ratio < p.Alpha*0.8 || ratio > p.Alpha*1.2 {
+		t.Errorf("big/little energy-per-instruction ratio %.2f, want ~alpha=%.1f", ratio, p.Alpha)
+	}
+	rest := get("resting-big-0.70V")
+	wait := get("waiting-big-1.00V")
+	if rest.MeasuredPower*5 > wait.MeasuredPower {
+		t.Errorf("resting power %.4g not well below waiting %.4g", rest.MeasuredPower, wait.MeasuredPower)
+	}
+}
+
+func TestWriteRenders(t *testing.T) {
+	var sb strings.Builder
+	Write(&sb, RunSuite(power.DefaultParams()))
+	if !strings.Contains(sb.String(), "active-big-1.00V") {
+		t.Error("table missing expected row")
+	}
+}

@@ -1,0 +1,63 @@
+// Package icn models the simple, low-bandwidth inter-core interrupt network
+// used by work-mugging (Section III-B, Figure 6).
+//
+// A mug instruction sends an approximately four-byte message naming the
+// destination core and the user-level interrupt handler; the inter-core
+// latency is on the order of an L2 access (the paper adds an explicit
+// 20-cycle latency per mug). All other data moves through shared memory,
+// which the simulator charges separately as swap instructions.
+package icn
+
+import (
+	"fmt"
+
+	"aaws/internal/sim"
+)
+
+// Message is a user-level inter-core interrupt.
+type Message struct {
+	From int // sending core id
+	To   int // destination core id
+	// Kind discriminates interrupt handlers; work-mugging is the only user
+	// in this repository but the network is generic.
+	Kind int
+}
+
+// Handler receives delivered interrupts on the destination core.
+type Handler func(m Message)
+
+// Network delivers point-to-point interrupt messages with a fixed latency.
+type Network struct {
+	eng      *sim.Engine
+	latency  sim.Time
+	handlers []Handler
+	sent     int
+}
+
+// New returns a network for n cores with the given one-way delivery latency.
+func New(eng *sim.Engine, n int, latency sim.Time) *Network {
+	return &Network{eng: eng, latency: latency, handlers: make([]Handler, n)}
+}
+
+// SetHandler installs the interrupt handler for core id.
+func (n *Network) SetHandler(id int, h Handler) { n.handlers[id] = h }
+
+// Latency returns the one-way delivery latency.
+func (n *Network) Latency() sim.Time { return n.latency }
+
+// Sent returns the number of messages sent so far.
+func (n *Network) Sent() int { return n.sent }
+
+// Send schedules delivery of m to its destination core after the network
+// latency. It panics on an invalid destination or a missing handler: both
+// indicate runtime bugs, not recoverable conditions.
+func (n *Network) Send(m Message) {
+	if m.To < 0 || m.To >= len(n.handlers) {
+		panic(fmt.Sprintf("icn: send to invalid core %d", m.To))
+	}
+	if n.handlers[m.To] == nil {
+		panic(fmt.Sprintf("icn: core %d has no interrupt handler", m.To))
+	}
+	n.sent++
+	n.eng.After(n.latency, func() { n.handlers[m.To](m) })
+}

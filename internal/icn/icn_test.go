@@ -1,0 +1,61 @@
+package icn
+
+import (
+	"testing"
+
+	"aaws/internal/sim"
+)
+
+func TestDeliveryLatency(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, 4, 60*sim.Nanosecond)
+	var at sim.Time
+	var got Message
+	n.SetHandler(2, func(m Message) { at, got = eng.Now(), m })
+	n.Send(Message{From: 0, To: 2, Kind: 7})
+	eng.Run(0)
+	if at != 60*sim.Nanosecond {
+		t.Errorf("delivered at %v, want 60ns", at)
+	}
+	if got.From != 0 || got.To != 2 || got.Kind != 7 {
+		t.Errorf("message corrupted: %+v", got)
+	}
+	if n.Sent() != 1 {
+		t.Errorf("Sent() = %d", n.Sent())
+	}
+}
+
+func TestOrderingBetweenPairs(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, 2, 10*sim.Nanosecond)
+	var order []int
+	n.SetHandler(1, func(m Message) { order = append(order, m.Kind) })
+	n.Send(Message{From: 0, To: 1, Kind: 1})
+	n.Send(Message{From: 0, To: 1, Kind: 2})
+	eng.Run(0)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Errorf("delivery order = %v", order)
+	}
+}
+
+func TestInvalidDestinationPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, 2, sim.Nanosecond)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	n.Send(Message{From: 0, To: 9})
+}
+
+func TestMissingHandlerPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, 2, sim.Nanosecond)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	n.Send(Message{From: 0, To: 1})
+}

@@ -1,0 +1,159 @@
+// Package kernels implements the paper's 20 application kernels (22 rows of
+// Table III, counting both qsort and radix datasets) against the simulated
+// work-stealing runtime.
+//
+// Every kernel performs the real algorithm on PBBS-style generated inputs
+// and charges data-dependent instruction costs while it computes, so task
+// counts, task-size distributions and load imbalance emerge from the
+// algorithm and the data exactly as they do in the paper. Results are
+// validated against straightforward serial references (Workload.Check).
+//
+// Input sizes are scaled down ~10x from the paper (a few million simulated
+// instructions per kernel instead of tens of millions) to keep the
+// discrete-event simulation fast; the Scale knob restores larger runs.
+package kernels
+
+import (
+	"fmt"
+	"sort"
+
+	"aaws/internal/wsrt"
+)
+
+// Abstract operation costs in simulated instructions. These approximate a
+// 32-bit RISC ISA (loads, stores, ALU, branch) for each kernel-level
+// operation and put the scaled-down kernels in the paper's
+// instructions-per-task regime.
+const (
+	costCmp     = 8  // load+load+compare+branch
+	costCmpStr  = 6  // per-character string comparison step
+	costSwap    = 12 // two loads + two stores + index math
+	costArith   = 5  // integer op on array elements
+	costFloat   = 10 // FP op incl. operand loads
+	costFloatFn = 60 // exp/log/sqrt/pow library call
+	costHash    = 26 // hash + probe step
+	costVisit   = 14 // per-edge graph visit (load neighbor, test, branch)
+	costWrite   = 6  // store with index math
+	costNode    = 30 // allocate/init a small record
+)
+
+// Workload is one prepared kernel instance: inputs generated, serial
+// reference available. Run executes the parallel version on the simulated
+// runtime; Check validates the parallel result. A Workload is single-use —
+// prepare a fresh one per run.
+type Workload interface {
+	Run(r *wsrt.Run)
+	Check() error
+}
+
+// Kernel is a registry entry with the paper's Table III metadata.
+type Kernel struct {
+	Name  string
+	Suite string // pbbs | cilk | parsec | uts
+	Input string // input descriptor, as in Table III
+	PM    string // parallelization method: p | np | rss | p,rss
+	Alpha float64
+	Beta  float64 // big-over-little serial speedup (O3 column)
+	MPKI  float64 // reported L2 misses per kilo-instruction
+	// New prepares a fresh workload. scale multiplies the default input
+	// size (1.0 = this repo's default, ~10x smaller than the paper).
+	New func(seed uint64, scale float64) Workload
+}
+
+var registry []*Kernel
+var byName = map[string]*Kernel{}
+
+// register adds a kernel; called from init() in each kernel file.
+func register(k *Kernel) {
+	if _, dup := byName[k.Name]; dup {
+		panic("kernels: duplicate " + k.Name)
+	}
+	registry = append(registry, k)
+	byName[k.Name] = k
+}
+
+// All returns all kernels in registration (Table III) order.
+func All() []*Kernel { return registry }
+
+// Get returns the kernel named name, or nil.
+func Get(name string) *Kernel { return byName[name] }
+
+// Names returns all kernel names in order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, k := range registry {
+		out[i] = k.Name
+	}
+	return out
+}
+
+// scaled applies the size multiplier with a sane floor.
+func scaled(n int, scale float64) int {
+	v := int(float64(n) * scale)
+	if v < 16 {
+		v = 16
+	}
+	return v
+}
+
+// checkEqualInt32 compares two int32 slices.
+func checkEqualInt32(name string, got, want []int32) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%s: length %d != %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("%s: element %d: got %d want %d", name, i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// checkEqualF64 compares two float64 slices exactly (deterministic
+// computations must agree bit-for-bit).
+func checkEqualF64(name string, got, want []float64) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%s: length %d != %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("%s: element %d: got %g want %g", name, i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// sortedCopyF64 returns a sorted copy (serial reference for sorts).
+func sortedCopyF64(in []float64) []float64 {
+	out := append([]float64(nil), in...)
+	sort.Float64s(out)
+	return out
+}
+
+// sortedCopyInt32 returns a sorted copy.
+func sortedCopyInt32(in []int32) []int32 {
+	out := append([]int32(nil), in...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// sortedCopyStr returns a sorted copy.
+func sortedCopyStr(in []string) []string {
+	out := append([]string(nil), in...)
+	sort.Strings(out)
+	return out
+}
+
+// strCmpCost returns the charged cost of comparing two strings (shared
+// prefix length + 1 characters inspected).
+func strCmpCost(a, b string) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return float64((i + 1) * costCmpStr)
+}

@@ -1,0 +1,269 @@
+// Package machine assembles the simulated hardware of Figure 6: big and
+// little cores, per-core integrated voltage regulators, the global DVFS
+// controller, the inter-core interrupt network, and per-core energy
+// accounting.
+//
+// The runtime (internal/wsrt) drives the machine: it starts computations on
+// cores, toggles activity/serial hints, reports scheduling states for
+// energy and region accounting, and sends mug interrupts.
+package machine
+
+import (
+	"fmt"
+
+	"aaws/internal/cpu"
+	"aaws/internal/dvfs"
+	"aaws/internal/icn"
+	"aaws/internal/model"
+	"aaws/internal/power"
+	"aaws/internal/sim"
+	"aaws/internal/vf"
+	"aaws/internal/vr"
+)
+
+// Config describes a machine instance.
+type Config struct {
+	// BigCores and LittleCores are the static core mix. Cores are numbered
+	// with big cores first, so core 0 is always big (the runtime pins
+	// logical thread 0 there; see Section III-B on keeping the sequential
+	// region on a big core).
+	BigCores    int
+	LittleCores int
+	// Params is the energy/performance model (per-kernel alpha/beta).
+	Params power.Params
+	// LUT is the DVFS lookup table implementing the runtime variant.
+	LUT *model.LUT
+	// InterruptCycles is the one-way user-level interrupt latency in
+	// nominal-frequency cycles (paper: ~an L2 access, 20 cycles).
+	InterruptCycles int
+	// MemStallPsPerInstr is the optional frequency-independent memory
+	// stall per instruction in picoseconds (0 = paper's compute-bound
+	// first-order model).
+	MemStallPsPerInstr float64
+	// TransitionNsPerStep overrides the regulators' per-0.15V transition
+	// latency (0 = the paper's 40 ns). Section IV-D's sensitivity study
+	// sweeps this to 250 ns.
+	TransitionNsPerStep float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.BigCores < 1 {
+		return fmt.Errorf("machine: need at least one big core (logical thread 0 lives there), got %d", c.BigCores)
+	}
+	if c.LittleCores < 0 {
+		return fmt.Errorf("machine: negative little core count %d", c.LittleCores)
+	}
+	if c.LUT == nil {
+		return fmt.Errorf("machine: nil DVFS LUT")
+	}
+	if c.LUT.NBig != c.BigCores || c.LUT.NLit != c.LittleCores {
+		return fmt.Errorf("machine: LUT is %dB%dL but machine is %dB%dL",
+			c.LUT.NBig, c.LUT.NLit, c.BigCores, c.LittleCores)
+	}
+	return nil
+}
+
+// Config4B4L returns the paper's four-big/four-little system.
+func Config4B4L(p power.Params, lut *model.LUT) Config {
+	return Config{BigCores: 4, LittleCores: 4, Params: p, LUT: lut, InterruptCycles: 20}
+}
+
+// Config1B7L returns the paper's one-big/seven-little system.
+func Config1B7L(p power.Params, lut *model.LUT) Config {
+	return Config{BigCores: 1, LittleCores: 7, Params: p, LUT: lut, InterruptCycles: 20}
+}
+
+// StateSink observes true core scheduling-state changes (for region
+// classification and activity profiles). now is the transition instant.
+type StateSink func(now sim.Time, coreID int, state power.CoreState)
+
+// VoltageSink observes effective-voltage changes (for activity profiles).
+type VoltageSink func(now sim.Time, coreID int, volts float64)
+
+// Machine is the assembled simulated hardware.
+type Machine struct {
+	Eng    *sim.Engine
+	Cfg    Config
+	Cores  []*cpu.Core
+	Regs   []*vr.Regulator
+	Ctl    *dvfs.Controller
+	Net    *icn.Network
+	Acc    []*power.Accountant
+	states []power.CoreState
+
+	// Optional observers.
+	OnState   StateSink
+	OnVoltage VoltageSink
+	// OnSerial observes serial-region flag changes.
+	OnSerial func(now sim.Time, on bool)
+}
+
+// New builds a machine. All cores boot waiting at nominal voltage with
+// their activity bits set (the runtime corrects them as workers start).
+func New(eng *sim.Engine, cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.BigCores + cfg.LittleCores
+	m := &Machine{
+		Eng:    eng,
+		Cfg:    cfg,
+		Cores:  make([]*cpu.Core, n),
+		Regs:   make([]*vr.Regulator, n),
+		Acc:    make([]*power.Accountant, n),
+		states: make([]power.CoreState, n),
+	}
+	classes := make([]power.CoreClass, n)
+	for i := 0; i < n; i++ {
+		class := power.Little
+		if i < cfg.BigCores {
+			class = power.Big
+		}
+		classes[i] = class
+		reg := vr.New(eng, vf.VNominal)
+		if cfg.TransitionNsPerStep > 0 {
+			reg.SetStepLatencyNs(cfg.TransitionNsPerStep)
+		}
+		core := cpu.New(eng, i, class, cfg.Params, reg)
+		core.SetMemStallPs(cfg.MemStallPsPerInstr)
+		acct := power.NewAccountant(cfg.Params, class, eng.Now())
+		i := i
+		reg.OnChange = func() {
+			core.Retime()
+			acct.Transition(eng.Now(), acct.State(), reg.Effective())
+			if m.OnVoltage != nil {
+				m.OnVoltage(eng.Now(), i, reg.Effective())
+			}
+		}
+		m.Regs[i] = reg
+		m.Cores[i] = core
+		m.Acc[i] = acct
+		m.states[i] = power.StateWaiting
+	}
+	intLat := sim.Time(float64(cfg.InterruptCycles) / vf.FNominal * float64(sim.Second))
+	m.Net = icn.New(eng, n, intLat)
+	m.Ctl = dvfs.New(eng, cfg.LUT, classes, m.Regs)
+	return m, nil
+}
+
+// NumCores returns the total core count.
+func (m *Machine) NumCores() int { return len(m.Cores) }
+
+// Class returns the class of core id.
+func (m *Machine) Class(id int) power.CoreClass { return m.Cores[id].Class }
+
+// State returns the true scheduling state of core id.
+func (m *Machine) State(id int) power.CoreState { return m.states[id] }
+
+// SetState records core id's true scheduling state for energy accounting
+// and region tracking. The runtime reports StateActive while a task (or
+// scheduler code) runs and StateWaiting while in the steal loop; the
+// machine downgrades Waiting to Resting when the DVFS controller has
+// parked the core (work-sprinting).
+func (m *Machine) SetState(id int, s power.CoreState) {
+	eff := m.effectiveState(id, s)
+	if m.states[id] == eff {
+		return
+	}
+	m.states[id] = eff
+	m.Acc[id].Transition(m.Eng.Now(), eff, m.Regs[id].Effective())
+	if m.OnState != nil {
+		m.OnState(m.Eng.Now(), id, eff)
+	}
+}
+
+// RefreshState re-derives core id's accounting state after a controller
+// decision may have parked or unparked it.
+func (m *Machine) RefreshState(id int) {
+	if m.states[id] == power.StateActive {
+		return
+	}
+	m.SetState(id, power.StateWaiting)
+}
+
+func (m *Machine) effectiveState(id int, s power.CoreState) power.CoreState {
+	if s != power.StateWaiting {
+		return s
+	}
+	// A waiting core whose controller has parked it at VRest with
+	// sprinting semantics is resting (clock-gated steal loop).
+	if m.Ctl.RestsInactive() && !m.Ctl.ActivityBit(id) {
+		return power.StateResting
+	}
+	return power.StateWaiting
+}
+
+// HintActivity is the runtime's hint-instruction entry point.
+func (m *Machine) HintActivity(id int, active bool) {
+	m.Ctl.SetActivity(id, active)
+	// Parking may change the accounting state of this or other cores.
+	for i := range m.states {
+		m.RefreshState(i)
+	}
+}
+
+// HintSerial flags a truly serial region on core id.
+func (m *Machine) HintSerial(id int, on bool) {
+	m.Ctl.SetSerial(id, on)
+	for i := range m.states {
+		m.RefreshState(i)
+	}
+	if m.OnSerial != nil {
+		m.OnSerial(m.Eng.Now(), on)
+	}
+}
+
+// Finish closes all energy accounting at the current simulated time.
+func (m *Machine) Finish() {
+	for _, a := range m.Acc {
+		a.Finish(m.Eng.Now())
+	}
+}
+
+// TotalRetired returns the cumulative retired instructions across cores —
+// the "performance counter" an adaptive DVFS controller reads.
+func (m *Machine) TotalRetired() float64 {
+	var n float64
+	for _, c := range m.Cores {
+		n += c.Retired()
+	}
+	return n
+}
+
+// InstantPower returns the current modeled total power draw — the "power
+// sensor" an adaptive DVFS controller reads. It reflects each core's true
+// state and effective voltage right now.
+func (m *Machine) InstantPower() float64 {
+	p := 0.0
+	for i, core := range m.Cores {
+		v := m.Regs[i].Effective()
+		switch m.states[i] {
+		case power.StateActive:
+			p += m.Cfg.Params.ActivePower(core.Class, v)
+		case power.StateWaiting:
+			p += m.Cfg.Params.WaitPower(core.Class, v)
+		default:
+			p += m.Cfg.Params.RestPower(core.Class)
+		}
+	}
+	return p
+}
+
+// TotalEnergy returns the machine's total accumulated energy.
+func (m *Machine) TotalEnergy() float64 {
+	e := 0.0
+	for _, a := range m.Acc {
+		e += a.Breakdown().Total()
+	}
+	return e
+}
+
+// EnergyBreakdown returns the per-core energy/time splits.
+func (m *Machine) EnergyBreakdown() []power.Breakdown {
+	out := make([]power.Breakdown, len(m.Acc))
+	for i, a := range m.Acc {
+		out[i] = a.Breakdown()
+	}
+	return out
+}

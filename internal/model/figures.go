@@ -1,0 +1,153 @@
+package model
+
+import (
+	"aaws/internal/power"
+	"aaws/internal/vf"
+)
+
+// This file provides the numerical series behind the paper's analytical
+// figures (2-5). Each function returns plain data; rendering (CSV/ASCII)
+// lives in cmd/aaws-model.
+
+// ParetoPoint is one (VB, VL) sample of Figure 2: performance and energy
+// efficiency of an all-active system, normalized to nominal.
+type ParetoPoint struct {
+	VBig, VLit float64
+	// Perf is IPS/IPS_nominal; EnergyEff is (work/energy) normalized, i.e.
+	// (IPS/P) / (IPS_N/P_N); PowerRatio is P/P_N.
+	Perf       float64
+	EnergyEff  float64
+	PowerRatio float64
+}
+
+// Pareto computes the Figure 2 point cloud for an all-active system across
+// a grid of feasible (VB, VL) pairs.
+func Pareto(c Config, steps int) []ParetoPoint {
+	vm := c.Params.VF
+	baseIPS := c.nominalIPS(c.NBig, c.NLit)
+	baseP := c.activePower(c.NBig, c.NLit, vf.VNominal, vf.VNominal)
+	var out []ParetoPoint
+	for i := 0; i <= steps; i++ {
+		vb := vm.VMin + (vm.VMax-vm.VMin)*float64(i)/float64(steps)
+		for j := 0; j <= steps; j++ {
+			vl := vm.VMin + (vm.VMax-vm.VMin)*float64(j)/float64(steps)
+			ips := c.activeIPS(c.NBig, c.NLit, vb, vl)
+			p := c.activePower(c.NBig, c.NLit, vb, vl)
+			out = append(out, ParetoPoint{
+				VBig: vb, VLit: vl,
+				Perf:       ips / baseIPS,
+				EnergyEff:  (ips / p) / (baseIPS / baseP),
+				PowerRatio: p / baseP,
+			})
+		}
+	}
+	return out
+}
+
+// CurveSample is one sample of the Figure 3/5 curves for a single core
+// class: operating voltage, throughput, power, and marginal utility.
+type CurveSample struct {
+	V        float64
+	IPS      float64
+	Power    float64
+	Marginal float64 // dP/dIPS
+}
+
+// ClassCurve samples the power/performance/marginal-utility curve of one
+// core class across [lo, hi].
+func ClassCurve(p power.Params, cl power.CoreClass, lo, hi float64, steps int) []CurveSample {
+	out := make([]CurveSample, 0, steps+1)
+	for i := 0; i <= steps; i++ {
+		v := lo + (hi-lo)*float64(i)/float64(steps)
+		out = append(out, CurveSample{
+			V:        v,
+			IPS:      p.IPS(cl, v),
+			Power:    p.ActivePower(cl, v),
+			Marginal: p.MarginalUtility(cl, v),
+		})
+	}
+	return out
+}
+
+// ThroughputSample is one sample of the IPS_tot curve in Figures 3(b)/5(b):
+// for a candidate big voltage the little voltage is derived from the
+// constant power target.
+type ThroughputSample struct {
+	VBig, VLit float64
+	IPSTot     float64
+	Valid      bool // false when the budget cannot be met at this VBig
+}
+
+// ThroughputCurve samples aggregate throughput along the iso-power
+// constraint for nBA/nLA active cores (rest selects sprinting semantics),
+// sweeping the big voltage across [lo, hi].
+func ThroughputCurve(c Config, nBA, nLA int, rest bool, lo, hi float64, steps int) []ThroughputSample {
+	budget := c.Params.TargetPower(c.NBig, c.NLit) - c.inactivePower(nBA, nLA, rest)
+	out := make([]ThroughputSample, 0, steps+1)
+	for i := 0; i <= steps; i++ {
+		vb := lo + (hi-lo)*float64(i)/float64(steps)
+		rem := budget - c.activePower(nBA, 0, vb, 0)
+		vl, ok := c.solveVoltage(power.Little, nLA, rem, searchLo, searchHi)
+		s := ThroughputSample{VBig: vb, VLit: vl, Valid: ok}
+		if ok {
+			s.IPSTot = c.activeIPS(nBA, nLA, vb, vl)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// SpeedupGrid is the Figure 4 heatmap: optimal and feasible all-active
+// speedup as a function of alpha and beta.
+type SpeedupGrid struct {
+	Alphas, Betas     []float64
+	Optimal, Feasible [][]float64 // indexed [alphaIdx][betaIdx]
+}
+
+// Figure4 sweeps alpha and beta and records the all-active speedups.
+func Figure4(c Config, alphas, betas []float64) SpeedupGrid {
+	g := SpeedupGrid{Alphas: alphas, Betas: betas}
+	g.Optimal = make([][]float64, len(alphas))
+	g.Feasible = make([][]float64, len(alphas))
+	for i, a := range alphas {
+		g.Optimal[i] = make([]float64, len(betas))
+		g.Feasible[i] = make([]float64, len(betas))
+		for j, b := range betas {
+			cc := c
+			cc.Params = c.Params.WithAlphaBeta(a, b)
+			r := Optimize(cc, cc.NBig, cc.NLit, false)
+			g.Optimal[i][j] = r.SpeedupOptimal
+			g.Feasible[i][j] = r.SpeedupFeasible
+		}
+	}
+	return g
+}
+
+// SingleTask reproduces the Section II-D single-remaining-task analysis: a
+// lone task in an otherwise idle system, run either on a little or a big
+// core with every other core resting. Speedups are relative to running the
+// task on a *little* core at nominal voltage (as in the paper).
+type SingleTaskResult struct {
+	OnLittle Result
+	OnBig    Result
+	// Speedups vs little@VN.
+	LittleFeasibleSpeedup float64
+	BigFeasibleSpeedup    float64
+	LittleOptimalV        float64
+	BigOptimalV           float64
+}
+
+// SingleTask runs the lone-task analysis for config c.
+func SingleTask(c Config) SingleTaskResult {
+	baseline := c.Params.NominalIPS(power.Little)
+	onLit := Optimize(c, 0, 1, true)
+	onBig := Optimize(c, 1, 0, true)
+	return SingleTaskResult{
+		OnLittle:              onLit,
+		OnBig:                 onBig,
+		LittleFeasibleSpeedup: onLit.Feasible.IPS / baseline,
+		BigFeasibleSpeedup:    onBig.Feasible.IPS / baseline,
+		LittleOptimalV:        onLit.Optimal.VLit,
+		BigOptimalV:           onBig.Optimal.VBig,
+	}
+}

@@ -1,0 +1,157 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+
+	"aaws/internal/vf"
+)
+
+// VPair is a lookup-table entry: the voltage applied to every active big
+// core and every active little core for one activity combination.
+type VPair struct {
+	VBig float64
+	VLit float64
+}
+
+// LUT maps activity information to operating voltages, as consumed by the
+// DVFS controller (Section III-A). Entry [i][j] applies when i big cores
+// and j little cores are active; a 4B4L table has 5x5 = 25 entries.
+type LUT struct {
+	NBig, NLit int
+	// Entries[i][j] for i in 0..NBig, j in 0..NLit.
+	Entries [][]VPair
+	// SerialSprint, when set, overrides the table during a runtime-flagged
+	// serial region: the single active core runs at SerialV.
+	SerialSprint bool
+	SerialV      float64
+	// RestInactive mirrors the generation mode: whether inactive cores are
+	// rested at VMin (work-sprinting) or left spinning at nominal.
+	RestInactive bool
+	// VRest is the voltage commanded for inactive cores (VMin when
+	// RestInactive, VNominal otherwise).
+	VRest float64
+}
+
+// Lookup returns the voltages for the active cores given the activity
+// counts, clamping out-of-range counts into the table.
+func (t *LUT) Lookup(nBA, nLA int) VPair {
+	if nBA < 0 {
+		nBA = 0
+	}
+	if nBA > t.NBig {
+		nBA = t.NBig
+	}
+	if nLA < 0 {
+		nLA = 0
+	}
+	if nLA > t.NLit {
+		nLA = t.NLit
+	}
+	return t.Entries[nBA][nLA]
+}
+
+// Mode selects which runtime variant a lookup table implements.
+type Mode int
+
+const (
+	// ModeNominal pins every core at V_N regardless of activity (the
+	// asymmetry-oblivious baseline, before serial-sprinting).
+	ModeNominal Mode = iota
+	// ModePacing applies the marginal-utility point only when every core
+	// is active (work-pacing, HP region); other entries stay nominal and
+	// waiting cores keep spinning at V_N.
+	ModePacing
+	// ModePacingSprinting applies the marginal-utility point to every
+	// activity combination with inactive cores rested at VMin
+	// (work-pacing + work-sprinting).
+	ModePacingSprinting
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeNominal:
+		return "nominal"
+	case ModePacing:
+		return "pacing"
+	default:
+		return "pacing+sprinting"
+	}
+}
+
+// GenerateLUT builds the DVFS lookup table for a system configuration and
+// runtime variant. All variants enable serial-sprinting (the aggressive
+// baseline of Section III-C): during a flagged serial region the active
+// core sprints to VMax.
+func GenerateLUT(c Config, mode Mode) *LUT {
+	t := &LUT{
+		NBig:         c.NBig,
+		NLit:         c.NLit,
+		SerialSprint: true,
+		SerialV:      c.Params.VF.VMax,
+		RestInactive: mode == ModePacingSprinting,
+		VRest:        vf.VNominal,
+	}
+	if t.RestInactive {
+		t.VRest = c.Params.VF.VMin
+	}
+	t.Entries = make([][]VPair, c.NBig+1)
+	nominal := VPair{VBig: vf.VNominal, VLit: vf.VNominal}
+	for i := range t.Entries {
+		t.Entries[i] = make([]VPair, c.NLit+1)
+		for j := range t.Entries[i] {
+			t.Entries[i][j] = nominal
+		}
+	}
+	switch mode {
+	case ModeNominal:
+		// all nominal
+	case ModePacing:
+		r := Optimize(c, c.NBig, c.NLit, false)
+		t.Entries[c.NBig][c.NLit] = VPair{VBig: r.Feasible.VBig, VLit: r.Feasible.VLit}
+	case ModePacingSprinting:
+		for i := 0; i <= c.NBig; i++ {
+			for j := 0; j <= c.NLit; j++ {
+				if i == 0 && j == 0 {
+					continue
+				}
+				r := Optimize(c, i, j, true)
+				e := VPair{VBig: r.Feasible.VBig, VLit: r.Feasible.VLit}
+				// Inactive classes keep a defined voltage (VMin) so the
+				// controller always has a target for every core.
+				if i == 0 {
+					e.VBig = c.Params.VF.VMin
+				}
+				if j == 0 {
+					e.VLit = c.Params.VF.VMin
+				}
+				t.Entries[i][j] = e
+			}
+		}
+		// With nothing active, everything rests.
+		t.Entries[0][0] = VPair{VBig: c.Params.VF.VMin, VLit: c.Params.VF.VMin}
+	}
+	return t
+}
+
+// String renders the table for diagnostics and the dvfs-explorer example.
+func (t *LUT) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "DVFS LUT (%dB%dL, rest=%v, serial sprint to %.2fV)\n",
+		t.NBig, t.NLit, t.RestInactive, t.SerialV)
+	fmt.Fprintf(&b, "%8s", "bigA\\litA")
+	for j := 0; j <= t.NLit; j++ {
+		fmt.Fprintf(&b, "%14d", j)
+	}
+	b.WriteByte('\n')
+	for i := 0; i <= t.NBig; i++ {
+		fmt.Fprintf(&b, "%8d ", i)
+		for j := 0; j <= t.NLit; j++ {
+			e := t.Entries[i][j]
+			fmt.Fprintf(&b, "  (%.2f, %.2f)", e.VBig, e.VLit)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package native
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Central is the work-sharing comparison executor: every task goes through
+// one mutex-protected FIFO, so the scheduler pays global contention on each
+// task — the classic alternative that work stealing improves upon.
+type Central struct {
+	mu    sync.Mutex
+	queue []*task
+	nw    int
+	stop  atomic.Bool
+	wg    sync.WaitGroup
+}
+
+// NewCentral returns a central-queue pool with n workers (n <= 0 uses
+// GOMAXPROCS).
+func NewCentral(n int) *Central {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	c := &Central{nw: n}
+	for i := 0; i < n; i++ {
+		c.wg.Add(1)
+		go c.run()
+	}
+	return c
+}
+
+// Workers implements Executor.
+func (c *Central) Workers() int { return c.nw }
+
+func (c *Central) push(t *task) {
+	c.mu.Lock()
+	c.queue = append(c.queue, t)
+	c.mu.Unlock()
+}
+
+func (c *Central) pop() *task {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.queue) == 0 {
+		return nil
+	}
+	t := c.queue[len(c.queue)-1]
+	c.queue = c.queue[:len(c.queue)-1]
+	return t
+}
+
+// ParallelFor implements Executor. The caller helps drain the central
+// queue while waiting, so nested calls cannot deadlock the pool.
+func (c *Central) ParallelFor(lo, hi, grain int, body func(lo, hi int)) {
+	if hi <= lo {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	j := &job{grain: grain, body: body, done: make(chan struct{})}
+	j.pending.Store(int64(hi - lo))
+	c.push(&task{lo: lo, hi: hi, job: j})
+	idle := 0
+	for {
+		select {
+		case <-j.done:
+			return
+		default:
+		}
+		if t := c.pop(); t != nil {
+			c.exec(t)
+			idle = 0
+			continue
+		}
+		idle++
+		if idle < 64 {
+			runtime.Gosched()
+		} else {
+			select {
+			case <-j.done:
+				return
+			case <-time.After(20 * time.Microsecond):
+			}
+		}
+	}
+}
+
+func (c *Central) exec(t *task) {
+	j := t.job
+	lo, hi := t.lo, t.hi
+	for hi-lo > j.grain {
+		mid := lo + (hi-lo)/2
+		c.push(&task{lo: mid, hi: hi, job: j})
+		hi = mid
+	}
+	j.body(lo, hi)
+	j.finish(int64(hi - lo))
+}
+
+func (c *Central) run() {
+	defer c.wg.Done()
+	idle := 0
+	for {
+		if t := c.pop(); t != nil {
+			c.exec(t)
+			idle = 0
+			continue
+		}
+		if c.stop.Load() {
+			return
+		}
+		idle++
+		if idle < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}
+
+// Shutdown implements Executor.
+func (c *Central) Shutdown() {
+	c.stop.Store(true)
+	c.wg.Wait()
+}

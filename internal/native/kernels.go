@@ -1,0 +1,495 @@
+package native
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"aaws/internal/input"
+)
+
+// T2Kernel is one Table II benchmark: a PBBS kernel with an optimized
+// serial implementation and a parallel implementation over an Executor.
+type T2Kernel struct {
+	Name string
+	// Prepare (re)generates inputs and clears outputs.
+	Prepare func()
+	// Serial runs the optimized serial implementation.
+	Serial func()
+	// Parallel runs the parallel implementation on ex.
+	Parallel func(ex Executor)
+	// Check validates the most recent run.
+	Check func() error
+}
+
+// Table2Kernels returns the five PBBS kernels used in Table II (dict,
+// radix, rdups, mis, nbody), sized so a serial run takes a measurable
+// fraction of a second on a laptop-class host.
+func Table2Kernels(seed uint64, n int) []*T2Kernel {
+	if n <= 0 {
+		n = 1 << 20
+	}
+	return []*T2Kernel{
+		newT2Dict(seed, n),
+		newT2Radix(seed, n),
+		newT2Rdups(seed, n),
+		newT2MIS(seed, n/4),
+		newT2Nbody(seed, 2048),
+	}
+}
+
+// ---- dict ----
+
+type t2dict struct {
+	keys    []int32
+	queries []int32
+	table   []int32 // atomic slots, -1 empty
+	mask    int
+	found   atomic.Int64
+	want    int64
+}
+
+func newT2Dict(seed uint64, n int) *T2Kernel {
+	d := &t2dict{}
+	kern := &T2Kernel{Name: "dict"}
+	kern.Prepare = func() {
+		d.keys = input.ExptSeqInt(seed, n)
+		d.queries = input.ExptSeqInt(seed^0xbeef, n/2)
+		size := 1
+		for size < 2*n {
+			size <<= 1
+		}
+		d.mask = size - 1
+		d.table = make([]int32, size)
+		for i := range d.table {
+			d.table[i] = -1
+		}
+		set := map[int32]bool{}
+		for _, k := range d.keys {
+			set[k] = true
+		}
+		d.want = 0
+		for _, q := range d.queries {
+			if set[q] {
+				d.want++
+			}
+		}
+		d.found.Store(0)
+	}
+	hash := func(x int32) int {
+		v := uint32(x)
+		v ^= v >> 16
+		v *= 0x7feb352d
+		v ^= v >> 15
+		v *= 0x846ca68b
+		v ^= v >> 16
+		return int(v)
+	}
+	insert := func(key int32, cas bool) {
+		slot := hash(key) & d.mask
+		for {
+			cur := atomic.LoadInt32(&d.table[slot])
+			if cur == key {
+				return
+			}
+			if cur == -1 {
+				if cas {
+					if atomic.CompareAndSwapInt32(&d.table[slot], -1, key) {
+						return
+					}
+					continue // lost the race: re-examine the slot
+				}
+				d.table[slot] = key
+				return
+			}
+			slot = (slot + 1) & d.mask
+		}
+	}
+	lookup := func(q int32) bool {
+		slot := hash(q) & d.mask
+		for {
+			cur := atomic.LoadInt32(&d.table[slot])
+			if cur == -1 {
+				return false
+			}
+			if cur == q {
+				return true
+			}
+			slot = (slot + 1) & d.mask
+		}
+	}
+	kern.Serial = func() {
+		for _, k := range d.keys {
+			insert(k, false)
+		}
+		var found int64
+		for _, q := range d.queries {
+			if lookup(q) {
+				found++
+			}
+		}
+		d.found.Store(found)
+	}
+	kern.Parallel = func(ex Executor) {
+		ex.ParallelFor(0, len(d.keys), 2048, func(lo, hi int) {
+			for _, k := range d.keys[lo:hi] {
+				insert(k, true)
+			}
+		})
+		ex.ParallelFor(0, len(d.queries), 2048, func(lo, hi int) {
+			var local int64
+			for _, q := range d.queries[lo:hi] {
+				if lookup(q) {
+					local++
+				}
+			}
+			d.found.Add(local)
+		})
+	}
+	kern.Check = func() error {
+		if got := d.found.Load(); got != d.want {
+			return fmt.Errorf("dict: found %d, want %d", got, d.want)
+		}
+		return nil
+	}
+	return kern
+}
+
+// ---- radix ----
+
+type t2radix struct {
+	orig []int32
+	data []int32
+	tmp  []int32
+}
+
+func newT2Radix(seed uint64, n int) *T2Kernel {
+	r := &t2radix{}
+	kern := &T2Kernel{Name: "radix"}
+	kern.Prepare = func() {
+		r.orig = input.RandomSeqInt(seed, n)
+		r.data = append([]int32(nil), r.orig...)
+		r.tmp = make([]int32, n)
+	}
+	const bits, radixSz = 8, 256
+	kern.Serial = func() {
+		src, dst := r.data, r.tmp
+		for pass := 0; pass < 4; pass++ {
+			shift := uint(pass * bits)
+			var cnt [radixSz]int32
+			for _, v := range src {
+				cnt[(v>>shift)&(radixSz-1)]++
+			}
+			var off [radixSz]int32
+			run := int32(0)
+			for d := 0; d < radixSz; d++ {
+				off[d] = run
+				run += cnt[d]
+			}
+			for _, v := range src {
+				d := (v >> shift) & (radixSz - 1)
+				dst[off[d]] = v
+				off[d]++
+			}
+			src, dst = dst, src
+		}
+	}
+	kern.Parallel = func(ex Executor) {
+		src, dst := r.data, r.tmp
+		nb := 8 * 8
+		n := len(src)
+		for pass := 0; pass < 4; pass++ {
+			shift := uint(pass * bits)
+			counts := make([][]int32, nb)
+			ex.ParallelFor(0, nb, 1, func(lo, hi int) {
+				for b := lo; b < hi; b++ {
+					cnt := make([]int32, radixSz)
+					s, e := b*n/nb, (b+1)*n/nb
+					for _, v := range src[s:e] {
+						cnt[(v>>shift)&(radixSz-1)]++
+					}
+					counts[b] = cnt
+				}
+			})
+			offsets := make([][]int32, nb)
+			for b := range offsets {
+				offsets[b] = make([]int32, radixSz)
+			}
+			run := int32(0)
+			for d := 0; d < radixSz; d++ {
+				for b := 0; b < nb; b++ {
+					offsets[b][d] = run
+					run += counts[b][d]
+				}
+			}
+			ex.ParallelFor(0, nb, 1, func(lo, hi int) {
+				for b := lo; b < hi; b++ {
+					off := offsets[b]
+					s, e := b*n/nb, (b+1)*n/nb
+					for _, v := range src[s:e] {
+						d := (v >> shift) & (radixSz - 1)
+						dst[off[d]] = v
+						off[d]++
+					}
+				}
+			})
+			src, dst = dst, src
+		}
+	}
+	kern.Check = func() error {
+		for i := 1; i < len(r.data); i++ {
+			if r.data[i-1] > r.data[i] {
+				return fmt.Errorf("radix: out of order at %d", i)
+			}
+		}
+		return nil
+	}
+	return kern
+}
+
+// ---- rdups ----
+
+type t2rdups struct {
+	words []string
+	table []int32
+	mask  int
+	kept  atomic.Int64
+	want  int64
+}
+
+func newT2Rdups(seed uint64, n int) *T2Kernel {
+	r := &t2rdups{}
+	kern := &T2Kernel{Name: "rdups"}
+	kern.Prepare = func() {
+		r.words = input.TrigramWords(seed, n)
+		size := 1
+		for size < 2*n {
+			size <<= 1
+		}
+		r.mask = size - 1
+		r.table = make([]int32, size)
+		for i := range r.table {
+			r.table[i] = -1
+		}
+		set := map[string]bool{}
+		for _, w := range r.words {
+			set[w] = true
+		}
+		r.want = int64(len(set))
+		r.kept.Store(0)
+	}
+	hash := func(s string) int {
+		h := uint32(2166136261)
+		for i := 0; i < len(s); i++ {
+			h ^= uint32(s[i])
+			h *= 16777619
+		}
+		return int(h)
+	}
+	claim := func(i int32, cas bool) bool {
+		w := r.words[i]
+		slot := hash(w) & r.mask
+		for {
+			cur := atomic.LoadInt32(&r.table[slot])
+			if cur == -1 {
+				if cas {
+					if atomic.CompareAndSwapInt32(&r.table[slot], -1, i) {
+						return true
+					}
+					continue
+				}
+				r.table[slot] = i
+				return true
+			}
+			if r.words[cur] == w {
+				return false
+			}
+			slot = (slot + 1) & r.mask
+		}
+	}
+	kern.Serial = func() {
+		var kept int64
+		for i := range r.words {
+			if claim(int32(i), false) {
+				kept++
+			}
+		}
+		r.kept.Store(kept)
+	}
+	kern.Parallel = func(ex Executor) {
+		ex.ParallelFor(0, len(r.words), 2048, func(lo, hi int) {
+			var local int64
+			for i := lo; i < hi; i++ {
+				if claim(int32(i), true) {
+					local++
+				}
+			}
+			r.kept.Add(local)
+		})
+	}
+	kern.Check = func() error {
+		if got := r.kept.Load(); got != r.want {
+			return fmt.Errorf("rdups: kept %d, want %d", got, r.want)
+		}
+		return nil
+	}
+	return kern
+}
+
+// ---- mis (Luby rounds with atomic status) ----
+
+type t2mis struct {
+	g      *input.Graph
+	prio   []int32
+	status []int32 // 0 undecided, 1 in, 2 out (atomic)
+}
+
+func newT2MIS(seed uint64, n int) *T2Kernel {
+	m := &t2mis{}
+	kern := &T2Kernel{Name: "mis"}
+	kern.Prepare = func() {
+		m.g = input.RandLocalGraph(seed^0xa1, 5, n)
+		m.prio = make([]int32, n)
+		for i := range m.prio {
+			// deterministic pseudo-random priorities (a permutation hash)
+			m.prio[i] = int32((uint32(i)*2654435761 + 12345) >> 1)
+		}
+		m.status = make([]int32, n)
+	}
+	round := func(lo, hi int, atomicOps bool) bool {
+		progress := false
+		for v := lo; v < hi; v++ {
+			if atomic.LoadInt32(&m.status[v]) != 0 {
+				continue
+			}
+			best := true
+			out := false
+			for _, u := range m.g.Neighbors(v) {
+				st := atomic.LoadInt32(&m.status[u])
+				if st == 1 {
+					out = true
+					break
+				}
+				if st == 0 && (m.prio[u] < m.prio[v] || (m.prio[u] == m.prio[v] && u < int32(v))) {
+					best = false
+				}
+			}
+			switch {
+			case out:
+				atomic.StoreInt32(&m.status[v], 2)
+				progress = true
+			case best:
+				atomic.StoreInt32(&m.status[v], 1)
+				progress = true
+			}
+			_ = atomicOps
+		}
+		return progress
+	}
+	kern.Serial = func() {
+		for {
+			if !round(0, m.g.N, false) {
+				break
+			}
+		}
+	}
+	kern.Parallel = func(ex Executor) {
+		var progress atomic.Bool
+		for {
+			progress.Store(false)
+			ex.ParallelFor(0, m.g.N, 512, func(lo, hi int) {
+				if round(lo, hi, true) {
+					progress.Store(true)
+				}
+			})
+			if !progress.Load() {
+				break
+			}
+		}
+	}
+	kern.Check = func() error {
+		for v := 0; v < m.g.N; v++ {
+			st := m.status[v]
+			if st == 0 {
+				return fmt.Errorf("mis: vertex %d undecided", v)
+			}
+			inNbr := false
+			for _, u := range m.g.Neighbors(v) {
+				if m.status[u] == 1 {
+					inNbr = true
+					if st == 1 {
+						return fmt.Errorf("mis: adjacent %d,%d both in set", v, u)
+					}
+				}
+			}
+			if st == 2 && !inNbr {
+				return fmt.Errorf("mis: vertex %d excluded with no included neighbor", v)
+			}
+		}
+		return nil
+	}
+	return kern
+}
+
+// ---- nbody (all-pairs forces) ----
+
+type t2nbody struct {
+	pts   []input.Point3
+	force [][3]float64
+	want  [][3]float64
+}
+
+func newT2Nbody(seed uint64, n int) *T2Kernel {
+	b := &t2nbody{}
+	kern := &T2Kernel{Name: "nbody"}
+	forceOn := func(i int) [3]float64 {
+		var f [3]float64
+		const eps = 1e-6
+		for j := range b.pts {
+			if j == i {
+				continue
+			}
+			dx := b.pts[j].X - b.pts[i].X
+			dy := b.pts[j].Y - b.pts[i].Y
+			dz := b.pts[j].Z - b.pts[i].Z
+			r2 := dx*dx + dy*dy + dz*dz + eps
+			inv := 1 / (r2 * math.Sqrt(r2))
+			f[0] += dx * inv
+			f[1] += dy * inv
+			f[2] += dz * inv
+		}
+		return f
+	}
+	kern.Prepare = func() {
+		b.pts = input.Cube3D(seed, n)
+		b.force = make([][3]float64, n)
+		b.want = nil
+	}
+	kern.Serial = func() {
+		for i := range b.pts {
+			b.force[i] = forceOn(i)
+		}
+		b.want = append([][3]float64(nil), b.force...)
+	}
+	kern.Parallel = func(ex Executor) {
+		ex.ParallelFor(0, len(b.pts), 16, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				b.force[i] = forceOn(i)
+			}
+		})
+	}
+	kern.Check = func() error {
+		if b.want == nil {
+			return nil // serial not run in this sequence
+		}
+		for i := range b.force {
+			for d := 0; d < 3; d++ {
+				if b.force[i][d] != b.want[i][d] {
+					return fmt.Errorf("nbody: body %d differs", i)
+				}
+			}
+		}
+		return nil
+	}
+	return kern
+}

@@ -1,0 +1,100 @@
+package native
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Table2Row is one row of the Table II reproduction: speedups of the two
+// schedulers over the optimized serial implementation.
+type Table2Row struct {
+	Kernel          string
+	SerialMs        float64
+	CentralSpeedup  float64 // work-sharing pool (comparison scheduler)
+	StealingSpeedup float64 // this package's work-stealing pool
+	// StealingVsCentral is the headline ratio (Table II's "Baseline vs
+	// TBB" column analogue), in percent difference.
+	StealingVsCentral float64
+}
+
+// Table2Options configures the native measurement.
+type Table2Options struct {
+	Seed    uint64
+	N       int // base input size (default 1<<20)
+	Workers int // default 8, as in the paper's 8-thread runs
+	Trials  int // best-of trials per cell (default 3)
+}
+
+// Table2 measures the work-stealing pool against serial code and the
+// central-queue pool on the five PBBS kernels, on the real host machine.
+func Table2(opt Table2Options, progress io.Writer) ([]Table2Row, error) {
+	if opt.Workers <= 0 {
+		opt.Workers = 8
+	}
+	if opt.Trials <= 0 {
+		opt.Trials = 3
+	}
+	kernelsT2 := Table2Kernels(opt.Seed, opt.N)
+
+	var rows []Table2Row
+	for _, k := range kernelsT2 {
+		if progress != nil {
+			fmt.Fprintf(progress, "# measuring %s...\n", k.Name)
+		}
+		serial := measure(opt.Trials, func() { k.Prepare(); k.Serial() })
+		if err := k.Check(); err != nil {
+			return nil, fmt.Errorf("serial %s: %w", k.Name, err)
+		}
+
+		central := NewCentral(opt.Workers)
+		centralT := measure(opt.Trials, func() { k.Prepare(); k.Parallel(central) })
+		err := k.Check()
+		central.Shutdown()
+		if err != nil {
+			return nil, fmt.Errorf("central %s: %w", k.Name, err)
+		}
+
+		stealing := NewStealing(opt.Workers)
+		stealT := measure(opt.Trials, func() { k.Prepare(); k.Parallel(stealing) })
+		err = k.Check()
+		stealing.Shutdown()
+		if err != nil {
+			return nil, fmt.Errorf("stealing %s: %w", k.Name, err)
+		}
+
+		row := Table2Row{
+			Kernel:          k.Name,
+			SerialMs:        serial.Seconds() * 1e3,
+			CentralSpeedup:  serial.Seconds() / centralT.Seconds(),
+			StealingSpeedup: serial.Seconds() / stealT.Seconds(),
+		}
+		row.StealingVsCentral = (row.StealingSpeedup/row.CentralSpeedup - 1) * 100
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// measure returns the best-of-n wall-clock duration of f.
+func measure(trials int, f func()) time.Duration {
+	best := time.Duration(0)
+	for i := 0; i < trials; i++ {
+		start := time.Now()
+		f()
+		d := time.Since(start)
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// WriteTable2 renders rows in the paper's Table II layout.
+func WriteTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintf(w, "%-8s %10s %10s %10s %18s\n",
+		"kernel", "serial ms", "central", "stealing", "stealing vs central")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %10.1f %9.2fx %9.2fx %+17.0f%%\n",
+			r.Kernel, r.SerialMs, r.CentralSpeedup, r.StealingSpeedup, r.StealingVsCentral)
+	}
+}

@@ -1,0 +1,94 @@
+package native
+
+import (
+	"runtime"
+	"time"
+
+	"aaws/internal/deque"
+)
+
+// pworker is one work-stealing worker goroutine.
+type pworker struct {
+	pool *Pool
+	id   int
+	dq   *deque.Deque[task]
+}
+
+func newPWorker(p *Pool, id int) *pworker {
+	return &pworker{pool: p, id: id, dq: deque.New[task]()}
+}
+
+// exec runs a range task: split in half until at most grain iterations
+// remain, pushing the upper halves for thieves (child stealing).
+func (w *pworker) exec(t *task) {
+	j := t.job
+	lo, hi := t.lo, t.hi
+	for hi-lo > j.grain {
+		mid := lo + (hi-lo)/2
+		w.dq.Push(&task{lo: mid, hi: hi, job: j})
+		hi = mid
+	}
+	j.body(lo, hi)
+	j.finish(int64(hi - lo))
+}
+
+// steal picks the victim with the largest queue occupancy, as in the
+// simulated runtime (occupancy-based victim selection).
+func (w *pworker) steal() *task {
+	var best *pworker
+	bestN := 0
+	for _, v := range w.pool.workers {
+		if v == w {
+			continue
+		}
+		if n := v.dq.Size(); n > bestN {
+			best, bestN = v, n
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	t := best.dq.Steal()
+	if t != nil {
+		w.pool.steals.Add(1)
+	}
+	return t
+}
+
+// run is the worker main loop.
+func (w *pworker) run() {
+	defer w.pool.wg.Done()
+	idleSpins := 0
+	for {
+		if t := w.dq.Pop(); t != nil {
+			w.exec(t)
+			idleSpins = 0
+			continue
+		}
+		// Drain injected root tasks without blocking.
+		select {
+		case t := <-w.pool.inject:
+			w.exec(t)
+			idleSpins = 0
+			continue
+		default:
+		}
+		if t := w.steal(); t != nil {
+			w.exec(t)
+			idleSpins = 0
+			continue
+		}
+		select {
+		case <-w.pool.stop:
+			return
+		default:
+		}
+		idleSpins++
+		if idleSpins < 64 {
+			runtime.Gosched()
+		} else {
+			// Park briefly; real runtimes use futex-style sleeps here.
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}

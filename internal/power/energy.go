@@ -1,0 +1,137 @@
+package power
+
+import (
+	"fmt"
+
+	"aaws/internal/sim"
+)
+
+// CoreState describes what a core is doing during an accounting segment.
+type CoreState int
+
+const (
+	// StateActive means executing a task.
+	StateActive CoreState = iota
+	// StateWaiting means spinning in the work-stealing loop at the current
+	// operating point (full dynamic power).
+	StateWaiting
+	// StateResting means clock-gated at VMin (leakage only).
+	StateResting
+)
+
+// String implements fmt.Stringer.
+func (s CoreState) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StateWaiting:
+		return "waiting"
+	default:
+		return "resting"
+	}
+}
+
+// Accountant integrates energy for one core over time. The simulator calls
+// Transition whenever the core's state or voltage changes; energy for the
+// elapsed segment is accumulated at the old operating point.
+type Accountant struct {
+	params Params
+	class  CoreClass
+
+	last    sim.Time
+	state   CoreState
+	voltage float64
+
+	// Accumulated energy in power-units * seconds, split by state.
+	activeE, waitingE, restingE float64
+	// Accumulated time per state.
+	activeT, waitingT, restingT sim.Time
+}
+
+// NewAccountant returns an accountant for a core of class c, starting at
+// time start in the waiting state at nominal voltage.
+func NewAccountant(p Params, c CoreClass, start sim.Time) *Accountant {
+	return &Accountant{
+		params:  p,
+		class:   c,
+		last:    start,
+		state:   StateWaiting,
+		voltage: 1.0,
+	}
+}
+
+// powerAt returns the modelled power for a state at voltage v.
+func (a *Accountant) powerAt(s CoreState, v float64) float64 {
+	switch s {
+	case StateActive:
+		return a.params.ActivePower(a.class, v)
+	case StateWaiting:
+		return a.params.WaitPower(a.class, v)
+	default:
+		return a.params.RestPower(a.class)
+	}
+}
+
+// Transition accounts the segment [last, now) at the previous operating
+// point, then records the new state and voltage. now must not precede the
+// previous transition.
+func (a *Accountant) Transition(now sim.Time, state CoreState, voltage float64) {
+	if now < a.last {
+		panic(fmt.Sprintf("power: transition at %v before last %v", now, a.last))
+	}
+	dt := (now - a.last).Seconds()
+	e := a.powerAt(a.state, a.voltage) * dt
+	switch a.state {
+	case StateActive:
+		a.activeE += e
+		a.activeT += now - a.last
+	case StateWaiting:
+		a.waitingE += e
+		a.waitingT += now - a.last
+	default:
+		a.restingE += e
+		a.restingT += now - a.last
+	}
+	a.last = now
+	a.state = state
+	a.voltage = voltage
+}
+
+// Finish closes accounting at time end without changing state.
+func (a *Accountant) Finish(end sim.Time) {
+	a.Transition(end, a.state, a.voltage)
+}
+
+// Voltage returns the voltage of the current open segment.
+func (a *Accountant) Voltage() float64 { return a.voltage }
+
+// State returns the state of the current open segment.
+func (a *Accountant) State() CoreState { return a.state }
+
+// Breakdown is the per-state split of a core's energy and time.
+type Breakdown struct {
+	ActiveEnergy  float64
+	WaitingEnergy float64
+	RestingEnergy float64
+	ActiveTime    sim.Time
+	WaitingTime   sim.Time
+	RestingTime   sim.Time
+}
+
+// Total returns the summed energy across states.
+func (b Breakdown) Total() float64 {
+	return b.ActiveEnergy + b.WaitingEnergy + b.RestingEnergy
+}
+
+// Breakdown returns the accumulated (closed) energy/time split. Call
+// Finish first to include the trailing open segment.
+func (a *Accountant) Breakdown() Breakdown {
+	return Breakdown{
+		ActiveEnergy:  a.activeE,
+		WaitingEnergy: a.waitingE,
+		RestingEnergy: a.restingE,
+		ActiveTime:    a.activeT,
+		WaitingTime:   a.waitingT,
+		RestingTime:   a.restingT,
+	}
+}

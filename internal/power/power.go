@@ -1,0 +1,200 @@
+// Package power implements the paper's first-order power and energy model
+// (Section II-A, equations 1-6).
+//
+// A core's power has a dynamic component proportional to switched
+// capacitance, activity (IPC), frequency and V^2, plus a leakage component
+// proportional to V:
+//
+//	P = alpha_c * IPC_c * f(V) * V^2 + V * I_leak,c
+//
+// Units are arbitrary but internally consistent: we set the little core's
+// activity coefficient alpha_L = 1 and IPC_L = 1, so that the little core's
+// nominal dynamic power is f_N (numerically ~3.33e8 power units). Only
+// ratios ever matter: speedups and normalized energy are unitless.
+//
+// Calibration choices validated against the paper's published operating
+// points (see power_test.go):
+//
+//   - leakage: the architect budgets leakage to be lambda (=0.1) of a big
+//     core's total nominal power, so I_B,leak = lambda/(1-lambda) * Pdyn_BN,
+//     and I_L,leak = gamma (=0.25) * I_B,leak.
+//   - a *waiting* core spins in the work-stealing loop and burns full
+//     dynamic power at its current operating point.
+//   - a *resting* core (work-sprinting) is clock-gated at VMin and burns
+//     leakage only. With this semantics the paper's Figure 5 operating
+//     points (V_B=1.02, V_L=1.70, 1.55x) are reproduced to within ~1%.
+package power
+
+import (
+	"fmt"
+
+	"aaws/internal/vf"
+)
+
+// CoreClass identifies the static microarchitecture of a core.
+type CoreClass int
+
+const (
+	// Little is the single-issue in-order core.
+	Little CoreClass = iota
+	// Big is the 4-way out-of-order core.
+	Big
+)
+
+// String implements fmt.Stringer.
+func (c CoreClass) String() string {
+	if c == Big {
+		return "big"
+	}
+	return "little"
+}
+
+// Params collects the per-system energy-model parameters from Section II.
+type Params struct {
+	VF vf.Model
+
+	// Alpha is the energy ratio of a big core to a little core at nominal
+	// voltage/frequency (alpha = alpha_B / alpha_L, paper default 3).
+	Alpha float64
+	// Beta is IPC_B / IPC_L (paper default 2).
+	Beta float64
+	// Lambda is the fraction of a big core's total nominal power budgeted
+	// to leakage (paper default 0.1).
+	Lambda float64
+	// Gamma is the little core's leakage current as a fraction of the big
+	// core's (paper default 0.25).
+	Gamma float64
+	// IPCLittle is the little core's average IPC (normalization, 1.0).
+	IPCLittle float64
+	// WaitActivity is the fraction of full dynamic power burned by a core
+	// spinning in the work-stealing loop (default 1: the steal loop keeps
+	// the pipeline busy). Section V-C notes that work-mugging "significantly
+	// reduces the busy-waiting energy of cores in the steal loop, which are
+	// operating at nominal voltage and frequency".
+	WaitActivity float64
+	// RestActivity is the fraction of full dynamic power burned by a
+	// *resting* core at VMin (default 0: effectively clock-gated; with this
+	// semantics the paper's Figure 5 operating points are reproduced to
+	// within ~1%).
+	RestActivity float64
+}
+
+// DefaultParams returns the paper's defaults: alpha=3, beta=2, lambda=0.1,
+// gamma=0.25, IPC_L=1.
+func DefaultParams() Params {
+	return Params{
+		VF:           vf.Default(),
+		Alpha:        3,
+		Beta:         2,
+		Lambda:       0.1,
+		Gamma:        0.25,
+		IPCLittle:    1,
+		WaitActivity: 1,
+		RestActivity: 0,
+	}
+}
+
+// WithAlphaBeta returns a copy of p with the energy ratio and IPC ratio
+// replaced, used for per-kernel sweeps (Table III gives per-kernel values).
+func (p Params) WithAlphaBeta(alpha, beta float64) Params {
+	p.Alpha = alpha
+	p.Beta = beta
+	return p
+}
+
+// IPC returns the average IPC for a core class.
+func (p Params) IPC(c CoreClass) float64 {
+	if c == Big {
+		return p.Beta * p.IPCLittle
+	}
+	return p.IPCLittle
+}
+
+// alphaC returns the activity coefficient for a core class (alpha_L = 1).
+func (p Params) alphaC(c CoreClass) float64 {
+	if c == Big {
+		return p.Alpha
+	}
+	return 1
+}
+
+// LeakCurrent returns I_leak for a core class, derived from Lambda/Gamma as
+// described in the package comment.
+func (p Params) LeakCurrent(c CoreClass) float64 {
+	pdynBN := p.alphaC(Big) * p.IPC(Big) * p.VF.Freq(vf.VNominal) * vf.VNominal * vf.VNominal
+	ibLeak := p.Lambda / (1 - p.Lambda) * pdynBN / vf.VNominal
+	if c == Big {
+		return ibLeak
+	}
+	return p.Gamma * ibLeak
+}
+
+// DynamicPower returns the dynamic power of an *active or waiting* core of
+// class c at voltage v (both execute instructions: waiting cores spin in
+// the steal loop).
+func (p Params) DynamicPower(c CoreClass, v float64) float64 {
+	f := p.VF.Freq(v)
+	return p.alphaC(c) * p.IPC(c) * f * v * v
+}
+
+// LeakagePower returns the leakage power of a core of class c at voltage v.
+func (p Params) LeakagePower(c CoreClass, v float64) float64 {
+	return v * p.LeakCurrent(c)
+}
+
+// ActivePower returns total power of a busy (or spinning) core at voltage v.
+func (p Params) ActivePower(c CoreClass, v float64) float64 {
+	return p.DynamicPower(c, v) + p.LeakagePower(c, v)
+}
+
+// WaitPower returns the power of a core spinning in the work-stealing loop
+// at voltage v.
+func (p Params) WaitPower(c CoreClass, v float64) float64 {
+	return p.WaitActivity*p.DynamicPower(c, v) + p.LeakagePower(c, v)
+}
+
+// RestPower returns the power of a "resting" core, which sits at VMin with
+// (by default) gated clocks, burning leakage only.
+func (p Params) RestPower(c CoreClass) float64 {
+	return p.RestActivity*p.DynamicPower(c, p.VF.VMin) + p.LeakagePower(c, p.VF.VMin)
+}
+
+// NominalPower returns the power of a busy core of class c at V_N.
+func (p Params) NominalPower(c CoreClass) float64 {
+	return p.ActivePower(c, vf.VNominal)
+}
+
+// IPS returns the instruction throughput of an active core of class c at
+// voltage v (equation 2).
+func (p Params) IPS(c CoreClass, v float64) float64 {
+	return p.IPC(c) * p.VF.Freq(v)
+}
+
+// NominalIPS returns the throughput of a core of class c at V_N.
+func (p Params) NominalIPS(c CoreClass) float64 {
+	return p.IPS(c, vf.VNominal)
+}
+
+// MarginalUtility returns dP/dIPS for a core of class c at voltage v: the
+// marginal power cost of one additional instruction per second. At the
+// optimum operating point this quantity is equal across all active cores
+// (equation 7, the Law of Equi-Marginal Utility).
+func (p Params) MarginalUtility(c CoreClass, v float64) float64 {
+	// dIPS/dV = IPC * k1
+	// dP/dV   = alpha*IPC*(3*k1*V^2 + 2*k2*V) + Ileak
+	dIPSdV := p.IPC(c) * p.VF.K1
+	dPdV := p.alphaC(c)*p.IPC(c)*(3*p.VF.K1*v*v+2*p.VF.K2*v) + p.LeakCurrent(c)
+	return dPdV / dIPSdV
+}
+
+// TargetPower returns the optimization power budget for a system of nB big
+// and nL little cores: all cores busy at nominal voltage (equation 6).
+func (p Params) TargetPower(nB, nL int) float64 {
+	return float64(nB)*p.NominalPower(Big) + float64(nL)*p.NominalPower(Little)
+}
+
+// String summarizes the parameters.
+func (p Params) String() string {
+	return fmt.Sprintf("alpha=%.2f beta=%.2f lambda=%.2f gamma=%.2f IPC_L=%.2f %s",
+		p.Alpha, p.Beta, p.Lambda, p.Gamma, p.IPCLittle, p.VF)
+}

@@ -1,0 +1,182 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"aaws/internal/sim"
+	"aaws/internal/vf"
+)
+
+func TestNominalRatios(t *testing.T) {
+	p := DefaultParams()
+	// IPC ratio is beta.
+	if r := p.IPC(Big) / p.IPC(Little); r != 2 {
+		t.Errorf("IPC ratio = %g, want beta=2", r)
+	}
+	// Dynamic power ratio at nominal is alpha*beta.
+	r := p.DynamicPower(Big, vf.VNominal) / p.DynamicPower(Little, vf.VNominal)
+	if math.Abs(r-6) > 1e-9 {
+		t.Errorf("dynamic power ratio = %g, want alpha*beta=6", r)
+	}
+	// Energy per instruction ratio at nominal is alpha.
+	eb := p.DynamicPower(Big, vf.VNominal) / p.IPS(Big, vf.VNominal)
+	el := p.DynamicPower(Little, vf.VNominal) / p.IPS(Little, vf.VNominal)
+	if math.Abs(eb/el-p.Alpha) > 1e-9 {
+		t.Errorf("energy/instruction ratio = %g, want alpha=%g", eb/el, p.Alpha)
+	}
+}
+
+func TestLeakageBudget(t *testing.T) {
+	p := DefaultParams()
+	// Big-core leakage at nominal should be lambda of total nominal power.
+	leak := p.LeakagePower(Big, vf.VNominal)
+	total := p.NominalPower(Big)
+	if frac := leak / total; math.Abs(frac-p.Lambda) > 1e-9 {
+		t.Errorf("leakage fraction = %g, want lambda=%g", frac, p.Lambda)
+	}
+	// Little leakage current is gamma of big's.
+	if r := p.LeakCurrent(Little) / p.LeakCurrent(Big); math.Abs(r-p.Gamma) > 1e-9 {
+		t.Errorf("leakage current ratio = %g, want gamma=%g", r, p.Gamma)
+	}
+}
+
+func TestRestVsWaitPower(t *testing.T) {
+	p := DefaultParams()
+	for _, c := range []CoreClass{Big, Little} {
+		rest := p.RestPower(c)
+		wait := p.WaitPower(c, vf.VNominal)
+		if rest >= wait {
+			t.Errorf("%v: rest power %g not below waiting-at-nominal %g", c, rest, wait)
+		}
+		// Resting with default params is leakage-only at VMin.
+		if math.Abs(rest-p.LeakagePower(c, vf.VMin)) > 1e-9 {
+			t.Errorf("%v: rest power %g, want leakage-only %g", c, rest, p.LeakagePower(c, vf.VMin))
+		}
+	}
+}
+
+func TestPowerMonotoneInVoltage(t *testing.T) {
+	p := DefaultParams()
+	f := func(a8, b8 uint8) bool {
+		a := 0.7 + float64(a8)/255.0*0.6
+		b := 0.7 + float64(b8)/255.0*0.6
+		if a > b {
+			a, b = b, a
+		}
+		return p.ActivePower(Big, a) <= p.ActivePower(Big, b)+1e-9 &&
+			p.ActivePower(Little, a) <= p.ActivePower(Little, b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarginalUtilityOrdering(t *testing.T) {
+	p := DefaultParams()
+	// At equal voltage, the big core's marginal cost per IPS must exceed the
+	// little core's whenever alpha > beta is violated... specifically with
+	// alpha=3 > 1, at V_N the big core is the more expensive producer, which
+	// is what creates the work-pacing arbitrage opportunity.
+	mb := p.MarginalUtility(Big, vf.VNominal)
+	ml := p.MarginalUtility(Little, vf.VNominal)
+	if mb <= ml {
+		t.Errorf("marginal utility big %g <= little %g at VN; no arbitrage", mb, ml)
+	}
+}
+
+func TestMarginalUtilityIsDerivative(t *testing.T) {
+	p := DefaultParams()
+	// Compare the closed form against a numerical derivative dP/dIPS.
+	for _, c := range []CoreClass{Big, Little} {
+		for v := 0.8; v <= 1.6; v += 0.1 {
+			const h = 1e-6
+			dP := p.ActivePower(c, v+h) - p.ActivePower(c, v-h)
+			dIPS := p.IPS(c, v+h) - p.IPS(c, v-h)
+			num := dP / dIPS
+			got := p.MarginalUtility(c, v)
+			if math.Abs(got-num) > 1e-3*math.Abs(num) {
+				t.Errorf("%v V=%.1f: closed form %g vs numeric %g", c, v, got, num)
+			}
+		}
+	}
+}
+
+func TestTargetPower(t *testing.T) {
+	p := DefaultParams()
+	got := p.TargetPower(4, 4)
+	want := 4*p.NominalPower(Big) + 4*p.NominalPower(Little)
+	if got != want {
+		t.Errorf("TargetPower(4,4) = %g, want %g", got, want)
+	}
+}
+
+func TestAccountantIntegration(t *testing.T) {
+	p := DefaultParams()
+	a := NewAccountant(p, Big, 0)
+	// 1us waiting at VN, then 2us active at 1.2V, then 1us resting.
+	a.Transition(1*sim.Microsecond, StateActive, 1.2)
+	a.Transition(3*sim.Microsecond, StateResting, vf.VMin)
+	a.Finish(4 * sim.Microsecond)
+	b := a.Breakdown()
+
+	wantWait := p.WaitPower(Big, 1.0) * 1e-6
+	wantActive := p.ActivePower(Big, 1.2) * 2e-6
+	wantRest := p.RestPower(Big) * 1e-6
+	if math.Abs(b.WaitingEnergy-wantWait) > 1e-9*wantWait {
+		t.Errorf("waiting energy = %g, want %g", b.WaitingEnergy, wantWait)
+	}
+	if math.Abs(b.ActiveEnergy-wantActive) > 1e-9*wantActive {
+		t.Errorf("active energy = %g, want %g", b.ActiveEnergy, wantActive)
+	}
+	if math.Abs(b.RestingEnergy-wantRest) > 1e-9*wantRest {
+		t.Errorf("resting energy = %g, want %g", b.RestingEnergy, wantRest)
+	}
+	if b.ActiveTime != 2*sim.Microsecond || b.WaitingTime != 1*sim.Microsecond || b.RestingTime != 1*sim.Microsecond {
+		t.Errorf("time split = %v/%v/%v", b.ActiveTime, b.WaitingTime, b.RestingTime)
+	}
+}
+
+// TestAccountantSplitAdditive: accounting a segment in two halves yields the
+// same energy as accounting it once (property over split points).
+func TestAccountantSplitAdditive(t *testing.T) {
+	p := DefaultParams()
+	f := func(splitRaw uint16) bool {
+		total := sim.Time(1000000)
+		split := sim.Time(splitRaw) % total
+		one := NewAccountant(p, Little, 0)
+		one.Transition(0, StateActive, 1.1)
+		one.Finish(total)
+
+		two := NewAccountant(p, Little, 0)
+		two.Transition(0, StateActive, 1.1)
+		two.Transition(split, StateActive, 1.1) // same operating point: pure split
+		two.Finish(total)
+
+		a, b := one.Breakdown().Total(), two.Breakdown().Total()
+		return math.Abs(a-b) <= 1e-12*math.Abs(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccountantBackwardsPanics(t *testing.T) {
+	a := NewAccountant(DefaultParams(), Big, 100)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on backwards transition")
+		}
+	}()
+	a.Transition(50, StateActive, 1.0)
+}
+
+func TestCoreClassString(t *testing.T) {
+	if Big.String() != "big" || Little.String() != "little" {
+		t.Error("CoreClass.String broken")
+	}
+	if StateActive.String() != "active" || StateWaiting.String() != "waiting" || StateResting.String() != "resting" {
+		t.Error("CoreState.String broken")
+	}
+}

@@ -1,0 +1,246 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Time is measured in picoseconds stored as int64 (Time). At 333 MHz a cycle
+// is 3003 ps, so an int64 supports simulations of ~10^6 seconds — far beyond
+// anything this repository schedules. All state advances through events
+// popped from a single priority queue; the kernel is strictly
+// single-threaded, so any two runs with the same seed produce identical
+// schedules.
+package sim
+
+import "fmt"
+
+// Time is a simulated timestamp in picoseconds.
+type Time int64
+
+const (
+	// Picosecond is the base time unit.
+	Picosecond Time = 1
+	// Nanosecond is 1000 picoseconds.
+	Nanosecond Time = 1000
+	// Microsecond is 1e6 picoseconds.
+	Microsecond Time = 1000 * 1000
+	// Millisecond is 1e9 picoseconds.
+	Millisecond Time = 1000 * 1000 * 1000
+	// Second is 1e12 picoseconds.
+	Second Time = 1000 * 1000 * 1000 * 1000
+)
+
+// Seconds converts a simulated time to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros converts a simulated time to floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	case t >= Nanosecond:
+		return fmt.Sprintf("%.3fns", float64(t)/float64(Nanosecond))
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// FromSeconds converts floating-point seconds to a simulated Time,
+// rounding to the nearest picosecond.
+func FromSeconds(s float64) Time { return Time(s*float64(Second) + 0.5) }
+
+// Event is a scheduled callback. Events are single-shot; cancelling an
+// event prevents its callback from firing but leaves it in the heap until
+// it is popped (lazy deletion).
+type Event struct {
+	when      Time
+	seq       uint64 // tie-break: FIFO among equal timestamps
+	index     int    // heap index, -1 once popped
+	cancelled bool
+	fn        func()
+}
+
+// When returns the timestamp the event is scheduled for.
+func (e *Event) When() Time { return e.when }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Cancel prevents the event's callback from running. Cancelling an event
+// that already fired or was already cancelled is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Engine is a discrete-event simulation driver.
+//
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	heap   []*Event
+	popped uint64 // number of events executed (for stats/limits)
+}
+
+// NewEngine returns an Engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{heap: make([]*Event, 0, 1024)}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.popped }
+
+// Pending returns the number of events in the queue, including events
+// that were cancelled but not yet lazily removed.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules fn to run at absolute time when. Scheduling in the past
+// panics: it indicates a model bug that would silently corrupt causality.
+func (e *Engine) At(when Time, fn func()) *Event {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", when, e.now))
+	}
+	ev := &Event{when: when, seq: e.seq, fn: fn}
+	e.seq++
+	e.push(ev)
+	return ev
+}
+
+// After schedules fn to run delay picoseconds from now.
+func (e *Engine) After(delay Time, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// Step executes the next event. It returns false if the queue is empty.
+func (e *Engine) Step() bool {
+	for {
+		ev := e.pop()
+		if ev == nil {
+			return false
+		}
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.when
+		e.popped++
+		ev.fn()
+		return true
+	}
+}
+
+// Run executes events until the queue is empty or limit events have run.
+// A limit of 0 means no limit. It returns the number of events executed.
+func (e *Engine) Run(limit uint64) uint64 {
+	var n uint64
+	for limit == 0 || n < limit {
+		if !e.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to deadline if it has not yet reached it.
+func (e *Engine) RunUntil(deadline Time) {
+	for {
+		ev := e.peek()
+		if ev == nil || ev.when > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// ---- binary heap ordered by (when, seq) ----
+
+func (e *Engine) less(i, j int) bool {
+	a, b := e.heap[i], e.heap[j]
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) swap(i, j int) {
+	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
+	e.heap[i].index = i
+	e.heap[j].index = j
+}
+
+func (e *Engine) push(ev *Event) {
+	ev.index = len(e.heap)
+	e.heap = append(e.heap, ev)
+	e.up(ev.index)
+}
+
+func (e *Engine) peek() *Event {
+	// Drop cancelled events eagerly from the top so peek reflects the
+	// next live event.
+	for len(e.heap) > 0 && e.heap[0].cancelled {
+		e.removeTop()
+	}
+	if len(e.heap) == 0 {
+		return nil
+	}
+	return e.heap[0]
+}
+
+func (e *Engine) pop() *Event {
+	if ev := e.peek(); ev == nil {
+		return nil
+	}
+	top := e.heap[0]
+	e.removeTop()
+	return top
+}
+
+func (e *Engine) removeTop() {
+	n := len(e.heap) - 1
+	e.heap[0].index = -1
+	e.heap[0] = e.heap[n]
+	e.heap[0].index = 0
+	e.heap[n] = nil
+	e.heap = e.heap[:n]
+	if n > 0 {
+		e.down(0)
+	}
+}
+
+func (e *Engine) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.swap(i, parent)
+		i = parent
+	}
+}
+
+func (e *Engine) down(i int) {
+	n := len(e.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && e.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && e.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		e.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	delays := []Time{500, 10, 10, 300, 0, 42, 42, 42, 7}
+	for _, d := range delays {
+		d := d
+		e.After(d, func() { got = append(got, e.Now()) })
+	}
+	e.Run(0)
+	if len(got) != len(delays) {
+		t.Fatalf("ran %d events, want %d", len(got), len(delays))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Errorf("events fired out of order: %v", got)
+	}
+	if e.Now() != 500 {
+		t.Errorf("final time = %v, want 500", e.Now())
+	}
+}
+
+func TestFIFOAmongEqualTimestamps(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(100, func() { got = append(got, i) })
+	}
+	e.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("equal-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.After(10, func() { fired = true })
+	e.After(5, func() { ev.Cancel() })
+	e.Run(0)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Error("Cancelled() = false after Cancel")
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	e := NewEngine()
+	ev := e.After(1, func() {})
+	e.Run(0)
+	ev.Cancel() // must not panic
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 100 {
+			e.After(1, rec)
+		}
+	}
+	e.After(0, rec)
+	e.Run(0)
+	if depth != 100 {
+		t.Errorf("depth = %d, want 100", depth)
+	}
+	if e.Now() != 99 {
+		t.Errorf("now = %v, want 99", e.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.After(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run(0)
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := Time(10); i <= 100; i += 10 {
+		e.At(i, func() { count++ })
+	}
+	e.RunUntil(50)
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if e.Now() != 50 {
+		t.Errorf("now = %v, want 50", e.Now())
+	}
+	e.RunUntil(200)
+	if count != 10 || e.Now() != 200 {
+		t.Errorf("count=%d now=%v, want 10, 200", count, e.Now())
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 10; i++ {
+		e.After(Time(i), func() {})
+	}
+	if n := e.Run(3); n != 3 {
+		t.Errorf("Run(3) executed %d", n)
+	}
+	if e.Processed() != 3 {
+		t.Errorf("Processed() = %d, want 3", e.Processed())
+	}
+}
+
+// TestHeapProperty exercises the queue with arbitrary delay sequences and
+// verifies a global ordering invariant.
+func TestHeapProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, d := range delays {
+			e.After(Time(d), func() { fired = append(fired, e.Now()) })
+		}
+		e.Run(0)
+		if len(fired) != len(delays) {
+			return false
+		}
+		want := make([]Time, len(delays))
+		for i, d := range delays {
+			want[i] = Time(d)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := FromSeconds(1e-6); got != Microsecond {
+		t.Errorf("FromSeconds(1e-6) = %v", got)
+	}
+	if got := Microsecond.Seconds(); got != 1e-6 {
+		t.Errorf("Microsecond.Seconds() = %g", got)
+	}
+	if Second.Micros() != 1e6 {
+		t.Errorf("Second.Micros() = %g", Second.Micros())
+	}
+	for _, tc := range []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ps"},
+		{1500, "1.500ns"},
+		{2 * Microsecond, "2.000us"},
+		{3 * Millisecond, "3.000ms"},
+	} {
+		if got := tc.t.String(); got != tc.want {
+			t.Errorf("%d.String() = %q, want %q", int64(tc.t), got, tc.want)
+		}
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestRandDistributions(t *testing.T) {
+	r := NewRand(7)
+	const n = 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %g", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; mean < 0.48 || mean > 0.52 {
+		t.Errorf("Float64 mean = %.3f, want ~0.5", mean)
+	}
+	sum = 0
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	if mean := sum / n; mean < 0.95 || mean > 1.05 {
+		t.Errorf("ExpFloat64 mean = %.3f, want ~1", mean)
+	}
+	counts := make([]int, 10)
+	for i := 0; i < n; i++ {
+		counts[r.Intn(10)]++
+	}
+	for d, c := range counts {
+		if c < n/10-n/50 || c > n/10+n/50 {
+			t.Errorf("Intn(10) bucket %d count %d, want ~%d", d, c, n/10)
+		}
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := NewRand(1)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}

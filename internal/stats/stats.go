@@ -1,0 +1,163 @@
+// Package stats classifies execution time into the regions used by the
+// paper's Figure 8 breakdown and aggregates per-run results into the
+// speedup/energy summaries of Section V.
+//
+// Regions (Section V-B):
+//
+//   - serial  — the runtime-flagged truly serial region
+//   - HP      — high-parallel: every core is actively executing a task
+//   - BI<LA   — low-parallel with fewer inactive big cores than active
+//     little cores (mugging cannot move all work to big cores)
+//   - BI>=LA  — low-parallel where inactive big cores could absorb every
+//     active little core's work (mugging can drain the littles)
+//   - oLP     — remaining low-parallel time where mugging is not possible
+//     (no active little core, or no inactive big core)
+package stats
+
+import (
+	"fmt"
+
+	"aaws/internal/power"
+	"aaws/internal/sim"
+)
+
+// Region is one execution-time category of Figure 8.
+type Region int
+
+const (
+	// RegionSerial is the runtime-flagged serial region.
+	RegionSerial Region = iota
+	// RegionHP is the high-parallel region (all cores active).
+	RegionHP
+	// RegionBILessLA is LP time with 0 < (big inactive) < (little active).
+	RegionBILessLA
+	// RegionBIGeqLA is LP time with (big inactive) >= (little active) > 0.
+	RegionBIGeqLA
+	// RegionOtherLP is the remaining LP time (mugging impossible).
+	RegionOtherLP
+	numRegions
+)
+
+// String implements fmt.Stringer with the paper's labels.
+func (r Region) String() string {
+	return [...]string{"serial", "HP", "BI<LA", "BI>=LA", "oLP"}[r]
+}
+
+// Regions lists all regions in Figure 8's stacking order.
+var Regions = []Region{RegionSerial, RegionHP, RegionBILessLA, RegionBIGeqLA, RegionOtherLP}
+
+// Breakdown is the per-region time split of one run.
+type Breakdown struct {
+	Dur [numRegions]sim.Time
+}
+
+// Total returns the summed duration.
+func (b Breakdown) Total() sim.Time {
+	var t sim.Time
+	for _, d := range b.Dur {
+		t += d
+	}
+	return t
+}
+
+// Frac returns region r's fraction of the total (0 if total is 0).
+func (b Breakdown) Frac(r Region) float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(b.Dur[r]) / float64(t)
+}
+
+// String renders the split compactly.
+func (b Breakdown) String() string {
+	s := ""
+	for _, r := range Regions {
+		s += fmt.Sprintf("%s=%.1f%% ", r, 100*b.Frac(r))
+	}
+	return s[:len(s)-1]
+}
+
+// Tracker integrates region durations from machine state transitions.
+// Attach OnState/OnSerial to the machine hooks before running, and call
+// Finish when the run completes.
+type Tracker struct {
+	classes []power.CoreClass
+	states  []power.CoreState
+	serial  bool
+	last    sim.Time
+	b       Breakdown
+}
+
+// NewTracker returns a tracker for cores with the given classes, all
+// initially waiting at time 0.
+func NewTracker(classes []power.CoreClass) *Tracker {
+	t := &Tracker{
+		classes: classes,
+		states:  make([]power.CoreState, len(classes)),
+	}
+	for i := range t.states {
+		t.states[i] = power.StateWaiting
+	}
+	return t
+}
+
+// classify maps the current machine snapshot to a region.
+func (t *Tracker) classify() Region {
+	if t.serial {
+		return RegionSerial
+	}
+	var nBA, nLA, nBI int
+	for i, s := range t.states {
+		active := s == power.StateActive
+		if t.classes[i] == power.Big {
+			if active {
+				nBA++
+			} else {
+				nBI++
+			}
+		} else if active {
+			nLA++
+		}
+	}
+	if nBA+nLA == len(t.states) {
+		return RegionHP
+	}
+	if nLA > 0 && nBI > 0 {
+		if nBI < nLA {
+			return RegionBILessLA
+		}
+		return RegionBIGeqLA
+	}
+	return RegionOtherLP
+}
+
+// advance accrues time since the last transition into the current region.
+func (t *Tracker) advance(now sim.Time) {
+	if now < t.last {
+		panic(fmt.Sprintf("stats: time went backwards: %v < %v", now, t.last))
+	}
+	t.b.Dur[t.classify()] += now - t.last
+	t.last = now
+}
+
+// OnState is a machine.StateSink.
+func (t *Tracker) OnState(now sim.Time, coreID int, state power.CoreState) {
+	t.advance(now)
+	t.states[coreID] = state
+}
+
+// OnSerial is a machine serial-flag sink.
+func (t *Tracker) OnSerial(now sim.Time, on bool) {
+	t.advance(now)
+	t.serial = on
+}
+
+// Finish closes accounting at the run's end time and returns the result.
+func (t *Tracker) Finish(now sim.Time) Breakdown {
+	t.advance(now)
+	return t.b
+}
+
+// Breakdown returns the accumulated durations so far.
+func (t *Tracker) Breakdown() Breakdown { return t.b }

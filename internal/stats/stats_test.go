@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aaws/internal/power"
+	"aaws/internal/sim"
+)
+
+func classes4B4L() []power.CoreClass {
+	return []power.CoreClass{
+		power.Big, power.Big, power.Big, power.Big,
+		power.Little, power.Little, power.Little, power.Little,
+	}
+}
+
+func TestRegionClassification(t *testing.T) {
+	tr := NewTracker(classes4B4L())
+	// t=0..10: all waiting -> oLP.
+	// t=10: everything becomes active -> HP until t=30.
+	for i := 0; i < 8; i++ {
+		tr.OnState(10, i, power.StateActive)
+	}
+	// t=30: two bigs drop out; 4 littles active, 2 bigs inactive -> BI<LA.
+	tr.OnState(30, 0, power.StateWaiting)
+	tr.OnState(30, 1, power.StateWaiting)
+	// t=50: two littles drop out; 2 littles active, 2 bigs inactive -> BI>=LA.
+	tr.OnState(50, 4, power.StateWaiting)
+	tr.OnState(50, 5, power.StateWaiting)
+	// t=70: serial region flagged.
+	tr.OnSerial(70, true)
+	b := tr.Finish(100)
+
+	if b.Dur[RegionOtherLP] != 10 {
+		t.Errorf("oLP = %v, want 10", b.Dur[RegionOtherLP])
+	}
+	if b.Dur[RegionHP] != 20 {
+		t.Errorf("HP = %v, want 20", b.Dur[RegionHP])
+	}
+	if b.Dur[RegionBILessLA] != 20 {
+		t.Errorf("BI<LA = %v, want 20", b.Dur[RegionBILessLA])
+	}
+	if b.Dur[RegionBIGeqLA] != 20 {
+		t.Errorf("BI>=LA = %v, want 20", b.Dur[RegionBIGeqLA])
+	}
+	if b.Dur[RegionSerial] != 30 {
+		t.Errorf("serial = %v, want 30", b.Dur[RegionSerial])
+	}
+	if b.Total() != 100 {
+		t.Errorf("total = %v, want 100", b.Total())
+	}
+}
+
+func TestRestingCountsAsInactive(t *testing.T) {
+	tr := NewTracker(classes4B4L())
+	for i := 0; i < 8; i++ {
+		tr.OnState(0, i, power.StateActive)
+	}
+	// Bigs rest (sprinting), littles stay active: BI=4 >= LA=4.
+	for i := 0; i < 4; i++ {
+		tr.OnState(10, i, power.StateResting)
+	}
+	b := tr.Finish(20)
+	if b.Dur[RegionBIGeqLA] != 10 {
+		t.Errorf("BI>=LA = %v, want 10", b.Dur[RegionBIGeqLA])
+	}
+}
+
+// TestDurationsAlwaysSumToTotal: whatever the transition sequence, region
+// durations partition the timeline.
+func TestDurationsAlwaysSumToTotal(t *testing.T) {
+	f := func(events []uint16) bool {
+		tr := NewTracker(classes4B4L())
+		now := sim.Time(0)
+		for _, e := range events {
+			now += sim.Time(e % 97)
+			core := int(e) % 8
+			switch (e / 8) % 3 {
+			case 0:
+				tr.OnState(now, core, power.StateActive)
+			case 1:
+				tr.OnState(now, core, power.StateWaiting)
+			case 2:
+				tr.OnSerial(now, e%2 == 0)
+			}
+		}
+		end := now + 5
+		return tr.Finish(end).Total() == end
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBackwardsTimePanics(t *testing.T) {
+	tr := NewTracker(classes4B4L())
+	tr.OnState(100, 0, power.StateActive)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tr.OnState(50, 1, power.StateActive)
+}
+
+func TestRegionStrings(t *testing.T) {
+	want := []string{"serial", "HP", "BI<LA", "BI>=LA", "oLP"}
+	for i, r := range Regions {
+		if r.String() != want[i] {
+			t.Errorf("region %d = %q, want %q", i, r.String(), want[i])
+		}
+	}
+	var b Breakdown
+	b.Dur[RegionHP] = 50
+	b.Dur[RegionSerial] = 50
+	if b.Frac(RegionHP) != 0.5 {
+		t.Errorf("Frac = %g", b.Frac(RegionHP))
+	}
+	if s := b.String(); s == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"aaws/internal/power"
+	"aaws/internal/sim"
+	"aaws/internal/vf"
+)
+
+// WriteSVG renders the profile as a self-contained SVG in the style of the
+// paper's Figures 1 and 7: one activity strip and one DVFS strip per core.
+// Activity is black (task) / light gray (steal loop) / hatched gray
+// (resting); the DVFS strip sweeps blue (VMin) through red (VMax).
+func (r *Recorder) WriteSVG(w io.Writer, names []string, width int) {
+	if width < 100 {
+		width = 800
+	}
+	const (
+		rowH    = 14 // activity strip height
+		dvfsH   = 5  // DVFS strip height
+		rowGap  = 6
+		leftPad = 46
+		topPad  = 24
+	)
+	n := len(r.states)
+	height := topPad + n*(rowH+dvfsH+rowGap) + 20
+	end := r.end
+	if end == 0 {
+		end = 1
+	}
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="10">`+"\n",
+		width+leftPad+10, height)
+	fmt.Fprintf(w, `<text x="%d" y="14">activity profile: 0 .. %v (black=task, gray=steal loop, pale=resting; strip below: V in [%.2f,%.2f])</text>`+"\n",
+		leftPad, end, vf.VMin, vf.VMax)
+
+	cols := width / 2 // 2px per sample
+	for core := 0; core < n; core++ {
+		y := topPad + core*(rowH+dvfsH+rowGap)
+		name := fmt.Sprintf("core%d", core)
+		if core < len(names) {
+			name = names[core]
+		}
+		fmt.Fprintf(w, `<text x="4" y="%d">%s</text>`+"\n", y+rowH-3, name)
+		for col := 0; col < cols; col++ {
+			a := sim.Time(int64(end) * int64(col) / int64(cols))
+			b := sim.Time(int64(end) * int64(col+1) / int64(cols))
+			if b <= a {
+				b = a + 1
+			}
+			x := leftPad + col*2
+			st := dominantState(r.states[core], a, b)
+			fmt.Fprintf(w, `<rect x="%d" y="%d" width="2" height="%d" fill="%s"/>`+"\n",
+				x, y, rowH, stateFill(st))
+			v := voltAt(r.volts[core], a+(b-a)/2)
+			fmt.Fprintf(w, `<rect x="%d" y="%d" width="2" height="%d" fill="%s"/>`+"\n",
+				x, y+rowH+1, dvfsH, voltFill(v))
+		}
+	}
+	fmt.Fprintln(w, `</svg>`)
+}
+
+// stateFill maps a scheduling state to its strip color.
+func stateFill(s power.CoreState) string {
+	switch s {
+	case power.StateActive:
+		return "#1a1a1a"
+	case power.StateWaiting:
+		return "#c8c8c8"
+	default:
+		return "#ececec"
+	}
+}
+
+// voltFill maps a voltage in [VMin, VMax] to a blue->red sweep.
+func voltFill(v float64) string {
+	frac := (v - vf.VMin) / (vf.VMax - vf.VMin)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	rC := int(40 + 215*frac)
+	bC := int(255 - 215*frac)
+	return fmt.Sprintf("#%02x28%02x", rC, bC)
+}

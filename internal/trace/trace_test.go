@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"aaws/internal/power"
+	"aaws/internal/sim"
+)
+
+func TestRenderBasic(t *testing.T) {
+	r := NewRecorder(2)
+	// Core 0: active from 0..50, then waiting.
+	r.OnState(0, 0, power.StateActive)
+	r.OnState(50*sim.Microsecond, 0, power.StateWaiting)
+	// Core 1: resting the whole time at VMin.
+	r.OnState(0, 1, power.StateResting)
+	r.OnVoltage(0, 1, 0.7)
+	r.Finish(100 * sim.Microsecond)
+
+	var sb strings.Builder
+	r.RenderASCII(&sb, []string{"B0", "L0"}, 40)
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header + 2 strips per core
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "#") || !strings.Contains(lines[1], ".") {
+		t.Errorf("core 0 activity strip missing states: %s", lines[1])
+	}
+	if !strings.Contains(lines[3], "_") {
+		t.Errorf("core 1 strip should show resting: %s", lines[3])
+	}
+	// Core 1's DVFS strip should be all '0' (VMin bucket).
+	if strings.Trim(strings.Trim(lines[4], " Ldvfs|"), "0") != "" {
+		t.Errorf("core 1 dvfs strip not at VMin: %s", lines[4])
+	}
+}
+
+func TestVoltageBuckets(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want byte
+	}{
+		{0.7, '0'}, {1.0, '4'}, {1.3, '9'}, {0.5, '0'}, {1.5, '9'},
+	} {
+		if got := voltChar(tc.v); got != tc.want {
+			t.Errorf("voltChar(%.2f) = %c, want %c", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestDominantState(t *testing.T) {
+	segs := []stateSeg{
+		{0, power.StateWaiting},
+		{10, power.StateActive},
+		{90, power.StateWaiting},
+	}
+	if s := dominantState(segs, 0, 100); s != power.StateActive {
+		t.Errorf("dominant over [0,100) = %v, want active", s)
+	}
+	if s := dominantState(segs, 0, 10); s != power.StateWaiting {
+		t.Errorf("dominant over [0,10) = %v, want waiting", s)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder(1)
+	r.OnState(0, 0, power.StateActive)
+	r.Finish(10 * sim.Microsecond)
+	var sb strings.Builder
+	r.WriteCSV(&sb, []string{"B0"}, 4)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 5 { // header + 4 samples
+		t.Fatalf("CSV lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "0,B0,") {
+		t.Errorf("bad CSV row: %s", lines[1])
+	}
+}
+
+func TestCoreNames(t *testing.T) {
+	names := CoreNames(4, 4)
+	if len(names) != 8 || names[0] != "B0" || names[4] != "L0" || names[7] != "L3" {
+		t.Errorf("CoreNames = %v", names)
+	}
+}
+
+func TestWriteSVG(t *testing.T) {
+	r := NewRecorder(2)
+	r.OnState(0, 0, power.StateActive)
+	r.OnState(40*sim.Microsecond, 0, power.StateWaiting)
+	r.OnState(0, 1, power.StateResting)
+	r.OnVoltage(10*sim.Microsecond, 0, 1.3)
+	r.Finish(80 * sim.Microsecond)
+	var sb strings.Builder
+	r.WriteSVG(&sb, CoreNames(1, 1), 200)
+	out := sb.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not a well-formed SVG document")
+	}
+	for _, want := range []string{"B0", "L0", "#1a1a1a", "rect"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<rect") < 100 {
+		t.Errorf("suspiciously few rects: %d", strings.Count(out, "<rect"))
+	}
+}

@@ -1,0 +1,99 @@
+// Package vf models the relationship between supply voltage and clock
+// frequency for the simulated cores.
+//
+// Circuit-level simulation in the paper (Section IV-E) found frequency to be
+// a linear function of voltage over the operating range of interest:
+//
+//	f = k1*V + k2
+//
+// with k1 = 7.38e8 and k2 = -4.05e8 fitted for a TSMC 65nm LP process, so
+// that f(1.0 V) = 333 MHz (the nominal operating point).
+package vf
+
+import (
+	"fmt"
+	"math"
+)
+
+// Default fitted parameters and operating range (paper Section II-B).
+const (
+	K1       = 7.38e8  // Hz per volt
+	K2       = -4.05e8 // Hz
+	VNominal = 1.0     // volts
+	VMin     = 0.7     // volts
+	VMax     = 1.3     // volts
+	FNominal = K1*VNominal + K2
+	// VStep is the regulator step granularity used to model transition
+	// latency (40 ns per 0.15 V step, Section IV-D).
+	VStep = 0.15
+	// StepLatencyNs is the modelled regulator latency per VStep.
+	StepLatencyNs = 40.0
+)
+
+// Model is a linear voltage-to-frequency model with a feasible range.
+type Model struct {
+	K1, K2     float64 // f = K1*V + K2
+	VMin, VMax float64 // feasible voltage range
+}
+
+// Default returns the paper's fitted model.
+func Default() Model {
+	return Model{K1: K1, K2: K2, VMin: VMin, VMax: VMax}
+}
+
+// Freq returns the clock frequency in Hz at voltage v. The linear model is
+// evaluated without clamping: callers that care about feasibility clamp the
+// voltage first. Frequencies never go negative; below the zero-crossing the
+// model returns 0 (the core cannot run).
+func (m Model) Freq(v float64) float64 {
+	f := m.K1*v + m.K2
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Voltage returns the voltage needed to run at frequency f in Hz
+// (the inverse of Freq, unclamped).
+func (m Model) Voltage(f float64) float64 {
+	return (f - m.K2) / m.K1
+}
+
+// Clamp restricts v to the feasible [VMin, VMax] range.
+func (m Model) Clamp(v float64) float64 {
+	if v < m.VMin {
+		return m.VMin
+	}
+	if v > m.VMax {
+		return m.VMax
+	}
+	return v
+}
+
+// Feasible reports whether v lies within the feasible voltage range,
+// allowing a tiny tolerance for floating-point round-off.
+func (m Model) Feasible(v float64) bool {
+	const eps = 1e-9
+	return v >= m.VMin-eps && v <= m.VMax+eps
+}
+
+// TransitionNs returns the modelled regulator transition latency in
+// nanoseconds for a voltage change from a to b: 40 ns per 0.15 V step,
+// rounding partial steps up (a transition always costs at least one step
+// unless a == b).
+func TransitionNs(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d == 0 {
+		return 0
+	}
+	steps := math.Ceil(d/VStep - 1e-9)
+	if steps < 1 {
+		steps = 1
+	}
+	return steps * StepLatencyNs
+}
+
+// String renders the model for diagnostics.
+func (m Model) String() string {
+	return fmt.Sprintf("f = %.3g*V %+.3g  (V in [%.2f, %.2f])", m.K1, m.K2, m.VMin, m.VMax)
+}

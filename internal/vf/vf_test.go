@@ -1,0 +1,99 @@
+package vf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNominalFrequency(t *testing.T) {
+	m := Default()
+	// f(1.0 V) must be the paper's 333 MHz nominal frequency.
+	if f := m.Freq(VNominal); math.Abs(f-333e6) > 1e6 {
+		t.Errorf("f(VN) = %.4g, want ~333 MHz", f)
+	}
+}
+
+func TestFreqMonotone(t *testing.T) {
+	m := Default()
+	prev := m.Freq(0.56)
+	for v := 0.57; v <= 3.0; v += 0.01 {
+		f := m.Freq(v)
+		if f < prev {
+			t.Fatalf("frequency not monotone at V=%.2f", v)
+		}
+		prev = f
+	}
+}
+
+func TestFreqNonNegative(t *testing.T) {
+	m := Default()
+	if f := m.Freq(0.1); f != 0 {
+		t.Errorf("f(0.1) = %g, want 0 (below zero-crossing)", f)
+	}
+}
+
+func TestVoltageInverse(t *testing.T) {
+	m := Default()
+	f := func(raw uint16) bool {
+		v := 0.6 + float64(raw)/65535.0*2.0 // [0.6, 2.6]
+		freq := m.Freq(v)
+		back := m.Voltage(freq)
+		return math.Abs(back-v) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	m := Default()
+	for _, tc := range []struct{ in, want float64 }{
+		{0.5, 0.7}, {0.7, 0.7}, {1.0, 1.0}, {1.3, 1.3}, {2.0, 1.3},
+	} {
+		if got := m.Clamp(tc.in); got != tc.want {
+			t.Errorf("Clamp(%.2f) = %.2f, want %.2f", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestFeasible(t *testing.T) {
+	m := Default()
+	if !m.Feasible(0.7) || !m.Feasible(1.3) || !m.Feasible(1.0) {
+		t.Error("range endpoints should be feasible")
+	}
+	if m.Feasible(0.69) || m.Feasible(1.31) {
+		t.Error("out-of-range voltages reported feasible")
+	}
+}
+
+func TestTransitionNs(t *testing.T) {
+	// Paper: "transition time from 0.7V to 1.33V is roughly 160ns", modelled
+	// "linearly with 40ns per 0.15V step".
+	for _, tc := range []struct {
+		a, b float64
+		want float64
+	}{
+		{1.0, 1.0, 0},
+		{1.0, 1.15, 40},
+		{1.15, 1.0, 40},
+		{1.0, 1.3, 80},
+		{0.7, 1.3, 160},
+		{1.0, 1.01, 40}, // partial step still costs one step
+	} {
+		if got := TransitionNs(tc.a, tc.b); got != tc.want {
+			t.Errorf("TransitionNs(%.2f, %.2f) = %g, want %g", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestTransitionSymmetric(t *testing.T) {
+	f := func(a8, b8 uint8) bool {
+		a := 0.7 + float64(a8)/255.0*0.6
+		b := 0.7 + float64(b8)/255.0*0.6
+		return TransitionNs(a, b) == TransitionNs(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+// Package vr models a fully integrated per-core switching voltage regulator
+// (Section III-A / IV-D).
+//
+// Transitions between voltage levels take 40 ns per 0.15 V step (derived
+// from SPICE-level models in the paper; 0.7 V -> 1.33 V is ~160 ns). Cores
+// keep executing *through* a transition at the lower of the two frequencies,
+// and the regulator exposes that conservative "effective voltage" while a
+// transition is in flight.
+package vr
+
+import (
+	"aaws/internal/sim"
+	"aaws/internal/vf"
+)
+
+// Regulator is one per-core integrated voltage regulator.
+type Regulator struct {
+	eng *sim.Engine
+
+	voltage float64 // settled output voltage
+	target  float64 // in-flight target (== voltage when idle)
+	done    *sim.Event
+
+	// stepNs is the transition latency per 0.15 V step (default the
+	// paper's 40 ns; Section IV-D sweeps this to 250 ns in a sensitivity
+	// study).
+	stepNs float64
+
+	// OnSettle, if non-nil, is invoked when a transition completes.
+	OnSettle func()
+	// OnChange, if non-nil, is invoked whenever the effective voltage
+	// changes (both at transition start, which can lower the effective
+	// voltage, and at settle).
+	OnChange func()
+}
+
+// New returns a regulator settled at the given initial voltage.
+func New(eng *sim.Engine, initial float64) *Regulator {
+	return &Regulator{eng: eng, voltage: initial, target: initial, stepNs: vf.StepLatencyNs}
+}
+
+// SetStepLatencyNs overrides the per-step transition latency (sensitivity
+// studies). Must be called before any transition is issued.
+func (r *Regulator) SetStepLatencyNs(ns float64) { r.stepNs = ns }
+
+// Voltage returns the settled (or target-in-progress) commanded voltage.
+func (r *Regulator) Voltage() float64 { return r.voltage }
+
+// Target returns the most recently commanded target.
+func (r *Regulator) Target() float64 { return r.target }
+
+// Transitioning reports whether a voltage change is in flight.
+func (r *Regulator) Transitioning() bool { return r.done != nil }
+
+// Effective returns the voltage at which the attached core may safely run
+// right now: during a transition this is the lower of the old and new
+// voltages (the core continues executing at the lower frequency).
+func (r *Regulator) Effective() float64 {
+	if r.done == nil {
+		return r.voltage
+	}
+	if r.target < r.voltage {
+		return r.target
+	}
+	return r.voltage
+}
+
+// Set commands a transition to v and returns the simulated settle time. If
+// a transition is already in flight it is superseded: the effective voltage
+// becomes the minimum of the current effective and the new target, and the
+// new transition is timed from the current effective point. (The DVFS
+// controller never does this — it waits for settles — but the model stays
+// safe if a caller does.) Setting the current voltage is a no-op.
+func (r *Regulator) Set(v float64) sim.Time {
+	if r.done != nil {
+		r.done.Cancel()
+		r.voltage = r.Effective()
+		r.done = nil
+	}
+	if v == r.voltage {
+		r.target = v
+		return r.eng.Now()
+	}
+	r.target = v
+	lat := sim.Time(vf.TransitionNs(r.voltage, v) / vf.StepLatencyNs * r.stepNs * float64(sim.Nanosecond))
+	r.done = r.eng.After(lat, func() {
+		r.done = nil
+		r.voltage = r.target
+		if r.OnChange != nil {
+			r.OnChange()
+		}
+		if r.OnSettle != nil {
+			r.OnSettle()
+		}
+	})
+	// Starting a transition can lower the effective voltage immediately
+	// (scaling down executes at the lower frequency from the start).
+	if r.OnChange != nil && v < r.voltage {
+		r.OnChange()
+	}
+	return r.eng.Now() + lat
+}

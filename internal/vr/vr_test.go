@@ -1,0 +1,87 @@
+package vr
+
+import (
+	"testing"
+
+	"aaws/internal/sim"
+)
+
+func TestSetAndSettle(t *testing.T) {
+	eng := sim.NewEngine()
+	r := New(eng, 1.0)
+	if r.Voltage() != 1.0 || r.Transitioning() {
+		t.Fatal("bad initial state")
+	}
+	settled := false
+	r.OnSettle = func() { settled = true }
+	done := r.Set(1.3)
+	// 0.3 V = 2 steps of 0.15 V = 80 ns.
+	if want := sim.Time(80 * 1000); done != want {
+		t.Errorf("settle time %v, want %v", done, want)
+	}
+	if !r.Transitioning() {
+		t.Error("not transitioning after Set")
+	}
+	// Scaling up: effective voltage stays at the old (lower) level.
+	if r.Effective() != 1.0 {
+		t.Errorf("effective = %g during up-transition, want 1.0", r.Effective())
+	}
+	eng.Run(0)
+	if !settled || r.Voltage() != 1.3 || r.Effective() != 1.3 {
+		t.Errorf("after settle: settled=%v V=%g eff=%g", settled, r.Voltage(), r.Effective())
+	}
+}
+
+func TestScaleDownEffectiveImmediately(t *testing.T) {
+	eng := sim.NewEngine()
+	r := New(eng, 1.3)
+	changes := 0
+	r.OnChange = func() { changes++ }
+	r.Set(0.7)
+	// Scaling down: the core must immediately run at the lower frequency.
+	if r.Effective() != 0.7 {
+		t.Errorf("effective = %g during down-transition, want 0.7", r.Effective())
+	}
+	if changes != 1 {
+		t.Errorf("OnChange fired %d times at down-transition start, want 1", changes)
+	}
+	eng.Run(0)
+	if changes != 2 {
+		t.Errorf("OnChange fired %d times total, want 2", changes)
+	}
+}
+
+func TestSetSameVoltageNoop(t *testing.T) {
+	eng := sim.NewEngine()
+	r := New(eng, 1.0)
+	done := r.Set(1.0)
+	if done != 0 || r.Transitioning() {
+		t.Error("Set to same voltage should be immediate")
+	}
+	eng.Run(0)
+}
+
+func TestSupersedingTransition(t *testing.T) {
+	eng := sim.NewEngine()
+	r := New(eng, 0.7)
+	r.Set(1.3)
+	eng.RunUntil(40 * 1000) // mid-flight
+	r.Set(1.0)              // supersede
+	eng.Run(0)
+	if r.Voltage() != 1.0 {
+		t.Errorf("final voltage %g, want 1.0", r.Voltage())
+	}
+}
+
+func TestSettleCallbackOrdering(t *testing.T) {
+	eng := sim.NewEngine()
+	r := New(eng, 1.0)
+	var order []string
+	r.OnChange = func() { order = append(order, "change") }
+	r.OnSettle = func() { order = append(order, "settle") }
+	r.Set(1.15)
+	eng.Run(0)
+	if len(order) != 2 || order[0] != "change" || order[1] != "settle" {
+		t.Errorf("callback order = %v, want [change settle]", order)
+	}
+}

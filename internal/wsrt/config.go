@@ -1,0 +1,211 @@
+// Package wsrt implements the paper's work-stealing runtime on top of the
+// simulated machine (Sections III and IV-C).
+//
+// The runtime mirrors the paper's C++ library-based design: child stealing,
+// non-blocking Chase-Lev task deques, occupancy-based victim selection,
+// work-biasing and serial-sprinting in the aggressive baseline, and the
+// three AAWS techniques — work-pacing, work-sprinting (both via the DVFS
+// lookup table) and work-mugging (via user-level inter-core interrupts).
+//
+// Kernels run as *real computations*: task bodies are Go closures that
+// perform the actual algorithm and charge data-dependent instruction costs
+// with Ctx.Work. The discrete-event simulator then plays the charged work
+// forward on the asymmetric cores, with steals, mugs and DVFS transitions
+// deciding where and how fast every instruction retires.
+package wsrt
+
+import (
+	"aaws/internal/cache"
+	"aaws/internal/model"
+)
+
+// Variant selects a runtime configuration from Figure 8.
+type Variant int
+
+const (
+	// Base is the aggressive baseline: work-biasing + serial-sprinting.
+	Base Variant = iota
+	// BaseP adds work-pacing (marginal-utility DVFS in the HP region).
+	BaseP
+	// BasePS adds work-pacing and work-sprinting (rest waiting cores,
+	// sprint active ones in LP regions).
+	BasePS
+	// BasePSM is the complete AAWS runtime: pacing + sprinting + mugging.
+	BasePSM
+	// BaseM is the baseline plus work-mugging only (no marginal-utility
+	// techniques), the paper's ablation comparison point.
+	BaseM
+)
+
+// Variants lists all runtime variants in Figure 8's bar order.
+var Variants = []Variant{Base, BaseP, BasePS, BasePSM, BaseM}
+
+// String implements fmt.Stringer using the paper's labels.
+func (v Variant) String() string {
+	switch v {
+	case Base:
+		return "base"
+	case BaseP:
+		return "base+p"
+	case BasePS:
+		return "base+ps"
+	case BasePSM:
+		return "base+psm"
+	case BaseM:
+		return "base+m"
+	default:
+		return "unknown"
+	}
+}
+
+// Mugging reports whether the variant enables work-mugging.
+func (v Variant) Mugging() bool { return v == BasePSM || v == BaseM }
+
+// LUTMode returns the DVFS lookup-table mode implementing the variant.
+func (v Variant) LUTMode() model.Mode {
+	switch v {
+	case BaseP:
+		return model.ModePacing
+	case BasePS, BasePSM:
+		return model.ModePacingSprinting
+	default:
+		return model.ModeNominal
+	}
+}
+
+// ParseVariant converts a paper label ("base", "base+p", ...) to a Variant.
+func ParseVariant(s string) (Variant, bool) {
+	for _, v := range Variants {
+		if v.String() == s {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// Scheduler selects the task-distribution organization.
+type Scheduler int
+
+const (
+	// SchedStealing is the paper's work-stealing organization: per-worker
+	// Chase-Lev deques, LIFO local pops, FIFO steals.
+	SchedStealing Scheduler = iota
+	// SchedSharing is the classic work-sharing alternative: one shared
+	// central FIFO through which every task passes, paying global
+	// synchronization on each push/pop and losing producer locality.
+	// Provided for the extension study quantifying Section I's premise
+	// that work stealing "naturally exploits asymmetry".
+	SchedSharing
+)
+
+// String implements fmt.Stringer.
+func (s Scheduler) String() string {
+	if s == SchedSharing {
+		return "sharing"
+	}
+	return "stealing"
+}
+
+// VictimPolicy selects how thieves choose steal victims.
+type VictimPolicy int
+
+const (
+	// OccupancyVictim steals from the worker with the deepest task queue
+	// (the paper's choice, after [Contreras & Martonosi]): fewer failed
+	// probes means fewer spurious activity-bit transitions reaching the
+	// DVFS controller.
+	OccupancyVictim VictimPolicy = iota
+	// RandomVictim steals from a uniformly random other worker (the
+	// classic Cilk policy), provided for the ablation study.
+	RandomVictim
+)
+
+// String implements fmt.Stringer.
+func (p VictimPolicy) String() string {
+	if p == RandomVictim {
+		return "random"
+	}
+	return "occupancy"
+}
+
+// Config holds runtime tuning knobs. Instruction costs model the scheduler
+// overheads of the paper's optimized C++ runtime; they are charged at the
+// executing core's current rate.
+type Config struct {
+	Variant Variant
+	// Biasing enables work-biasing (on in the aggressive baseline; exposed
+	// for the ablation benches).
+	Biasing bool
+	// Victim selects the steal-victim policy (default occupancy-based).
+	Victim VictimPolicy
+	// Sched selects work stealing (default) or central-queue sharing.
+	Sched Scheduler
+	// Seed drives every pseudo-random decision in the run.
+	Seed uint64
+
+	// PopCost is charged on a successful local deque pop, folded into the
+	// popped task's execution.
+	PopCost float64
+	// StealAttemptCost is one iteration of the steal loop: an occupancy
+	// scan, a victim probe, and the CAS.
+	StealAttemptCost float64
+	// StealSuccessCost is the extra cost of a successful steal.
+	StealSuccessCost float64
+	// StealColdMissInstr approximates the cache-migration penalty paid by
+	// the thief while the stolen task's working set migrates.
+	StealColdMissInstr float64
+	// SpawnCost is charged to the parent per spawned child (deque push).
+	SpawnCost float64
+	// HintCost is the cost of a hint instruction toggling an activity bit.
+	HintCost float64
+	// SpinIterInstr is one iteration of the biased-waiting spin loop.
+	SpinIterInstr float64
+	// MugSwapInstr is the register-state swap executed by each side of a
+	// mug (the paper's thread-swapping assembly is ~80 instructions).
+	MugSwapInstr float64
+	// MugColdMissInstr approximates the extra L1 migration misses the
+	// mugger pays when resuming the migrated task.
+	MugColdMissInstr float64
+	// MugHandlerInstr is the cost of fielding a mug interrupt that loses
+	// the race with task completion.
+	MugHandlerInstr float64
+	// SharedPushCost and SharedPopCost are the per-task costs of the
+	// central queue in sharing mode (a contended global lock/CAS).
+	SharedPushCost float64
+	SharedPopCost  float64
+	// StealBackoffMax caps the exponential backoff (in instructions) of
+	// repeated failed steal attempts. Backoff bounds simulator event rate
+	// in long LP regions; the paper's runtime spins without backoff, so
+	// keep this small relative to task sizes.
+	StealBackoffMax float64
+	// CacheMigration switches steal/mug cold-miss penalties from the
+	// fixed constants to the Table I cache-hierarchy model driven by each
+	// task's Ctx.Touch working-set estimate (high-fidelity mode).
+	CacheMigration bool
+	// Migration parameterizes the cache-migration model.
+	Migration cache.MigrationModel
+}
+
+// DefaultConfig returns the runtime configuration used throughout the
+// evaluation, with the given variant.
+func DefaultConfig(v Variant) Config {
+	return Config{
+		Variant:            v,
+		Biasing:            true,
+		Seed:               1,
+		PopCost:            20,
+		StealAttemptCost:   60,
+		StealSuccessCost:   40,
+		StealColdMissInstr: 150,
+		SpawnCost:          20,
+		HintCost:           4,
+		SpinIterInstr:      40,
+		MugSwapInstr:       80,
+		MugColdMissInstr:   400,
+		MugHandlerInstr:    40,
+		SharedPushCost:     70,
+		SharedPopCost:      90,
+		StealBackoffMax:    480,
+		Migration:          cache.DefaultMigrationModel(),
+	}
+}

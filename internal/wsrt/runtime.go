@@ -1,0 +1,313 @@
+package wsrt
+
+import (
+	"fmt"
+
+	"aaws/internal/machine"
+	"aaws/internal/power"
+	"aaws/internal/sim"
+)
+
+// Stats counts scheduler events over a run.
+type Stats struct {
+	TasksSpawned        int
+	TasksExecuted       int
+	Steals              int
+	FailedSteals        int
+	MugAttempts         int
+	Mugs                int
+	FailedMugs          int
+	MuggedTasksFinished int
+	AppInstr            float64 // instructions charged by kernel bodies
+	SerialInstr         float64 // instructions charged by root serial work
+}
+
+// WorkerStats is the per-worker slice of the scheduler statistics.
+type WorkerStats struct {
+	TasksExecuted int
+	Steals        int     // tasks this worker stole
+	Stolen        int     // tasks stolen *from* this worker
+	TimesMugged   int     // tasks mugged away from this worker
+	MugsDone      int     // tasks this worker mugged from a little core
+	AppInstr      float64 // kernel instructions charged while running here
+}
+
+// Report is the outcome of one program execution.
+type Report struct {
+	Stats
+	ExecTime        sim.Time
+	RetiredInstr    float64 // everything retired by the cores
+	OverheadInstr   float64 // retired minus app and serial work
+	DVFSDecisions   int
+	DVFSTransitions int
+	Energy          []power.Breakdown
+	TotalEnergy     float64
+	PerWorker       []WorkerStats
+}
+
+// Run is the root-program API: the logical thread 0 of the computation.
+// Programs are ordinary Go functions alternating serial sections and
+// parallel phases; each call synchronously advances the simulation.
+//
+// The paper requires the sequential region to always execute on a big core
+// (Section III-B, implemented there by thread 0 mugging a big core at the
+// end of each parallel region). This runtime establishes the same invariant
+// by construction: the root program is pinned to worker 0, which is always
+// a big core.
+type Run struct {
+	rt *Runtime
+}
+
+// SerialWork executes n instructions of truly serial work on worker 0,
+// with the serial-region hint set (enabling serial-sprinting).
+func (r *Run) SerialWork(n float64) {
+	if n <= 0 {
+		return
+	}
+	r.rt.rootReq <- rootReq{serial: n}
+	<-r.rt.rootAck
+}
+
+// Parallel executes a parallel phase: f becomes the root task of a task
+// graph, and the call returns when every task in the graph has completed.
+func (r *Run) Parallel(f TaskFunc) {
+	r.rt.rootReq <- rootReq{parallel: f}
+	<-r.rt.rootAck
+}
+
+// ParallelFor is sugar for a Parallel phase holding a recursively
+// decomposed loop: body runs over leaf subranges of [lo, hi) of at most
+// grain iterations.
+func (r *Run) ParallelFor(lo, hi, grain int, body func(c *Ctx, lo, hi int)) {
+	r.Parallel(func(c *Ctx) { c.rangeSplit(lo, hi, grain, body) })
+}
+
+// ParallelInvoke is sugar for a Parallel phase running the given functions
+// as sibling tasks (the runtime's parallel_invoke, Section IV-C).
+func (r *Run) ParallelInvoke(fns ...TaskFunc) {
+	r.Parallel(func(c *Ctx) { c.Invoke(nil, fns...) })
+}
+
+// Now returns the current simulated time (useful for phase timing in
+// examples and tests).
+func (r *Run) Now() sim.Time {
+	// Safe: the root goroutine only runs while the simulator is parked at
+	// a quiescent point inside a root request.
+	return r.rt.eng.Now()
+}
+
+type rootReq struct {
+	serial   float64
+	parallel TaskFunc
+}
+
+// Runtime drives a program over a simulated machine.
+type Runtime struct {
+	m   *machine.Machine
+	eng *sim.Engine
+	cfg Config
+
+	workers []*worker
+	rng     *sim.Rand
+	stats   Stats
+
+	rootReq chan rootReq
+	rootAck chan struct{}
+
+	phaseDone bool // the current parallel phase's join hit zero
+	stopping  bool // the program finished; workers shut down
+	endTime   sim.Time
+
+	// shared is the central FIFO used in SchedSharing mode.
+	shared []*task
+}
+
+// pushShared enqueues t on the central queue (sharing mode).
+func (rt *Runtime) pushShared(t *task) { rt.shared = append(rt.shared, t) }
+
+// popShared dequeues the oldest task, or nil.
+func (rt *Runtime) popShared() *task {
+	if len(rt.shared) == 0 {
+		return nil
+	}
+	t := rt.shared[0]
+	rt.shared = rt.shared[1:]
+	return t
+}
+
+// New builds a runtime over machine m. The machine must have at least one
+// big core; worker i is pinned to core i.
+func New(m *machine.Machine, cfg Config) *Runtime {
+	rt := &Runtime{
+		m:       m,
+		eng:     m.Eng,
+		cfg:     cfg,
+		rng:     sim.NewRand(cfg.Seed),
+		rootReq: make(chan rootReq),
+		rootAck: make(chan struct{}),
+	}
+	for i, core := range m.Cores {
+		rt.workers = append(rt.workers, newWorker(rt, i, core))
+	}
+	for i := range m.Cores {
+		m.Net.SetHandler(i, rt.handleMug)
+	}
+	return rt
+}
+
+// Machine returns the underlying machine (for observers and assertions).
+func (rt *Runtime) Machine() *machine.Machine { return rt.m }
+
+// Running reports whether the program is still executing (false after
+// shutdown). Periodic observers use it to stop re-arming their events so
+// the simulation can drain.
+func (rt *Runtime) Running() bool { return !rt.stopping }
+
+// Config returns the runtime configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// anyBigInactive reports whether some big core is not doing useful work
+// (consulted by work-biasing through the shared-memory activity table).
+func (rt *Runtime) anyBigInactive() bool {
+	for _, w := range rt.workers {
+		if w.big() && !w.active() {
+			return true
+		}
+	}
+	return false
+}
+
+// pickMuggee selects the active little worker to mug: the one with the
+// most remaining enqueued work (occupancy), ties to the lowest id. Workers
+// already being mugged are skipped.
+func (rt *Runtime) pickMuggee() *worker {
+	var best *worker
+	bestOcc := -1
+	for _, w := range rt.workers {
+		if w.big() || w.beingMugged || w.state != wsRunning || w.cur == nil {
+			continue
+		}
+		if occ := w.dq.Size(); occ > bestOcc {
+			best, bestOcc = w, occ
+		}
+	}
+	return best
+}
+
+// Execute runs program to completion and returns the report. It must be
+// called once per Runtime.
+func (rt *Runtime) Execute(program func(r *Run)) Report {
+	run := &Run{rt: rt}
+	go func() {
+		program(run)
+		close(rt.rootReq)
+	}()
+
+	// Boot: every worker starts in the steal loop at t=0 except worker 0,
+	// which services the root program.
+	for _, w := range rt.workers[1:] {
+		w := w
+		rt.eng.At(0, func() {
+			rt.m.HintActivity(w.id, true)
+			w.loop()
+		})
+	}
+	rt.eng.At(0, rt.workers[0].processRoot)
+	rt.eng.Run(0)
+
+	if !rt.stopping {
+		panic("wsrt: simulation drained before the program completed (deadlock in task graph?)")
+	}
+	rt.m.Finish()
+
+	rep := Report{
+		Stats:           rt.stats,
+		ExecTime:        rt.endTime,
+		DVFSDecisions:   rt.m.Ctl.Decisions(),
+		DVFSTransitions: rt.m.Ctl.Transitions(),
+		Energy:          rt.m.EnergyBreakdown(),
+		TotalEnergy:     rt.m.TotalEnergy(),
+	}
+	for _, w := range rt.workers {
+		rep.PerWorker = append(rep.PerWorker, w.ws)
+	}
+	for _, c := range rt.m.Cores {
+		rep.RetiredInstr += c.Retired()
+	}
+	rep.OverheadInstr = rep.RetiredInstr - rep.AppInstr - rep.SerialInstr
+	return rep
+}
+
+// processRoot advances the root program by one step. Runs on worker 0.
+func (w *worker) processRoot() {
+	rt := w.rt
+	req, ok := <-rt.rootReq
+	if !ok {
+		rt.shutdown()
+		return
+	}
+	if req.parallel == nil {
+		w.state = wsSerial
+		rt.stats.SerialInstr += req.serial
+		rt.m.HintSerial(0, true)
+		rt.m.SetState(0, power.StateActive)
+		w.core.Start(req.serial, func() {
+			rt.m.HintSerial(0, false)
+			rt.m.SetState(0, power.StateWaiting)
+			w.state = wsRoot
+			rt.rootAck <- struct{}{}
+			w.processRoot()
+		})
+		return
+	}
+	ph := &join{pending: 1, onZero: rt.onPhaseZero}
+	root := &task{fn: req.parallel, join: ph, spawner: 0}
+	if rt.cfg.Sched == SchedSharing {
+		rt.pushShared(root)
+	} else {
+		w.dq.Push(root)
+	}
+	w.loop()
+}
+
+// onPhaseZero fires when the current parallel phase's last task completes.
+func (rt *Runtime) onPhaseZero(completer *worker) {
+	rt.phaseDone = true
+	w0 := rt.workers[0]
+	if completer == w0 {
+		// w0's own taskDone -> loop() will observe phaseDone.
+		return
+	}
+	if w0.pendingEv != nil {
+		// w0 is mid steal-probe or biased spin: interrupt it.
+		w0.pendingEv.Cancel()
+		w0.pendingEv = nil
+		rt.finishPhase()
+		return
+	}
+	// w0 must be waiting on an in-flight (failed) mug delivery; its
+	// handler re-enters loop() and observes phaseDone.
+	if w0.state != wsMugSend {
+		panic(fmt.Sprintf("wsrt: phase completed with worker 0 in state %v", w0.state))
+	}
+}
+
+// finishPhase hands control back to the root program. Runs on worker 0's
+// event context.
+func (rt *Runtime) finishPhase() {
+	w0 := rt.workers[0]
+	rt.phaseDone = false
+	w0.state = wsRoot
+	rt.m.SetState(0, power.StateWaiting)
+	rt.rootAck <- struct{}{}
+	w0.processRoot()
+}
+
+// shutdown stops all workers and freezes the program end time.
+func (rt *Runtime) shutdown() {
+	rt.stopping = true
+	rt.endTime = rt.eng.Now()
+	for _, w := range rt.workers {
+		w.stop()
+	}
+}

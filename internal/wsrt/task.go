@@ -1,0 +1,138 @@
+package wsrt
+
+// TaskFunc is a task body. Bodies perform real computation on the host,
+// charging simulated instruction costs through the Ctx.
+type TaskFunc func(c *Ctx)
+
+// task is one schedulable unit. Its body runs (on the host) when a worker
+// first picks it up; the charged cost is then played forward in simulated
+// time, preemptible by frequency changes and mugs.
+type task struct {
+	fn   TaskFunc
+	join *join // completion obligation (nil only for detached root glue)
+
+	ran       bool    // body has executed
+	cost      float64 // instructions charged by the body (incl. overheads)
+	remaining float64 // instructions left during simulated execution
+
+	chainNext *task // degenerate Finish with no children: run directly after
+	// bodyJoin, when a Finish continuation exists, counts this task's own
+	// completion alongside its children (pending = children + 1, as in
+	// TBB continuation ref-counts): the continuation must not start until
+	// the spawning task's charged work has itself retired.
+	bodyJoin *join
+
+	stolen  bool // executes on a different core than its producer
+	mugged  bool // migrated by a mug
+	spawner int  // worker that spawned the task (locality tracking)
+
+	// wsBytes is the task's working-set estimate accumulated via
+	// Ctx.Touch, consumed by the cache-migration cost model.
+	wsBytes float64
+}
+
+// join tracks outstanding tasks; when pending reaches zero the continuation
+// task (if any) becomes runnable on the completing worker, and onZero (if
+// any) fires — the runtime uses onZero to detect root-phase completion.
+type join struct {
+	pending int
+	cont    *task
+	onZero  func(w *worker)
+}
+
+// Ctx is the task-side API handed to task bodies.
+type Ctx struct {
+	w *worker
+	t *task
+
+	charged  float64
+	touched  float64
+	children []*task
+	cont     TaskFunc
+}
+
+// WorkerID returns the executing worker's id (== core id). Exposed for
+// kernels that keep per-worker scratch state.
+func (c *Ctx) WorkerID() int { return c.w.id }
+
+// NumWorkers returns the number of workers in the runtime.
+func (c *Ctx) NumWorkers() int { return len(c.w.rt.workers) }
+
+// Work charges n simulated instructions to the current task. Kernels call
+// this with data-dependent costs computed from the real work they perform.
+func (c *Ctx) Work(n float64) {
+	if n < 0 {
+		panic("wsrt: negative work")
+	}
+	c.charged += n
+}
+
+// Touch records that the current task's body reads or writes
+// approximately n bytes of memory. The estimate feeds the cache-migration
+// cost model (Config.CacheMigration): when the task moves between cores,
+// the destination pays to refetch the resident fraction of this working
+// set. Tasks that never call Touch fall back to the fixed cold-miss
+// constants.
+func (c *Ctx) Touch(n float64) {
+	if n < 0 {
+		panic("wsrt: negative touch")
+	}
+	c.touched += n
+}
+
+// Spawn creates a child task. Children become available for execution (and
+// theft) when the current task starts executing in simulated time, and are
+// pushed to the executing worker's deque in spawn order.
+func (c *Ctx) Spawn(f TaskFunc) {
+	c.children = append(c.children, &task{fn: f})
+}
+
+// Finish registers f to run after every child spawned by this task has
+// completed (continuation-passing sync, as in TBB continuation tasks). At
+// most one Finish per task body.
+func (c *Ctx) Finish(f TaskFunc) {
+	if c.cont != nil {
+		panic("wsrt: multiple Finish in one task body")
+	}
+	c.cont = f
+}
+
+// Invoke runs the given functions as parallel children of this task (the
+// runtime's parallel_invoke, mirroring Intel TBB's; Section IV-C). If then
+// is non-nil it runs after all of them complete (this task's Finish).
+func (c *Ctx) Invoke(then TaskFunc, fns ...TaskFunc) {
+	for _, f := range fns {
+		c.Spawn(f)
+	}
+	if then != nil {
+		c.Finish(then)
+	}
+}
+
+// ParallelRange recursively decomposes [lo, hi) into subtasks of at most
+// grain iterations (TBB simple_partitioner style) and runs body on each
+// leaf range. If then is non-nil it runs after the whole range completes
+// (it is this task's Finish). The decomposition charges SpawnCost per
+// split automatically.
+func (c *Ctx) ParallelRange(lo, hi, grain int, body func(c *Ctx, lo, hi int), then TaskFunc) {
+	if grain < 1 {
+		grain = 1
+	}
+	if then != nil {
+		c.Finish(then)
+	}
+	c.rangeSplit(lo, hi, grain, body)
+}
+
+// rangeSplit either runs a leaf inline or spawns two halves.
+func (c *Ctx) rangeSplit(lo, hi, grain int, body func(c *Ctx, lo, hi int)) {
+	if hi-lo <= grain {
+		if hi > lo {
+			body(c, lo, hi)
+		}
+		return
+	}
+	mid := lo + (hi-lo)/2
+	c.Spawn(func(cc *Ctx) { cc.rangeSplit(lo, mid, grain, body) })
+	c.Spawn(func(cc *Ctx) { cc.rangeSplit(mid, hi, grain, body) })
+}

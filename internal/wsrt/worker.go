@@ -1,0 +1,460 @@
+package wsrt
+
+import (
+	"fmt"
+
+	"aaws/internal/cpu"
+	"aaws/internal/deque"
+	"aaws/internal/icn"
+	"aaws/internal/power"
+	"aaws/internal/sim"
+)
+
+// wstate is a worker's scheduler state.
+type wstate int
+
+const (
+	wsRoot     wstate = iota // worker 0 only: waiting for the next root step
+	wsSerial                 // worker 0 only: executing a serial region
+	wsRunning                // executing a task
+	wsStealing               // a steal probe is in flight
+	wsSpinning               // little core held back by work-biasing
+	wsMugSend                // big core waiting for a mug interrupt to deliver
+	wsSwap                   // executing the mug register-swap sequence
+	wsStopped                // program finished
+)
+
+func (s wstate) String() string {
+	return [...]string{"root", "serial", "running", "stealing", "spinning",
+		"mug-send", "swap", "stopped"}[s]
+}
+
+// mugKind is the interrupt-message kind used by work-mugging.
+const mugKind = 1
+
+// worker is one runtime worker thread, pinned to its core.
+type worker struct {
+	rt   *Runtime
+	id   int
+	core *cpu.Core
+	dq   *deque.Deque[task]
+
+	state     wstate
+	cur       *task
+	pendingEv *sim.Event // steal/spin event, non-nil only in wsStealing/wsSpinning
+
+	failed    int     // consecutive failed steal probes since last work
+	backoff   float64 // extra instructions added to the next probe
+	hintedOff bool    // activity bit currently toggled off
+
+	beingMugged bool // a mug targeting this worker is in flight
+
+	ws WorkerStats // per-worker statistics
+}
+
+func newWorker(rt *Runtime, id int, core *cpu.Core) *worker {
+	return &worker{rt: rt, id: id, core: core, dq: deque.New[task](), state: wsStealing}
+}
+
+// big reports whether the worker runs on a big core.
+func (w *worker) big() bool { return w.core.Class == power.Big }
+
+// active reports whether the worker is doing useful work (for the
+// shared-memory activity table consulted by biasing and mugging).
+func (w *worker) active() bool {
+	switch w.state {
+	case wsRunning, wsSwap, wsSerial:
+		return true
+	}
+	return false
+}
+
+// ---- main scheduling loop ----
+
+// loop finds the worker's next action. It must only run from inside a
+// simulation event.
+func (w *worker) loop() {
+	if w.rt.stopping {
+		w.stop()
+		return
+	}
+	if w.id == 0 && w.rt.phaseDone {
+		w.rt.finishPhase()
+		return
+	}
+	cfg := &w.rt.cfg
+	if cfg.Sched == SchedSharing {
+		if t := w.rt.popShared(); t != nil {
+			// Every dequeue pays the contended global-queue cost, and a
+			// task landing on a different core than its producer pays the
+			// migration penalty (work-sharing loses producer locality).
+			overhead := cfg.SharedPopCost
+			if t.spawner != w.id {
+				t.stolen = true
+			}
+			w.execute(t, overhead)
+			return
+		}
+		w.shareWait()
+		return
+	}
+	if t := w.dq.Pop(); t != nil {
+		w.execute(t, w.rt.cfg.PopCost)
+		return
+	}
+	w.stealLoop()
+}
+
+// shareWait idles a sharing-mode worker until the central queue refills.
+func (w *worker) shareWait() {
+	cfg := &w.rt.cfg
+	w.rt.m.SetState(w.id, power.StateWaiting)
+	w.state = wsSpinning
+	w.noteFailedProbe()
+	w.pendingEv = w.rt.eng.After(w.core.TimeFor(cfg.SpinIterInstr+w.backoff), func() {
+		w.pendingEv = nil
+		w.loop()
+	})
+	w.growBackoff()
+}
+
+// stealLoop schedules the next steal probe (or a biased spin iteration).
+func (w *worker) stealLoop() {
+	cfg := &w.rt.cfg
+	w.rt.m.SetState(w.id, power.StateWaiting)
+	if cfg.Biasing && !w.big() && w.rt.anyBigInactive() {
+		// Work-biasing: little cores may not steal while a big core is
+		// inactive (Section III-C).
+		w.state = wsSpinning
+		w.noteFailedProbe()
+		w.pendingEv = w.rt.eng.After(w.core.TimeFor(cfg.SpinIterInstr+w.backoff), func() {
+			w.pendingEv = nil
+			w.loop()
+		})
+		w.growBackoff()
+		return
+	}
+	w.state = wsStealing
+	w.pendingEv = w.rt.eng.After(w.core.TimeFor(cfg.StealAttemptCost+w.backoff), w.resolveSteal)
+}
+
+// resolveSteal runs when a steal probe completes: it picks the victim with
+// the highest queue occupancy at this instant and attempts the steal.
+func (w *worker) resolveSteal() {
+	w.pendingEv = nil
+	if w.rt.stopping {
+		w.stop()
+		return
+	}
+	if w.id == 0 && w.rt.phaseDone {
+		w.rt.finishPhase()
+		return
+	}
+	cfg := &w.rt.cfg
+	if v := w.pickVictim(); v != nil {
+		if t := v.dq.Steal(); t != nil {
+			t.stolen = true
+			w.rt.stats.Steals++
+			w.ws.Steals++
+			v.ws.Stolen++
+			// The stolen task's working set is unknown until its body runs;
+			// the migration penalty is charged in execute after runBody.
+			w.execute(t, cfg.StealSuccessCost)
+			return
+		}
+	}
+	w.rt.stats.FailedSteals++
+	w.noteFailedProbe()
+	if cfg.Variant.Mugging() && w.big() && w.failed >= 2 {
+		if m := w.rt.pickMuggee(); m != nil {
+			w.startMug(m)
+			return
+		}
+	}
+	w.growBackoff()
+	w.loop()
+}
+
+// growBackoff doubles the probe backoff up to the configured cap. Backoff
+// exists to bound the simulator's event rate during long waits; it is kept
+// small relative to task sizes so scheduling reactivity is preserved.
+func (w *worker) growBackoff() {
+	cfg := &w.rt.cfg
+	if w.backoff == 0 {
+		w.backoff = cfg.StealAttemptCost
+	} else {
+		w.backoff *= 2
+	}
+	if w.backoff > cfg.StealBackoffMax {
+		w.backoff = cfg.StealBackoffMax
+	}
+}
+
+// pickVictim chooses the steal victim per the configured policy:
+// occupancy-based returns the worker with the largest task-queue occupancy
+// (ties to the lowest id) or nil when every other queue is empty; random
+// returns a uniformly random other worker regardless of occupancy (so the
+// probe can waste its attempt, as in classic Cilk).
+func (w *worker) pickVictim() *worker {
+	if w.rt.cfg.Victim == RandomVictim {
+		n := len(w.rt.workers)
+		v := w.rt.workers[w.rt.rng.Intn(n)]
+		if v == w {
+			v = w.rt.workers[(w.id+1)%n]
+		}
+		return v
+	}
+	var best *worker
+	bestN := 0
+	for _, v := range w.rt.workers {
+		if v == w {
+			continue
+		}
+		if n := v.dq.Size(); n > bestN {
+			best, bestN = v, n
+		}
+	}
+	return best
+}
+
+// noteFailedProbe implements the steal-loop hysteresis of Section III-A:
+// the activity hint toggles off only after the second consecutive failed
+// probe, avoiding bit chatter that would thrash the DVFS controller.
+func (w *worker) noteFailedProbe() {
+	w.failed++
+	if w.failed == 2 && !w.hintedOff {
+		w.hintedOff = true
+		w.rt.m.HintActivity(w.id, false)
+	}
+}
+
+// resetFail clears the hysteresis when work is found and re-asserts the
+// activity bit immediately.
+func (w *worker) resetFail() {
+	w.failed = 0
+	w.backoff = 0
+	if w.hintedOff {
+		w.hintedOff = false
+		w.rt.m.HintActivity(w.id, true)
+	}
+}
+
+// ---- task execution ----
+
+// execute starts (or resumes) t on this worker, charging overhead extra
+// instructions on top of the task's own cost.
+func (w *worker) execute(t *task, overhead float64) {
+	w.resetFail()
+	w.state = wsRunning
+	w.cur = t
+	w.rt.m.SetState(w.id, power.StateActive)
+	if !t.ran {
+		w.runBody(t)
+		if t.stolen {
+			t.remaining += w.stealPenalty(t)
+		}
+	}
+	t.remaining += overhead
+	w.core.Start(t.remaining, func() { w.taskDone(t) })
+}
+
+// stealPenalty returns the cache-migration cost of a stolen task: under
+// the cache model, half the declared working set (the thief usually steals
+// fresh subtrees whose inputs are only partially resident at the victim);
+// otherwise the fixed constant.
+func (w *worker) stealPenalty(t *task) float64 {
+	cfg := &w.rt.cfg
+	if cfg.CacheMigration && t.wsBytes > 0 {
+		return cfg.Migration.PenaltyInstr(t.wsBytes) * 0.5
+	}
+	return cfg.StealColdMissInstr
+}
+
+// mugPenalty returns the cache-migration cost a mugger pays resuming a
+// preempted task: its working set is hot at the muggee, so the full
+// resident fraction transfers.
+func (w *worker) mugPenalty(t *task) float64 {
+	cfg := &w.rt.cfg
+	if cfg.CacheMigration && t.wsBytes > 0 {
+		return cfg.Migration.PenaltyInstr(t.wsBytes)
+	}
+	return cfg.MugColdMissInstr
+}
+
+// runBody executes the task body on the host, collecting its charged cost,
+// spawned children and continuation, then wires joins and publishes the
+// children to this worker's deque.
+func (w *worker) runBody(t *task) {
+	t.ran = true
+	ctx := &Ctx{w: w, t: t}
+	t.fn(ctx)
+	cfg := &w.rt.cfg
+	t.cost = ctx.charged + float64(len(ctx.children))*cfg.SpawnCost
+	t.remaining = t.cost
+	t.wsBytes = ctx.touched
+	w.rt.stats.AppInstr += ctx.charged
+	w.ws.AppInstr += ctx.charged
+
+	if ctx.cont != nil {
+		contT := &task{fn: ctx.cont, join: t.join}
+		t.join = nil // obligation transferred to the continuation
+		if len(ctx.children) == 0 {
+			t.chainNext = contT
+		} else {
+			// children + 1: the continuation waits for the children AND
+			// for this task's own charged work to retire.
+			j := &join{pending: len(ctx.children) + 1, cont: contT}
+			t.bodyJoin = j
+			for _, ch := range ctx.children {
+				ch.join = j
+			}
+		}
+	} else if len(ctx.children) > 0 {
+		if t.join == nil {
+			panic("wsrt: spawning from a task with no join")
+		}
+		t.join.pending += len(ctx.children)
+		for _, ch := range ctx.children {
+			ch.join = t.join
+		}
+	}
+	for _, ch := range ctx.children {
+		ch.spawner = w.id
+		if cfg.Sched == SchedSharing {
+			t.remaining += cfg.SharedPushCost // contended central enqueue
+			w.rt.pushShared(ch)
+		} else {
+			w.dq.Push(ch)
+		}
+	}
+	w.rt.stats.TasksSpawned += len(ctx.children)
+}
+
+// taskDone fires when the task's charged work has retired.
+func (w *worker) taskDone(t *task) {
+	w.cur = nil
+	w.rt.stats.TasksExecuted++
+	w.ws.TasksExecuted++
+	if t.mugged {
+		w.rt.stats.MuggedTasksFinished++
+	}
+	if t.chainNext != nil {
+		w.execute(t.chainNext, 0)
+		return
+	}
+	if t.bodyJoin != nil {
+		w.completeJoin(t.bodyJoin)
+	}
+	if t.join != nil {
+		w.completeJoin(t.join)
+	}
+	w.loop()
+}
+
+// completeJoin decrements a join; at zero the continuation becomes
+// runnable on this worker (locality: the last finishing child's worker
+// executes the continuation) and onZero fires.
+func (w *worker) completeJoin(j *join) {
+	j.pending--
+	if j.pending > 0 {
+		return
+	}
+	if j.pending < 0 {
+		panic("wsrt: join over-completed")
+	}
+	if j.cont != nil {
+		j.cont.spawner = w.id
+		if w.rt.cfg.Sched == SchedSharing {
+			w.rt.pushShared(j.cont)
+		} else {
+			w.dq.Push(j.cont)
+		}
+	}
+	if j.onZero != nil {
+		j.onZero(w)
+	}
+}
+
+// ---- work-mugging ----
+
+// startMug sends the mug interrupt to muggee m and parks the mugger until
+// the handshake resolves (the mugger spins at the mug barrier).
+func (w *worker) startMug(m *worker) {
+	w.rt.stats.MugAttempts++
+	m.beingMugged = true
+	w.state = wsMugSend
+	w.rt.m.Net.Send(icn.Message{From: w.id, To: m.id, Kind: mugKind})
+}
+
+// handleMug runs on interrupt delivery at the muggee.
+func (rt *Runtime) handleMug(msg icn.Message) {
+	mugger := rt.workers[msg.From]
+	muggee := rt.workers[msg.To]
+	if rt.stopping {
+		muggee.beingMugged = false
+		mugger.stop()
+		return
+	}
+	if muggee.state != wsRunning || muggee.cur == nil {
+		// The muggee finished its task while the interrupt was in flight:
+		// the handler finds nothing to swap. The mugger eats the handler
+		// cost and resumes stealing.
+		muggee.beingMugged = false
+		rt.stats.FailedMugs++
+		mugger.state = wsStealing
+		mugger.pendingEv = rt.eng.After(mugger.core.TimeFor(rt.cfg.MugHandlerInstr), func() {
+			mugger.pendingEv = nil
+			mugger.loop()
+		})
+		return
+	}
+	t := muggee.cur
+	t.remaining = muggee.core.Preempt()
+	t.mugged = true
+	muggee.cur = nil
+	rt.stats.Mugs++
+	mugger.ws.MugsDone++
+	muggee.ws.TimesMugged++
+
+	// Both sides store/load architectural state through shared memory and
+	// synchronize at a barrier (Section III-B); the first arriver spins at
+	// the barrier until the other side completes its swap sequence.
+	var muggerDone, muggeeDone bool
+	release := func() {
+		if !(muggerDone && muggeeDone) {
+			return
+		}
+		muggee.beingMugged = false
+		// The big core resumes the migrated task, paying the cache
+		// migration penalty; the little core enters the steal loop.
+		mugger.execute(t, mugger.mugPenalty(t))
+		muggee.loop()
+	}
+	muggee.state = wsSwap
+	mugger.state = wsSwap
+	rt.m.SetState(mugger.id, power.StateActive)
+	muggee.core.Start(rt.cfg.MugSwapInstr, func() {
+		muggeeDone = true
+		release()
+	})
+	mugger.core.Start(rt.cfg.MugSwapInstr, func() {
+		muggerDone = true
+		release()
+	})
+}
+
+// ---- lifecycle ----
+
+// stop parks the worker permanently.
+func (w *worker) stop() {
+	if w.pendingEv != nil {
+		w.pendingEv.Cancel()
+		w.pendingEv = nil
+	}
+	w.state = wsStopped
+	w.rt.m.SetState(w.id, power.StateWaiting)
+}
+
+func (w *worker) String() string {
+	return fmt.Sprintf("w%d(%v,%v)", w.id, w.core.Class, w.state)
+}
