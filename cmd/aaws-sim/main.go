@@ -64,6 +64,10 @@ func main() {
 		spec.Victim = wsrt.RandomVictim
 	}
 	spec.NBig, spec.NLit = *nBig, *nLit
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	res, err := core.Run(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

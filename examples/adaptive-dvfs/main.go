@@ -15,10 +15,21 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"aaws/internal/core"
 	"aaws/internal/wsrt"
 )
+
+// run executes one spec and exits non-zero on failure.
+func run(spec core.Spec) core.Result {
+	res, err := core.Run(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return res
+}
 
 func main() {
 	const kernel = "cilksort"
@@ -27,17 +38,17 @@ func main() {
 	spec := core.DefaultSpec(kernel, core.Sys4B4L, wsrt.BasePS)
 	spec.Check = false
 
-	matched := core.MustRun(spec)
+	matched := run(spec)
 	fmt.Printf("%-34s %v\n", "correctly calibrated LUT:", matched.Report.ExecTime)
 
 	spec.LUTAlpha, spec.LUTBeta = 1.05, 1.05
-	static := core.MustRun(spec)
+	static := run(spec)
 	fmt.Printf("%-34s %v  (%.1f%% slower)\n", "mis-calibrated LUT (alpha=beta~1):",
 		static.Report.ExecTime,
 		100*(float64(static.Report.ExecTime)/float64(matched.Report.ExecTime)-1))
 
 	spec.AdaptiveDVFS = true
-	adaptive := core.MustRun(spec)
+	adaptive := run(spec)
 	fmt.Printf("%-34s %v  (%.1f%% slower)\n", "mis-calibrated LUT + tuner:",
 		adaptive.Report.ExecTime,
 		100*(float64(adaptive.Report.ExecTime)/float64(matched.Report.ExecTime)-1))

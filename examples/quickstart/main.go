@@ -7,20 +7,36 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"aaws/internal/core"
 	"aaws/internal/wsrt"
 )
+
+// run executes one spec and exits non-zero on failure (a bad configuration
+// or a result that does not match the serial reference).
+func run(spec core.Spec) core.Result {
+	res, err := core.Run(spec)
+	if err == nil && res.CheckErr != nil {
+		err = fmt.Errorf("%s/%s/%s failed validation: %v",
+			spec.Kernel, spec.System, spec.Variant, res.CheckErr)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return res
+}
 
 func main() {
 	fmt.Println("AAWS quickstart: sorting 60K integers (cilksort) on a simulated 4B4L system")
 	fmt.Println()
 
 	// Run the same workload, same seed, under the baseline runtime...
-	base := core.MustRun(core.DefaultSpec("cilksort", core.Sys4B4L, wsrt.Base))
+	base := run(core.DefaultSpec("cilksort", core.Sys4B4L, wsrt.Base))
 
 	// ...and under the complete AAWS runtime.
-	aaws := core.MustRun(core.DefaultSpec("cilksort", core.Sys4B4L, wsrt.BasePSM))
+	aaws := run(core.DefaultSpec("cilksort", core.Sys4B4L, wsrt.BasePSM))
 
 	fmt.Printf("%-22s %14s %14s\n", "", "base", "base+psm (AAWS)")
 	fmt.Printf("%-22s %14v %14v\n", "execution time", base.Report.ExecTime, aaws.Report.ExecTime)

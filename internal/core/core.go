@@ -6,8 +6,10 @@ package core
 
 import (
 	"fmt"
+	"runtime/debug"
 
 	"aaws/internal/dvfs"
+	"aaws/internal/fault"
 	"aaws/internal/kernels"
 	"aaws/internal/machine"
 	"aaws/internal/model"
@@ -99,6 +101,54 @@ type Spec struct {
 	// Sched selects work stealing (default) or the central-queue
 	// work-sharing organization (extension study).
 	Sched wsrt.Scheduler
+	// Faults, when non-nil and enabled, injects the described deterministic
+	// fault schedule into the machine (lossy interrupt network, core
+	// fail-stops and throttles, stuck/slow regulators).
+	Faults *fault.Config
+	// MaxEvents bounds the total simulation events (liveness watchdog): the
+	// run returns an error instead of hanging if a fault the runtime cannot
+	// recover from livelocks the machine. 0 = no limit.
+	MaxEvents uint64
+}
+
+// Validate checks the spec before any hardware is built: the kernel must
+// exist, the core mix must have at least one big core (core 0 hosts the
+// root program) and no negative counts, the scale must be positive, the
+// variant must be one of the paper's five, and any fault schedule must be
+// consistent with the core mix.
+func (s Spec) Validate() error {
+	if kernels.Get(s.Kernel) == nil {
+		return fmt.Errorf("core: unknown kernel %q (have %v)", s.Kernel, kernels.Names())
+	}
+	if s.NBig < 0 || s.NLit < 0 {
+		return fmt.Errorf("core: negative core counts %dB%dL", s.NBig, s.NLit)
+	}
+	if s.NBig == 0 && s.NLit > 0 {
+		return fmt.Errorf("core: custom mix 0B%dL has no big core (core 0 hosts the root program)", s.NLit)
+	}
+	if s.NBig == 0 && s.System != Sys4B4L && s.System != Sys1B7L {
+		return fmt.Errorf("core: unknown system %d", int(s.System))
+	}
+	if s.Scale <= 0 {
+		return fmt.Errorf("core: scale %g must be positive", s.Scale)
+	}
+	known := false
+	for _, v := range wsrt.Variants {
+		if v == s.Variant {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("core: unknown runtime variant %d", int(s.Variant))
+	}
+	if s.Faults != nil {
+		nBig, nLit := s.counts()
+		if err := s.Faults.Validate(nBig + nLit); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // counts resolves the effective core mix.
@@ -126,6 +176,24 @@ type Result struct {
 	CheckErr    error
 	// Alpha and Beta echo the kernel's Table III parameters.
 	Alpha, Beta float64
+	// Faults counts the faults actually injected (zero value when the spec
+	// had no fault schedule).
+	Faults fault.Stats
+}
+
+// Verify runs the post-run correctness checks: the kernel's output matches
+// its serial reference (when Spec.Check was set), the scheduler's
+// exactly-once and mug-accounting invariants hold, and the per-core energy
+// accounting conserved time. These must hold under any fault schedule —
+// faults may only degrade performance, never correctness.
+func (r Result) Verify() error {
+	if r.CheckErr != nil {
+		return r.CheckErr
+	}
+	if err := r.Report.CheckInvariants(); err != nil {
+		return err
+	}
+	return stats.CheckConservation(r.Report.Energy, r.Report.ExecTime)
 }
 
 // SerialTimeLittle returns the modelled execution time of the serial
@@ -153,15 +221,19 @@ func (r Result) SpeedupVsBig() float64 {
 	return r.SerialTimeBig() / r.Report.ExecTime.Seconds()
 }
 
-// Run executes one simulation per spec and returns the result.
+// Run executes one simulation per spec and returns the result. A zero
+// Scale defaults to 1.0; everything else must pass Spec.Validate. Internal
+// invariant violations (simulator or scheduler bugs surfacing as panics)
+// are converted to errors carrying the kernel/seed context needed to replay
+// them.
 func Run(spec Spec) (Result, error) {
-	k := kernels.Get(spec.Kernel)
-	if k == nil {
-		return Result{}, fmt.Errorf("core: unknown kernel %q (have %v)", spec.Kernel, kernels.Names())
-	}
-	if spec.Scale <= 0 {
+	if spec.Scale == 0 {
 		spec.Scale = 1.0
 	}
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	k := kernels.Get(spec.Kernel)
 	nBig, nLit := spec.counts()
 	p := power.DefaultParams().WithAlphaBeta(k.Alpha, k.Beta)
 	lutParams := p
@@ -211,6 +283,7 @@ func Run(spec Spec) (Result, error) {
 	if spec.DisableBiasing {
 		rcfg.Biasing = false
 	}
+	rcfg.MaxEvents = spec.MaxEvents
 	rt := wsrt.New(m, rcfg)
 	if spec.AdaptiveDVFS {
 		tuner := dvfs.NewTuner(eng, m.Ctl,
@@ -219,8 +292,18 @@ func Run(spec Spec) (Result, error) {
 		m.Ctl.SetTuner(tuner)
 		tuner.Start()
 	}
+	var inj *fault.Injector
+	if spec.Faults != nil && spec.Faults.Enabled() {
+		inj = fault.New(*spec.Faults)
+		if err := inj.Attach(m); err != nil {
+			return Result{}, err
+		}
+	}
 	w := k.New(spec.Seed, spec.Scale)
-	rep := rt.Execute(w.Run)
+	rep, err := executeChecked(rt, w.Run, spec)
+	if err != nil {
+		return Result{}, err
+	}
 
 	res := Result{
 		Spec:        spec,
@@ -234,10 +317,27 @@ func Run(spec Spec) (Result, error) {
 	if rec != nil {
 		rec.Finish(rep.ExecTime)
 	}
+	if inj != nil {
+		res.Faults = inj.Stats()
+	}
 	if spec.Check {
 		res.CheckErr = w.Check()
 	}
 	return res, nil
+}
+
+// executeChecked runs the program under the liveness budget and converts
+// any internal panic into an error that names the failing configuration —
+// the kernel, seed and fault schedule are everything needed to replay the
+// run deterministically.
+func executeChecked(rt *wsrt.Runtime, program func(r *wsrt.Run), spec Spec) (rep wsrt.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: internal failure running %s/%s/%s seed=%d faults=%+v: %v\n%s",
+				spec.Kernel, spec.System, spec.Variant, spec.Seed, spec.Faults, r, debug.Stack())
+		}
+	}()
+	return rt.ExecuteChecked(program)
 }
 
 // MustRun is Run that panics on configuration errors (for benches/examples

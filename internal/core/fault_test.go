@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"aaws/internal/fault"
+	"aaws/internal/sim"
+	"aaws/internal/wsrt"
+)
+
+// randFaults draws a random-but-valid fault schedule: arbitrary message
+// and regulator fault rates, a random subset of cores 1..7 fail-stopping,
+// and a few transient throttles.
+func randFaults(rng *rand.Rand) fault.Config {
+	cfg := fault.Config{
+		Seed:         rng.Uint64(),
+		MugDropRate:  rng.Float64(),
+		MugDelayRate: rng.Float64(),
+		VRStuckRate:  rng.Float64() * 0.5,
+		VRSlowRate:   rng.Float64(),
+	}
+	for c := 1; c < 8; c++ {
+		if rng.Intn(4) == 0 {
+			cfg.Fails = append(cfg.Fails, fault.CoreFail{
+				Core: c,
+				At:   sim.Time(rng.Int63n(int64(200 * sim.Microsecond))),
+			})
+		}
+	}
+	for i := rng.Intn(3); i > 0; i-- {
+		cfg.Throttles = append(cfg.Throttles, fault.Throttle{
+			Core:   rng.Intn(8),
+			At:     sim.Time(rng.Int63n(int64(100 * sim.Microsecond))),
+			For:    sim.Time(1 + rng.Int63n(int64(100*sim.Microsecond))),
+			Factor: 0.1 + 0.9*rng.Float64(),
+		})
+	}
+	return cfg
+}
+
+// TestFaultScheduleNeverBreaksCorrectness is the headline robustness
+// property: under ANY valid fault schedule the run either completes with
+// a Check-verified result and intact scheduler/energy invariants, or
+// (never, for valid schedules) fails loudly — faults degrade performance,
+// not correctness.
+func TestFaultScheduleNeverBreaksCorrectness(t *testing.T) {
+	variants := []wsrt.Variant{wsrt.Base, wsrt.BasePS, wsrt.BasePSM, wsrt.BaseM}
+	i := 0
+	prop := func(cfg fault.Config) bool {
+		v := variants[i%len(variants)]
+		i++
+		spec := DefaultSpec("cilksort", Sys4B4L, v)
+		spec.Scale = 0.5
+		spec.Faults = &cfg
+		res, err := Run(spec)
+		if err != nil {
+			t.Logf("variant %v faults %+v: run failed: %v", v, cfg, err)
+			return false
+		}
+		if err := res.Verify(); err != nil {
+			t.Logf("variant %v faults %+v: verify failed: %v", v, cfg, err)
+			return false
+		}
+		return true
+	}
+	qc := &quick.Config{
+		MaxCount: 16,
+		Rand:     rand.New(rand.NewSource(12345)),
+		Values: func(v []reflect.Value, rng *rand.Rand) {
+			v[0] = reflect.ValueOf(randFaults(rng))
+		},
+	}
+	if err := quick.Check(prop, qc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultRunDeterminism: a faulty run is as reproducible as a healthy
+// one — same spec and fault seed, bit-identical report and fault counts.
+func TestFaultRunDeterminism(t *testing.T) {
+	spec := DefaultSpec("cilksort", Sys4B4L, wsrt.BasePSM)
+	spec.Scale = 0.5
+	spec.Faults = &fault.Config{
+		Seed:        7,
+		MugDropRate: 0.5, MugDelayRate: 0.5,
+		VRStuckRate: 0.2, VRSlowRate: 0.3,
+		Fails:     []fault.CoreFail{{Core: 6, At: 50 * sim.Microsecond}},
+		Throttles: []fault.Throttle{{Core: 1, At: 20 * sim.Microsecond, For: 80 * sim.Microsecond, Factor: 0.5}},
+	}
+	fp := func() string {
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%+v|%+v|%+v|%g", res.Report, res.Faults, res.Regions, res.SerialInstr)
+	}
+	if a, b := fp(), fp(); a != b {
+		t.Error("same spec and fault seed produced different results")
+	}
+}
+
+// TestEventBudgetSurfacesAsError: a spec-level event budget turns a
+// too-long (or livelocked) run into an error instead of a hang.
+func TestEventBudgetSurfacesAsError(t *testing.T) {
+	spec := DefaultSpec("cilksort", Sys4B4L, wsrt.BasePSM)
+	spec.Scale = 0.5
+	spec.MaxEvents = 100 // absurdly small: trips immediately
+	if _, err := Run(spec); err == nil {
+		t.Fatal("a 100-event budget did not trip on a real kernel")
+	}
+}
+
+// TestSpecValidateRejectsBadFaults: fault validation is part of spec
+// validation, so bad schedules are caught before the machine is built.
+func TestSpecValidateRejectsBadFaults(t *testing.T) {
+	spec := DefaultSpec("cilksort", Sys4B4L, wsrt.Base)
+	spec.Faults = &fault.Config{Fails: []fault.CoreFail{{Core: 0}}}
+	if err := spec.Validate(); err == nil {
+		t.Error("core-0 fail-stop passed spec validation")
+	}
+	spec.Faults = &fault.Config{MugDropRate: 2}
+	if err := spec.Validate(); err == nil {
+		t.Error("drop rate 2 passed spec validation")
+	}
+}

@@ -38,6 +38,13 @@ type Core struct {
 	// amortized per instruction).
 	memStallPs float64
 
+	// throttle is a thermal-throttle factor in (0, 1] multiplying the
+	// effective clock frequency (fault injection; 1 = healthy).
+	throttle float64
+	// failed marks a fail-stopped core: it retires nothing, accepts no
+	// work, and never recovers.
+	failed bool
+
 	busy      bool
 	remaining float64 // instructions left in the current computation
 	segStart  sim.Time
@@ -53,12 +60,13 @@ type Core struct {
 // changes so in-flight computations are retimed.
 func New(eng *sim.Engine, id int, class power.CoreClass, params power.Params, reg *vr.Regulator) *Core {
 	return &Core{
-		ID:    id,
-		Class: class,
-		eng:   eng,
-		reg:   reg,
-		vfm:   params.VF,
-		ipc:   params.IPC(class),
+		ID:       id,
+		Class:    class,
+		eng:      eng,
+		reg:      reg,
+		vfm:      params.VF,
+		ipc:      params.IPC(class),
+		throttle: 1,
 	}
 }
 
@@ -88,7 +96,10 @@ func (c *Core) Retired() float64 { return c.retired }
 
 // rate returns the current retirement rate in instructions/second.
 func (c *Core) rate() float64 {
-	f := c.Freq()
+	if c.failed {
+		return 0
+	}
+	f := c.Freq() * c.throttle
 	if f <= 0 {
 		return 0
 	}
@@ -114,6 +125,9 @@ func (c *Core) TimeFor(n float64) sim.Time {
 // Start begins executing n instructions, invoking onDone at completion.
 // The computation is retimed transparently across frequency changes.
 func (c *Core) Start(n float64, onDone func()) {
+	if c.failed {
+		panic(fmt.Sprintf("cpu: core %d Start after fail-stop", c.ID))
+	}
 	if c.busy {
 		panic(fmt.Sprintf("cpu: core %d Start while busy", c.ID))
 	}
@@ -201,4 +215,55 @@ func (c *Core) Preempt() float64 {
 	c.busy = false
 	c.onDone = nil
 	return c.remaining
+}
+
+// ---- fault injection ----
+
+// Failed reports whether the core has fail-stopped.
+func (c *Core) Failed() bool { return c.failed }
+
+// Throttle returns the current thermal-throttle factor (1 = healthy).
+func (c *Core) Throttle() float64 { return c.throttle }
+
+// Fail marks the core fail-stopped. Any in-flight computation is abandoned
+// without its completion callback firing (the scheduler is expected to
+// have preempted and reclaimed the task first; Fail tolerates either
+// order). A failed core retires nothing and panics on Start.
+func (c *Core) Fail() {
+	if c.failed {
+		return
+	}
+	if c.busy {
+		c.syncProgress()
+		if c.doneEv != nil {
+			c.doneEv.Cancel()
+		}
+		c.doneEv = nil
+		c.busy = false
+		c.onDone = nil
+		c.remaining = 0
+	}
+	c.failed = true
+}
+
+// SetThrottle sets the thermal-throttle factor f in (0, 1], retiming any
+// in-flight computation at the new effective rate (like a frequency
+// change). Throttling a failed core is a no-op.
+func (c *Core) SetThrottle(f float64) {
+	if f <= 0 || f > 1 {
+		panic(fmt.Sprintf("cpu: throttle factor %g outside (0, 1]", f))
+	}
+	if c.failed || c.throttle == f {
+		return
+	}
+	if !c.busy {
+		c.throttle = f
+		return
+	}
+	c.syncProgress()
+	if c.doneEv != nil {
+		c.doneEv.Cancel()
+	}
+	c.throttle = f
+	c.schedule()
 }

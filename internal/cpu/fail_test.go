@@ -1,0 +1,98 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+
+	"aaws/internal/power"
+	"aaws/internal/sim"
+	"aaws/internal/vf"
+)
+
+func TestFailStopAbandonsInFlightWork(t *testing.T) {
+	eng, c, _ := newCore(t, power.Little, vf.VNominal)
+	completed := false
+	c.Start(333e6, func() { completed = true }) // one second at nominal
+	eng.RunUntil(sim.FromSeconds(0.25))
+	c.Fail()
+	eng.Run(0)
+	if completed {
+		t.Error("completion callback fired on a failed core")
+	}
+	if !c.Failed() || c.Busy() {
+		t.Errorf("failed=%v busy=%v after Fail", c.Failed(), c.Busy())
+	}
+	// Progress up to the failure instant is retained (the runtime charges
+	// the re-execution as overhead, not the partial work as loss).
+	if got := c.Retired(); math.Abs(got-333e6/4) > 1e3 {
+		t.Errorf("retired %.4g instructions, want ~%.4g", got, 333e6/4.0)
+	}
+}
+
+func TestFailIsIdempotentAndTerminal(t *testing.T) {
+	eng, c, reg := newCore(t, power.Little, vf.VNominal)
+	c.Fail()
+	c.Fail() // second call is a no-op
+	if r := c.rate(); r != 0 {
+		t.Errorf("failed core retires at %g instr/s", r)
+	}
+	// Voltage changes must not resurrect it.
+	reg.Set(vf.VMax)
+	eng.Run(0)
+	if r := c.rate(); r != 0 {
+		t.Errorf("failed core retires at %g instr/s after a voltage change", r)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Start on a failed core did not panic")
+		}
+	}()
+	c.Start(1e6, nil)
+}
+
+func TestThrottleRetimesInFlight(t *testing.T) {
+	eng, c, _ := newCore(t, power.Little, vf.VNominal)
+	var finish float64
+	c.Start(333e6, func() { finish = eng.Now().Seconds() }) // 1s healthy
+	// At t=0.5 s half the work remains; at quarter speed it takes 2 more
+	// seconds.
+	eng.At(sim.FromSeconds(0.5), func() { c.SetThrottle(0.25) })
+	eng.Run(0)
+	if math.Abs(finish-2.5) > 1e-6 {
+		t.Errorf("throttled run finished at %.6f s, want 2.5", finish)
+	}
+}
+
+func TestThrottleLiftRestoresRate(t *testing.T) {
+	eng, c, _ := newCore(t, power.Little, vf.VNominal)
+	var finish float64
+	c.Start(333e6, func() { finish = eng.Now().Seconds() })
+	eng.At(sim.FromSeconds(0.5), func() { c.SetThrottle(0.5) })
+	// Half the work is done at t=0.5; a quarter more runs at half speed
+	// until t=1.0; the throttle then lifts and the last quarter runs at
+	// full speed: 0.5 + 0.5 + 0.25 = 1.25 s.
+	eng.At(sim.FromSeconds(1.0), func() { c.SetThrottle(1) })
+	eng.Run(0)
+	if math.Abs(finish-1.25) > 1e-6 {
+		t.Errorf("finish at %.6f s, want 1.25", finish)
+	}
+}
+
+func TestThrottleValidation(t *testing.T) {
+	_, c, _ := newCore(t, power.Big, vf.VNominal)
+	for _, f := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetThrottle(%g) did not panic", f)
+				}
+			}()
+			c.SetThrottle(f)
+		}()
+	}
+	c.Fail()
+	c.SetThrottle(0.5) // throttling a failed core: silent no-op
+	if c.Throttle() != 1 {
+		t.Error("throttle applied to a failed core")
+	}
+}

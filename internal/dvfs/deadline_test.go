@@ -1,0 +1,68 @@
+package dvfs
+
+import (
+	"testing"
+
+	"aaws/internal/model"
+	"aaws/internal/sim"
+	"aaws/internal/vf"
+)
+
+// TestStuckRegulatorDetectedAndOfflined: a regulator whose transition
+// hangs must be caught by the controller's deadline, aborted, and taken
+// offline — and the rest of the system keeps getting DVFS service.
+func TestStuckRegulatorDetectedAndOfflined(t *testing.T) {
+	eng, c, regs := newSystem(t, model.ModePacing)
+	regs[0].SetFaultHook(func(_, _ float64, lat sim.Time) (sim.Time, bool) {
+		return lat, true // every commanded transition on core 0 hangs
+	})
+	// All-active pacing moves every regulator off nominal.
+	c.SetActivity(0, false)
+	c.SetActivity(0, true)
+	eng.Run(0)
+	if got := c.StuckRegs(); got != 1 {
+		t.Fatalf("StuckRegs = %d, want 1", got)
+	}
+	if !c.Offline(0) {
+		t.Error("stuck regulator not marked offline")
+	}
+	if regs[0].Transitioning() {
+		t.Error("stuck transition was never aborted")
+	}
+	// Healthy regulators still completed their pacing moves.
+	if regs[1].Voltage() >= vf.VNominal {
+		t.Errorf("healthy big core at %g, want paced below nominal", regs[1].Voltage())
+	}
+	if regs[4].Voltage() <= vf.VNominal {
+		t.Errorf("healthy little core at %g, want paced above nominal", regs[4].Voltage())
+	}
+	// An offline regulator receives no further commands.
+	c.SetActivity(7, false)
+	c.SetActivity(7, true)
+	eng.Run(0)
+	if got := c.StuckRegs(); got != 1 {
+		t.Errorf("offline regulator was commanded again (StuckRegs = %d)", got)
+	}
+}
+
+// TestSlowRegulatorWithinDeadlineSettles: a slowed (but not stuck)
+// transition inside the deadline margin settles normally and is not
+// flagged.
+func TestSlowRegulatorWithinDeadlineSettles(t *testing.T) {
+	eng, c, regs := newSystem(t, model.ModePacing)
+	regs[0].SetFaultHook(func(_, _ float64, lat sim.Time) (sim.Time, bool) {
+		return 3 * lat, false // slow, but under the 4x deadline margin
+	})
+	c.SetActivity(0, false)
+	c.SetActivity(0, true)
+	eng.Run(0)
+	if got := c.StuckRegs(); got != 0 {
+		t.Fatalf("slow-but-live regulator flagged stuck (%d)", got)
+	}
+	if c.Offline(0) {
+		t.Error("slow regulator taken offline")
+	}
+	if regs[0].Voltage() >= vf.VNominal {
+		t.Errorf("slowed big core at %g, want paced below nominal", regs[0].Voltage())
+	}
+}

@@ -30,6 +30,17 @@ type Controller struct {
 	inFlight    int  // regulators still settling from the current decision
 	pendingEval bool // an activity change arrived during a transition
 
+	// offline[i] marks regulator i as no longer commanded: its core
+	// fail-stopped, or the regulator itself missed a transition deadline
+	// (stuck/slow fault) and was abandoned at its last safe voltage. The
+	// controller re-derives operating points for the surviving mix only.
+	offline []bool
+	// cmdSeq[i] counts commands issued to regulator i, so a transition
+	// deadline can tell whether it is watching the current command.
+	cmdSeq []uint64
+	// deadlineEv[i] is the pending transition-deadline event, if any.
+	deadlineEv []*sim.Event
+
 	// tuner, when set, adjusts LUT entries online using performance and
 	// power counters (the paper's future-work adaptive controller).
 	tuner interface {
@@ -39,7 +50,17 @@ type Controller struct {
 	// Stats.
 	decisions   int
 	transitions int
+	stuckRegs   int
 }
+
+// deadlineMargin sizes the transition deadline as a multiple of the
+// nominal settle latency; deadlineFloor guards tiny transitions against
+// spurious detection. A healthy regulator settles at 1x nominal, the
+// slow-regulator fault inflates up to ~16x, so 4x + floor cleanly
+// separates healthy from faulty.
+const deadlineMargin = 4
+
+const deadlineFloor = sim.Microsecond
 
 // New returns a controller for the given cores. classes[i] and regs[i]
 // describe core i. Cores start flagged active (they boot into the parallel
@@ -47,18 +68,22 @@ type Controller struct {
 // immediately).
 func New(eng *sim.Engine, lut *model.LUT, classes []power.CoreClass, regs []*vr.Regulator) *Controller {
 	c := &Controller{
-		eng:     eng,
-		lut:     lut,
-		regs:    regs,
-		classes: classes,
-		active:  make([]bool, len(classes)),
-		serCore: -1,
+		eng:        eng,
+		lut:        lut,
+		regs:       regs,
+		classes:    classes,
+		active:     make([]bool, len(classes)),
+		offline:    make([]bool, len(classes)),
+		cmdSeq:     make([]uint64, len(classes)),
+		deadlineEv: make([]*sim.Event, len(classes)),
+		serCore:    -1,
 	}
 	for i := range c.active {
 		c.active[i] = true
 	}
-	for _, r := range regs {
-		r.OnSettle = c.settled
+	for i, r := range regs {
+		i := i
+		r.OnSettle = func() { c.settled(i) }
 	}
 	return c
 }
@@ -77,6 +102,19 @@ func (c *Controller) Decisions() int { return c.decisions }
 
 // Transitions returns the number of regulator transitions commanded.
 func (c *Controller) Transitions() int { return c.transitions }
+
+// StuckRegs returns the number of regulators abandoned after missing a
+// transition deadline.
+func (c *Controller) StuckRegs() int { return c.stuckRegs }
+
+// Offline reports whether regulator id has been taken out of service
+// (fail-stopped core or stuck regulator).
+func (c *Controller) Offline(id int) bool { return c.offline[id] }
+
+// MarkOffline permanently stops commanding regulator id (used when its
+// core fail-stops). An in-flight transition keeps settling on its own; the
+// controller simply never issues another command to it.
+func (c *Controller) MarkOffline(id int) { c.offline[id] = true }
 
 // RestsInactive reports whether this controller parks inactive cores at
 // VMin (work-sprinting semantics).
@@ -155,13 +193,47 @@ func (c *Controller) evaluate() {
 	}
 	restV := c.lut.VRest
 	for i, r := range c.regs {
+		if c.offline[i] {
+			continue
+		}
 		t := c.targetFor(i, e, restV)
 		if t != r.Target() {
 			c.transitions++
 			c.inFlight++
-			r.Set(t)
+			c.command(i, t)
 		}
 	}
+}
+
+// command issues one regulator transition and arms its deadline. The
+// deadline is sized from the *nominal* settle latency, so a stuck or
+// pathologically slow regulator (fault injection) is detected and
+// abandoned instead of deferring controller decisions forever.
+func (c *Controller) command(i int, t float64) {
+	r := c.regs[i]
+	deadline := deadlineMargin*r.NominalLatency(t) + deadlineFloor
+	c.cmdSeq[i]++
+	seq := c.cmdSeq[i]
+	r.Set(t)
+	c.deadlineEv[i] = c.eng.After(deadline, func() { c.onDeadline(i, seq) })
+}
+
+// onDeadline fires when a commanded transition overstays its deadline. A
+// stale or already-settled command is ignored; otherwise the regulator is
+// aborted at its current safe voltage, taken offline, and the decision
+// pipeline unblocked.
+func (c *Controller) onDeadline(i int, seq uint64) {
+	if c.cmdSeq[i] != seq || c.deadlineEv[i] == nil {
+		return
+	}
+	c.deadlineEv[i] = nil
+	if !c.regs[i].Transitioning() {
+		return
+	}
+	c.regs[i].Abort()
+	c.offline[i] = true
+	c.stuckRegs++
+	c.settleOne()
 }
 
 // SetTuner installs an online LUT tuner (see adaptive.go).
@@ -176,8 +248,18 @@ func (c *Controller) SetTuner(t interface {
 // is in flight.
 func (c *Controller) Reevaluate() { c.evaluate() }
 
-// settled is invoked by each regulator when its transition completes.
-func (c *Controller) settled() {
+// settled is invoked by regulator i when its transition completes.
+func (c *Controller) settled(i int) {
+	if c.deadlineEv[i] != nil {
+		c.deadlineEv[i].Cancel()
+		c.deadlineEv[i] = nil
+	}
+	c.settleOne()
+}
+
+// settleOne retires one in-flight transition (normal settle or deadline
+// abandonment) and re-runs any deferred decision once all have resolved.
+func (c *Controller) settleOne() {
 	c.inFlight--
 	if c.inFlight == 0 && c.pendingEval {
 		c.pendingEval = false

@@ -1,0 +1,267 @@
+// Package fault is a deterministic, seed-driven fault injector for the
+// simulated machine. It perturbs three hardware layers the runtime must
+// tolerate:
+//
+//   - the inter-core interrupt network (mug messages dropped or delayed),
+//   - the cores (scheduled fail-stops and transient thermal throttling),
+//   - the voltage regulators (stuck or pathologically slow transitions).
+//
+// Every probabilistic decision draws from a private SplitMix64 stream
+// derived from the configured seed, one stream per subsystem, so a given
+// (workload seed, fault seed) pair replays bit-identically and enabling one
+// fault class does not perturb the random decisions of another. The
+// injector only ever acts through the machine's public fault surface
+// (icn.FaultHook, vr.FaultHook, machine.FailCore/ThrottleCore), never by
+// reaching into runtime state.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"aaws/internal/icn"
+	"aaws/internal/machine"
+	"aaws/internal/sim"
+	"aaws/internal/vr"
+)
+
+// Per-subsystem seed salts: distinct odd constants XORed into the base seed
+// so the message and regulator streams are decorrelated.
+const (
+	saltMsg = 0x9e3779b97f4a7c15
+	saltVR  = 0xc2b2ae3d27d4eb4f
+)
+
+// CoreFail schedules a permanent fail-stop of one core.
+type CoreFail struct {
+	Core int
+	At   sim.Time
+}
+
+// Throttle schedules a transient thermal throttle of one core: from At to
+// At+For the core's clock runs at Factor of its DVFS-commanded frequency.
+type Throttle struct {
+	Core   int
+	At     sim.Time
+	For    sim.Time
+	Factor float64
+}
+
+// Config describes a fault schedule. The zero value injects nothing.
+type Config struct {
+	// Seed drives every probabilistic fault decision. Independent of the
+	// workload seed so fault schedules can be varied against a fixed run.
+	Seed uint64
+
+	// MugDropRate is the probability an interrupt message is silently lost.
+	MugDropRate float64
+	// MugDelayRate is the probability a delivered message is delayed by a
+	// uniform extra latency in (0, MugDelayMax].
+	MugDelayRate float64
+	// MugDelayMax is the maximum extra delivery latency (default 10x the
+	// network's base latency when a delay rate is set).
+	MugDelayMax sim.Time
+
+	// VRStuckRate is the probability a commanded regulator transition hangs
+	// mid-flight and never settles (detected by the controller's deadline).
+	VRStuckRate float64
+	// VRSlowRate is the probability a transition is slowed by a uniform
+	// factor in (1, VRSlowMax].
+	VRSlowRate float64
+	// VRSlowMax is the maximum slow-down factor (default 16).
+	VRSlowMax float64
+
+	// Fails schedules permanent core fail-stops.
+	Fails []CoreFail
+	// Throttles schedules transient core slow-downs.
+	Throttles []Throttle
+}
+
+// Enabled reports whether the configuration injects any fault at all.
+func (c Config) Enabled() bool {
+	return c.MugDropRate > 0 || c.MugDelayRate > 0 ||
+		c.VRStuckRate > 0 || c.VRSlowRate > 0 ||
+		len(c.Fails) > 0 || len(c.Throttles) > 0
+}
+
+// Validate checks the schedule against a machine with numCores cores.
+func (c Config) Validate(numCores int) error {
+	checkRate := func(name string, r float64) error {
+		if r < 0 || r > 1 {
+			return fmt.Errorf("fault: %s %g outside [0, 1]", name, r)
+		}
+		return nil
+	}
+	if err := checkRate("mug drop rate", c.MugDropRate); err != nil {
+		return err
+	}
+	if err := checkRate("mug delay rate", c.MugDelayRate); err != nil {
+		return err
+	}
+	if err := checkRate("VR stuck rate", c.VRStuckRate); err != nil {
+		return err
+	}
+	if err := checkRate("VR slow rate", c.VRSlowRate); err != nil {
+		return err
+	}
+	if c.MugDelayMax < 0 {
+		return fmt.Errorf("fault: negative mug delay max %v", c.MugDelayMax)
+	}
+	if c.VRSlowMax < 0 || (c.VRSlowMax > 0 && c.VRSlowMax < 1) {
+		return fmt.Errorf("fault: VR slow max %g must be >= 1", c.VRSlowMax)
+	}
+	for _, f := range c.Fails {
+		if f.Core <= 0 || f.Core >= numCores {
+			return fmt.Errorf("fault: cannot fail core %d (valid: 1..%d; core 0 hosts the root program)",
+				f.Core, numCores-1)
+		}
+		if f.At < 0 {
+			return fmt.Errorf("fault: core %d fail-stop at negative time %v", f.Core, f.At)
+		}
+	}
+	for _, t := range c.Throttles {
+		if t.Core < 0 || t.Core >= numCores {
+			return fmt.Errorf("fault: throttle of invalid core %d", t.Core)
+		}
+		if t.Factor <= 0 || t.Factor > 1 {
+			return fmt.Errorf("fault: throttle factor %g outside (0, 1]", t.Factor)
+		}
+		if t.At < 0 || t.For <= 0 {
+			return fmt.Errorf("fault: throttle window [%v, +%v) invalid", t.At, t.For)
+		}
+	}
+	return nil
+}
+
+// Stats counts the faults actually injected over a run.
+type Stats struct {
+	MsgsDropped int
+	MsgsDelayed int
+	VRStuck     int
+	VRSlowed    int
+	CoreFails   int
+	Throttles   int
+}
+
+// Injector applies one Config to one machine.
+type Injector struct {
+	cfg    Config
+	msgRng *sim.Rand
+	vrRng  *sim.Rand
+	stats  Stats
+}
+
+// New returns an injector for the given schedule.
+func New(cfg Config) *Injector {
+	return &Injector{
+		cfg:    cfg,
+		msgRng: sim.NewRand(cfg.Seed ^ saltMsg),
+		vrRng:  sim.NewRand(cfg.Seed ^ saltVR),
+	}
+}
+
+// Stats returns the faults injected so far.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// Attach validates the schedule against m, installs the network and
+// regulator hooks, and schedules the core fail-stops and throttles. It must
+// be called before the simulation starts (the schedule is absolute-time).
+func (in *Injector) Attach(m *machine.Machine) error {
+	if err := in.cfg.Validate(m.NumCores()); err != nil {
+		return err
+	}
+	cfg := in.cfg
+	if cfg.MugDropRate > 0 || cfg.MugDelayRate > 0 {
+		delayMax := cfg.MugDelayMax
+		if delayMax == 0 {
+			delayMax = 10 * m.Net.Latency()
+		}
+		m.Net.SetFaultHook(in.msgHook(delayMax))
+	}
+	if cfg.VRStuckRate > 0 || cfg.VRSlowRate > 0 {
+		slowMax := cfg.VRSlowMax
+		if slowMax == 0 {
+			slowMax = 16
+		}
+		for _, r := range m.Regs {
+			r.SetFaultHook(in.vrHook(slowMax))
+		}
+	}
+	// Deterministic scheduling order regardless of the order the user wrote
+	// the schedule in: sort by time, ties by core id.
+	fails := append([]CoreFail(nil), cfg.Fails...)
+	sort.Slice(fails, func(i, j int) bool {
+		if fails[i].At != fails[j].At {
+			return fails[i].At < fails[j].At
+		}
+		return fails[i].Core < fails[j].Core
+	})
+	for _, f := range fails {
+		f := f
+		m.Eng.At(f.At, func() {
+			if m.Failed(f.Core) {
+				return
+			}
+			in.stats.CoreFails++
+			if err := m.FailCore(f.Core); err != nil {
+				panic(err) // validated above; unreachable
+			}
+		})
+	}
+	throttles := append([]Throttle(nil), cfg.Throttles...)
+	sort.Slice(throttles, func(i, j int) bool {
+		if throttles[i].At != throttles[j].At {
+			return throttles[i].At < throttles[j].At
+		}
+		return throttles[i].Core < throttles[j].Core
+	})
+	for _, t := range throttles {
+		t := t
+		m.Eng.At(t.At, func() {
+			in.stats.Throttles++
+			if err := m.ThrottleCore(t.Core, t.Factor); err != nil {
+				panic(err) // validated above; unreachable
+			}
+		})
+		m.Eng.At(t.At+t.For, func() {
+			if err := m.ThrottleCore(t.Core, 1); err != nil {
+				panic(err)
+			}
+		})
+	}
+	return nil
+}
+
+// msgHook returns the interrupt-network fault hook: a Bernoulli drop, then
+// (for survivors) a Bernoulli uniform delay.
+func (in *Injector) msgHook(delayMax sim.Time) icn.FaultHook {
+	return func(icn.Message) (bool, sim.Time) {
+		if in.cfg.MugDropRate > 0 && in.msgRng.Float64() < in.cfg.MugDropRate {
+			in.stats.MsgsDropped++
+			return true, 0
+		}
+		if in.cfg.MugDelayRate > 0 && in.msgRng.Float64() < in.cfg.MugDelayRate {
+			in.stats.MsgsDelayed++
+			return false, 1 + sim.Time(in.msgRng.Int63()%int64(delayMax))
+		}
+		return false, 0
+	}
+}
+
+// vrHook returns the regulator fault hook: a Bernoulli stuck-at fault, then
+// (for survivors) a Bernoulli slow transition with a uniform inflation
+// factor in (1, slowMax].
+func (in *Injector) vrHook(slowMax float64) vr.FaultHook {
+	return func(_, _ float64, lat sim.Time) (sim.Time, bool) {
+		if in.cfg.VRStuckRate > 0 && in.vrRng.Float64() < in.cfg.VRStuckRate {
+			in.stats.VRStuck++
+			return lat, true
+		}
+		if in.cfg.VRSlowRate > 0 && in.vrRng.Float64() < in.cfg.VRSlowRate {
+			in.stats.VRSlowed++
+			f := 1 + in.vrRng.Float64()*(slowMax-1)
+			return sim.Time(float64(lat) * f), false
+		}
+		return lat, false
+	}
+}

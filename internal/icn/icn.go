@@ -21,10 +21,21 @@ type Message struct {
 	// Kind discriminates interrupt handlers; work-mugging is the only user
 	// in this repository but the network is generic.
 	Kind int
+	// Seq is a sender-assigned sequence number letting protocols built on
+	// an unreliable network (drop/delay fault injection) tell a live
+	// handshake from a stale duplicate or late delivery.
+	Seq uint64
 }
 
 // Handler receives delivered interrupts on the destination core.
 type Handler func(m Message)
+
+// FaultHook inspects each message as it is sent. It returns drop to
+// suppress delivery entirely and extra latency to add on top of the
+// network's base latency (both zero-valued for a healthy network). The
+// hook is how the fault injector models a lossy/slow interrupt network;
+// it must be deterministic for reproducibility.
+type FaultHook func(m Message) (drop bool, extra sim.Time)
 
 // Network delivers point-to-point interrupt messages with a fixed latency.
 type Network struct {
@@ -32,6 +43,9 @@ type Network struct {
 	latency  sim.Time
 	handlers []Handler
 	sent     int
+	fault    FaultHook
+	dropped  int
+	delayed  int
 }
 
 // New returns a network for n cores with the given one-way delivery latency.
@@ -45,12 +59,22 @@ func (n *Network) SetHandler(id int, h Handler) { n.handlers[id] = h }
 // Latency returns the one-way delivery latency.
 func (n *Network) Latency() sim.Time { return n.latency }
 
-// Sent returns the number of messages sent so far.
+// Sent returns the number of messages sent so far (including dropped ones).
 func (n *Network) Sent() int { return n.sent }
 
+// Dropped returns the number of messages suppressed by the fault hook.
+func (n *Network) Dropped() int { return n.dropped }
+
+// Delayed returns the number of messages delivered late by the fault hook.
+func (n *Network) Delayed() int { return n.delayed }
+
+// SetFaultHook installs (or, with nil, removes) the message fault hook.
+func (n *Network) SetFaultHook(h FaultHook) { n.fault = h }
+
 // Send schedules delivery of m to its destination core after the network
-// latency. It panics on an invalid destination or a missing handler: both
-// indicate runtime bugs, not recoverable conditions.
+// latency (possibly perturbed by the fault hook). It panics on an invalid
+// destination or a missing handler: both indicate runtime bugs, not
+// recoverable conditions.
 func (n *Network) Send(m Message) {
 	if m.To < 0 || m.To >= len(n.handlers) {
 		panic(fmt.Sprintf("icn: send to invalid core %d", m.To))
@@ -59,5 +83,17 @@ func (n *Network) Send(m Message) {
 		panic(fmt.Sprintf("icn: core %d has no interrupt handler", m.To))
 	}
 	n.sent++
-	n.eng.After(n.latency, func() { n.handlers[m.To](m) })
+	lat := n.latency
+	if n.fault != nil {
+		drop, extra := n.fault(m)
+		if drop {
+			n.dropped++
+			return
+		}
+		if extra > 0 {
+			n.delayed++
+			lat += extra
+		}
+	}
+	n.eng.After(lat, func() { n.handlers[m.To](m) })
 }

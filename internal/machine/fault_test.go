@@ -1,0 +1,86 @@
+package machine
+
+import (
+	"testing"
+
+	"aaws/internal/model"
+	"aaws/internal/power"
+)
+
+func TestFailCoreRejectsCoreZero(t *testing.T) {
+	_, m := new4B4L(t, model.ModeNominal)
+	if err := m.FailCore(0); err == nil {
+		t.Error("core 0 (root program host) was allowed to fail")
+	}
+	for _, id := range []int{-1, 8, 100} {
+		if err := m.FailCore(id); err == nil {
+			t.Errorf("out-of-range core %d was allowed to fail", id)
+		}
+	}
+}
+
+func TestFailCoreIsIdempotent(t *testing.T) {
+	eng, m := new4B4L(t, model.ModeNominal)
+	called := 0
+	m.OnCoreFail = func(id int) bool { called++; return true }
+	if err := m.FailCore(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.FailCore(3); err != nil {
+		t.Fatalf("second FailCore errored: %v", err)
+	}
+	if called != 1 {
+		t.Errorf("OnCoreFail hook ran %d times, want 1", called)
+	}
+	if !m.Failed(3) || !m.Cores[3].Failed() {
+		t.Error("core 3 not marked failed")
+	}
+	if m.Failed(2) {
+		t.Error("neighbouring core marked failed")
+	}
+	eng.Run(0)
+	// A failed core is pinned to Resting for the energy accountant.
+	if m.State(3) != power.StateResting {
+		t.Errorf("failed core state = %v, want resting", m.State(3))
+	}
+}
+
+func TestFailCoreHookCanDefer(t *testing.T) {
+	_, m := new4B4L(t, model.ModeNominal)
+	m.OnCoreFail = func(id int) bool { return false } // mid-swap: not yet
+	if err := m.FailCore(5); err != nil {
+		t.Fatal(err)
+	}
+	if m.Failed(5) {
+		t.Error("deferred fail-stop was applied immediately")
+	}
+	m.OnCoreFail = func(id int) bool { return true }
+	if err := m.FailCore(5); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Failed(5) {
+		t.Error("re-issued fail-stop did not land")
+	}
+}
+
+func TestThrottleCoreValidation(t *testing.T) {
+	_, m := new4B4L(t, model.ModeNominal)
+	if err := m.ThrottleCore(0, 0.5); err != nil {
+		t.Errorf("core-0 throttle rejected: %v", err)
+	}
+	if err := m.ThrottleCore(8, 0.5); err == nil {
+		t.Error("out-of-range throttle accepted")
+	}
+	if err := m.ThrottleCore(1, 0); err == nil {
+		t.Error("zero throttle factor accepted")
+	}
+	if err := m.ThrottleCore(1, 2); err == nil {
+		t.Error("throttle factor > 1 accepted")
+	}
+	if err := m.ThrottleCore(1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Cores[1].Throttle(); got != 0.5 {
+		t.Errorf("throttle = %g, want 0.5", got)
+	}
+}

@@ -91,12 +91,19 @@ type Machine struct {
 	Net    *icn.Network
 	Acc    []*power.Accountant
 	states []power.CoreState
+	failed []bool
 
 	// Optional observers.
 	OnState   StateSink
 	OnVoltage VoltageSink
 	// OnSerial observes serial-region flag changes.
 	OnSerial func(now sim.Time, on bool)
+	// OnCoreFail, if non-nil, is consulted before a fail-stop is applied.
+	// The runtime uses it to reclaim the dying core's scheduler state
+	// (deque, in-flight task). Returning false defers the failure: the
+	// machine does nothing now and the runtime calls FailCore again at the
+	// next safe point (e.g. after an in-flight mug swap completes).
+	OnCoreFail func(id int) bool
 }
 
 // New builds a machine. All cores boot waiting at nominal voltage with
@@ -113,6 +120,7 @@ func New(eng *sim.Engine, cfg Config) (*Machine, error) {
 		Regs:   make([]*vr.Regulator, n),
 		Acc:    make([]*power.Accountant, n),
 		states: make([]power.CoreState, n),
+		failed: make([]bool, n),
 	}
 	classes := make([]power.CoreClass, n)
 	for i := 0; i < n; i++ {
@@ -183,6 +191,10 @@ func (m *Machine) RefreshState(id int) {
 }
 
 func (m *Machine) effectiveState(id int, s power.CoreState) power.CoreState {
+	// A fail-stopped core draws leakage only, whatever the runtime reports.
+	if m.failed[id] {
+		return power.StateResting
+	}
 	if s != power.StateWaiting {
 		return s
 	}
@@ -212,6 +224,55 @@ func (m *Machine) HintSerial(id int, on bool) {
 	if m.OnSerial != nil {
 		m.OnSerial(m.Eng.Now(), on)
 	}
+}
+
+// ---- fault injection ----
+
+// Failed reports whether core id has fail-stopped.
+func (m *Machine) Failed(id int) bool { return m.failed[id] }
+
+// FailCore fail-stops core id: the scheduler reclaims its state (via
+// OnCoreFail), the core stops retiring instructions permanently, its
+// regulator is taken out of the DVFS decision loop, and the controller
+// re-derives the operating point for the surviving core mix. Core 0 cannot
+// fail: the runtime pins the root program (logical thread 0) there, and
+// the paper's machine keeps the sequential region on a big core by
+// construction. Failing an already-failed core is a no-op.
+func (m *Machine) FailCore(id int) error {
+	if id <= 0 || id >= len(m.Cores) {
+		return fmt.Errorf("machine: cannot fail core %d (valid: 1..%d; core 0 hosts the root program)",
+			id, len(m.Cores)-1)
+	}
+	if m.failed[id] {
+		return nil
+	}
+	if m.OnCoreFail != nil && !m.OnCoreFail(id) {
+		// The runtime is at an unsafe point (mid mug-swap); it re-invokes
+		// FailCore at the next scheduling boundary.
+		return nil
+	}
+	m.failed[id] = true
+	m.Cores[id].Fail()
+	m.Ctl.MarkOffline(id)
+	// Drop the dead core's activity bit so the controller re-derives the
+	// surviving mix's operating point, then pin its accounting at rest.
+	m.HintActivity(id, false)
+	m.SetState(id, power.StateResting)
+	return nil
+}
+
+// ThrottleCore sets core id's thermal-throttle factor (1 restores full
+// speed). In-flight work is retimed at the new effective rate. Throttling
+// a failed core is a no-op.
+func (m *Machine) ThrottleCore(id int, factor float64) error {
+	if id < 0 || id >= len(m.Cores) {
+		return fmt.Errorf("machine: throttle of invalid core %d", id)
+	}
+	if factor <= 0 || factor > 1 {
+		return fmt.Errorf("machine: throttle factor %g outside (0, 1]", factor)
+	}
+	m.Cores[id].SetThrottle(factor)
+	return nil
 }
 
 // Finish closes all energy accounting at the current simulated time.

@@ -16,6 +16,15 @@ type Central struct {
 	nw    int
 	stop  atomic.Bool
 	wg    sync.WaitGroup
+	fail  atomic.Pointer[PanicError]
+}
+
+// Err returns the panic that poisoned the pool, or nil while healthy.
+func (c *Central) Err() error {
+	if e := c.fail.Load(); e != nil {
+		return e
+	}
+	return nil
 }
 
 // NewCentral returns a central-queue pool with n workers (n <= 0 uses
@@ -55,6 +64,9 @@ func (c *Central) pop() *task {
 // ParallelFor implements Executor. The caller helps drain the central
 // queue while waiting, so nested calls cannot deadlock the pool.
 func (c *Central) ParallelFor(lo, hi, grain int, body func(lo, hi int)) {
+	if e := c.fail.Load(); e != nil {
+		panic(e) // poisoned by an earlier body panic; fail fast
+	}
 	if hi <= lo {
 		return
 	}
@@ -68,6 +80,7 @@ func (c *Central) ParallelFor(lo, hi, grain int, body func(lo, hi int)) {
 	for {
 		select {
 		case <-j.done:
+			c.finishJob(j)
 			return
 		default:
 		}
@@ -82,10 +95,20 @@ func (c *Central) ParallelFor(lo, hi, grain int, body func(lo, hi int)) {
 		} else {
 			select {
 			case <-j.done:
+				c.finishJob(j)
 				return
 			case <-time.After(20 * time.Microsecond):
 			}
 		}
+	}
+}
+
+// finishJob re-raises a recovered body panic in the submitting goroutine
+// and poisons the pool, mirroring Pool.finishJob.
+func (c *Central) finishJob(j *job) {
+	if e := j.err.Load(); e != nil {
+		c.fail.CompareAndSwap(nil, e)
+		panic(e)
 	}
 }
 
@@ -97,8 +120,7 @@ func (c *Central) exec(t *task) {
 		c.push(&task{lo: mid, hi: hi, job: j})
 		hi = mid
 	}
-	j.body(lo, hi)
-	j.finish(int64(hi - lo))
+	j.runSpan(lo, hi)
 }
 
 func (c *Central) run() {

@@ -1,0 +1,48 @@
+package native
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError wraps a panic recovered from a ParallelFor body so it can be
+// re-raised in the submitting goroutine (or converted to an error at an
+// API boundary) instead of killing an anonymous worker goroutine and
+// deadlocking everyone waiting on the job.
+type PanicError struct {
+	Value any    // the original panic value
+	Stack []byte // stack of the goroutine that panicked
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("native: panic in parallel task body: %v\n%s", e.Value, e.Stack)
+}
+
+// Unwrap exposes the original panic value when it was itself an error.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// stackTrace captures the current goroutine's stack for a PanicError.
+func stackTrace() []byte { return debug.Stack() }
+
+// Protect runs f and converts any panic — including a *PanicError
+// propagated out of an Executor — into a returned error. Use it at API
+// boundaries (Table2, command-line tools) that must not crash on a bad
+// kernel body.
+func Protect(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*PanicError); ok {
+				err = pe
+				return
+			}
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	f()
+	return nil
+}

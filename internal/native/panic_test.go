@@ -1,0 +1,108 @@
+package native
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestBodyPanicPropagates: a panic in a task body — wherever it runs
+// (worker, helper, or the submitting goroutine) — must surface in the
+// submitting goroutine as a *PanicError, not kill a worker and hang the
+// job.
+func TestBodyPanicPropagates(t *testing.T) {
+	for name, mk := range map[string]func() Executor{
+		"stealing": func() Executor { return NewStealing(4) },
+		"central":  func() Executor { return NewCentral(4) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			ex := mk()
+			defer ex.Shutdown()
+			err := Protect(func() {
+				ex.ParallelFor(0, 10000, 8, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						if i == 4321 {
+							panic("boom at 4321")
+						}
+					}
+				})
+			})
+			if err == nil {
+				t.Fatal("panic in body did not propagate to caller")
+			}
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error is %T, want *PanicError", err)
+			}
+			if pe.Value != "boom at 4321" {
+				t.Errorf("panic value = %v", pe.Value)
+			}
+			if !strings.Contains(err.Error(), "boom at 4321") {
+				t.Errorf("error text missing panic value: %s", err)
+			}
+		})
+	}
+}
+
+// TestPanicPoisonsPool: after a body panic the pool refuses further work,
+// failing fast with the original error instead of computing on top of a
+// half-executed job.
+func TestPanicPoisonsPool(t *testing.T) {
+	p := NewStealing(2)
+	defer p.Shutdown()
+	if p.Err() != nil {
+		t.Fatalf("fresh pool already poisoned: %v", p.Err())
+	}
+	first := Protect(func() {
+		p.ParallelFor(0, 100, 1, func(lo, hi int) { panic("first") })
+	})
+	if first == nil {
+		t.Fatal("first panic not propagated")
+	}
+	if p.Err() == nil {
+		t.Fatal("pool not poisoned after body panic")
+	}
+	second := Protect(func() {
+		p.ParallelFor(0, 100, 1, func(lo, hi int) {})
+	})
+	var pe *PanicError
+	if !errors.As(second, &pe) || pe.Value != "first" {
+		t.Fatalf("poisoned pool returned %v, want original panic", second)
+	}
+}
+
+// TestPanicAbortsRemainingSpans: once one span panics, unexecuted spans
+// of the same job are skipped (cancellation), not run to completion.
+func TestPanicAbortsRemainingSpans(t *testing.T) {
+	p := NewStealing(1)
+	defer p.Shutdown()
+	var ran atomic.Int64
+	_ = Protect(func() {
+		p.ParallelFor(0, 1<<16, 1, func(lo, hi int) {
+			if ran.Add(1) == 1 {
+				panic("early")
+			}
+		})
+	})
+	if n := ran.Load(); n >= 1<<16 {
+		t.Errorf("all %d spans ran despite abort", n)
+	}
+}
+
+// TestErrorPanicUnwraps: panicking with an error value keeps it reachable
+// through errors.Is on the propagated *PanicError.
+func TestErrorPanicUnwraps(t *testing.T) {
+	sentinel := errors.New("sentinel failure")
+	c := NewCentral(2)
+	defer c.Shutdown()
+	err := Protect(func() {
+		c.ParallelFor(0, 64, 4, func(lo, hi int) { panic(sentinel) })
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("errors.Is lost the sentinel: %v", err)
+	}
+	if c.Err() == nil {
+		t.Error("central pool not poisoned")
+	}
+}

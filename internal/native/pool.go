@@ -50,16 +50,45 @@ type task struct {
 
 // job is one ParallelFor invocation.
 type job struct {
-	grain   int
-	body    func(lo, hi int)
-	pending atomic.Int64
-	done    chan struct{}
+	grain    int
+	body     func(lo, hi int)
+	pending  atomic.Int64
+	done     chan struct{}
+	doneOnce sync.Once
+	err      atomic.Pointer[PanicError]
 }
 
 func (j *job) finish(n int64) {
 	if j.pending.Add(-n) == 0 {
-		close(j.done)
+		j.doneOnce.Do(func() { close(j.done) })
 	}
+}
+
+// abort records the first panic of the job and releases every waiter.
+// Tasks of an aborted job still queued (or mid-split) become no-ops, so
+// the pool drains itself instead of running a half-poisoned body.
+func (j *job) abort(e *PanicError) {
+	j.err.CompareAndSwap(nil, e)
+	j.doneOnce.Do(func() { close(j.done) })
+}
+
+// runSpan executes body over a leaf span, recovering panics into the job.
+// After an abort the span is skipped but still accounted, so a job whose
+// pending count races to zero closes done exactly once either way.
+func (j *job) runSpan(lo, hi int) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(*PanicError)
+			if !ok {
+				pe = &PanicError{Value: r, Stack: stackTrace()}
+			}
+			j.abort(pe)
+		}
+	}()
+	if j.err.Load() == nil {
+		j.body(lo, hi)
+	}
+	j.finish(int64(hi - lo))
 }
 
 // Pool is the work-stealing executor.
@@ -69,6 +98,15 @@ type Pool struct {
 	stop    chan struct{}
 	wg      sync.WaitGroup
 	steals  atomic.Int64
+	fail    atomic.Pointer[PanicError]
+}
+
+// Err returns the panic that poisoned the pool, or nil while healthy.
+func (p *Pool) Err() error {
+	if e := p.fail.Load(); e != nil {
+		return e
+	}
+	return nil
 }
 
 // NewStealing returns a work-stealing pool with n workers (n <= 0 uses
@@ -102,6 +140,9 @@ func (p *Pool) Steals() int64 { return p.steals.Load() }
 // ParallelFor/Invoke from inside task bodies cannot deadlock the pool even
 // with a single worker.
 func (p *Pool) ParallelFor(lo, hi, grain int, body func(lo, hi int)) {
+	if e := p.fail.Load(); e != nil {
+		panic(e) // poisoned by an earlier body panic; fail fast
+	}
 	if hi <= lo {
 		return
 	}
@@ -116,6 +157,7 @@ func (p *Pool) ParallelFor(lo, hi, grain int, body func(lo, hi int)) {
 	for {
 		select {
 		case <-j.done:
+			p.finishJob(j)
 			return
 		default:
 		}
@@ -139,10 +181,22 @@ func (p *Pool) ParallelFor(lo, hi, grain int, body func(lo, hi int)) {
 		} else {
 			select {
 			case <-j.done:
+				p.finishJob(j)
 				return
 			case <-time.After(20 * time.Microsecond):
 			}
 		}
+	}
+}
+
+// finishJob is the tail of a ParallelFor wait: if a body panicked, the
+// pool is poisoned and the panic re-raised in the submitting goroutine —
+// the caller sees the failure where the work was requested, not a dead
+// worker.
+func (p *Pool) finishJob(j *job) {
+	if e := j.err.Load(); e != nil {
+		p.fail.CompareAndSwap(nil, e)
+		panic(e)
 	}
 }
 
@@ -164,15 +218,13 @@ func (p *Pool) execHelp(t *task) {
 				if e > hi {
 					e = hi
 				}
-				j.body(lo, e)
-				j.finish(int64(e - lo))
+				j.runSpan(lo, e)
 				lo = e
 			}
 			return
 		}
 	}
-	j.body(lo, hi)
-	j.finish(int64(hi - lo))
+	j.runSpan(lo, hi)
 }
 
 // stealAny steals from the most occupied worker (for helping goroutines).

@@ -47,17 +47,30 @@ func Table2(opt Table2Options, progress io.Writer) ([]Table2Row, error) {
 			return nil, fmt.Errorf("serial %s: %w", k.Name, err)
 		}
 
+		// Protect converts a panicking kernel body (re-raised by the
+		// executor in this goroutine) into an error instead of crashing
+		// the whole measurement run.
 		central := NewCentral(opt.Workers)
-		centralT := measure(opt.Trials, func() { k.Prepare(); k.Parallel(central) })
-		err := k.Check()
+		var centralT time.Duration
+		err := Protect(func() {
+			centralT = measure(opt.Trials, func() { k.Prepare(); k.Parallel(central) })
+		})
+		if err == nil {
+			err = k.Check()
+		}
 		central.Shutdown()
 		if err != nil {
 			return nil, fmt.Errorf("central %s: %w", k.Name, err)
 		}
 
 		stealing := NewStealing(opt.Workers)
-		stealT := measure(opt.Trials, func() { k.Prepare(); k.Parallel(stealing) })
-		err = k.Check()
+		var stealT time.Duration
+		err = Protect(func() {
+			stealT = measure(opt.Trials, func() { k.Prepare(); k.Parallel(stealing) })
+		})
+		if err == nil {
+			err = k.Check()
+		}
 		stealing.Shutdown()
 		if err != nil {
 			return nil, fmt.Errorf("stealing %s: %w", k.Name, err)

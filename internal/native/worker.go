@@ -19,7 +19,9 @@ func newPWorker(p *Pool, id int) *pworker {
 }
 
 // exec runs a range task: split in half until at most grain iterations
-// remain, pushing the upper halves for thieves (child stealing).
+// remain, pushing the upper halves for thieves (child stealing). The leaf
+// runs through runSpan, so a panicking body aborts its job instead of
+// killing this worker goroutine.
 func (w *pworker) exec(t *task) {
 	j := t.job
 	lo, hi := t.lo, t.hi
@@ -28,8 +30,7 @@ func (w *pworker) exec(t *task) {
 		w.dq.Push(&task{lo: mid, hi: hi, job: j})
 		hi = mid
 	}
-	j.body(lo, hi)
-	j.finish(int64(hi - lo))
+	j.runSpan(lo, hi)
 }
 
 // steal picks the victim with the largest queue occupancy, as in the

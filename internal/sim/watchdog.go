@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Liveness watchdog: bounded variants of Run that return an error instead
+// of spinning forever when a model bug (or an injected fault that the
+// runtime fails to recover from) livelocks the event loop.
+
+// ErrMaxEvents reports that a run exceeded its total event budget.
+var ErrMaxEvents = errors.New("sim: event budget exhausted")
+
+// ErrStalled reports that simulated time failed to advance across too many
+// consecutive events (a same-instant event storm).
+var ErrStalled = errors.New("sim: no time progress")
+
+// Budget bounds a watched run. Zero fields disable the respective check.
+type Budget struct {
+	// MaxEvents caps the total number of events executed.
+	MaxEvents uint64
+	// MaxStall caps consecutive events executed without the simulated
+	// clock advancing.
+	MaxStall uint64
+}
+
+// RunBudget executes events until the queue drains (returning nil) or the
+// budget is violated (returning an error wrapping ErrMaxEvents or
+// ErrStalled). The engine remains usable after a budget violation: pending
+// events stay queued and the clock stays at the violation instant, so the
+// caller can inspect state or drain with a larger budget.
+func (e *Engine) RunBudget(b Budget) error {
+	var n, stall uint64
+	last := e.now
+	for {
+		if b.MaxEvents > 0 && n >= b.MaxEvents {
+			return fmt.Errorf("%w: %d events executed, clock at %v, %d pending",
+				ErrMaxEvents, n, e.now, e.Pending())
+		}
+		if !e.Step() {
+			return nil
+		}
+		n++
+		if e.now > last {
+			last = e.now
+			stall = 0
+			continue
+		}
+		stall++
+		if b.MaxStall > 0 && stall >= b.MaxStall {
+			return fmt.Errorf("%w: %d consecutive events at %v",
+				ErrStalled, stall, e.now)
+		}
+	}
+}

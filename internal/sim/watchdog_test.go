@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRunBudgetDrainsHealthyQueue(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i)*Microsecond, func() { ran++ })
+	}
+	if err := e.RunBudget(Budget{MaxEvents: 100, MaxStall: 10}); err != nil {
+		t.Fatalf("healthy queue: %v", err)
+	}
+	if ran != 10 {
+		t.Errorf("ran %d events, want 10", ran)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("%d events still pending", e.Pending())
+	}
+}
+
+func TestRunBudgetMaxEvents(t *testing.T) {
+	e := NewEngine()
+	var rearm func()
+	n := 0
+	rearm = func() {
+		n++
+		e.After(Nanosecond, rearm) // livelock: always one more event
+	}
+	e.After(0, rearm)
+	err := e.RunBudget(Budget{MaxEvents: 1000})
+	if !errors.Is(err, ErrMaxEvents) {
+		t.Fatalf("err = %v, want ErrMaxEvents", err)
+	}
+	if n != 1000 {
+		t.Errorf("executed %d events before tripping, want 1000", n)
+	}
+	// The engine survives the violation: the pending event is still there
+	// and a larger budget keeps going.
+	if e.Pending() == 0 {
+		t.Error("violation discarded the pending event")
+	}
+	if err := e.RunBudget(Budget{MaxEvents: 5}); !errors.Is(err, ErrMaxEvents) {
+		t.Errorf("second budget run: %v", err)
+	}
+}
+
+func TestRunBudgetStall(t *testing.T) {
+	e := NewEngine()
+	var storm func()
+	storm = func() { e.At(e.Now(), storm) } // same-instant event storm
+	e.At(Microsecond, storm)
+	err := e.RunBudget(Budget{MaxStall: 64})
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+	if e.Now() != Microsecond {
+		t.Errorf("clock at %v, want the storm instant", e.Now())
+	}
+}
+
+// TestRunBudgetStallResetsOnProgress: events that advance time reset the
+// stall counter, so bursts of same-instant events below the cap pass.
+func TestRunBudgetStallResetsOnProgress(t *testing.T) {
+	e := NewEngine()
+	for i := 1; i <= 20; i++ {
+		at := Time(i) * Microsecond
+		for j := 0; j < 30; j++ { // 30-event burst per instant, cap is 32
+			e.At(at, func() {})
+		}
+	}
+	if err := e.RunBudget(Budget{MaxStall: 32}); err != nil {
+		t.Fatalf("bursty but progressing queue tripped the watchdog: %v", err)
+	}
+}
+
+func TestRunBudgetZeroIsUnbounded(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5000; i++ {
+		e.At(Time(i), func() {})
+	}
+	if err := e.RunBudget(Budget{}); err != nil {
+		t.Fatalf("zero budget must disable both checks: %v", err)
+	}
+}

@@ -1,0 +1,42 @@
+package stats
+
+import (
+	"fmt"
+
+	"aaws/internal/power"
+	"aaws/internal/sim"
+)
+
+// CheckConservation verifies that a run's per-core energy accounting closed
+// consistently: every core's accountant covers the same wall-clock span
+// (they all open at t=0 and close together when the machine finishes), that
+// span is at least the program's execution time (accountants close at
+// simulation drain, which can trail program completion by settling
+// regulator transitions and late fault events), and no energy or time
+// bucket went negative. A violation means a transition was recorded out of
+// order or a segment was double-counted — an accounting bug, not a property
+// of the workload, so it must hold under any fault schedule.
+func CheckConservation(energy []power.Breakdown, exec sim.Time) error {
+	if len(energy) == 0 {
+		return nil
+	}
+	span := func(b power.Breakdown) sim.Time {
+		return b.ActiveTime + b.WaitingTime + b.RestingTime
+	}
+	t0 := span(energy[0])
+	for i, b := range energy {
+		if s := span(b); s != t0 {
+			return fmt.Errorf("stats: core %d accounted %v of time, core 0 accounted %v", i, s, t0)
+		}
+		if b.ActiveTime < 0 || b.WaitingTime < 0 || b.RestingTime < 0 {
+			return fmt.Errorf("stats: core %d has a negative time bucket: %+v", i, b)
+		}
+		if b.ActiveEnergy < 0 || b.WaitingEnergy < 0 || b.RestingEnergy < 0 {
+			return fmt.Errorf("stats: core %d has a negative energy bucket: %+v", i, b)
+		}
+	}
+	if t0 < exec {
+		return fmt.Errorf("stats: accounting closed at %v, before the program finished at %v", t0, exec)
+	}
+	return nil
+}

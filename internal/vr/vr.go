@@ -13,6 +13,13 @@ import (
 	"aaws/internal/vf"
 )
 
+// FaultHook perturbs a commanded transition: it receives the from/to
+// voltages and the modelled settle latency, and returns the (possibly
+// inflated) latency plus stuck — a regulator that never settles on its own.
+// The DVFS controller detects both through a transition deadline. Hooks
+// must be deterministic for reproducibility.
+type FaultHook func(from, to float64, lat sim.Time) (sim.Time, bool)
+
 // Regulator is one per-core integrated voltage regulator.
 type Regulator struct {
 	eng *sim.Engine
@@ -20,11 +27,15 @@ type Regulator struct {
 	voltage float64 // settled output voltage
 	target  float64 // in-flight target (== voltage when idle)
 	done    *sim.Event
+	stuck   bool // an in-flight transition that will never settle
 
 	// stepNs is the transition latency per 0.15 V step (default the
 	// paper's 40 ns; Section IV-D sweeps this to 250 ns in a sensitivity
 	// study).
 	stepNs float64
+
+	// fault, if non-nil, perturbs each commanded transition.
+	fault FaultHook
 
 	// OnSettle, if non-nil, is invoked when a transition completes.
 	OnSettle func()
@@ -43,26 +54,61 @@ func New(eng *sim.Engine, initial float64) *Regulator {
 // studies). Must be called before any transition is issued.
 func (r *Regulator) SetStepLatencyNs(ns float64) { r.stepNs = ns }
 
+// SetFaultHook installs (or, with nil, removes) the transition fault hook.
+func (r *Regulator) SetFaultHook(h FaultHook) { r.fault = h }
+
 // Voltage returns the settled (or target-in-progress) commanded voltage.
 func (r *Regulator) Voltage() float64 { return r.voltage }
 
 // Target returns the most recently commanded target.
 func (r *Regulator) Target() float64 { return r.target }
 
-// Transitioning reports whether a voltage change is in flight.
-func (r *Regulator) Transitioning() bool { return r.done != nil }
+// Transitioning reports whether a voltage change is in flight (including a
+// stuck one that will never settle on its own).
+func (r *Regulator) Transitioning() bool { return r.done != nil || r.stuck }
+
+// Stuck reports whether the in-flight transition is a stuck one (fault
+// injection) that will never settle without an Abort.
+func (r *Regulator) Stuck() bool { return r.stuck }
 
 // Effective returns the voltage at which the attached core may safely run
 // right now: during a transition this is the lower of the old and new
 // voltages (the core continues executing at the lower frequency).
 func (r *Regulator) Effective() float64 {
-	if r.done == nil {
+	if !r.Transitioning() {
 		return r.voltage
 	}
 	if r.target < r.voltage {
 		return r.target
 	}
 	return r.voltage
+}
+
+// NominalLatency returns the fault-free modelled settle latency of a
+// transition from the current effective voltage to v. The DVFS controller
+// uses it to size its transition deadline independently of any fault
+// inflation applied by the hook.
+func (r *Regulator) NominalLatency(v float64) sim.Time {
+	return sim.Time(vf.TransitionNs(r.Effective(), v) / vf.StepLatencyNs * r.stepNs * float64(sim.Nanosecond))
+}
+
+// Abort cancels an in-flight (possibly stuck) transition and settles the
+// regulator at its current effective voltage — the safe point the core has
+// been running at all along. The controller calls this when a transition
+// misses its deadline; it is a no-op on a settled regulator. OnSettle and
+// OnChange are not invoked: the effective voltage does not change.
+func (r *Regulator) Abort() {
+	if !r.Transitioning() {
+		return
+	}
+	eff := r.Effective()
+	if r.done != nil {
+		r.done.Cancel()
+		r.done = nil
+	}
+	r.stuck = false
+	r.voltage = eff
+	r.target = eff
 }
 
 // Set commands a transition to v and returns the simulated settle time. If
@@ -72,10 +118,14 @@ func (r *Regulator) Effective() float64 {
 // controller never does this — it waits for settles — but the model stays
 // safe if a caller does.) Setting the current voltage is a no-op.
 func (r *Regulator) Set(v float64) sim.Time {
-	if r.done != nil {
-		r.done.Cancel()
-		r.voltage = r.Effective()
-		r.done = nil
+	if r.Transitioning() {
+		eff := r.Effective()
+		if r.done != nil {
+			r.done.Cancel()
+			r.done = nil
+		}
+		r.stuck = false
+		r.voltage = eff
 	}
 	if v == r.voltage {
 		r.target = v
@@ -83,6 +133,20 @@ func (r *Regulator) Set(v float64) sim.Time {
 	}
 	r.target = v
 	lat := sim.Time(vf.TransitionNs(r.voltage, v) / vf.StepLatencyNs * r.stepNs * float64(sim.Nanosecond))
+	if r.fault != nil {
+		var stuck bool
+		lat, stuck = r.fault(r.voltage, v, lat)
+		if stuck {
+			// The output hangs mid-transition: the core keeps running at
+			// the conservative effective voltage, OnSettle never fires,
+			// and only the controller's deadline (via Abort) resolves it.
+			r.stuck = true
+			if r.OnChange != nil && v < r.voltage {
+				r.OnChange()
+			}
+			return r.eng.Now() + lat
+		}
+	}
 	r.done = r.eng.After(lat, func() {
 		r.done = nil
 		r.voltage = r.target

@@ -178,6 +178,25 @@ type Config struct {
 	// in long LP regions; the paper's runtime spins without backoff, so
 	// keep this small relative to task sizes.
 	StealBackoffMax float64
+	// MugAckTimeoutFactor arms a delivery watchdog on every mug interrupt,
+	// as a multiple of the ICN one-way latency: if the handshake has not
+	// begun within that window (the interrupt was dropped or badly delayed
+	// by a fault), the mugger resends up to MugRetryMax times and then
+	// falls back to the steal loop instead of stranding itself and the
+	// muggee's task. 0 disables the watchdog (the paper's protocol, which
+	// trusts the network). On a healthy network the timeout never fires,
+	// so enabling it does not perturb fault-free schedules.
+	MugAckTimeoutFactor float64
+	// MugRetryMax bounds mug-interrupt resends after a delivery timeout.
+	MugRetryMax int
+	// MaxEvents caps the total simulation events of one Execute (liveness
+	// watchdog); ExecuteChecked returns an error instead of hanging when a
+	// fault the runtime cannot recover from livelocks the machine. 0 = no
+	// limit.
+	MaxEvents uint64
+	// MaxStallEvents caps consecutive events executed without simulated
+	// time advancing. 0 = no limit.
+	MaxStallEvents uint64
 	// CacheMigration switches steal/mug cold-miss penalties from the
 	// fixed constants to the Table I cache-hierarchy model driven by each
 	// task's Ctx.Touch working-set estimate (high-fidelity mode).
@@ -190,22 +209,24 @@ type Config struct {
 // evaluation, with the given variant.
 func DefaultConfig(v Variant) Config {
 	return Config{
-		Variant:            v,
-		Biasing:            true,
-		Seed:               1,
-		PopCost:            20,
-		StealAttemptCost:   60,
-		StealSuccessCost:   40,
-		StealColdMissInstr: 150,
-		SpawnCost:          20,
-		HintCost:           4,
-		SpinIterInstr:      40,
-		MugSwapInstr:       80,
-		MugColdMissInstr:   400,
-		MugHandlerInstr:    40,
-		SharedPushCost:     70,
-		SharedPopCost:      90,
-		StealBackoffMax:    480,
-		Migration:          cache.DefaultMigrationModel(),
+		Variant:             v,
+		Biasing:             true,
+		Seed:                1,
+		PopCost:             20,
+		StealAttemptCost:    60,
+		StealSuccessCost:    40,
+		StealColdMissInstr:  150,
+		SpawnCost:           20,
+		HintCost:            4,
+		SpinIterInstr:       40,
+		MugSwapInstr:        80,
+		MugColdMissInstr:    400,
+		MugHandlerInstr:     40,
+		SharedPushCost:      70,
+		SharedPopCost:       90,
+		StealBackoffMax:     480,
+		MugAckTimeoutFactor: 6,
+		MugRetryMax:         2,
+		Migration:           cache.DefaultMigrationModel(),
 	}
 }

@@ -1,0 +1,221 @@
+package wsrt
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"aaws/internal/icn"
+	"aaws/internal/sim"
+)
+
+// stragglerProg is a mug-provoking workload: a wide phase with a few huge
+// straggler tasks that land on little cores.
+func stragglerProg(hits *[]int32) func(r *Run) {
+	return func(r *Run) {
+		r.ParallelFor(0, 64, 1, func(c *Ctx, lo, hi int) {
+			base := 10000.0
+			if lo%8 == 0 {
+				base = 3e6
+			}
+			if hits != nil {
+				atomic.AddInt32(&(*hits)[lo], 1)
+			}
+			c.Work(base)
+		})
+	}
+}
+
+// TestMugTimeoutRecoversFromTotalLoss: with every interrupt silently
+// dropped, the ACK watchdog must fire, the mugger must abandon and fall
+// back to stealing, and the run must still execute every task exactly
+// once.
+func TestMugTimeoutRecoversFromTotalLoss(t *testing.T) {
+	rt := newTestRuntime(t, BasePSM, 4, 4)
+	rt.m.Net.SetFaultHook(func(icn.Message) (bool, sim.Time) { return true, 0 })
+	hits := make([]int32, 64)
+	rep := rt.Execute(stragglerProg(&hits))
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("iteration %d executed %d times under total message loss", i, h)
+		}
+	}
+	if rep.Mugs != 0 {
+		t.Errorf("%d mugs completed with every interrupt dropped", rep.Mugs)
+	}
+	if rep.MugAttempts > 0 && rep.MugTimeouts == 0 {
+		t.Error("mug attempts made but the ACK watchdog never fired")
+	}
+	if rep.MugAttempts > 0 && rep.MugAbandoned == 0 {
+		t.Error("no attempt was ever abandoned under total loss")
+	}
+	if err := rep.CheckInvariants(); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+}
+
+// TestMugTimeoutDisabledLivelocks is the negative control for the
+// watchdog pair: with the ACK timeout off and all interrupts dropped, a
+// mugger waits forever, and only the event-budget watchdog turns the hang
+// into an error.
+func TestMugTimeoutDisabledLivelocks(t *testing.T) {
+	rt := newTestRuntime(t, BasePSM, 4, 4)
+	rt.cfg.MugAckTimeoutFactor = 0 // legacy behavior: trust the network
+	rt.cfg.MaxEvents = 2_000_000
+	rt.m.Net.SetFaultHook(func(icn.Message) (bool, sim.Time) { return true, 0 })
+	_, err := rt.ExecuteChecked(stragglerProg(nil))
+	if err == nil {
+		t.Fatal("run with dropped interrupts and no ACK timeout completed")
+	}
+	if !errors.Is(err, sim.ErrMaxEvents) && !errors.Is(err, sim.ErrStalled) {
+		t.Errorf("error is %v, want the liveness watchdog", err)
+	}
+}
+
+// TestMugRetryDeliversEventually: dropping every other transmission
+// forces the retry path (a resend carries a fresh sequence number, so a
+// per-seq filter would degenerate to total loss); a resend must get
+// through and mugs must still complete.
+func TestMugRetryDeliversEventually(t *testing.T) {
+	rt := newTestRuntime(t, BasePSM, 4, 4)
+	sent := 0
+	rt.m.Net.SetFaultHook(func(icn.Message) (bool, sim.Time) {
+		sent++
+		return sent%2 == 1, 0 // lose the 1st, 3rd, 5th... transmission
+	})
+	rep := rt.Execute(stragglerProg(nil))
+	if rep.MugAttempts == 0 {
+		t.Skip("workload provoked no mugs on this schedule")
+	}
+	if rep.MugResends == 0 {
+		t.Error("first transmissions all dropped but nothing was resent")
+	}
+	if rep.Mugs == 0 {
+		t.Error("no mug ever completed despite retries")
+	}
+	if err := rep.CheckInvariants(); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+}
+
+// TestMugDelayTolerated: heavy delivery delay alone (no loss) may fire
+// spurious timeouts but must never break exactly-once execution.
+func TestMugDelayTolerated(t *testing.T) {
+	rt := newTestRuntime(t, BasePSM, 4, 4)
+	lat := rt.m.Net.Latency()
+	n := 0
+	rt.m.Net.SetFaultHook(func(icn.Message) (bool, sim.Time) {
+		n++
+		return false, sim.Time(n%9) * lat // 0..8 extra network latencies
+	})
+	hits := make([]int32, 64)
+	rep := rt.Execute(stragglerProg(&hits))
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("iteration %d executed %d times under delay", i, h)
+		}
+	}
+	if err := rep.CheckInvariants(); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+}
+
+// TestCoreFailStopRescuesWork: killing a little core mid-run must not
+// lose or duplicate any task; its deque is reassigned and the in-flight
+// task re-executed.
+func TestCoreFailStopRescuesWork(t *testing.T) {
+	rt := newTestRuntime(t, BasePSM, 4, 4)
+	rt.eng.At(20*sim.Microsecond, func() {
+		if err := rt.m.FailCore(6); err != nil {
+			t.Errorf("FailCore: %v", err)
+		}
+	})
+	const n = 2000
+	var done atomic.Int64
+	rep := rt.Execute(func(r *Run) {
+		r.ParallelFor(0, n, 4, func(c *Ctx, lo, hi int) {
+			done.Add(int64(hi - lo))
+			c.Work(float64(hi-lo) * 2000)
+		})
+	})
+	if done.Load() < n {
+		t.Fatalf("only %d/%d iterations ran after fail-stop", done.Load(), n)
+	}
+	if rep.CoreFails != 1 {
+		t.Errorf("CoreFails = %d, want 1", rep.CoreFails)
+	}
+	if rep.PerWorker[6].TasksExecuted == 0 {
+		t.Skip("core 6 never ran a task before failing; rescue not exercised")
+	}
+	if err := rep.CheckInvariants(); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+}
+
+// TestManyCoresFailStillCompletes: kill all but core 0 and one big; the
+// survivors must finish the program.
+func TestManyCoresFailStillCompletes(t *testing.T) {
+	rt := newTestRuntime(t, Base, 4, 4)
+	for i, id := range []int{2, 3, 4, 5, 6, 7} {
+		id := id
+		rt.eng.At(sim.Time(5+i)*sim.Microsecond, func() { _ = rt.m.FailCore(id) })
+	}
+	var done atomic.Int64
+	rep := rt.Execute(func(r *Run) {
+		r.ParallelFor(0, 800, 4, func(c *Ctx, lo, hi int) {
+			done.Add(int64(hi - lo))
+			c.Work(float64(hi-lo) * 3000)
+		})
+	})
+	if done.Load() != 800 {
+		t.Fatalf("%d/800 iterations after mass fail-stop", done.Load())
+	}
+	if rep.CoreFails != 6 {
+		t.Errorf("CoreFails = %d, want 6", rep.CoreFails)
+	}
+	if err := rep.CheckInvariants(); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+}
+
+// TestThrottleSlowsRun: a throttled big core completes the same work in
+// strictly more time than an unthrottled run, and recovers when the
+// throttle lifts.
+func TestThrottleSlowsRun(t *testing.T) {
+	run := func(throttle bool) sim.Time {
+		rt := newTestRuntime(t, Base, 4, 4)
+		if throttle {
+			rt.eng.At(0, func() { _ = rt.m.ThrottleCore(1, 0.25) })
+		}
+		rep := rt.Execute(func(r *Run) {
+			r.ParallelFor(0, 256, 1, func(c *Ctx, lo, hi int) { c.Work(5e4) })
+		})
+		if err := rep.CheckInvariants(); err != nil {
+			t.Errorf("invariants (throttle=%v): %v", throttle, err)
+		}
+		return rep.ExecTime
+	}
+	healthy, throttled := run(false), run(true)
+	if throttled <= healthy {
+		t.Errorf("throttled run (%v) not slower than healthy (%v)", throttled, healthy)
+	}
+}
+
+// TestFailStopDeterminism: the recovery path itself must be
+// deterministic — same fault schedule, bit-identical report.
+func TestFailStopDeterminism(t *testing.T) {
+	run := func() (sim.Time, float64, Stats) {
+		rt := newTestRuntime(t, BasePSM, 4, 4)
+		rt.m.Net.SetFaultHook(func(m icn.Message) (bool, sim.Time) {
+			return m.Seq%3 == 0, sim.Time(m.Seq%5) * rt.m.Net.Latency() / 2
+		})
+		rt.eng.At(30*sim.Microsecond, func() { _ = rt.m.FailCore(5) })
+		rep := rt.Execute(stragglerProg(nil))
+		return rep.ExecTime, rep.TotalEnergy, rep.Stats
+	}
+	t1, e1, s1 := run()
+	t2, e2, s2 := run()
+	if t1 != t2 || e1 != e2 || s1 != s2 {
+		t.Errorf("nondeterministic recovery: (%v,%g,%+v) vs (%v,%g,%+v)", t1, e1, s1, t2, e2, s2)
+	}
+}

@@ -11,13 +11,20 @@ import (
 // Stats counts scheduler events over a run.
 type Stats struct {
 	TasksSpawned        int
+	TasksCreated        int // every task made live: roots, children, continuations
 	TasksExecuted       int
+	TasksRescued        int // tasks reclaimed from fail-stopped cores
 	Steals              int
 	FailedSteals        int
 	MugAttempts         int
 	Mugs                int
 	FailedMugs          int
+	MugTimeouts         int // mug interrupts that missed the delivery deadline
+	MugResends          int // mug interrupts resent after a timeout
+	MugAbandoned        int // mug attempts given up (retries exhausted, phase end, failure, shutdown)
+	MugStale            int // late duplicate mug deliveries dropped by sequence check
 	MuggedTasksFinished int
+	CoreFails           int     // fail-stops absorbed by the scheduler
 	AppInstr            float64 // instructions charged by kernel bodies
 	SerialInstr         float64 // instructions charged by root serial work
 }
@@ -40,9 +47,45 @@ type Report struct {
 	OverheadInstr   float64 // retired minus app and serial work
 	DVFSDecisions   int
 	DVFSTransitions int
+	StuckRegs       int // regulators abandoned after missing a transition deadline
+	MugsDropped     int // interrupts suppressed by the fault injector
+	MugsDelayed     int // interrupts delivered late by the fault injector
 	Energy          []power.Breakdown
 	TotalEnergy     float64
 	PerWorker       []WorkerStats
+}
+
+// CheckInvariants verifies the scheduler's accounting invariants after a
+// run. They must hold under any fault schedule — a violation means a task
+// was lost, duplicated, or a mug attempt leaked:
+//
+//   - every created task executed exactly once (roots, children and
+//     continuations; rescue and mugging move tasks, never duplicate them);
+//   - every mug attempt resolved to exactly one of success, failure (muggee
+//     finished first) or abandonment (timeout, phase end, fail-stop,
+//     shutdown);
+//   - retired instructions cover the charged application and serial work
+//     (overhead cannot be negative beyond float rounding).
+func (rep *Report) CheckInvariants() error {
+	if rep.TasksCreated != rep.TasksExecuted {
+		return fmt.Errorf("wsrt: %d tasks created but %d executed", rep.TasksCreated, rep.TasksExecuted)
+	}
+	if rep.MugAttempts != rep.Mugs+rep.FailedMugs+rep.MugAbandoned {
+		return fmt.Errorf("wsrt: mug attempts leaked: %d attempts != %d mugs + %d failed + %d abandoned",
+			rep.MugAttempts, rep.Mugs, rep.FailedMugs, rep.MugAbandoned)
+	}
+	var exec int
+	for _, w := range rep.PerWorker {
+		exec += w.TasksExecuted
+	}
+	if exec != rep.TasksExecuted {
+		return fmt.Errorf("wsrt: per-worker executed tasks sum to %d, global count is %d", exec, rep.TasksExecuted)
+	}
+	eps := 1e-6*(rep.AppInstr+rep.SerialInstr) + 1
+	if rep.OverheadInstr < -eps {
+		return fmt.Errorf("wsrt: negative overhead %g: cores retired less than the charged work", rep.OverheadInstr)
+	}
+	return nil
 }
 
 // Run is the root-program API: the logical thread 0 of the computation.
@@ -110,6 +153,7 @@ type Runtime struct {
 	workers []*worker
 	rng     *sim.Rand
 	stats   Stats
+	mugSeq  uint64 // global mug-interrupt sequence counter
 
 	rootReq chan rootReq
 	rootAck chan struct{}
@@ -152,6 +196,7 @@ func New(m *machine.Machine, cfg Config) *Runtime {
 	for i := range m.Cores {
 		m.Net.SetHandler(i, rt.handleMug)
 	}
+	m.OnCoreFail = rt.onCoreFail
 	return rt
 }
 
@@ -168,8 +213,13 @@ func (rt *Runtime) Config() Config { return rt.cfg }
 
 // anyBigInactive reports whether some big core is not doing useful work
 // (consulted by work-biasing through the shared-memory activity table).
+// Fail-stopped cores are excluded: a dead big core will never pick up work,
+// and counting it would block little cores in the biased spin forever.
 func (rt *Runtime) anyBigInactive() bool {
 	for _, w := range rt.workers {
+		if w.state == wsFailed {
+			continue
+		}
 		if w.big() && !w.active() {
 			return true
 		}
@@ -195,8 +245,23 @@ func (rt *Runtime) pickMuggee() *worker {
 }
 
 // Execute runs program to completion and returns the report. It must be
-// called once per Runtime.
+// called once per Runtime. It panics when the watchdog trips or the task
+// graph deadlocks; callers that want an error instead use ExecuteChecked.
 func (rt *Runtime) Execute(program func(r *Run)) Report {
+	rep, err := rt.ExecuteChecked(program)
+	if err != nil {
+		panic(err)
+	}
+	return rep
+}
+
+// ExecuteChecked runs program to completion under the configured liveness
+// budget (Config.MaxEvents / MaxStallEvents) and returns the report. If
+// the budget trips — a fault the runtime cannot recover from has livelocked
+// the machine — or the simulation drains with the program unfinished, it
+// returns an error instead of hanging or panicking. It must be called once
+// per Runtime.
+func (rt *Runtime) ExecuteChecked(program func(r *Run)) (Report, error) {
 	run := &Run{rt: rt}
 	go func() {
 		program(run)
@@ -213,10 +278,14 @@ func (rt *Runtime) Execute(program func(r *Run)) Report {
 		})
 	}
 	rt.eng.At(0, rt.workers[0].processRoot)
-	rt.eng.Run(0)
+	err := rt.eng.RunBudget(sim.Budget{MaxEvents: rt.cfg.MaxEvents, MaxStall: rt.cfg.MaxStallEvents})
 
-	if !rt.stopping {
-		panic("wsrt: simulation drained before the program completed (deadlock in task graph?)")
+	if err == nil && !rt.stopping {
+		err = fmt.Errorf("wsrt: simulation drained before the program completed (deadlock in task graph?)")
+	}
+	if err != nil {
+		rt.abort()
+		return Report{}, fmt.Errorf("wsrt: aborted: %w", err)
 	}
 	rt.m.Finish()
 
@@ -225,6 +294,9 @@ func (rt *Runtime) Execute(program func(r *Run)) Report {
 		ExecTime:        rt.endTime,
 		DVFSDecisions:   rt.m.Ctl.Decisions(),
 		DVFSTransitions: rt.m.Ctl.Transitions(),
+		StuckRegs:       rt.m.Ctl.StuckRegs(),
+		MugsDropped:     rt.m.Net.Dropped(),
+		MugsDelayed:     rt.m.Net.Delayed(),
 		Energy:          rt.m.EnergyBreakdown(),
 		TotalEnergy:     rt.m.TotalEnergy(),
 	}
@@ -235,7 +307,104 @@ func (rt *Runtime) Execute(program func(r *Run)) Report {
 		rep.RetiredInstr += c.Retired()
 	}
 	rep.OverheadInstr = rep.RetiredInstr - rep.AppInstr - rep.SerialInstr
-	return rep
+	return rep, nil
+}
+
+// abort tears the runtime down after a watchdog trip: workers are stopped
+// and the root-program goroutine is drained (its remaining steps are
+// acknowledged without simulating anything) so it can exit.
+func (rt *Runtime) abort() {
+	if !rt.stopping {
+		rt.shutdown()
+	}
+	go func() {
+		for {
+			select {
+			case rt.rootAck <- struct{}{}:
+			case _, ok := <-rt.rootReq:
+				if !ok {
+					return
+				}
+			}
+		}
+	}()
+}
+
+// onCoreFail is installed as machine.OnCoreFail: it reclaims the dying
+// core's scheduler state *before* the hardware stops retiring. The in-flight
+// task (if any) is preempted and re-queued for full re-execution — its body
+// already ran on the host, so only the charged work replays, and the wasted
+// partial execution shows up as overhead instructions. The dead deque is
+// drained to the lowest-id surviving worker in original order. A failure
+// arriving mid mug-swap is deferred (returns false): the machine leaves the
+// core alive and the swap's release re-invokes FailCore at the next safe
+// point.
+func (rt *Runtime) onCoreFail(id int) bool {
+	w := rt.workers[id]
+	switch w.state {
+	case wsSwap:
+		w.failPending = true
+		return false
+	case wsRoot, wsSerial:
+		// Unreachable: machine.FailCore rejects core 0, the only core that
+		// ever hosts the root program.
+		panic(fmt.Sprintf("wsrt: core %d failed in root state %v", id, w.state))
+	case wsStopped, wsFailed:
+		return true
+	}
+	rt.stats.CoreFails++
+	if w.state == wsMugSend {
+		w.abandonMug()
+	}
+	if w.pendingEv != nil {
+		w.pendingEv.Cancel()
+		w.pendingEv = nil
+	}
+	if w.state == wsRunning && w.cur != nil {
+		t := w.cur
+		w.cur = nil
+		if w.core.Busy() {
+			w.core.Preempt()
+		}
+		// Re-execute the charged work from scratch. The body is not re-run
+		// (ran stays true): its host-side effects — results, spawned
+		// children — already happened and must not be duplicated.
+		t.remaining = t.cost
+		rt.rescue(t, w)
+	}
+	var ts []*task
+	for {
+		t := w.dq.Pop()
+		if t == nil {
+			break
+		}
+		ts = append(ts, t)
+	}
+	for i := len(ts) - 1; i >= 0; i-- {
+		rt.rescue(ts[i], w)
+	}
+	w.state = wsFailed
+	return true
+}
+
+// rescue re-queues a task reclaimed from dead worker onto the lowest-id
+// surviving worker's deque (or the central queue in sharing mode). The heir
+// need not be woken explicitly: every scheduling path pops the local deque
+// before stealing or spinning again.
+func (rt *Runtime) rescue(t *task, dead *worker) {
+	rt.stats.TasksRescued++
+	if rt.cfg.Sched == SchedSharing {
+		rt.pushShared(t)
+		return
+	}
+	for _, h := range rt.workers {
+		if h == dead || h.state == wsFailed || h.state == wsStopped {
+			continue
+		}
+		h.dq.Push(t)
+		return
+	}
+	panic("wsrt: no surviving worker to rescue tasks")
 }
 
 // processRoot advances the root program by one step. Runs on worker 0.
@@ -262,6 +431,7 @@ func (w *worker) processRoot() {
 	}
 	ph := &join{pending: 1, onZero: rt.onPhaseZero}
 	root := &task{fn: req.parallel, join: ph, spawner: 0}
+	rt.stats.TasksCreated++
 	if rt.cfg.Sched == SchedSharing {
 		rt.pushShared(root)
 	} else {
@@ -278,6 +448,18 @@ func (rt *Runtime) onPhaseZero(completer *worker) {
 		// w0's own taskDone -> loop() will observe phaseDone.
 		return
 	}
+	if w0.state == wsMugSend {
+		if w0.pendingEv != nil {
+			// The ack watchdog is armed: abandon the handshake and hand the
+			// phase back now instead of waiting out the timeout. Any late
+			// delivery is dropped as stale.
+			w0.abandonMug()
+			rt.finishPhase()
+		}
+		// Watchdog disabled (legacy protocol): the delivery handler
+		// re-enters loop() and observes phaseDone.
+		return
+	}
 	if w0.pendingEv != nil {
 		// w0 is mid steal-probe or biased spin: interrupt it.
 		w0.pendingEv.Cancel()
@@ -285,11 +467,7 @@ func (rt *Runtime) onPhaseZero(completer *worker) {
 		rt.finishPhase()
 		return
 	}
-	// w0 must be waiting on an in-flight (failed) mug delivery; its
-	// handler re-enters loop() and observes phaseDone.
-	if w0.state != wsMugSend {
-		panic(fmt.Sprintf("wsrt: phase completed with worker 0 in state %v", w0.state))
-	}
+	panic(fmt.Sprintf("wsrt: phase completed with worker 0 in state %v", w0.state))
 }
 
 // finishPhase hands control back to the root program. Runs on worker 0's

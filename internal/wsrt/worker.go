@@ -22,11 +22,12 @@ const (
 	wsMugSend                // big core waiting for a mug interrupt to deliver
 	wsSwap                   // executing the mug register-swap sequence
 	wsStopped                // program finished
+	wsFailed                 // core fail-stopped; scheduler state reclaimed
 )
 
 func (s wstate) String() string {
 	return [...]string{"root", "serial", "running", "stealing", "spinning",
-		"mug-send", "swap", "stopped"}[s]
+		"mug-send", "swap", "stopped", "failed"}[s]
 }
 
 // mugKind is the interrupt-message kind used by work-mugging.
@@ -48,6 +49,18 @@ type worker struct {
 	hintedOff bool    // activity bit currently toggled off
 
 	beingMugged bool // a mug targeting this worker is in flight
+
+	// Mug-handshake bookkeeping (valid while state == wsMugSend): the
+	// muggee this worker is trying to mug, the sequence number of the
+	// outstanding interrupt, and how many times it has been resent after a
+	// delivery timeout.
+	mugTarget  *worker
+	mugSeq     uint64
+	mugResends int
+
+	// failPending defers a fail-stop that arrived mid mug-swap; the swap's
+	// release re-invokes machine.FailCore at the next safe point.
+	failPending bool
 
 	ws WorkerStats // per-worker statistics
 }
@@ -295,7 +308,9 @@ func (w *worker) runBody(t *task) {
 	w.rt.stats.AppInstr += ctx.charged
 	w.ws.AppInstr += ctx.charged
 
+	w.rt.stats.TasksCreated += len(ctx.children)
 	if ctx.cont != nil {
+		w.rt.stats.TasksCreated++
 		contT := &task{fn: ctx.cont, join: t.join}
 		t.join = nil // obligation transferred to the continuation
 		if len(ctx.children) == 0 {
@@ -378,23 +393,93 @@ func (w *worker) completeJoin(j *join) {
 // ---- work-mugging ----
 
 // startMug sends the mug interrupt to muggee m and parks the mugger until
-// the handshake resolves (the mugger spins at the mug barrier).
+// the handshake resolves (the mugger spins at the mug barrier). With
+// MugAckTimeoutFactor set, a delivery watchdog bounds the park: a dropped
+// or badly delayed interrupt triggers bounded resends and finally a fall
+// back to the steal loop, so a lossy network never strands the mugger.
 func (w *worker) startMug(m *worker) {
 	w.rt.stats.MugAttempts++
 	m.beingMugged = true
 	w.state = wsMugSend
-	w.rt.m.Net.Send(icn.Message{From: w.id, To: m.id, Kind: mugKind})
+	w.mugTarget = m
+	w.mugResends = 0
+	w.sendMugMsg()
+}
+
+// sendMugMsg sends (or resends) the mug interrupt under a fresh sequence
+// number and arms the delivery watchdog if configured. The watchdog event
+// lives in pendingEv (the worker is parked; the slot is otherwise unused).
+func (w *worker) sendMugMsg() {
+	rt := w.rt
+	rt.mugSeq++
+	w.mugSeq = rt.mugSeq
+	rt.m.Net.Send(icn.Message{From: w.id, To: w.mugTarget.id, Kind: mugKind, Seq: w.mugSeq})
+	if f := rt.cfg.MugAckTimeoutFactor; f > 0 {
+		w.pendingEv = rt.eng.After(sim.Time(f*float64(rt.m.Net.Latency())), w.mugTimeout)
+	}
+}
+
+// mugTimeout fires when the outstanding mug interrupt misses its delivery
+// deadline: resend while retries remain and the target still looks
+// muggable, otherwise abandon the handshake and resume stealing.
+func (w *worker) mugTimeout() {
+	w.pendingEv = nil
+	rt := w.rt
+	if rt.stopping {
+		w.stop()
+		return
+	}
+	rt.stats.MugTimeouts++
+	if w.mugResends < rt.cfg.MugRetryMax && w.mugTarget.state == wsRunning && w.mugTarget.cur != nil {
+		w.mugResends++
+		rt.stats.MugResends++
+		w.sendMugMsg()
+		return
+	}
+	w.abandonMug()
+	if w.id == 0 && rt.phaseDone {
+		rt.finishPhase()
+		return
+	}
+	w.growBackoff()
+	w.loop()
+}
+
+// abandonMug gives up the outstanding mug handshake: the watchdog is
+// disarmed, the target is released for other muggers, and any late
+// delivery of the interrupt will be dropped as stale (sequence mismatch).
+func (w *worker) abandonMug() {
+	if w.pendingEv != nil {
+		w.pendingEv.Cancel()
+		w.pendingEv = nil
+	}
+	if w.mugTarget != nil {
+		w.mugTarget.beingMugged = false
+		w.mugTarget = nil
+	}
+	w.rt.stats.MugAbandoned++
+	w.state = wsStealing
 }
 
 // handleMug runs on interrupt delivery at the muggee.
 func (rt *Runtime) handleMug(msg icn.Message) {
 	mugger := rt.workers[msg.From]
 	muggee := rt.workers[msg.To]
-	if rt.stopping {
-		muggee.beingMugged = false
-		mugger.stop()
+	if mugger.state != wsMugSend || mugger.mugSeq != msg.Seq {
+		// A late duplicate of a handshake the mugger already resolved: the
+		// interrupt was resent after a timeout, the attempt was abandoned,
+		// the program shut down, or the mugger itself fail-stopped. The
+		// live handshake's state (beingMugged ownership in particular) must
+		// not be disturbed.
+		rt.stats.MugStale++
 		return
 	}
+	if mugger.pendingEv != nil {
+		// Delivery beat the ack watchdog; disarm it.
+		mugger.pendingEv.Cancel()
+		mugger.pendingEv = nil
+	}
+	mugger.mugTarget = nil
 	if muggee.state != wsRunning || muggee.cur == nil {
 		// The muggee finished its task while the interrupt was in flight:
 		// the handler finds nothing to swap. The mugger eats the handler
@@ -429,6 +514,16 @@ func (rt *Runtime) handleMug(msg icn.Message) {
 		// migration penalty; the little core enters the steal loop.
 		mugger.execute(t, mugger.mugPenalty(t))
 		muggee.loop()
+		// A fail-stop that arrived mid-swap was deferred to here, the
+		// next safe point: both sides are back in ordinary states.
+		if mugger.failPending {
+			mugger.failPending = false
+			rt.m.FailCore(mugger.id)
+		}
+		if muggee.failPending {
+			muggee.failPending = false
+			rt.m.FailCore(muggee.id)
+		}
 	}
 	muggee.state = wsSwap
 	mugger.state = wsSwap
@@ -447,6 +542,15 @@ func (rt *Runtime) handleMug(msg icn.Message) {
 
 // stop parks the worker permanently.
 func (w *worker) stop() {
+	if w.state == wsMugSend {
+		// The in-flight mug attempt dies with the program; account it so
+		// the attempt-outcome invariant stays exact.
+		w.rt.stats.MugAbandoned++
+		if w.mugTarget != nil {
+			w.mugTarget.beingMugged = false
+			w.mugTarget = nil
+		}
+	}
 	if w.pendingEv != nil {
 		w.pendingEv.Cancel()
 		w.pendingEv = nil
