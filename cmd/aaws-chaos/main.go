@@ -13,21 +13,30 @@
 //	aaws-chaos -kernels cilksort -variants base+psm -drop-rates 0.1,0.5,1
 //	aaws-chaos -kernels radix-2 -fail 6@40% -verify
 //	aaws-chaos -kernels cilksort -vr-stuck 0.2 -csv
+//	aaws-chaos -kernels cilksort -cache -cache-dir .aaws-cache   # via the jobs executor
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"hash/fnv"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"aaws/internal/core"
 	"aaws/internal/fault"
+	"aaws/internal/jobs"
 	"aaws/internal/sim"
 	"aaws/internal/wsrt"
 )
+
+// runner executes one sweep cell; forceFresh bypasses the result cache so
+// -verify's replay genuinely re-simulates instead of re-reading its own
+// cached bytes.
+type runner func(spec core.Spec, forceFresh bool) (core.Result, error)
 
 func main() {
 	kernelsFlag := flag.String("kernels", "cilksort", "comma-separated kernel names")
@@ -47,7 +56,24 @@ func main() {
 	maxEvents := flag.Uint64("max-events", 200_000_000, "liveness watchdog: abort after this many simulation events (0 = unlimited)")
 	verify := flag.Bool("verify", false, "run every cell twice and require bit-identical reports")
 	csv := flag.Bool("csv", false, "emit CSV instead of the human-readable table")
+	useCache := flag.Bool("cache", false, "run cells through the jobs executor with a content-addressed result cache")
+	cacheDir := flag.String("cache-dir", "", "on-disk result store (implies -cache)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "executor worker-pool size (with -cache)")
 	flag.Parse()
+
+	run := runner(func(spec core.Spec, _ bool) (core.Result, error) { return core.Run(spec) })
+	if *useCache || *cacheDir != "" {
+		cache, err := jobs.NewCache(4096, *cacheDir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		ex := jobs.NewExecutor(jobs.Config{Workers: *workers, Cache: cache})
+		defer ex.Close()
+		run = func(spec core.Spec, forceFresh bool) (core.Result, error) {
+			res, _, err := ex.Result(context.Background(), spec, jobs.SubmitOptions{NoCache: forceFresh})
+			return res, err
+		}
+	}
 
 	sys, ok := core.ParseSystem(*system)
 	if !ok {
@@ -101,7 +127,7 @@ func main() {
 			if err := base.Validate(); err != nil {
 				fatalf("%v", err)
 			}
-			baseRes, err := core.Run(base)
+			baseRes, err := run(base, false)
 			if err != nil {
 				fatalf("baseline %s/%s: %v", kname, v, err)
 			}
@@ -130,7 +156,7 @@ func main() {
 				}
 				spec := base
 				spec.Faults = fc
-				if err := runCell(spec, baseRes, rate, *verify, *csv); err != nil {
+				if err := runCell(run, spec, baseRes, rate, *verify, *csv); err != nil {
 					fmt.Fprintf(os.Stderr, "FAIL %s/%s drop=%g: %v\n", kname, v, rate, err)
 					exitCode = 1
 				}
@@ -142,8 +168,8 @@ func main() {
 
 // runCell runs one sweep point, verifies correctness, optionally re-runs it
 // to prove bit-reproducibility, and prints one row.
-func runCell(spec core.Spec, base core.Result, rate float64, verify, csv bool) error {
-	res, err := core.Run(spec)
+func runCell(run runner, spec core.Spec, base core.Result, rate float64, verify, csv bool) error {
+	res, err := run(spec, false)
 	if err != nil {
 		return err
 	}
@@ -152,7 +178,9 @@ func runCell(spec core.Spec, base core.Result, rate float64, verify, csv bool) e
 	}
 	verified := "-"
 	if verify {
-		res2, err := core.Run(spec)
+		// The replay must bypass the cache — a cache hit would just hand
+		// back the first run's bytes and prove nothing.
+		res2, err := run(spec, true)
 		if err != nil {
 			return fmt.Errorf("replay: %w", err)
 		}

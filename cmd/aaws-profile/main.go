@@ -73,15 +73,22 @@ func main() {
 		}
 		if *csv {
 			fmt.Printf("# %s on %s under %s\n", *kernel, sys, v)
-			res.Trace.WriteCSV(os.Stdout, names, *width)
+			renderOrDie(res.Trace.WriteCSV(os.Stdout, names, *width))
 			continue
 		}
 		if *svg {
-			res.Trace.WriteSVG(os.Stdout, names, *width*8)
+			renderOrDie(res.Trace.WriteSVG(os.Stdout, names, *width*8))
 			continue
 		}
 		fmt.Printf("\n=== %s on %s under %s — %v (%.2fx vs base) ===\n",
 			*kernel, sys, v, res.Report.ExecTime, baseTime/t)
-		res.Trace.RenderASCII(os.Stdout, names, *width)
+		renderOrDie(res.Trace.RenderASCII(os.Stdout, names, *width))
+	}
+}
+
+func renderOrDie(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "writing profile: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,91 @@
+// Command aaws-serve runs the simulation-as-a-service HTTP server: jobs are
+// validated specs content-addressed by their SHA-256 hash, executed on a
+// bounded worker pool, and memoized in an LRU (+ optional on-disk) result
+// cache so identical submissions return bit-identical reports without
+// re-simulating.
+//
+// Usage:
+//
+//	aaws-serve -addr :8080 -workers 8 -cache-size 4096 -cache-dir /var/cache/aaws
+//
+//	curl -s localhost:8080/v1/jobs -d '{"kernel":"cilksort","variant":"base+psm"}'
+//	curl -s localhost:8080/v1/jobs/<id>
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM triggers a graceful drain: /healthz flips to 503, new
+// submissions are rejected, in-flight jobs finish (bounded by
+// -drain-timeout), then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"aaws/internal/jobs"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker pool size")
+	queueDepth := flag.Int("queue-depth", 1024, "max queued jobs before 429s")
+	cacheSize := flag.Int("cache-size", 1024, "in-memory result cache entries")
+	cacheDir := flag.String("cache-dir", "", "optional on-disk result store (content-addressed, survives restarts)")
+	timeout := flag.Duration("job-timeout", 5*time.Minute, "default per-job deadline (0 = none)")
+	retries := flag.Int("retries", 1, "transient-failure retries per job")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on shutdown")
+	flag.Parse()
+
+	cache, err := jobs.NewCache(*cacheSize, *cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ex := jobs.NewExecutor(jobs.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		DefaultTimeout: *timeout,
+		MaxRetries:     *retries,
+		Cache:          cache,
+	})
+	srv := &http.Server{Addr: *addr, Handler: jobs.NewServer(ex)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("aaws-serve listening on %s (%d workers, cache %d", *addr, *workers, *cacheSize)
+	if *cacheDir != "" {
+		fmt.Printf(" + disk %s", *cacheDir)
+	}
+	fmt.Println(")")
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Println("aaws-serve: draining (new submissions rejected)...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := ex.Drain(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "aaws-serve: drain incomplete: %v\n", err)
+	}
+	ex.Close()
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "aaws-serve: shutdown: %v\n", err)
+	}
+	fmt.Println("aaws-serve: stopped")
+}

@@ -8,15 +8,19 @@
 //	aaws-sweep -system 1B7L
 //	aaws-sweep -system both -scale 0.5
 //	aaws-sweep -kernels radix-2,hull -csv
+//	aaws-sweep -cache -cache-dir .aaws-cache -workers 8   # via the jobs executor
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"aaws/internal/core"
+	"aaws/internal/jobs"
 	"aaws/internal/stats"
 	"aaws/internal/wsrt"
 )
@@ -27,6 +31,9 @@ func main() {
 	seed := flag.Uint64("seed", 42, "seed")
 	list := flag.String("kernels", "", "comma-separated kernel subset (default all)")
 	csv := flag.Bool("csv", false, "CSV output")
+	useCache := flag.Bool("cache", false, "run cells through the jobs executor with a content-addressed result cache")
+	cacheDir := flag.String("cache-dir", "", "on-disk result store (implies -cache; reused across invocations)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "executor worker-pool size (with -cache)")
 	flag.Parse()
 
 	var systems []core.System
@@ -42,10 +49,27 @@ func main() {
 		systems = []core.System{s}
 	}
 
+	// With -cache (or -cache-dir), the matrix runs through the shared
+	// executor: cells execute concurrently across the worker pool and
+	// identical cells — within this sweep or across invocations via the
+	// disk store — are served from the content-addressed cache.
+	var runAll func([]core.Spec) ([]core.Result, error)
+	if *useCache || *cacheDir != "" {
+		cache, err := jobs.NewCache(4096, *cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		ex := jobs.NewExecutor(jobs.Config{Workers: *workers, Cache: cache})
+		defer ex.Close()
+		runAll = ex.BatchRunner(context.Background())
+	}
+
 	for _, sys := range systems {
 		opt := core.DefaultSweep(sys)
 		opt.Scale = *scale
 		opt.Seed = *seed
+		opt.RunAll = runAll
 		if *list != "" {
 			opt.Kernels = strings.Split(*list, ",")
 		}

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime/debug"
 
@@ -227,6 +228,14 @@ func (r Result) SpeedupVsBig() float64 {
 // are converted to errors carrying the kernel/seed context needed to replay
 // them.
 func Run(spec Spec) (Result, error) {
+	return RunCtx(context.Background(), spec)
+}
+
+// RunCtx is Run under a context: cancellation or a deadline aborts the
+// simulation promptly (the event loop polls ctx.Err every few thousand
+// events — a side-effect-free check, so an uncancelled context never
+// perturbs the schedule) and returns an error wrapping ctx.Err().
+func RunCtx(ctx context.Context, spec Spec) (Result, error) {
 	if spec.Scale == 0 {
 		spec.Scale = 1.0
 	}
@@ -284,6 +293,9 @@ func Run(spec Spec) (Result, error) {
 		rcfg.Biasing = false
 	}
 	rcfg.MaxEvents = spec.MaxEvents
+	if ctx != nil && ctx.Done() != nil {
+		rcfg.Interrupt = ctx.Err
+	}
 	rt := wsrt.New(m, rcfg)
 	if spec.AdaptiveDVFS {
 		tuner := dvfs.NewTuner(eng, m.Ctl,

@@ -45,7 +45,9 @@ func TestRunWithTrace(t *testing.T) {
 		t.Fatal("no trace recorded")
 	}
 	var sb strings.Builder
-	res.Trace.RenderASCII(&sb, nil, 100)
+	if err := res.Trace.RenderASCII(&sb, nil, 100); err != nil {
+		t.Fatalf("RenderASCII: %v", err)
+	}
 	out := sb.String()
 	if !strings.Contains(out, "#") {
 		t.Error("trace render contains no activity")

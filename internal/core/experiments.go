@@ -77,6 +77,10 @@ type SweepOptions struct {
 	Seed     uint64
 	Scale    float64
 	Check    bool
+	// RunAll executes the whole cell matrix and returns results in input
+	// order (nil = sequential Run per cell). The jobs executor plugs in
+	// here so sweeps run through the shared worker pool and result cache.
+	RunAll func([]Spec) ([]Result, error)
 }
 
 // DefaultSweep returns the Figure 8 sweep configuration for a system.
@@ -91,7 +95,9 @@ func DefaultSweep(sys System) SweepOptions {
 }
 
 // Sweep runs kernels × variants on one system (the data behind Figures 8
-// and 9).
+// and 9). The matrix is built up front and handed to opt.RunAll, so a
+// service-backed runner can execute cells concurrently and serve repeats
+// from its cache.
 func Sweep(opt SweepOptions) ([]Figure8Row, error) {
 	names := opt.Kernels
 	if names == nil {
@@ -100,18 +106,43 @@ func Sweep(opt SweepOptions) ([]Figure8Row, error) {
 	if opt.Variants == nil {
 		opt.Variants = wsrt.Variants
 	}
+	runAll := opt.RunAll
+	if runAll == nil {
+		runAll = func(specs []Spec) ([]Result, error) {
+			results := make([]Result, len(specs))
+			for i, spec := range specs {
+				res, err := Run(spec)
+				if err != nil {
+					return nil, err
+				}
+				results[i] = res
+			}
+			return results, nil
+		}
+	}
+	var specs []Spec
+	for _, name := range names {
+		for _, v := range opt.Variants {
+			specs = append(specs, Spec{
+				Kernel: name, System: opt.System, Variant: v,
+				Seed: opt.Seed, Scale: opt.Scale, Check: opt.Check,
+			})
+		}
+	}
+	results, err := runAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	if len(results) != len(specs) {
+		return nil, fmt.Errorf("core: sweep runner returned %d results for %d specs", len(results), len(specs))
+	}
 	var rows []Figure8Row
+	i := 0
 	for _, name := range names {
 		row := Figure8Row{Kernel: name, System: opt.System}
 		for _, v := range opt.Variants {
-			spec := Spec{
-				Kernel: name, System: opt.System, Variant: v,
-				Seed: opt.Seed, Scale: opt.Scale, Check: opt.Check,
-			}
-			res, err := Run(spec)
-			if err != nil {
-				return nil, err
-			}
+			res := results[i]
+			i++
 			if res.CheckErr != nil {
 				return nil, fmt.Errorf("%s/%v: %w", name, v, res.CheckErr)
 			}

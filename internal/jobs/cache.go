@@ -1,0 +1,137 @@
+package jobs
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Cache is a content-addressed result store: spec-hash → canonical result
+// bytes. Entries live in a bounded in-memory LRU, optionally backed by an
+// on-disk store (one file per hash) that survives restarts and overflows
+// the memory bound. All methods are safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List               // front = most recently used
+	items    map[string]*list.Element // hash → element holding *cacheEntry
+	dir      string                   // "" = memory only
+
+	hits, misses, evictions, diskHits uint64
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness counters.
+type CacheStats struct {
+	Entries   int
+	Capacity  int
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	DiskHits  uint64
+}
+
+// NewCache returns a cache holding up to capacity entries in memory
+// (minimum 1). If dir is non-empty it is created and every stored entry is
+// also written there as <hash>.json; lookups that miss memory fall back to
+// disk and promote the entry back into the LRU.
+func NewCache(capacity int, dir string) (*Cache, error) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("jobs: cache dir: %w", err)
+		}
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		dir:      dir,
+	}, nil
+}
+
+// Get returns the cached bytes for key, or (nil, false). Callers must not
+// mutate the returned slice — it is the canonical artifact shared by every
+// hit.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).data, true
+	}
+	if c.dir != "" {
+		if data, err := os.ReadFile(c.path(key)); err == nil {
+			c.hits++
+			c.diskHits++
+			c.putLocked(key, data, false)
+			return data, true
+		}
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put stores data under key, evicting the least recently used in-memory
+// entry past capacity. The disk copy (when configured) is written via a
+// temp-file rename so readers never observe a torn artifact.
+func (c *Cache) Put(key string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.putLocked(key, data, true)
+}
+
+func (c *Cache) putLocked(key string, data []byte, persist bool) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).data = data
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
+		for c.ll.Len() > c.capacity {
+			oldest := c.ll.Back()
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*cacheEntry).key)
+			c.evictions++
+		}
+	}
+	if persist && c.dir != "" {
+		tmp := c.path(key) + ".tmp"
+		if err := os.WriteFile(tmp, data, 0o644); err == nil {
+			_ = os.Rename(tmp, c.path(key))
+		}
+	}
+}
+
+// Len returns the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.ll.Len(),
+		Capacity:  c.capacity,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		DiskHits:  c.diskHits,
+	}
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}

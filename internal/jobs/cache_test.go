@@ -1,0 +1,111 @@
+package jobs_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aaws/internal/jobs"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, err := jobs.NewCache(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	c.Put("c", []byte("C")) // evicts a (least recently used)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a should have been evicted")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("b should still be cached")
+	}
+	// b was just touched, so adding d must evict c, not b.
+	c.Put("d", []byte("D"))
+	if _, ok := c.Get("c"); ok {
+		t.Fatal("c should have been evicted after b was promoted")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("recently-used b was evicted")
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Capacity != 2 {
+		t.Fatalf("entries/capacity = %d/%d, want 2/2", st.Entries, st.Capacity)
+	}
+	if st.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", st.Evictions)
+	}
+}
+
+func TestCacheHitBytesBitIdentical(t *testing.T) {
+	c, err := jobs.NewCache(4, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	artifact := []byte(`{"Report":{"ExecTime":1234},"SpecHash":"ab"}`)
+	c.Put("k", artifact)
+	got, ok := c.Get("k")
+	if !ok {
+		t.Fatal("miss on stored key")
+	}
+	if !bytes.Equal(got, artifact) {
+		t.Fatalf("cache returned different bytes: %q", got)
+	}
+}
+
+func TestCacheDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := jobs.NewCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte(`{"x":1}`)
+	c1.Put("deadbeef", data)
+	if _, err := os.Stat(filepath.Join(dir, "deadbeef.json")); err != nil {
+		t.Fatalf("disk copy missing: %v", err)
+	}
+
+	// A fresh cache over the same directory serves the entry from disk and
+	// promotes it into memory.
+	c2, err := jobs.NewCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get("deadbeef")
+	if !ok {
+		t.Fatal("disk fallback missed")
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("disk round trip changed bytes: %q", got)
+	}
+	st := c2.Stats()
+	if st.DiskHits != 1 {
+		t.Fatalf("disk hits = %d, want 1", st.DiskHits)
+	}
+	if st.Entries != 1 {
+		t.Fatalf("entry was not promoted into memory (entries = %d)", st.Entries)
+	}
+	// Second lookup is a pure memory hit.
+	if _, ok := c2.Get("deadbeef"); !ok {
+		t.Fatal("promoted entry missed")
+	}
+	if st := c2.Stats(); st.DiskHits != 1 || st.Hits != 2 {
+		t.Fatalf("hits/diskHits = %d/%d, want 2/1", st.Hits, st.DiskHits)
+	}
+}
+
+func TestCacheMissCounts(t *testing.T) {
+	c, err := jobs.NewCache(1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("nope"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if st := c.Stats(); st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("hits/misses = %d/%d, want 0/1", st.Hits, st.Misses)
+	}
+}

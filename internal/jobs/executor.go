@@ -1,0 +1,574 @@
+package jobs
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"aaws/internal/core"
+	"aaws/internal/trace"
+)
+
+// Runner executes one validated spec. The default is core.RunCtx; tests and
+// future remote backends substitute their own.
+type Runner func(ctx context.Context, spec core.Spec) (core.Result, error)
+
+// ErrTransient marks an error worth retrying: wrap (or errors.Join) it into
+// a Runner error to signal a failure of the execution substrate rather than
+// of the simulation itself. The deterministic local runner never produces
+// one; remote/sharded backends and tests do.
+var ErrTransient = errors.New("jobs: transient failure")
+
+// ErrDraining is returned by Submit once Drain has been called.
+var ErrDraining = errors.New("jobs: executor is draining; not accepting jobs")
+
+// ErrQueueFull is returned by Submit when the bounded queue is at capacity.
+var ErrQueueFull = errors.New("jobs: queue full")
+
+// ErrUnknownJob is returned for job IDs the executor has never seen.
+var ErrUnknownJob = errors.New("jobs: unknown job")
+
+// Config parameterizes an Executor.
+type Config struct {
+	// Workers is the simulation concurrency bound (default 4).
+	Workers int
+	// QueueDepth bounds queued-but-not-running jobs (default 1024).
+	QueueDepth int
+	// DefaultTimeout is applied to jobs submitted without their own
+	// deadline (0 = none).
+	DefaultTimeout time.Duration
+	// MaxRetries is how many times a transient failure is retried (the
+	// job runs at most 1+MaxRetries times).
+	MaxRetries int
+	// Cache, when non-nil, short-circuits identical submissions.
+	Cache *Cache
+	// Runner overrides how specs execute (default core.RunCtx).
+	Runner Runner
+}
+
+// SubmitOptions customize one submission.
+type SubmitOptions struct {
+	// Priority orders the queue (higher first; FIFO within a level).
+	Priority int
+	// Timeout overrides Config.DefaultTimeout (0 = inherit).
+	Timeout time.Duration
+	// NoCache bypasses the cache entirely — no lookup, no in-flight
+	// coalescing, no store-back — forcing a fresh simulation whose
+	// in-memory artifacts (the trace recorder) stay with this job.
+	NoCache bool
+}
+
+// Metrics is a point-in-time view of executor health for /metrics.
+type Metrics struct {
+	Submitted  uint64
+	Completed  uint64
+	Failed     uint64
+	Canceled   uint64
+	CacheHits  uint64 // submissions answered from the cache
+	Coalesced  uint64 // submissions collapsed onto an in-flight twin
+	Retries    uint64
+	QueueDepth int
+	Running    int
+	Workers    int
+	Draining   bool
+	Cache      CacheStats
+	PerKernel  map[string]KernelMetrics
+}
+
+// KernelMetrics aggregates wall-clock latency per kernel (simulated runs
+// only; cache hits are free and excluded).
+type KernelMetrics struct {
+	Runs     uint64
+	TotalSec float64
+	MaxSec   float64
+}
+
+// Executor runs jobs on a bounded worker pool over a priority+FIFO queue.
+type Executor struct {
+	cfg Config
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    jobQueue
+	jobs     map[string]*Job
+	inflight map[string]*Job // spec-hash → primary job (for coalescing)
+	seq      uint64
+	draining bool
+	closed   bool
+	running  int
+	wg       sync.WaitGroup
+
+	m         Metrics
+	perKernel map[string]KernelMetrics
+}
+
+// NewExecutor starts cfg.Workers workers and returns the executor. Call
+// Close (optionally after Drain) to stop them.
+func NewExecutor(cfg Config) *Executor {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = core.RunCtx
+	}
+	ex := &Executor{
+		cfg:       cfg,
+		jobs:      make(map[string]*Job),
+		inflight:  make(map[string]*Job),
+		perKernel: make(map[string]KernelMetrics),
+	}
+	ex.cond = sync.NewCond(&ex.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		ex.wg.Add(1)
+		go ex.worker()
+	}
+	return ex
+}
+
+// Submit validates and enqueues spec. The returned job may already be done
+// (cache hit). Duplicate in-flight submissions coalesce onto one simulation
+// unless opts.NoCache is set.
+func (ex *Executor) Submit(spec core.Spec, opts SubmitOptions) (*Job, error) {
+	spec = Normalize(spec)
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	hash, err := SpecHash(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	if ex.draining || ex.closed {
+		return nil, ErrDraining
+	}
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = ex.cfg.DefaultTimeout
+	}
+	ex.seq++
+	job := &Job{
+		ID:        fmt.Sprintf("%s-%d", hash[:12], ex.seq),
+		SpecHash:  hash,
+		Spec:      spec,
+		priority:  opts.Priority,
+		seq:       ex.seq,
+		timeout:   timeout,
+		noCache:   opts.NoCache,
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+
+	if !opts.NoCache && ex.cfg.Cache != nil {
+		if data, ok := ex.cfg.Cache.Get(hash); ok {
+			ex.jobs[job.ID] = job
+			ex.m.Submitted++
+			job.cacheHit = true
+			ex.m.CacheHits++
+			ex.completeLocked(job, data, nil)
+			return job, nil
+		}
+	}
+	if !opts.NoCache {
+		if primary, ok := ex.inflight[hash]; ok {
+			ex.jobs[job.ID] = job
+			ex.m.Submitted++
+			job.coalesced = true
+			ex.m.Coalesced++
+			primary.dups = append(primary.dups, job)
+			return job, nil
+		}
+	}
+	if ex.queue.Len() >= ex.cfg.QueueDepth {
+		return nil, ErrQueueFull
+	}
+	ex.jobs[job.ID] = job
+	ex.m.Submitted++
+	if !opts.NoCache {
+		ex.inflight[hash] = job
+	}
+	heap.Push(&ex.queue, job)
+	ex.cond.Signal()
+	return job, nil
+}
+
+// Get returns a snapshot of the job with the given ID.
+func (ex *Executor) Get(id string) (Snapshot, error) {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	job, ok := ex.jobs[id]
+	if !ok {
+		return Snapshot{}, ErrUnknownJob
+	}
+	return ex.snapshotLocked(job), nil
+}
+
+// TraceRecorder returns the trace recorder captured by the job's own
+// simulation. It is nil for jobs submitted without Spec.WithTrace and for
+// cache hits / coalesced duplicates, which never simulated locally.
+func (ex *Executor) TraceRecorder(id string) (*trace.Recorder, Snapshot, error) {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	job, ok := ex.jobs[id]
+	if !ok {
+		return nil, Snapshot{}, ErrUnknownJob
+	}
+	return job.trace, ex.snapshotLocked(job), nil
+}
+
+// Cancel cancels a queued or running job. Canceling a terminal job is a
+// no-op returning its state.
+func (ex *Executor) Cancel(id string) (State, error) {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	job, ok := ex.jobs[id]
+	if !ok {
+		return 0, ErrUnknownJob
+	}
+	switch job.state {
+	case StateQueued:
+		// Lazily skipped by workers; resolve it (and any coalesced
+		// duplicates) now.
+		ex.completeLocked(job, nil, context.Canceled)
+	case StateRunning:
+		if job.cancel != nil {
+			job.cancel()
+		}
+	}
+	return job.state, nil
+}
+
+// Wait blocks until the job is terminal or ctx expires, then returns its
+// snapshot.
+func (ex *Executor) Wait(ctx context.Context, id string) (Snapshot, error) {
+	ex.mu.Lock()
+	job, ok := ex.jobs[id]
+	ex.mu.Unlock()
+	if !ok {
+		return Snapshot{}, ErrUnknownJob
+	}
+	select {
+	case <-job.done:
+		return ex.Get(id)
+	case <-ctx.Done():
+		return Snapshot{}, ctx.Err()
+	}
+}
+
+// Result submits spec, waits for completion, and reconstructs the
+// core.Result from the canonical bytes. It reports whether the answer came
+// from the cache (or was coalesced) rather than a fresh simulation.
+func (ex *Executor) Result(ctx context.Context, spec core.Spec, opts SubmitOptions) (core.Result, bool, error) {
+	job, err := ex.Submit(spec, opts)
+	if err != nil {
+		return core.Result{}, false, err
+	}
+	snap, err := ex.Wait(ctx, job.ID)
+	if err != nil {
+		return core.Result{}, false, err
+	}
+	if snap.State != StateDone {
+		return core.Result{}, false, fmt.Errorf("jobs: job %s %s: %w", job.ID, snap.State, snap.Err)
+	}
+	out, err := DecodeOutcome(snap.Data)
+	if err != nil {
+		return core.Result{}, false, err
+	}
+	return out.ToResult(snap.Spec), snap.CacheHit || snap.Coalesced, nil
+}
+
+// BatchRunner adapts the executor to core.SweepOptions.RunAll: the whole
+// matrix is submitted up front so cells run concurrently across the worker
+// pool, then results are collected in submission order.
+func (ex *Executor) BatchRunner(ctx context.Context) func([]core.Spec) ([]core.Result, error) {
+	return func(specs []core.Spec) ([]core.Result, error) {
+		ids := make([]string, len(specs))
+		for i, spec := range specs {
+			job, err := ex.Submit(spec, SubmitOptions{})
+			if err != nil {
+				return nil, err
+			}
+			ids[i] = job.ID
+		}
+		results := make([]core.Result, len(specs))
+		for i, id := range ids {
+			snap, err := ex.Wait(ctx, id)
+			if err != nil {
+				return nil, err
+			}
+			if snap.State != StateDone {
+				return nil, fmt.Errorf("jobs: job %s %s: %w", id, snap.State, snap.Err)
+			}
+			out, err := DecodeOutcome(snap.Data)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = out.ToResult(snap.Spec)
+		}
+		return results, nil
+	}
+}
+
+// Drain stops accepting submissions and waits for every queued and running
+// job to reach a terminal state, or for ctx to expire — in which case the
+// still-running jobs are canceled before returning ctx's error.
+func (ex *Executor) Drain(ctx context.Context) error {
+	ex.mu.Lock()
+	ex.draining = true
+	ex.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		ex.mu.Lock()
+		for ex.queue.Len() > 0 || ex.running > 0 {
+			ex.cond.Wait()
+		}
+		ex.mu.Unlock()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		ex.mu.Lock()
+		for ex.queue.Len() > 0 {
+			job := heap.Pop(&ex.queue).(*Job)
+			if job.state == StateQueued {
+				ex.completeLocked(job, nil, context.Canceled)
+			}
+		}
+		for _, job := range ex.jobs {
+			if job.state == StateRunning && job.cancel != nil {
+				job.cancel()
+			}
+		}
+		ex.mu.Unlock()
+		<-idle
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (ex *Executor) Draining() bool {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	return ex.draining
+}
+
+// Close stops the workers after the queue empties. Typically preceded by
+// Drain; safe to call twice.
+func (ex *Executor) Close() {
+	ex.mu.Lock()
+	if ex.closed {
+		ex.mu.Unlock()
+		return
+	}
+	ex.closed = true
+	ex.cond.Broadcast()
+	ex.mu.Unlock()
+	ex.wg.Wait()
+}
+
+// Metrics returns a consistent snapshot of the executor counters.
+func (ex *Executor) Metrics() Metrics {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	m := ex.m
+	m.QueueDepth = ex.queue.Len()
+	m.Running = ex.running
+	m.Workers = ex.cfg.Workers
+	m.Draining = ex.draining
+	if ex.cfg.Cache != nil {
+		m.Cache = ex.cfg.Cache.Stats()
+	}
+	m.PerKernel = make(map[string]KernelMetrics, len(ex.perKernel))
+	for k, v := range ex.perKernel {
+		m.PerKernel[k] = v
+	}
+	return m
+}
+
+// ---- internals ----
+
+func (ex *Executor) worker() {
+	defer ex.wg.Done()
+	for {
+		ex.mu.Lock()
+		for ex.queue.Len() == 0 && !ex.closed {
+			ex.cond.Wait()
+		}
+		if ex.queue.Len() == 0 && ex.closed {
+			ex.mu.Unlock()
+			return
+		}
+		job := heap.Pop(&ex.queue).(*Job)
+		if job.state != StateQueued { // canceled while queued
+			ex.mu.Unlock()
+			continue
+		}
+		job.state = StateRunning
+		job.started = time.Now()
+		ex.running++
+		ctx := context.Background()
+		var cancel context.CancelFunc
+		if job.timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, job.timeout)
+		} else {
+			ctx, cancel = context.WithCancel(ctx)
+		}
+		job.cancel = cancel
+		ex.mu.Unlock()
+
+		data, trc, err := ex.runJob(ctx, job)
+		cancel()
+
+		ex.mu.Lock()
+		job.trace = trc
+		if err == nil && !job.noCache && ex.cfg.Cache != nil {
+			ex.cfg.Cache.Put(job.SpecHash, data)
+		}
+		if err == nil {
+			dur := time.Since(job.started).Seconds()
+			km := ex.perKernel[job.Spec.Kernel]
+			km.Runs++
+			km.TotalSec += dur
+			if dur > km.MaxSec {
+				km.MaxSec = dur
+			}
+			ex.perKernel[job.Spec.Kernel] = km
+		}
+		ex.running--
+		ex.completeLocked(job, data, err)
+		ex.mu.Unlock()
+	}
+}
+
+// runJob executes one job with panic isolation and transient-failure
+// retries, returning the canonical result bytes.
+func (ex *Executor) runJob(ctx context.Context, job *Job) (data []byte, trc *trace.Recorder, err error) {
+	for attempt := 0; ; attempt++ {
+		ex.mu.Lock()
+		job.attempts = attempt + 1
+		ex.mu.Unlock()
+		var res core.Result
+		res, err = ex.safeRun(ctx, job.Spec)
+		if err == nil {
+			out := NewOutcome(job.SpecHash, res)
+			data, err = CanonicalJSON(out)
+			return data, res.Trace, err
+		}
+		if !IsTransient(err) || attempt >= ex.cfg.MaxRetries || ctx.Err() != nil {
+			return nil, nil, err
+		}
+		ex.mu.Lock()
+		ex.m.Retries++
+		ex.mu.Unlock()
+	}
+}
+
+// safeRun isolates panics escaping the runner so one poisoned job cannot
+// take down the pool.
+func (ex *Executor) safeRun(ctx context.Context, spec core.Spec) (res core.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("jobs: runner panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return ex.cfg.Runner(ctx, spec)
+}
+
+// completeLocked finalizes a job and its coalesced duplicates. Caller holds
+// ex.mu.
+func (ex *Executor) completeLocked(job *Job, data []byte, err error) {
+	if job.state.Terminal() {
+		return
+	}
+	now := time.Now()
+	finalize := func(j *Job) {
+		j.finished = now
+		j.data = data
+		j.err = err
+		switch {
+		case err == nil:
+			j.state = StateDone
+			ex.m.Completed++
+		case errors.Is(err, context.Canceled):
+			j.state = StateCanceled
+			ex.m.Canceled++
+		default:
+			j.state = StateFailed
+			ex.m.Failed++
+		}
+		close(j.done)
+	}
+	finalize(job)
+	for _, d := range job.dups {
+		if !d.state.Terminal() {
+			finalize(d)
+		}
+	}
+	job.dups = nil
+	if ex.inflight[job.SpecHash] == job {
+		delete(ex.inflight, job.SpecHash)
+	}
+	ex.cond.Broadcast() // wake Drain's idle watcher
+}
+
+func (ex *Executor) snapshotLocked(job *Job) Snapshot {
+	s := Snapshot{
+		ID:        job.ID,
+		SpecHash:  job.SpecHash,
+		Spec:      job.Spec,
+		State:     job.state,
+		Priority:  job.priority,
+		CacheHit:  job.cacheHit,
+		Coalesced: job.coalesced,
+		Attempts:  job.attempts,
+		Err:       job.err,
+		Submitted: job.submitted,
+		Started:   job.started,
+		Finished:  job.finished,
+	}
+	if job.state == StateDone {
+		s.Data = job.data
+	}
+	return s
+}
+
+// IsTransient reports whether err is worth retrying.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrTransient)
+}
+
+// ---- priority + FIFO heap ----
+
+// jobQueue orders by (priority desc, seq asc): strict priority levels with
+// FIFO fairness inside each level.
+type jobQueue []*Job
+
+func (q jobQueue) Len() int { return len(q) }
+func (q jobQueue) Less(i, j int) bool {
+	if q[i].priority != q[j].priority {
+		return q[i].priority > q[j].priority
+	}
+	return q[i].seq < q[j].seq
+}
+func (q jobQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *jobQueue) Push(x any)   { *q = append(*q, x.(*Job)) }
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	job := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return job
+}

@@ -1,0 +1,180 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"time"
+
+	"aaws/internal/core"
+	"aaws/internal/fault"
+	"aaws/internal/stats"
+	"aaws/internal/trace"
+	"aaws/internal/wsrt"
+)
+
+// State is a job's position in its lifecycle.
+type State int
+
+const (
+	// StateQueued means the job is waiting for a worker (or coalesced
+	// behind an identical in-flight job).
+	StateQueued State = iota
+	// StateRunning means a worker is simulating the job.
+	StateRunning
+	// StateDone means the job completed and its result bytes are available.
+	StateDone
+	// StateFailed means the job errored (including deadline expiry).
+	StateFailed
+	// StateCanceled means the job was canceled before completing.
+	StateCanceled
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	case StateCanceled:
+		return "canceled"
+	default:
+		return "unknown"
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Outcome is the cacheable result of one job: everything a client needs
+// from a core.Result except the trace recorder (which is kept in memory on
+// the job that produced it). Its canonical JSON bytes are what the cache
+// stores and the report endpoint serves.
+type Outcome struct {
+	SpecHash        string
+	Report          wsrt.Report
+	Regions         stats.Breakdown
+	SerialInstr     float64
+	Alpha           float64
+	Beta            float64
+	Faults          fault.Stats
+	SpeedupVsLittle float64
+	SpeedupVsBig    float64
+	CheckError      string `json:",omitempty"`
+}
+
+// NewOutcome projects a core.Result onto the cacheable form.
+func NewOutcome(specHash string, res core.Result) Outcome {
+	out := Outcome{
+		SpecHash:        specHash,
+		Report:          res.Report,
+		Regions:         res.Regions,
+		SerialInstr:     res.SerialInstr,
+		Alpha:           res.Alpha,
+		Beta:            res.Beta,
+		Faults:          res.Faults,
+		SpeedupVsLittle: res.SpeedupVsLittle(),
+		SpeedupVsBig:    res.SpeedupVsBig(),
+	}
+	if res.CheckErr != nil {
+		out.CheckError = res.CheckErr.Error()
+	}
+	return out
+}
+
+// DecodeOutcome parses canonical result bytes back into an Outcome.
+func DecodeOutcome(data []byte) (Outcome, error) {
+	var out Outcome
+	if err := json.Unmarshal(data, &out); err != nil {
+		return Outcome{}, err
+	}
+	return out, nil
+}
+
+// ToResult reconstructs a core.Result for the given spec. Shortest-form
+// float canonicalization makes the round trip exact: every numeric field —
+// and therefore any fingerprint over them — matches the original run
+// bit-for-bit. The trace recorder is not cacheable and comes back nil.
+func (o Outcome) ToResult(spec core.Spec) core.Result {
+	res := core.Result{
+		Spec:        spec,
+		Report:      o.Report,
+		Regions:     o.Regions,
+		SerialInstr: o.SerialInstr,
+		Alpha:       o.Alpha,
+		Beta:        o.Beta,
+		Faults:      o.Faults,
+	}
+	if o.CheckError != "" {
+		res.CheckErr = errors.New(o.CheckError)
+	}
+	return res
+}
+
+// Job is one tracked submission. Fields are guarded by the owning
+// executor's mutex; read them through the executor's accessors (Snapshot)
+// or after <-Done().
+type Job struct {
+	// ID uniquely identifies this submission (hash prefix + sequence).
+	ID string
+	// SpecHash is the content address of the job's result.
+	SpecHash string
+	// Spec is the normalized, validated simulation spec.
+	Spec core.Spec
+
+	priority int
+	seq      uint64 // FIFO tie-break within a priority level
+	timeout  time.Duration
+	noCache  bool
+
+	state     State
+	err       error
+	data      []byte // canonical Outcome bytes when done
+	cacheHit  bool   // served from the cache without simulating
+	coalesced bool   // collapsed onto an identical in-flight job
+	attempts  int    // simulation attempts (>1 means transient retries)
+	trace     *trace.Recorder
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	cancel func()        // cancels the running attempt's context
+	done   chan struct{} // closed on reaching a terminal state
+	dups   []*Job        // coalesced duplicates completed alongside this job
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Snapshot is an immutable copy of a job's observable state.
+type Snapshot struct {
+	ID        string
+	SpecHash  string
+	Spec      core.Spec
+	State     State
+	Priority  int
+	CacheHit  bool
+	Coalesced bool
+	Attempts  int
+	Err       error
+	Data      []byte // nil unless State == StateDone
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+}
+
+// Elapsed returns the wall-clock span from submission to completion (or
+// zero if the job has not finished).
+func (s Snapshot) Elapsed() time.Duration {
+	if s.Finished.IsZero() {
+		return 0
+	}
+	return s.Finished.Sub(s.Submitted)
+}

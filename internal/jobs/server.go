@@ -1,0 +1,430 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"aaws/internal/core"
+	"aaws/internal/fault"
+	"aaws/internal/kernels"
+	"aaws/internal/trace"
+	"aaws/internal/wsrt"
+)
+
+// Server exposes an Executor over HTTP JSON:
+//
+//	POST   /v1/jobs            submit one job
+//	GET    /v1/jobs/{id}       job status (+ inline report when done)
+//	GET    /v1/jobs/{id}/report     raw canonical result bytes (ETag = result hash)
+//	GET    /v1/jobs/{id}/trace.svg  activity/DVFS profile (WithTrace jobs)
+//	GET    /v1/jobs/{id}/trace.csv  profile samples as CSV
+//	DELETE /v1/jobs/{id}       cancel
+//	POST   /v1/sweeps          submit a kernel × variant × system matrix
+//	GET    /metrics            Prometheus-style counters
+//	GET    /healthz            200 ok / 503 draining
+type Server struct {
+	ex  *Executor
+	mux *http.ServeMux
+}
+
+// NewServer wraps ex in the HTTP API.
+func NewServer(ex *Executor) *Server {
+	s := &Server{ex: ex, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.submitJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.getReport)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace.svg", s.getTraceSVG)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace.csv", s.getTraceCSV)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancelJob)
+	s.mux.HandleFunc("POST /v1/sweeps", s.submitSweep)
+	s.mux.HandleFunc("GET /metrics", s.metrics)
+	s.mux.HandleFunc("GET /healthz", s.healthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// JobRequest is the JSON submission body. Zero values take the evaluation
+// defaults (seed 42, scale 1.0, 4B4L, base+psm).
+type JobRequest struct {
+	Kernel  string  `json:"kernel"`
+	System  string  `json:"system,omitempty"`
+	Variant string  `json:"variant,omitempty"`
+	Seed    *uint64 `json:"seed,omitempty"`
+	Scale   float64 `json:"scale,omitempty"`
+	Check   *bool   `json:"check,omitempty"`
+	NBig    int     `json:"nbig,omitempty"`
+	NLit    int     `json:"nlit,omitempty"`
+
+	WithTrace      bool          `json:"with_trace,omitempty"`
+	MemStall       bool          `json:"mem_stall,omitempty"`
+	AdaptiveDVFS   bool          `json:"adaptive_dvfs,omitempty"`
+	CacheModel     bool          `json:"cache_model,omitempty"`
+	DisableBiasing bool          `json:"disable_biasing,omitempty"`
+	MaxEvents      uint64        `json:"max_events,omitempty"`
+	Faults         *fault.Config `json:"faults,omitempty"`
+
+	Priority  int   `json:"priority,omitempty"`
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	NoCache   bool  `json:"no_cache,omitempty"`
+}
+
+// ToSpec resolves the request into a validated core.Spec.
+func (req JobRequest) ToSpec() (core.Spec, error) {
+	sysName := req.System
+	if sysName == "" {
+		sysName = "4B4L"
+	}
+	sys, ok := core.ParseSystem(sysName)
+	if !ok && req.NBig == 0 {
+		return core.Spec{}, fmt.Errorf("unknown system %q", req.System)
+	}
+	variant := req.Variant
+	if variant == "" {
+		variant = "base+psm"
+	}
+	v, ok := wsrt.ParseVariant(variant)
+	if !ok {
+		return core.Spec{}, fmt.Errorf("unknown variant %q", req.Variant)
+	}
+	spec := core.Spec{
+		Kernel:         req.Kernel,
+		System:         sys,
+		Variant:        v,
+		Seed:           42,
+		Scale:          req.Scale,
+		WithTrace:      req.WithTrace,
+		MemStall:       req.MemStall,
+		Check:          true,
+		AdaptiveDVFS:   req.AdaptiveDVFS,
+		CacheModel:     req.CacheModel,
+		DisableBiasing: req.DisableBiasing,
+		NBig:           req.NBig,
+		NLit:           req.NLit,
+		MaxEvents:      req.MaxEvents,
+		Faults:         req.Faults,
+	}
+	if req.Seed != nil {
+		spec.Seed = *req.Seed
+	}
+	if req.Check != nil {
+		spec.Check = *req.Check
+	}
+	return Normalize(spec), nil
+}
+
+func (req JobRequest) submitOptions() SubmitOptions {
+	return SubmitOptions{
+		Priority: req.Priority,
+		Timeout:  time.Duration(req.TimeoutMs) * time.Millisecond,
+		NoCache:  req.NoCache,
+	}
+}
+
+// JobStatus is the JSON view of a job.
+type JobStatus struct {
+	ID         string          `json:"id"`
+	SpecHash   string          `json:"spec_hash"`
+	State      string          `json:"state"`
+	Kernel     string          `json:"kernel"`
+	System     string          `json:"system"`
+	Variant    string          `json:"variant"`
+	Seed       uint64          `json:"seed"`
+	CacheHit   bool            `json:"cache_hit"`
+	Coalesced  bool            `json:"coalesced"`
+	Attempts   int             `json:"attempts,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	ElapsedMs  float64         `json:"elapsed_ms,omitempty"`
+	ResultHash string          `json:"result_hash,omitempty"`
+	Report     json.RawMessage `json:"report,omitempty"`
+}
+
+func statusOf(s Snapshot) JobStatus {
+	js := JobStatus{
+		ID:        s.ID,
+		SpecHash:  s.SpecHash,
+		State:     s.State.String(),
+		Kernel:    s.Spec.Kernel,
+		System:    s.Spec.System.String(),
+		Variant:   s.Spec.Variant.String(),
+		Seed:      s.Spec.Seed,
+		CacheHit:  s.CacheHit,
+		Coalesced: s.Coalesced,
+		Attempts:  s.Attempts,
+	}
+	if s.Err != nil {
+		js.Error = s.Err.Error()
+	}
+	if d := s.Elapsed(); d > 0 {
+		js.ElapsedMs = float64(d) / float64(time.Millisecond)
+	}
+	if s.State == StateDone {
+		js.ResultHash = ResultHash(s.Data)
+		js.Report = json.RawMessage(s.Data)
+	}
+	return js
+}
+
+func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	spec, err := req.ToSpec()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.ex.Submit(spec, req.submitOptions())
+	if err != nil {
+		httpError(w, submitStatus(err), err)
+		return
+	}
+	snap, _ := s.ex.Get(job.ID)
+	code := http.StatusAccepted
+	if snap.State.Terminal() {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, statusOf(snap))
+}
+
+// SweepRequest submits the cross product kernels × systems × variants ×
+// seeds as one batch. Empty lists default to all kernels / 4B4L / all five
+// variants / seed 42.
+type SweepRequest struct {
+	Kernels  []string `json:"kernels,omitempty"`
+	Systems  []string `json:"systems,omitempty"`
+	Variants []string `json:"variants,omitempty"`
+	Seeds    []uint64 `json:"seeds,omitempty"`
+	Scale    float64  `json:"scale,omitempty"`
+	Check    bool     `json:"check,omitempty"`
+
+	Priority  int   `json:"priority,omitempty"`
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	NoCache   bool  `json:"no_cache,omitempty"`
+}
+
+// SweepResponse lists the submitted jobs in matrix order.
+type SweepResponse struct {
+	Count int      `json:"count"`
+	IDs   []string `json:"ids"`
+}
+
+func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.Kernels) == 0 {
+		req.Kernels = kernels.Names()
+	}
+	if len(req.Systems) == 0 {
+		req.Systems = []string{"4B4L"}
+	}
+	if len(req.Variants) == 0 {
+		for _, v := range wsrt.Variants {
+			req.Variants = append(req.Variants, v.String())
+		}
+	}
+	if len(req.Seeds) == 0 {
+		req.Seeds = []uint64{42}
+	}
+	opts := SubmitOptions{
+		Priority: req.Priority,
+		Timeout:  time.Duration(req.TimeoutMs) * time.Millisecond,
+		NoCache:  req.NoCache,
+	}
+	var resp SweepResponse
+	for _, kname := range req.Kernels {
+		for _, sysName := range req.Systems {
+			sys, ok := core.ParseSystem(sysName)
+			if !ok {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("unknown system %q", sysName))
+				return
+			}
+			for _, vname := range req.Variants {
+				v, ok := wsrt.ParseVariant(vname)
+				if !ok {
+					httpError(w, http.StatusBadRequest, fmt.Errorf("unknown variant %q", vname))
+					return
+				}
+				for _, seed := range req.Seeds {
+					spec := core.Spec{
+						Kernel: kname, System: sys, Variant: v,
+						Seed: seed, Scale: req.Scale, Check: req.Check,
+					}
+					job, err := s.ex.Submit(spec, opts)
+					if err != nil {
+						httpError(w, submitStatus(err), fmt.Errorf("submitting %s/%s/%s: %w", kname, sysName, vname, err))
+						return
+					}
+					resp.IDs = append(resp.IDs, job.ID)
+				}
+			}
+		}
+	}
+	resp.Count = len(resp.IDs)
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.ex.Get(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, statusOf(snap))
+}
+
+func (s *Server) getReport(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.ex.Get(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	if snap.State != StateDone {
+		httpError(w, http.StatusConflict, fmt.Errorf("job is %s, report not available", snap.State))
+		return
+	}
+	etag := `"` + ResultHash(snap.Data) + `"`
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("ETag", etag)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(snap.Data)
+}
+
+func (s *Server) cancelJob(w http.ResponseWriter, r *http.Request) {
+	state, err := s.ex.Cancel(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"state": state.String()})
+}
+
+// traceRecorder fetches a job's recorder, writing the appropriate HTTP
+// error when unavailable.
+func (s *Server) traceRecorder(w http.ResponseWriter, r *http.Request) (*trace.Recorder, Snapshot, bool) {
+	rec, snap, err := s.ex.TraceRecorder(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return nil, Snapshot{}, false
+	}
+	if !snap.State.Terminal() {
+		httpError(w, http.StatusConflict, fmt.Errorf("job is %s, trace not available yet", snap.State))
+		return nil, Snapshot{}, false
+	}
+	if rec == nil {
+		httpError(w, http.StatusNotFound, errors.New(
+			"no trace: submit with with_trace=true and no_cache=true (cached/coalesced results carry no recorder)"))
+		return nil, Snapshot{}, false
+	}
+	return rec, snap, true
+}
+
+func (s *Server) getTraceSVG(w http.ResponseWriter, r *http.Request) {
+	rec, snap, ok := s.traceRecorder(w, r)
+	if !ok {
+		return
+	}
+	nBig, nLit := snap.Spec.System.Counts()
+	if snap.Spec.NBig > 0 {
+		nBig, nLit = snap.Spec.NBig, snap.Spec.NLit
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	if err := rec.WriteSVG(w, trace.CoreNames(nBig, nLit), 1600); err != nil {
+		// Headers are gone; all we can do is stop streaming.
+		return
+	}
+}
+
+func (s *Server) getTraceCSV(w http.ResponseWriter, r *http.Request) {
+	rec, snap, ok := s.traceRecorder(w, r)
+	if !ok {
+		return
+	}
+	nBig, nLit := snap.Spec.System.Counts()
+	if snap.Spec.NBig > 0 {
+		nBig, nLit = snap.Spec.NBig, snap.Spec.NLit
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	_ = rec.WriteCSV(w, trace.CoreNames(nBig, nLit), 200)
+}
+
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	m := s.ex.Metrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	p("aaws_jobs_submitted_total %d\n", m.Submitted)
+	p("aaws_jobs_completed_total %d\n", m.Completed)
+	p("aaws_jobs_failed_total %d\n", m.Failed)
+	p("aaws_jobs_canceled_total %d\n", m.Canceled)
+	p("aaws_jobs_retries_total %d\n", m.Retries)
+	p("aaws_jobs_queue_depth %d\n", m.QueueDepth)
+	p("aaws_jobs_running %d\n", m.Running)
+	p("aaws_jobs_workers %d\n", m.Workers)
+	p("aaws_cache_hits_total %d\n", m.CacheHits)
+	p("aaws_cache_coalesced_total %d\n", m.Coalesced)
+	p("aaws_cache_misses_total %d\n", m.Cache.Misses)
+	p("aaws_cache_evictions_total %d\n", m.Cache.Evictions)
+	p("aaws_cache_disk_hits_total %d\n", m.Cache.DiskHits)
+	p("aaws_cache_entries %d\n", m.Cache.Entries)
+	hitRate := 0.0
+	if m.Submitted > 0 {
+		hitRate = float64(m.CacheHits+m.Coalesced) / float64(m.Submitted)
+	}
+	p("aaws_cache_hit_ratio %g\n", hitRate)
+	names := make([]string, 0, len(m.PerKernel))
+	for k := range m.PerKernel {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		km := m.PerKernel[k]
+		p("aaws_kernel_runs_total{kernel=%q} %d\n", k, km.Runs)
+		p("aaws_kernel_latency_seconds_sum{kernel=%q} %g\n", k, km.TotalSec)
+		p("aaws_kernel_latency_seconds_max{kernel=%q} %g\n", k, km.MaxSec)
+	}
+}
+
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	if s.ex.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

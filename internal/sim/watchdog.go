@@ -23,6 +23,15 @@ type Budget struct {
 	// MaxStall caps consecutive events executed without the simulated
 	// clock advancing.
 	MaxStall uint64
+	// Interrupt, when non-nil, is polled every InterruptEvery events; a
+	// non-nil return aborts the run with that error as the cause. The
+	// poll has no side effects on simulation state, so enabling it never
+	// perturbs schedules — it only lets external deadlines (e.g. a
+	// context.Context) abort a simulation promptly instead of at
+	// completion. context.Context.Err is a valid value directly.
+	Interrupt func() error
+	// InterruptEvery is the polling stride in events (default 4096).
+	InterruptEvery uint64
 }
 
 // RunBudget executes events until the queue drains (returning nil) or the
@@ -33,7 +42,16 @@ type Budget struct {
 func (e *Engine) RunBudget(b Budget) error {
 	var n, stall uint64
 	last := e.now
+	every := b.InterruptEvery
+	if every == 0 {
+		every = 4096
+	}
 	for {
+		if b.Interrupt != nil && n%every == 0 {
+			if err := b.Interrupt(); err != nil {
+				return fmt.Errorf("sim: interrupted after %d events at %v: %w", n, e.now, err)
+			}
+		}
 		if b.MaxEvents > 0 && n >= b.MaxEvents {
 			return fmt.Errorf("%w: %d events executed, clock at %v, %d pending",
 				ErrMaxEvents, n, e.now, e.Pending())

@@ -1,0 +1,51 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"aaws/internal/sim"
+)
+
+// JSON encoding for Breakdown: the wire form is an object keyed by the
+// paper's region labels with picosecond durations, e.g.
+//
+//	{"BI<LA":0,"BI>=LA":120,"HP":93811,"oLP":4502,"serial":8800}
+//
+// encoding/json sorts map keys, so the encoding is canonical (stable byte
+// sequence for a given value) — a requirement of the content-addressed
+// result cache, whose result hashes must be reproducible across runs.
+
+// MarshalJSON implements json.Marshaler.
+func (b Breakdown) MarshalJSON() ([]byte, error) {
+	m := make(map[string]sim.Time, len(Regions))
+	for _, r := range Regions {
+		m[r.String()] = b.Dur[r]
+	}
+	return json.Marshal(m)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, accepting the object form
+// produced by MarshalJSON. Unknown region labels are rejected; absent
+// regions default to zero.
+func (b *Breakdown) UnmarshalJSON(data []byte) error {
+	var m map[string]sim.Time
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	*b = Breakdown{}
+	for name, d := range m {
+		found := false
+		for _, r := range Regions {
+			if r.String() == name {
+				b.Dur[r] = d
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("stats: unknown region %q in breakdown", name)
+		}
+	}
+	return nil
+}

@@ -9,11 +9,27 @@ import (
 	"aaws/internal/vf"
 )
 
+// errWriter accumulates the first write error so the render loops stay
+// uncluttered; every later write is a no-op once a write has failed.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) printf(format string, args ...any) {
+	if ew.err == nil {
+		_, ew.err = fmt.Fprintf(ew.w, format, args...)
+	}
+}
+
 // WriteSVG renders the profile as a self-contained SVG in the style of the
 // paper's Figures 1 and 7: one activity strip and one DVFS strip per core.
 // Activity is black (task) / light gray (steal loop) / hatched gray
-// (resting); the DVFS strip sweeps blue (VMin) through red (VMax).
-func (r *Recorder) WriteSVG(w io.Writer, names []string, width int) {
+// (resting); the DVFS strip sweeps blue (VMin) through red (VMax). The
+// first error from w aborts the render and is returned, so HTTP handlers
+// streaming the SVG can report broken connections instead of silently
+// truncating.
+func (r *Recorder) WriteSVG(w io.Writer, names []string, width int) error {
 	if width < 100 {
 		width = 800
 	}
@@ -31,19 +47,20 @@ func (r *Recorder) WriteSVG(w io.Writer, names []string, width int) {
 		end = 1
 	}
 
-	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="10">`+"\n",
+	ew := &errWriter{w: w}
+	ew.printf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="10">`+"\n",
 		width+leftPad+10, height)
-	fmt.Fprintf(w, `<text x="%d" y="14">activity profile: 0 .. %v (black=task, gray=steal loop, pale=resting; strip below: V in [%.2f,%.2f])</text>`+"\n",
+	ew.printf(`<text x="%d" y="14">activity profile: 0 .. %v (black=task, gray=steal loop, pale=resting; strip below: V in [%.2f,%.2f])</text>`+"\n",
 		leftPad, end, vf.VMin, vf.VMax)
 
 	cols := width / 2 // 2px per sample
-	for core := 0; core < n; core++ {
+	for core := 0; core < n && ew.err == nil; core++ {
 		y := topPad + core*(rowH+dvfsH+rowGap)
 		name := fmt.Sprintf("core%d", core)
 		if core < len(names) {
 			name = names[core]
 		}
-		fmt.Fprintf(w, `<text x="4" y="%d">%s</text>`+"\n", y+rowH-3, name)
+		ew.printf(`<text x="4" y="%d">%s</text>`+"\n", y+rowH-3, name)
 		for col := 0; col < cols; col++ {
 			a := sim.Time(int64(end) * int64(col) / int64(cols))
 			b := sim.Time(int64(end) * int64(col+1) / int64(cols))
@@ -52,14 +69,15 @@ func (r *Recorder) WriteSVG(w io.Writer, names []string, width int) {
 			}
 			x := leftPad + col*2
 			st := dominantState(r.states[core], a, b)
-			fmt.Fprintf(w, `<rect x="%d" y="%d" width="2" height="%d" fill="%s"/>`+"\n",
+			ew.printf(`<rect x="%d" y="%d" width="2" height="%d" fill="%s"/>`+"\n",
 				x, y, rowH, stateFill(st))
 			v := voltAt(r.volts[core], a+(b-a)/2)
-			fmt.Fprintf(w, `<rect x="%d" y="%d" width="2" height="%d" fill="%s"/>`+"\n",
+			ew.printf(`<rect x="%d" y="%d" width="2" height="%d" fill="%s"/>`+"\n",
 				x, y+rowH+1, dvfsH, voltFill(v))
 		}
 	}
-	fmt.Fprintln(w, `</svg>`)
+	ew.printf("</svg>\n")
+	return ew.err
 }
 
 // stateFill maps a scheduling state to its strip color.

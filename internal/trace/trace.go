@@ -151,8 +151,9 @@ func voltChar(v float64) byte {
 }
 
 // RenderASCII writes the profile as two character strips per core across
-// width columns. names[i] labels core i (e.g. "B0", "L2").
-func (r *Recorder) RenderASCII(w io.Writer, names []string, width int) {
+// width columns. names[i] labels core i (e.g. "B0", "L2"). The first error
+// from w aborts the render and is returned.
+func (r *Recorder) RenderASCII(w io.Writer, names []string, width int) error {
 	if width < 1 {
 		width = 80
 	}
@@ -160,7 +161,8 @@ func (r *Recorder) RenderASCII(w io.Writer, names []string, width int) {
 	if end == 0 {
 		end = 1
 	}
-	fmt.Fprintf(w, "time: 0 .. %v   ('#'=task, '.'=steal loop, '_'=resting; digits = V in [%.2f,%.2f])\n",
+	ew := &errWriter{w: w}
+	ew.printf("time: 0 .. %v   ('#'=task, '.'=steal loop, '_'=resting; digits = V in [%.2f,%.2f])\n",
 		end, vf.VMin, vf.VMax)
 	for i := range r.states {
 		var act, dvfs strings.Builder
@@ -178,15 +180,18 @@ func (r *Recorder) RenderASCII(w io.Writer, names []string, width int) {
 		if i < len(names) {
 			name = names[i]
 		}
-		fmt.Fprintf(w, "%4s act  |%s|\n", name, act.String())
-		fmt.Fprintf(w, "%4s dvfs |%s|\n", "", dvfs.String())
+		ew.printf("%4s act  |%s|\n", name, act.String())
+		ew.printf("%4s dvfs |%s|\n", "", dvfs.String())
 	}
+	return ew.err
 }
 
 // WriteCSV emits one row per sampled column per core:
-// core,name,tStartUs,tEndUs,state,volts.
-func (r *Recorder) WriteCSV(w io.Writer, names []string, samples int) {
-	fmt.Fprintln(w, "core,name,t_start_us,t_end_us,state,volts")
+// core,name,tStartUs,tEndUs,state,volts. The first error from w aborts the
+// render and is returned.
+func (r *Recorder) WriteCSV(w io.Writer, names []string, samples int) error {
+	ew := &errWriter{w: w}
+	ew.printf("core,name,t_start_us,t_end_us,state,volts\n")
 	end := r.end
 	if end == 0 {
 		end = 1
@@ -196,7 +201,7 @@ func (r *Recorder) WriteCSV(w io.Writer, names []string, samples int) {
 		if i < len(names) {
 			name = names[i]
 		}
-		for col := 0; col < samples; col++ {
+		for col := 0; col < samples && ew.err == nil; col++ {
 			a := sim.Time(int64(end) * int64(col) / int64(samples))
 			b := sim.Time(int64(end) * int64(col+1) / int64(samples))
 			if b <= a {
@@ -204,9 +209,10 @@ func (r *Recorder) WriteCSV(w io.Writer, names []string, samples int) {
 			}
 			st := dominantState(r.states[i], a, b)
 			v := voltAt(r.volts[i], a+(b-a)/2)
-			fmt.Fprintf(w, "%d,%s,%.3f,%.3f,%s,%.3f\n", i, name, a.Micros(), b.Micros(), st, v)
+			ew.printf("%d,%s,%.3f,%.3f,%s,%.3f\n", i, name, a.Micros(), b.Micros(), st, v)
 		}
 	}
+	return ew.err
 }
 
 // CoreNames builds the paper's core labels for a machine with nBig big

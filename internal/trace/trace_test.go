@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -19,7 +20,9 @@ func TestRenderBasic(t *testing.T) {
 	r.Finish(100 * sim.Microsecond)
 
 	var sb strings.Builder
-	r.RenderASCII(&sb, []string{"B0", "L0"}, 40)
+	if err := r.RenderASCII(&sb, []string{"B0", "L0"}, 40); err != nil {
+		t.Fatalf("RenderASCII: %v", err)
+	}
 	out := sb.String()
 	lines := strings.Split(strings.TrimSpace(out), "\n")
 	if len(lines) != 5 { // header + 2 strips per core
@@ -69,7 +72,9 @@ func TestWriteCSV(t *testing.T) {
 	r.OnState(0, 0, power.StateActive)
 	r.Finish(10 * sim.Microsecond)
 	var sb strings.Builder
-	r.WriteCSV(&sb, []string{"B0"}, 4)
+	if err := r.WriteCSV(&sb, []string{"B0"}, 4); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
 	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
 	if len(lines) != 5 { // header + 4 samples
 		t.Fatalf("CSV lines = %d", len(lines))
@@ -94,7 +99,9 @@ func TestWriteSVG(t *testing.T) {
 	r.OnVoltage(10*sim.Microsecond, 0, 1.3)
 	r.Finish(80 * sim.Microsecond)
 	var sb strings.Builder
-	r.WriteSVG(&sb, CoreNames(1, 1), 200)
+	if err := r.WriteSVG(&sb, CoreNames(1, 1), 200); err != nil {
+		t.Fatalf("WriteSVG: %v", err)
+	}
 	out := sb.String()
 	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
 		t.Fatal("not a well-formed SVG document")
@@ -106,5 +113,35 @@ func TestWriteSVG(t *testing.T) {
 	}
 	if strings.Count(out, "<rect") < 100 {
 		t.Errorf("suspiciously few rects: %d", strings.Count(out, "<rect"))
+	}
+}
+
+// failAfter fails every write past the first n bytes, emulating a client
+// hanging up mid-stream.
+type failAfter struct {
+	n       int
+	written int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.written+len(p) > f.n {
+		return 0, errors.New("broken pipe")
+	}
+	f.written += len(p)
+	return len(p), nil
+}
+
+func TestWritersPropagateErrors(t *testing.T) {
+	r := NewRecorder(2)
+	r.OnState(0, 0, power.StateActive)
+	r.Finish(10 * sim.Microsecond)
+	if err := r.WriteSVG(&failAfter{n: 64}, nil, 200); err == nil {
+		t.Error("WriteSVG swallowed the write error")
+	}
+	if err := r.WriteCSV(&failAfter{n: 16}, nil, 8); err == nil {
+		t.Error("WriteCSV swallowed the write error")
+	}
+	if err := r.RenderASCII(&failAfter{n: 16}, nil, 40); err == nil {
+		t.Error("RenderASCII swallowed the write error")
 	}
 }

@@ -197,6 +197,10 @@ type Config struct {
 	// MaxStallEvents caps consecutive events executed without simulated
 	// time advancing. 0 = no limit.
 	MaxStallEvents uint64
+	// Interrupt, when non-nil, is polled periodically by the event loop;
+	// a non-nil return aborts the run with that error (see sim.Budget).
+	// Used to plumb context cancellation/deadlines into a simulation.
+	Interrupt func() error
 	// CacheMigration switches steal/mug cold-miss penalties from the
 	// fixed constants to the Table I cache-hierarchy model driven by each
 	// task's Ctx.Touch working-set estimate (high-fidelity mode).

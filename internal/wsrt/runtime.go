@@ -278,7 +278,11 @@ func (rt *Runtime) ExecuteChecked(program func(r *Run)) (Report, error) {
 		})
 	}
 	rt.eng.At(0, rt.workers[0].processRoot)
-	err := rt.eng.RunBudget(sim.Budget{MaxEvents: rt.cfg.MaxEvents, MaxStall: rt.cfg.MaxStallEvents})
+	err := rt.eng.RunBudget(sim.Budget{
+		MaxEvents: rt.cfg.MaxEvents,
+		MaxStall:  rt.cfg.MaxStallEvents,
+		Interrupt: rt.cfg.Interrupt,
+	})
 
 	if err == nil && !rt.stopping {
 		err = fmt.Errorf("wsrt: simulation drained before the program completed (deadlock in task graph?)")
