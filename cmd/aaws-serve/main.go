@@ -6,11 +6,19 @@
 //
 // Usage:
 //
-//	aaws-serve -addr :8080 -workers 8 -cache-size 4096 -cache-dir /var/cache/aaws
+//	aaws-serve -addr :8080 -workers 8 -cache-size 4096 -cache-dir /var/cache/aaws \
+//	           -journal-dir /var/lib/aaws/journal -rate 50 -burst 100
 //
 //	curl -s localhost:8080/v1/jobs -d '{"kernel":"cilksort","variant":"base+psm"}'
 //	curl -s localhost:8080/v1/jobs/<id>
 //	curl -s localhost:8080/metrics
+//
+// With -journal-dir every accepted submission is write-ahead logged (fsync
+// before the 202), so a crash — SIGKILL, OOM, power loss — loses no accepted
+// work: on restart the journal replays and queued/running jobs re-execute
+// under their original IDs (determinism + content addressing make the replay
+// bit-identical and already-completed jobs free cache hits). /readyz stays
+// 503 until replay finishes.
 //
 // SIGINT/SIGTERM triggers a graceful drain: /healthz flips to 503, new
 // submissions are rejected, in-flight jobs finish (bounded by
@@ -41,12 +49,40 @@ func main() {
 	timeout := flag.Duration("job-timeout", 5*time.Minute, "default per-job deadline (0 = none)")
 	retries := flag.Int("retries", 1, "transient-failure retries per job")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on shutdown")
+	journalDir := flag.String("journal-dir", "", "write-ahead job journal directory (empty = no crash durability)")
+	journalSegMB := flag.Int("journal-segment-mb", 4, "journal segment size before rotation+compaction (MiB)")
+	rate := flag.Float64("rate", 0, "per-client submissions/sec (0 = unlimited)")
+	burst := flag.Int("burst", 20, "per-client token-bucket burst")
+	sweepSlots := flag.Int("sweep-slots", 0, "max workers running sweep-class jobs (0 = workers/2, capped below workers)")
+	perPrioDepth := flag.Int("max-queue-per-priority", 0, "max queued jobs within one priority level (0 = no per-level cap)")
+	maxWait := flag.Duration("max-wait", 0, "shed submissions whose estimated queue wait exceeds this (0 = shed only vs per-job deadlines)")
+	maxBodyKB := flag.Int("max-body-kb", 1024, "max request body size (KiB) before 413")
 	flag.Parse()
 
-	cache, err := jobs.NewCache(*cacheSize, *cacheDir)
-	if err != nil {
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	cache, err := jobs.NewCache(*cacheSize, *cacheDir)
+	if err != nil {
+		fail(err)
+	}
+	var journal *jobs.Journal
+	var pending []jobs.Pending
+	if *journalDir != "" {
+		journal, pending, err = jobs.OpenJournal(*journalDir, jobs.JournalConfig{
+			SegmentBytes: int64(*journalSegMB) << 20,
+		})
+		if err != nil {
+			fail(err)
+		}
+	}
+	slots := *sweepSlots
+	if slots <= 0 && *workers > 1 {
+		slots = *workers / 2
+	}
+	if slots >= *workers {
+		slots = *workers - 1 // always leave a slot for interactive jobs
 	}
 	ex := jobs.NewExecutor(jobs.Config{
 		Workers:        *workers,
@@ -54,19 +90,47 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxRetries:     *retries,
 		Cache:          cache,
+		Journal:        journal,
+		Admission: jobs.AdmissionConfig{
+			PerPriorityDepth: *perPrioDepth,
+			SweepSlots:       slots,
+			MaxWait:          *maxWait,
+		},
 	})
-	srv := &http.Server{Addr: *addr, Handler: jobs.NewServer(ex)}
+	api := jobs.NewServerWithOptions(ex, jobs.ServerOptions{
+		RatePerSec:   *rate,
+		Burst:        *burst,
+		MaxBodyBytes: int64(*maxBodyKB) << 10,
+	})
+	srv := &http.Server{Addr: *addr, Handler: api}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	// Listen before replaying so health probes see the process, but hold
+	// /readyz at 503 until the queue is rebuilt.
+	if len(pending) > 0 {
+		api.SetReady(false)
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("aaws-serve listening on %s (%d workers, cache %d", *addr, *workers, *cacheSize)
 	if *cacheDir != "" {
 		fmt.Printf(" + disk %s", *cacheDir)
 	}
+	if journal != nil {
+		fmt.Printf(", journal %s", *journalDir)
+	}
 	fmt.Println(")")
+	if len(pending) > 0 {
+		n, err := ex.Recover(pending)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aaws-serve: journal replay stopped after %d/%d jobs: %v\n", n, len(pending), err)
+		} else {
+			fmt.Printf("aaws-serve: recovered %d journaled job(s)\n", n)
+		}
+		api.SetReady(true)
+	}
 
 	select {
 	case err := <-errc:
@@ -82,6 +146,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "aaws-serve: drain incomplete: %v\n", err)
 	}
 	ex.Close()
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "aaws-serve: journal close: %v\n", err)
+		}
+	}
 	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -296,6 +296,7 @@ func RunCtx(ctx context.Context, spec Spec) (Result, error) {
 	if ctx != nil && ctx.Done() != nil {
 		rcfg.Interrupt = ctx.Err
 	}
+	rcfg.Progress = ProgressFromContext(ctx)
 	rt := wsrt.New(m, rcfg)
 	if spec.AdaptiveDVFS {
 		tuner := dvfs.NewTuner(eng, m.Ctl,

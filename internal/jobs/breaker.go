@@ -1,0 +1,150 @@
+package jobs
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: the protected resource is healthy; calls pass.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: consecutive failures tripped the breaker; calls are
+	// short-circuited until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: cooldown elapsed; exactly one probe call is let
+	// through to test whether the resource healed.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig parameterizes a Breaker. Zero fields take defaults.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that trips the breaker
+	// open (default 5).
+	Threshold int
+	// Cooldown is how long the breaker stays open before allowing a
+	// half-open probe (default 5s).
+	Cooldown time.Duration
+	// Clock overrides time.Now (tests).
+	Clock func() time.Time
+}
+
+// Breaker is a minimal consecutive-failure circuit breaker. The caller asks
+// Allow before touching the protected resource and reports the outcome with
+// Success/Failure; while open, Allow returns false (degrade without paying
+// the failing call's latency) until the cooldown elapses, then admits one
+// half-open probe whose outcome closes or re-opens the circuit. Safe for
+// concurrent use.
+type Breaker struct {
+	mu       sync.Mutex
+	cfg      BreakerConfig
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+
+	trips     uint64
+	shortCuts uint64
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 5
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 5 * time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Breaker{cfg: cfg}
+}
+
+// Allow reports whether a call may proceed. In the open state it returns
+// false until the cooldown elapses, then transitions to half-open and admits
+// exactly one probe; concurrent callers during a probe are short-circuited.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.cfg.Clock().Sub(b.openedAt) < b.cfg.Cooldown {
+			b.shortCuts++
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			b.shortCuts++
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success reports a healthy call: closes the circuit.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// Failure reports a failed call: re-opens a half-open circuit immediately,
+// or trips a closed one once Threshold consecutive failures accumulate.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.state == BreakerHalfOpen || b.fails >= b.cfg.Threshold {
+		if b.state != BreakerOpen {
+			b.trips++
+		}
+		b.state = BreakerOpen
+		b.openedAt = b.cfg.Clock()
+		b.probing = false
+	}
+}
+
+// State returns the breaker's current position (advancing open → half-open
+// is left to the next Allow; State is a pure read).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// BreakerStats is a snapshot of breaker counters.
+type BreakerStats struct {
+	State     BreakerState
+	Trips     uint64
+	ShortCuts uint64 // calls rejected without touching the resource
+}
+
+// Stats returns a snapshot of the breaker counters.
+func (b *Breaker) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{State: b.state, Trips: b.trips, ShortCuts: b.shortCuts}
+}

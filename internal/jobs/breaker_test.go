@@ -1,0 +1,204 @@
+package jobs_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"aaws/internal/jobs"
+)
+
+// fakeClock is a manually advanced time source for breaker tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestBreakerLifecycle walks the full closed → open → half-open → closed
+// cycle, including a failed probe that re-opens the circuit.
+func TestBreakerLifecycle(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := jobs.NewBreaker(jobs.BreakerConfig{Threshold: 3, Cooldown: time.Second, Clock: clk.now})
+
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker rejected a call")
+		}
+		b.Failure()
+	}
+	if b.State() != jobs.BreakerClosed {
+		t.Fatalf("tripped below threshold: %s", b.State())
+	}
+	b.Failure() // third consecutive failure
+	if b.State() != jobs.BreakerOpen {
+		t.Fatalf("did not trip at threshold: %s", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call before cooldown")
+	}
+
+	clk.advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but no probe admitted")
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted during half-open")
+	}
+	b.Failure() // probe failed: straight back to open
+	if b.State() != jobs.BreakerOpen {
+		t.Fatalf("failed probe did not re-open: %s", b.State())
+	}
+
+	clk.advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("no probe after second cooldown")
+	}
+	b.Success()
+	if b.State() != jobs.BreakerClosed {
+		t.Fatalf("successful probe did not close: %s", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker rejected a call after healing")
+	}
+	if s := b.Stats(); s.Trips != 2 || s.ShortCuts == 0 {
+		t.Fatalf("stats: %+v, want 2 trips and some shortcuts", s)
+	}
+}
+
+// TestBreakerSuccessResetsStreak interleaves failures with successes: the
+// consecutive-failure counter must reset, never trip.
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := jobs.NewBreaker(jobs.BreakerConfig{Threshold: 2})
+	for i := 0; i < 10; i++ {
+		b.Failure()
+		b.Success()
+	}
+	if b.State() != jobs.BreakerClosed {
+		t.Fatalf("interleaved failures tripped the breaker: %s", b.State())
+	}
+}
+
+// failingFS injects disk faults: after `failAfter` calls every operation
+// errors until healed.
+type failingFS struct {
+	mu     sync.Mutex
+	broken bool
+	calls  int
+}
+
+func (f *failingFS) fail() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.broken {
+		return errors.New("injected disk fault")
+	}
+	return nil
+}
+
+func (f *failingFS) setBroken(v bool) {
+	f.mu.Lock()
+	f.broken = v
+	f.mu.Unlock()
+}
+
+func (f *failingFS) ReadFile(name string) ([]byte, error) {
+	if err := f.fail(); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(name)
+}
+
+func (f *failingFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	if err := f.fail(); err != nil {
+		return err
+	}
+	return os.WriteFile(name, data, perm)
+}
+
+func (f *failingFS) Rename(oldpath, newpath string) error {
+	if err := f.fail(); err != nil {
+		return err
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+// TestCacheBreakerDegradesToMemory is the disk-fault acceptance test: a
+// failing disk trips the cache's breaker, the cache keeps serving from
+// memory without touching the disk, and a healed disk closes the circuit
+// again via a half-open probe.
+func TestCacheBreakerDegradesToMemory(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	fs := &failingFS{}
+	br := jobs.NewBreaker(jobs.BreakerConfig{Threshold: 3, Cooldown: time.Second, Clock: clk.now})
+	cache, err := jobs.NewCacheWith(64, t.TempDir(), fs, br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Put("healthy", []byte(`{"a":1}`))
+	if _, ok := cache.Get("healthy"); !ok {
+		t.Fatal("baseline entry missing")
+	}
+
+	fs.setBroken(true)
+	// Memory hits must keep working throughout the outage.
+	if _, ok := cache.Get("healthy"); !ok {
+		t.Fatal("memory hit lost during disk outage")
+	}
+	// Misses hit the broken disk until the breaker trips.
+	for i := 0; i < 3; i++ {
+		if _, ok := cache.Get(fmt.Sprintf("missing-%d", i)); ok {
+			t.Fatal("phantom hit")
+		}
+	}
+	if br.State() != jobs.BreakerOpen {
+		t.Fatalf("3 disk faults did not trip the breaker: %s", br.State())
+	}
+	stats := cache.Stats()
+	if stats.DiskErrors != 3 {
+		t.Fatalf("DiskErrors = %d, want 3", stats.DiskErrors)
+	}
+	// With the breaker open, further traffic is memory-only: the failing
+	// fs must see no new calls.
+	fs.mu.Lock()
+	before := fs.calls
+	fs.mu.Unlock()
+	cache.Put("during-outage", []byte(`{"b":2}`))
+	cache.Get("missing-again")
+	if _, ok := cache.Get("during-outage"); !ok {
+		t.Fatal("memory put lost during outage")
+	}
+	fs.mu.Lock()
+	after := fs.calls
+	fs.mu.Unlock()
+	if after != before {
+		t.Fatalf("open breaker still touched the disk (%d calls)", after-before)
+	}
+
+	// Heal the disk, advance past the cooldown: the next disk access is
+	// the half-open probe and closes the circuit.
+	fs.setBroken(false)
+	clk.advance(1100 * time.Millisecond)
+	cache.Put("healed", []byte(`{"c":3}`))
+	if br.State() != jobs.BreakerClosed {
+		t.Fatalf("healed probe did not close the breaker: %s", br.State())
+	}
+	if s := cache.Stats(); s.Breaker.Trips != 1 {
+		t.Fatalf("breaker trips = %d, want 1", s.Breaker.Trips)
+	}
+}

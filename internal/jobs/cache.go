@@ -8,18 +8,42 @@ import (
 	"sync"
 )
 
+// DiskFS is the filesystem surface the cache's on-disk store uses. The
+// indirection exists for fault injection: tests substitute a failing
+// implementation to drive the disk circuit breaker.
+type DiskFS interface {
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte, perm os.FileMode) error
+	Rename(oldpath, newpath string) error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (osFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
 // Cache is a content-addressed result store: spec-hash → canonical result
 // bytes. Entries live in a bounded in-memory LRU, optionally backed by an
 // on-disk store (one file per hash) that survives restarts and overflows
-// the memory bound. All methods are safe for concurrent use.
+// the memory bound. Disk I/O runs behind a circuit breaker: repeated I/O
+// errors trip it open and the cache degrades to memory-only (no disk reads
+// or writes, no error latency) until a half-open probe succeeds — a flaky
+// disk slows nothing and fails nothing. All methods are safe for concurrent
+// use.
 type Cache struct {
 	mu       sync.Mutex
 	capacity int
 	ll       *list.List               // front = most recently used
 	items    map[string]*list.Element // hash → element holding *cacheEntry
 	dir      string                   // "" = memory only
+	fs       DiskFS
+	breaker  *Breaker
 
-	hits, misses, evictions, diskHits uint64
+	hits, misses, evictions, diskHits, diskErrors uint64
 }
 
 type cacheEntry struct {
@@ -29,12 +53,14 @@ type cacheEntry struct {
 
 // CacheStats is a point-in-time snapshot of cache effectiveness counters.
 type CacheStats struct {
-	Entries   int
-	Capacity  int
-	Hits      uint64
-	Misses    uint64
-	Evictions uint64
-	DiskHits  uint64
+	Entries    int
+	Capacity   int
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	DiskHits   uint64
+	DiskErrors uint64
+	Breaker    BreakerStats
 }
 
 // NewCache returns a cache holding up to capacity entries in memory
@@ -42,6 +68,13 @@ type CacheStats struct {
 // also written there as <hash>.json; lookups that miss memory fall back to
 // disk and promote the entry back into the LRU.
 func NewCache(capacity int, dir string) (*Cache, error) {
+	return NewCacheWith(capacity, dir, nil, nil)
+}
+
+// NewCacheWith is NewCache with an injectable disk filesystem and breaker
+// (nil = the real filesystem and a default breaker). The breaker is unused
+// when dir is empty.
+func NewCacheWith(capacity int, dir string, fs DiskFS, breaker *Breaker) (*Cache, error) {
 	if capacity < 1 {
 		capacity = 1
 	}
@@ -50,11 +83,19 @@ func NewCache(capacity int, dir string) (*Cache, error) {
 			return nil, fmt.Errorf("jobs: cache dir: %w", err)
 		}
 	}
+	if fs == nil {
+		fs = osFS{}
+	}
+	if breaker == nil {
+		breaker = NewBreaker(BreakerConfig{})
+	}
 	return &Cache{
 		capacity: capacity,
 		ll:       list.New(),
 		items:    make(map[string]*list.Element),
 		dir:      dir,
+		fs:       fs,
+		breaker:  breaker,
 	}, nil
 }
 
@@ -69,12 +110,20 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 		c.hits++
 		return el.Value.(*cacheEntry).data, true
 	}
-	if c.dir != "" {
-		if data, err := os.ReadFile(c.path(key)); err == nil {
+	if c.dir != "" && c.breaker.Allow() {
+		data, err := c.fs.ReadFile(c.path(key))
+		switch {
+		case err == nil:
+			c.breaker.Success()
 			c.hits++
 			c.diskHits++
 			c.putLocked(key, data, false)
 			return data, true
+		case os.IsNotExist(err):
+			c.breaker.Success() // a clean miss is a healthy disk
+		default:
+			c.breaker.Failure()
+			c.diskErrors++
 		}
 	}
 	c.misses++
@@ -82,8 +131,9 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 }
 
 // Put stores data under key, evicting the least recently used in-memory
-// entry past capacity. The disk copy (when configured) is written via a
-// temp-file rename so readers never observe a torn artifact.
+// entry past capacity. The disk copy (when configured and the breaker is
+// closed) is written via a temp-file rename so readers never observe a torn
+// artifact.
 func (c *Cache) Put(key string, data []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -103,10 +153,17 @@ func (c *Cache) putLocked(key string, data []byte, persist bool) {
 			c.evictions++
 		}
 	}
-	if persist && c.dir != "" {
+	if persist && c.dir != "" && c.breaker.Allow() {
 		tmp := c.path(key) + ".tmp"
-		if err := os.WriteFile(tmp, data, 0o644); err == nil {
-			_ = os.Rename(tmp, c.path(key))
+		err := c.fs.WriteFile(tmp, data, 0o644)
+		if err == nil {
+			err = c.fs.Rename(tmp, c.path(key))
+		}
+		if err == nil {
+			c.breaker.Success()
+		} else {
+			c.breaker.Failure()
+			c.diskErrors++
 		}
 	}
 }
@@ -122,14 +179,19 @@ func (c *Cache) Len() int {
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{
-		Entries:   c.ll.Len(),
-		Capacity:  c.capacity,
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		DiskHits:  c.diskHits,
+	s := CacheStats{
+		Entries:    c.ll.Len(),
+		Capacity:   c.capacity,
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Evictions:  c.evictions,
+		DiskHits:   c.diskHits,
+		DiskErrors: c.diskErrors,
 	}
+	if c.dir != "" {
+		s.Breaker = c.breaker.Stats()
+	}
+	return s
 }
 
 func (c *Cache) path(key string) string {

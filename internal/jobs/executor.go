@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"runtime/debug"
 	"sync"
 	"time"
@@ -26,7 +27,8 @@ var ErrTransient = errors.New("jobs: transient failure")
 // ErrDraining is returned by Submit once Drain has been called.
 var ErrDraining = errors.New("jobs: executor is draining; not accepting jobs")
 
-// ErrQueueFull is returned by Submit when the bounded queue is at capacity.
+// ErrQueueFull is returned by Submit when the bounded queue (or the
+// submission's per-priority share of it) is at capacity.
 var ErrQueueFull = errors.New("jobs: queue full")
 
 // ErrUnknownJob is returned for job IDs the executor has never seen.
@@ -44,8 +46,27 @@ type Config struct {
 	// MaxRetries is how many times a transient failure is retried (the
 	// job runs at most 1+MaxRetries times).
 	MaxRetries int
+	// RetryBaseDelay seeds the capped exponential backoff between
+	// transient-failure retries (default 50ms). Each retry waits
+	// base·2^attempt with deterministic per-job jitter, capped at
+	// RetryMaxDelay, and aborts early if the job's context is canceled.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the retry backoff (default 2s).
+	RetryMaxDelay time.Duration
 	// Cache, when non-nil, short-circuits identical submissions.
 	Cache *Cache
+	// Journal, when non-nil, write-ahead-logs every accepted submission
+	// (fsync before Submit returns) and each job's lifecycle, making
+	// queued and running jobs survive a process crash: open the journal
+	// with OpenJournal and hand its pending jobs to Recover on startup.
+	Journal *Journal
+	// ProgressEvents is the stride, in simulation events, between
+	// journaled progress records for a running job (default 8M events;
+	// only meaningful with Journal set).
+	ProgressEvents uint64
+	// Admission tunes overload protection (zero value = none beyond
+	// QueueDepth).
+	Admission AdmissionConfig
 	// Runner overrides how specs execute (default core.RunCtx).
 	Runner Runner
 }
@@ -54,6 +75,10 @@ type Config struct {
 type SubmitOptions struct {
 	// Priority orders the queue (higher first; FIFO within a level).
 	Priority int
+	// Class selects the admission/scheduling class (default interactive;
+	// ClassSweep is concurrency-limited so batch matrices cannot starve
+	// single jobs).
+	Class Class
 	// Timeout overrides Config.DefaultTimeout (0 = inherit).
 	Timeout time.Duration
 	// NoCache bypasses the cache entirely — no lookup, no in-flight
@@ -71,12 +96,24 @@ type Metrics struct {
 	CacheHits  uint64 // submissions answered from the cache
 	Coalesced  uint64 // submissions collapsed onto an in-flight twin
 	Retries    uint64
+	Shed       uint64 // submissions rejected by queue-deadline shedding
+	Replayed   uint64 // jobs resubmitted from the journal after a crash
 	QueueDepth int
 	Running    int
 	Workers    int
 	Draining   bool
-	Cache      CacheStats
-	PerKernel  map[string]KernelMetrics
+	// SweepRunning / SweepDeferred report the concurrency-limited sweep
+	// class: running batch jobs and batch jobs holding for a free slot.
+	SweepRunning  int
+	SweepDeferred int
+	// AvgRunMs is the EWMA of fresh simulation wall-clock latencies that
+	// drives queue-wait estimation for shedding.
+	AvgRunMs float64
+	Cache    CacheStats
+	// Journal is the zero value unless the executor is journaled.
+	Journal   JournalMetrics
+	Journaled bool
+	PerKernel map[string]KernelMetrics
 }
 
 // KernelMetrics aggregates wall-clock latency per kernel (simulated runs
@@ -91,16 +128,20 @@ type KernelMetrics struct {
 type Executor struct {
 	cfg Config
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	queue    jobQueue
-	jobs     map[string]*Job
-	inflight map[string]*Job // spec-hash → primary job (for coalescing)
-	seq      uint64
-	draining bool
-	closed   bool
-	running  int
-	wg       sync.WaitGroup
+	mu           sync.Mutex
+	cond         *sync.Cond
+	queue        jobQueue
+	jobs         map[string]*Job
+	inflight     map[string]*Job // spec-hash → primary job (for coalescing)
+	queuedByPrio map[int]int
+	sweepRunning int
+	sweepWait    []*Job // sweep jobs holding for a free slot
+	avgRunSec    float64
+	seq          uint64
+	draining     bool
+	closed       bool
+	running      int
+	wg           sync.WaitGroup
 
 	m         Metrics
 	perKernel map[string]KernelMetrics
@@ -115,14 +156,24 @@ func NewExecutor(cfg Config) *Executor {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 1024
 	}
+	if cfg.RetryBaseDelay <= 0 {
+		cfg.RetryBaseDelay = 50 * time.Millisecond
+	}
+	if cfg.RetryMaxDelay <= 0 {
+		cfg.RetryMaxDelay = 2 * time.Second
+	}
+	if cfg.ProgressEvents == 0 {
+		cfg.ProgressEvents = 8 << 20
+	}
 	if cfg.Runner == nil {
 		cfg.Runner = core.RunCtx
 	}
 	ex := &Executor{
-		cfg:       cfg,
-		jobs:      make(map[string]*Job),
-		inflight:  make(map[string]*Job),
-		perKernel: make(map[string]KernelMetrics),
+		cfg:          cfg,
+		jobs:         make(map[string]*Job),
+		inflight:     make(map[string]*Job),
+		queuedByPrio: make(map[int]int),
+		perKernel:    make(map[string]KernelMetrics),
 	}
 	ex.cond = sync.NewCond(&ex.mu)
 	for i := 0; i < cfg.Workers; i++ {
@@ -134,8 +185,48 @@ func NewExecutor(cfg Config) *Executor {
 
 // Submit validates and enqueues spec. The returned job may already be done
 // (cache hit). Duplicate in-flight submissions coalesce onto one simulation
-// unless opts.NoCache is set.
+// unless opts.NoCache is set. Overload rejections (ErrQueueFull,
+// ErrOverloaded, both possibly wrapped in a RetryAfterError) tell the caller
+// when to come back.
 func (ex *Executor) Submit(spec core.Spec, opts SubmitOptions) (*Job, error) {
+	return ex.submit(spec, opts, nil)
+}
+
+// Recover resubmits the journal's pending jobs — everything queued or
+// running when the previous process died — preserving their original IDs so
+// clients can keep polling across the crash. Replay bypasses admission
+// control (the work was admitted once already) and re-executes nothing the
+// result cache already holds: determinism makes a re-run bit-identical, and
+// content addressing makes a completed run a cache hit. Call once, before
+// serving traffic.
+func (ex *Executor) Recover(pending []Pending) (int, error) {
+	if j := ex.cfg.Journal; j != nil {
+		ex.mu.Lock()
+		if s := j.MaxSeq(); s > ex.seq {
+			ex.seq = s // never re-issue a journaled job ID
+		}
+		ex.mu.Unlock()
+	}
+	for i := range pending {
+		p := &pending[i]
+		opts := SubmitOptions{
+			Priority: p.Priority,
+			Class:    p.Class,
+			Timeout:  time.Duration(p.TimeoutMs) * time.Millisecond,
+			NoCache:  p.NoCache,
+		}
+		if _, err := ex.submit(p.Spec, opts, p); err != nil {
+			return i, fmt.Errorf("jobs: replaying %s: %w", p.ID, err)
+		}
+	}
+	return len(pending), nil
+}
+
+// submit is the shared path for fresh submissions and journal replay
+// (rep != nil). Replayed jobs keep their journaled identity and skip both
+// admission control and the durable submit record (the compacted journal
+// already holds one).
+func (ex *Executor) submit(spec core.Spec, opts SubmitOptions, rep *Pending) (*Job, error) {
 	spec = Normalize(spec)
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -154,18 +245,32 @@ func (ex *Executor) Submit(spec core.Spec, opts SubmitOptions) (*Job, error) {
 	if timeout == 0 {
 		timeout = ex.cfg.DefaultTimeout
 	}
-	ex.seq++
+	var id string
+	var seq uint64
+	if rep != nil {
+		id, seq = rep.ID, rep.Seq
+	} else {
+		ex.seq++
+		seq = ex.seq
+		id = fmt.Sprintf("%s-%d", hash[:12], seq)
+	}
 	job := &Job{
-		ID:        fmt.Sprintf("%s-%d", hash[:12], ex.seq),
+		ID:        id,
 		SpecHash:  hash,
 		Spec:      spec,
 		priority:  opts.Priority,
-		seq:       ex.seq,
+		class:     opts.Class,
+		seq:       seq,
 		timeout:   timeout,
 		noCache:   opts.NoCache,
+		replayed:  rep != nil,
+		journaled: rep != nil,
 		state:     StateQueued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
+	}
+	if rep != nil {
+		ex.m.Replayed++
 	}
 
 	if !opts.NoCache && ex.cfg.Cache != nil {
@@ -180,6 +285,9 @@ func (ex *Executor) Submit(spec core.Spec, opts SubmitOptions) (*Job, error) {
 	}
 	if !opts.NoCache {
 		if primary, ok := ex.inflight[hash]; ok {
+			if err := ex.journalSubmitLocked(job); err != nil {
+				return nil, err
+			}
 			ex.jobs[job.ID] = job
 			ex.m.Submitted++
 			job.coalesced = true
@@ -188,17 +296,101 @@ func (ex *Executor) Submit(spec core.Spec, opts SubmitOptions) (*Job, error) {
 			return job, nil
 		}
 	}
-	if ex.queue.Len() >= ex.cfg.QueueDepth {
-		return nil, ErrQueueFull
+	if rep == nil { // replay bypasses admission: the work was admitted once
+		if err := ex.admitLocked(job, timeout); err != nil {
+			return nil, err
+		}
+	}
+	if err := ex.journalSubmitLocked(job); err != nil {
+		return nil, err
 	}
 	ex.jobs[job.ID] = job
 	ex.m.Submitted++
 	if !opts.NoCache {
 		ex.inflight[hash] = job
 	}
-	heap.Push(&ex.queue, job)
+	ex.enqueueLocked(job)
 	ex.cond.Signal()
 	return job, nil
+}
+
+// admitLocked applies overload protection to a fresh submission: the shared
+// queue bound, the per-priority share, and queue-deadline shedding — if the
+// estimated wait behind the current queue already exceeds the job's
+// deadline (or the configured ceiling), admitting it would burn a worker
+// slot on a result nobody can use, so it is rejected now with a come-back
+// hint.
+func (ex *Executor) admitLocked(job *Job, timeout time.Duration) error {
+	adm := ex.cfg.Admission
+	est := ex.estWaitLocked()
+	if ex.queue.Len() >= ex.cfg.QueueDepth {
+		return &RetryAfterError{Err: ErrQueueFull, RetryAfter: maxDuration(est, time.Second)}
+	}
+	if adm.PerPriorityDepth > 0 && ex.queuedByPrio[job.priority] >= adm.PerPriorityDepth {
+		return &RetryAfterError{
+			Err:        fmt.Errorf("priority %d: %w", job.priority, ErrQueueFull),
+			RetryAfter: maxDuration(est, time.Second),
+		}
+	}
+	limit := timeout
+	if adm.MaxWait > 0 && (limit == 0 || adm.MaxWait < limit) {
+		limit = adm.MaxWait
+	}
+	if limit > 0 && est > limit {
+		ex.m.Shed++
+		return &RetryAfterError{Err: ErrOverloaded, RetryAfter: est}
+	}
+	return nil
+}
+
+// estWaitLocked estimates how long a newly queued job would wait for a
+// worker: jobs ahead of it divided across the pool, times the EWMA of
+// recent simulation latencies. Zero until the first completion seeds the
+// average.
+func (ex *Executor) estWaitLocked() time.Duration {
+	ahead := ex.queue.Len() + len(ex.sweepWait)
+	if ahead == 0 || ex.avgRunSec <= 0 {
+		return 0
+	}
+	perWorker := (float64(ahead) + float64(ex.cfg.Workers-1)) / float64(ex.cfg.Workers)
+	return time.Duration(perWorker * ex.avgRunSec * float64(time.Second))
+}
+
+// journalSubmitLocked durably records an accepted submission; failure to
+// journal rejects the submission (accepting un-journaled work would break
+// the crash-safety promise).
+func (ex *Executor) journalSubmitLocked(job *Job) error {
+	if ex.cfg.Journal == nil || job.journaled {
+		return nil
+	}
+	err := ex.cfg.Journal.Submit(Pending{
+		ID: job.ID, Seq: job.seq, SpecHash: job.SpecHash, Spec: job.Spec,
+		Priority: job.priority, Class: job.class,
+		TimeoutMs: int64(job.timeout / time.Millisecond), NoCache: job.noCache,
+	})
+	if err != nil {
+		return fmt.Errorf("jobs: journaling submission: %w", err)
+	}
+	job.journaled = true
+	return nil
+}
+
+// enqueueLocked pushes job into the priority heap with admission accounting.
+func (ex *Executor) enqueueLocked(job *Job) {
+	job.inQueue = true
+	ex.queuedByPrio[job.priority]++
+	heap.Push(&ex.queue, job)
+}
+
+// dequeuedLocked undoes enqueueLocked's accounting for a popped job.
+func (ex *Executor) dequeuedLocked(job *Job) {
+	if job.inQueue {
+		job.inQueue = false
+		ex.queuedByPrio[job.priority]--
+		if ex.queuedByPrio[job.priority] <= 0 {
+			delete(ex.queuedByPrio, job.priority)
+		}
+	}
 }
 
 // Get returns a snapshot of the job with the given ID.
@@ -329,7 +521,7 @@ func (ex *Executor) Drain(ctx context.Context) error {
 	idle := make(chan struct{})
 	go func() {
 		ex.mu.Lock()
-		for ex.queue.Len() > 0 || ex.running > 0 {
+		for ex.queue.Len() > 0 || ex.running > 0 || len(ex.sweepWait) > 0 {
 			ex.cond.Wait()
 		}
 		ex.mu.Unlock()
@@ -342,10 +534,17 @@ func (ex *Executor) Drain(ctx context.Context) error {
 		ex.mu.Lock()
 		for ex.queue.Len() > 0 {
 			job := heap.Pop(&ex.queue).(*Job)
+			ex.dequeuedLocked(job)
 			if job.state == StateQueued {
 				ex.completeLocked(job, nil, context.Canceled)
 			}
 		}
+		for _, job := range ex.sweepWait {
+			if job.state == StateQueued {
+				ex.completeLocked(job, nil, context.Canceled)
+			}
+		}
+		ex.sweepWait = nil
 		for _, job := range ex.jobs {
 			if job.state == StateRunning && job.cancel != nil {
 				job.cancel()
@@ -387,8 +586,15 @@ func (ex *Executor) Metrics() Metrics {
 	m.Running = ex.running
 	m.Workers = ex.cfg.Workers
 	m.Draining = ex.draining
+	m.SweepRunning = ex.sweepRunning
+	m.SweepDeferred = len(ex.sweepWait)
+	m.AvgRunMs = ex.avgRunSec * 1e3
 	if ex.cfg.Cache != nil {
 		m.Cache = ex.cfg.Cache.Stats()
+	}
+	if ex.cfg.Journal != nil {
+		m.Journal = ex.cfg.Journal.Metrics()
+		m.Journaled = true
 	}
 	m.PerKernel = make(map[string]KernelMetrics, len(ex.perKernel))
 	for k, v := range ex.perKernel {
@@ -403,17 +609,32 @@ func (ex *Executor) worker() {
 	defer ex.wg.Done()
 	for {
 		ex.mu.Lock()
-		for ex.queue.Len() == 0 && !ex.closed {
-			ex.cond.Wait()
+		var job *Job
+		for job == nil {
+			for ex.queue.Len() == 0 && !ex.closed {
+				ex.cond.Wait()
+			}
+			if ex.queue.Len() == 0 && ex.closed {
+				ex.mu.Unlock()
+				return
+			}
+			j := heap.Pop(&ex.queue).(*Job)
+			ex.dequeuedLocked(j)
+			if j.state != StateQueued { // canceled while queued
+				continue
+			}
+			// The sweep class is concurrency-limited: batch jobs past
+			// the slot bound hold aside until a running one finishes,
+			// leaving workers free for interactive submissions.
+			if slots := ex.cfg.Admission.SweepSlots; slots > 0 &&
+				j.class == ClassSweep && ex.sweepRunning >= slots {
+				ex.sweepWait = append(ex.sweepWait, j)
+				continue
+			}
+			job = j
 		}
-		if ex.queue.Len() == 0 && ex.closed {
-			ex.mu.Unlock()
-			return
-		}
-		job := heap.Pop(&ex.queue).(*Job)
-		if job.state != StateQueued { // canceled while queued
-			ex.mu.Unlock()
-			continue
+		if job.class == ClassSweep {
+			ex.sweepRunning++
 		}
 		job.state = StateRunning
 		job.started = time.Now()
@@ -428,7 +649,7 @@ func (ex *Executor) worker() {
 		job.cancel = cancel
 		ex.mu.Unlock()
 
-		data, trc, err := ex.runJob(ctx, job)
+		data, trc, err := ex.runJob(ex.withProgress(ctx, job), job)
 		cancel()
 
 		ex.mu.Lock()
@@ -436,8 +657,13 @@ func (ex *Executor) worker() {
 		if err == nil && !job.noCache && ex.cfg.Cache != nil {
 			ex.cfg.Cache.Put(job.SpecHash, data)
 		}
+		dur := time.Since(job.started).Seconds()
+		if ex.avgRunSec == 0 {
+			ex.avgRunSec = dur
+		} else {
+			ex.avgRunSec = 0.8*ex.avgRunSec + 0.2*dur
+		}
 		if err == nil {
-			dur := time.Since(job.started).Seconds()
 			km := ex.perKernel[job.Spec.Kernel]
 			km.Runs++
 			km.TotalSec += dur
@@ -447,18 +673,53 @@ func (ex *Executor) worker() {
 			ex.perKernel[job.Spec.Kernel] = km
 		}
 		ex.running--
+		if job.class == ClassSweep {
+			ex.sweepRunning--
+			ex.releaseSweepLocked()
+		}
 		ex.completeLocked(job, data, err)
 		ex.mu.Unlock()
 	}
 }
 
+// withProgress attaches a progress sink that tracks the job's simulation
+// event count and journals it at the configured stride, so a crash leaves a
+// record of how far the run got.
+func (ex *Executor) withProgress(ctx context.Context, job *Job) context.Context {
+	stride := ex.cfg.ProgressEvents
+	var lastJournaled uint64
+	return core.WithProgress(ctx, func(events uint64) {
+		job.events.Store(events)
+		if ex.cfg.Journal != nil && events-lastJournaled >= stride {
+			lastJournaled = events
+			ex.cfg.Journal.Progress(job.ID, events)
+		}
+	})
+}
+
+// releaseSweepLocked moves one held-aside sweep job back into the queue now
+// that a slot freed up. Caller holds ex.mu.
+func (ex *Executor) releaseSweepLocked() {
+	if len(ex.sweepWait) == 0 {
+		return
+	}
+	job := ex.sweepWait[0]
+	ex.sweepWait = ex.sweepWait[1:]
+	ex.enqueueLocked(job)
+	ex.cond.Signal()
+}
+
 // runJob executes one job with panic isolation and transient-failure
-// retries, returning the canonical result bytes.
+// retries (capped exponential backoff, deterministic jitter, canceled
+// promptly by ctx), returning the canonical result bytes.
 func (ex *Executor) runJob(ctx context.Context, job *Job) (data []byte, trc *trace.Recorder, err error) {
 	for attempt := 0; ; attempt++ {
 		ex.mu.Lock()
 		job.attempts = attempt + 1
 		ex.mu.Unlock()
+		if j := ex.cfg.Journal; j != nil {
+			j.Start(job.ID, attempt+1)
+		}
 		var res core.Result
 		res, err = ex.safeRun(ctx, job.Spec)
 		if err == nil {
@@ -472,7 +733,31 @@ func (ex *Executor) runJob(ctx context.Context, job *Job) (data []byte, trc *tra
 		ex.mu.Lock()
 		ex.m.Retries++
 		ex.mu.Unlock()
+		select {
+		case <-time.After(retryDelay(ex.cfg.RetryBaseDelay, ex.cfg.RetryMaxDelay, attempt, job.ID)):
+		case <-ctx.Done():
+			return nil, nil, fmt.Errorf("jobs: canceled waiting to retry %q: %w", err, ctx.Err())
+		}
 	}
+}
+
+// retryDelay returns base·2^attempt capped at max, scaled by a
+// deterministic jitter in [0.5, 1.0) derived from the job ID and attempt —
+// reproducible (no global randomness) yet decorrelated across jobs, so a
+// burst of simultaneous transient failures does not retry in lockstep.
+func retryDelay(base, max time.Duration, attempt int, id string) time.Duration {
+	if attempt > 20 {
+		attempt = 20 // 2^20·base is already past any sane cap
+	}
+	d := base << uint(attempt)
+	if d <= 0 || d > max {
+		d = max
+	}
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	h.Write([]byte{byte(attempt)})
+	frac := 0.5 + float64(h.Sum64()%1024)/2048.0
+	return time.Duration(float64(d) * frac)
 }
 
 // safeRun isolates panics escaping the runner so one poisoned job cannot
@@ -493,6 +778,10 @@ func (ex *Executor) completeLocked(job *Job, data []byte, err error) {
 		return
 	}
 	now := time.Now()
+	var resultHash string
+	if err == nil && ex.cfg.Journal != nil {
+		resultHash = ResultHash(data)
+	}
 	finalize := func(j *Job) {
 		j.finished = now
 		j.data = data
@@ -507,6 +796,16 @@ func (ex *Executor) completeLocked(job *Job, data []byte, err error) {
 		default:
 			j.state = StateFailed
 			ex.m.Failed++
+		}
+		if jl := ex.cfg.Journal; jl != nil && j.journaled {
+			switch j.state {
+			case StateDone:
+				jl.Done(j.ID, resultHash)
+			case StateCanceled:
+				jl.Cancel(j.ID)
+			default:
+				jl.Fail(j.ID, err.Error())
+			}
 		}
 		close(j.done)
 	}
@@ -530,9 +829,12 @@ func (ex *Executor) snapshotLocked(job *Job) Snapshot {
 		Spec:      job.Spec,
 		State:     job.state,
 		Priority:  job.priority,
+		Class:     job.class,
 		CacheHit:  job.cacheHit,
 		Coalesced: job.coalesced,
+		Replayed:  job.replayed,
 		Attempts:  job.attempts,
+		Events:    job.events.Load(),
 		Err:       job.err,
 		Submitted: job.submitted,
 		Started:   job.started,
@@ -547,6 +849,13 @@ func (ex *Executor) snapshotLocked(job *Job) Snapshot {
 // IsTransient reports whether err is worth retrying.
 func IsTransient(err error) bool {
 	return errors.Is(err, ErrTransient)
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // ---- priority + FIFO heap ----

@@ -3,6 +3,7 @@ package jobs
 import (
 	"encoding/json"
 	"errors"
+	"sync/atomic"
 	"time"
 
 	"aaws/internal/core"
@@ -129,6 +130,7 @@ type Job struct {
 	Spec core.Spec
 
 	priority int
+	class    Class
 	seq      uint64 // FIFO tie-break within a priority level
 	timeout  time.Duration
 	noCache  bool
@@ -138,7 +140,11 @@ type Job struct {
 	data      []byte // canonical Outcome bytes when done
 	cacheHit  bool   // served from the cache without simulating
 	coalesced bool   // collapsed onto an identical in-flight job
+	replayed  bool   // resubmitted from the journal after a crash
+	journaled bool   // a durable submit record exists for this job
+	inQueue   bool   // resident in the priority heap (admission accounting)
 	attempts  int    // simulation attempts (>1 means transient retries)
+	events    atomic.Uint64
 	trace     *trace.Recorder
 
 	submitted time.Time
@@ -160,9 +166,12 @@ type Snapshot struct {
 	Spec      core.Spec
 	State     State
 	Priority  int
+	Class     Class
 	CacheHit  bool
 	Coalesced bool
+	Replayed  bool // resubmitted from the journal after a crash
 	Attempts  int
+	Events    uint64 // simulation events executed so far (progress)
 	Err       error
 	Data      []byte // nil unless State == StateDone
 	Submitted time.Time

@@ -1,0 +1,470 @@
+package jobs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"aaws/internal/core"
+)
+
+// The journal is a write-ahead log of job lifecycle records: every accepted
+// submission is appended (and fsynced) before the submitter gets its job ID
+// back, so a process crash loses no admitted work. On restart the executor
+// replays the journal and resubmits every job that never reached a terminal
+// state — safe, because specs are content-addressed and runs deterministic:
+// a re-executed job produces bit-identical bytes, and jobs that completed
+// before the crash are answered from the on-disk result cache without
+// re-simulating.
+//
+// Wire format: one record per line, framed as
+//
+//	<crc32c-hex8> <canonical-json>\n
+//
+// where the CRC (Castagnoli) covers exactly the JSON payload. A record that
+// fails the CRC, fails to parse, or is truncated (the torn tail of a crashed
+// write) ends replay of its segment — everything after a torn record is
+// unreliable — but is never fatal.
+//
+// The log is segmented (journal-%08d.wal). When the active segment outgrows
+// JournalConfig.SegmentBytes the journal rotates: it writes a compacted
+// snapshot — one submit record per still-open job, carrying its replay
+// state — into a fresh segment and deletes the older ones. Terminal records
+// are appended without fsync: losing one merely re-executes a job whose
+// result the cache already holds.
+
+// Journal record kinds.
+const (
+	recSubmit   = "submit"
+	recStart    = "start"
+	recProgress = "progress"
+	recDone     = "done"
+	recFail     = "fail"
+	recCancel   = "cancel"
+)
+
+// Record is one journal entry. Kind selects which fields are meaningful:
+// submit carries the full spec and scheduling options (and, in compacted
+// snapshots, accumulated attempts/events); start carries the attempt number;
+// progress the simulation event count; done the result hash; fail/cancel the
+// error text.
+type Record struct {
+	Kind       string     `json:"kind"`
+	ID         string     `json:"id"`
+	Seq        uint64     `json:"seq,omitempty"`
+	SpecHash   string     `json:"spec_hash,omitempty"`
+	Spec       *core.Spec `json:"spec,omitempty"`
+	Priority   int        `json:"priority,omitempty"`
+	Class      int        `json:"class,omitempty"`
+	TimeoutMs  int64      `json:"timeout_ms,omitempty"`
+	NoCache    bool       `json:"no_cache,omitempty"`
+	Attempt    int        `json:"attempt,omitempty"`
+	Events     uint64     `json:"events,omitempty"`
+	ResultHash string     `json:"result_hash,omitempty"`
+	Error      string     `json:"error,omitempty"`
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodeRecord frames rec as one journal line: crc32c of the JSON payload in
+// fixed-width hex, a space, the payload, a newline.
+func EncodeRecord(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: encoding journal record: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(payload) + 10)
+	fmt.Fprintf(&buf, "%08x ", crc32.Checksum(payload, crcTable))
+	buf.Write(payload)
+	buf.WriteByte('\n')
+	return buf.Bytes(), nil
+}
+
+// DecodeRecord parses one journal line (without the trailing newline). It
+// rejects bad framing, CRC mismatches (torn or bit-rotted writes), and
+// malformed payloads; callers treat any error as the end of reliable data.
+func DecodeRecord(line []byte) (Record, error) {
+	if len(line) < 10 || line[8] != ' ' {
+		return Record{}, fmt.Errorf("jobs: journal line too short or misframed (%d bytes)", len(line))
+	}
+	want, err := strconv.ParseUint(string(line[:8]), 16, 32)
+	if err != nil {
+		return Record{}, fmt.Errorf("jobs: bad journal CRC field: %w", err)
+	}
+	payload := line[9:]
+	if got := crc32.Checksum(payload, crcTable); got != uint32(want) {
+		return Record{}, fmt.Errorf("jobs: journal CRC mismatch: %08x != %08x", got, want)
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return Record{}, fmt.Errorf("jobs: journal payload: %w", err)
+	}
+	if rec.Kind == "" || rec.ID == "" {
+		return Record{}, fmt.Errorf("jobs: journal record missing kind or id")
+	}
+	return rec, nil
+}
+
+// Pending is one journaled job that never reached a terminal state: the
+// replay unit handed back to the executor on startup.
+type Pending struct {
+	ID        string
+	Seq       uint64
+	SpecHash  string
+	Spec      core.Spec
+	Priority  int
+	Class     Class
+	TimeoutMs int64
+	NoCache   bool
+	// Attempts counts start records seen before the crash; >0 means the
+	// job was running (not merely queued) when the process died.
+	Attempts int
+	// Events is the last journaled simulation event count: how far the
+	// crashed run got.
+	Events uint64
+}
+
+// JournalConfig parameterizes a Journal.
+type JournalConfig struct {
+	// SegmentBytes triggers rotation + compaction when the active segment
+	// grows past it (default 4 MiB).
+	SegmentBytes int64
+	// NoSync disables fsync on submit records (tests only: a journal that
+	// never syncs still survives clean process kills, just not kernel
+	// crashes).
+	NoSync bool
+}
+
+// JournalMetrics is a point-in-time snapshot of journal health.
+type JournalMetrics struct {
+	Records        uint64 // records appended this process
+	Fsyncs         uint64
+	Rotations      uint64
+	CorruptSkipped uint64 // records dropped during replay (torn tails)
+	Replayed       int    // pending jobs recovered at open
+	Segment        int    // active segment index
+	SegmentBytes   int64  // active segment size
+	OpenJobs       int    // journaled jobs not yet terminal
+}
+
+// Journal is the append-only job WAL. All methods are safe for concurrent
+// use; appends from the executor's hot path take one short mutex hold plus
+// (for submits) one fsync.
+type Journal struct {
+	mu   sync.Mutex
+	dir  string
+	cfg  JournalConfig
+	f    *os.File
+	seg  int
+	size int64
+	open map[string]*Pending
+	// maxSeq tracks the highest submit sequence ever journaled (terminal
+	// or not) so a recovered executor never re-issues an old job ID.
+	maxSeq uint64
+	m      JournalMetrics
+}
+
+// OpenJournal opens (or creates) the journal in dir, replays every segment,
+// and returns the journal plus the jobs that were queued or running when the
+// previous process died, in original submission order. Replay is followed by
+// an immediate compaction: the surviving state is rewritten into a fresh
+// segment and the old segments are deleted.
+func OpenJournal(dir string, cfg JournalConfig) (*Journal, []Pending, error) {
+	if cfg.SegmentBytes <= 0 {
+		cfg.SegmentBytes = 4 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("jobs: journal dir: %w", err)
+	}
+	j := &Journal{dir: dir, cfg: cfg, open: make(map[string]*Pending)}
+
+	segs, err := j.segments()
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, seg := range segs {
+		if err := j.replaySegment(seg); err != nil {
+			return nil, nil, err
+		}
+		if seg >= j.seg {
+			j.seg = seg
+		}
+	}
+
+	pending := make([]Pending, 0, len(j.open))
+	for _, p := range j.open {
+		pending = append(pending, *p)
+	}
+	sort.Slice(pending, func(a, b int) bool { return pending[a].Seq < pending[b].Seq })
+	j.m.Replayed = len(pending)
+
+	// Start on a fresh compacted segment so a torn tail from the crash
+	// can never be appended to, then drop the old segments.
+	j.seg++
+	if err := j.startSegmentLocked(segs); err != nil {
+		return nil, nil, err
+	}
+	return j, pending, nil
+}
+
+// segments lists existing segment indices in ascending order.
+func (j *Journal) segments() ([]int, error) {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: journal dir: %w", err)
+	}
+	var segs []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "journal-") || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "journal-"), ".wal"))
+		if err != nil {
+			continue
+		}
+		segs = append(segs, n)
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+func (j *Journal) segPath(n int) string {
+	return filepath.Join(j.dir, fmt.Sprintf("journal-%08d.wal", n))
+}
+
+// replaySegment folds one segment's records into the open-job state. A
+// record that fails to decode ends the segment's replay (torn tail) but is
+// never fatal.
+func (j *Journal) replaySegment(seg int) error {
+	f, err := os.Open(j.segPath(seg))
+	if err != nil {
+		return fmt.Errorf("jobs: journal segment: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		rec, err := DecodeRecord(sc.Bytes())
+		if err != nil {
+			j.m.CorruptSkipped++
+			return nil // everything past a torn record is unreliable
+		}
+		j.applyLocked(rec)
+	}
+	if sc.Err() != nil {
+		j.m.CorruptSkipped++ // unterminated giant line: same torn-tail rule
+	}
+	return nil
+}
+
+// applyLocked folds one record into the open-job map.
+func (j *Journal) applyLocked(rec Record) {
+	switch rec.Kind {
+	case recSubmit:
+		if rec.Seq > j.maxSeq {
+			j.maxSeq = rec.Seq
+		}
+		if rec.Spec == nil {
+			return
+		}
+		j.open[rec.ID] = &Pending{
+			ID: rec.ID, Seq: rec.Seq, SpecHash: rec.SpecHash, Spec: *rec.Spec,
+			Priority: rec.Priority, Class: Class(rec.Class),
+			TimeoutMs: rec.TimeoutMs, NoCache: rec.NoCache,
+			Attempts: rec.Attempt, Events: rec.Events,
+		}
+	case recStart:
+		if p := j.open[rec.ID]; p != nil {
+			p.Attempts = rec.Attempt
+		}
+	case recProgress:
+		if p := j.open[rec.ID]; p != nil {
+			p.Events = rec.Events
+		}
+	case recDone, recFail, recCancel:
+		delete(j.open, rec.ID)
+	}
+}
+
+// startSegmentLocked opens segment j.seg, writes a compacted snapshot of the
+// open jobs, fsyncs it, and deletes the given older segments.
+func (j *Journal) startSegmentLocked(oldSegs []int) error {
+	f, err := os.OpenFile(j.segPath(j.seg), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobs: journal segment: %w", err)
+	}
+	if j.f != nil {
+		_ = j.f.Close()
+	}
+	j.f, j.size = f, 0
+
+	// Snapshot: one submit record per open job, replay state folded in.
+	snapshot := make([]*Pending, 0, len(j.open))
+	for _, p := range j.open {
+		snapshot = append(snapshot, p)
+	}
+	sort.Slice(snapshot, func(a, b int) bool { return snapshot[a].Seq < snapshot[b].Seq })
+	for _, p := range snapshot {
+		spec := p.Spec
+		rec := Record{
+			Kind: recSubmit, ID: p.ID, Seq: p.Seq, SpecHash: p.SpecHash, Spec: &spec,
+			Priority: p.Priority, Class: int(p.Class), TimeoutMs: p.TimeoutMs,
+			NoCache: p.NoCache, Attempt: p.Attempts, Events: p.Events,
+		}
+		if err := j.writeLocked(rec); err != nil {
+			return err
+		}
+	}
+	if err := j.syncLocked(); err != nil {
+		return err
+	}
+	for _, old := range oldSegs {
+		if old != j.seg {
+			_ = os.Remove(j.segPath(old))
+		}
+	}
+	return nil
+}
+
+// writeLocked frames and appends one record to the active segment.
+func (j *Journal) writeLocked(rec Record) error {
+	line, err := EncodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	n, err := j.f.Write(line)
+	j.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("jobs: journal append: %w", err)
+	}
+	j.m.Records++
+	return nil
+}
+
+func (j *Journal) syncLocked() error {
+	if j.cfg.NoSync {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("jobs: journal fsync: %w", err)
+	}
+	j.m.Fsyncs++
+	return nil
+}
+
+// maybeRotateLocked rotates to a compacted fresh segment once the active one
+// outgrows the configured bound.
+func (j *Journal) maybeRotateLocked() error {
+	if j.size < j.cfg.SegmentBytes {
+		return nil
+	}
+	old := j.seg
+	j.seg++
+	j.m.Rotations++
+	return j.startSegmentLocked([]int{old})
+}
+
+// Submit durably records an accepted submission. It fsyncs before returning:
+// once Submit succeeds the job survives a crash.
+func (j *Journal) Submit(p Pending) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	spec := p.Spec
+	rec := Record{
+		Kind: recSubmit, ID: p.ID, Seq: p.Seq, SpecHash: p.SpecHash, Spec: &spec,
+		Priority: p.Priority, Class: int(p.Class), TimeoutMs: p.TimeoutMs, NoCache: p.NoCache,
+	}
+	if err := j.writeLocked(rec); err != nil {
+		return err
+	}
+	if err := j.syncLocked(); err != nil {
+		return err
+	}
+	j.applyLocked(rec)
+	return j.maybeRotateLocked()
+}
+
+// Start records that a job began (or retried) its attempt'th execution.
+func (j *Journal) Start(id string, attempt int) {
+	j.append(Record{Kind: recStart, ID: id, Attempt: attempt})
+}
+
+// Progress records how many simulation events the job's run has executed,
+// so post-crash forensics can see how far a lost run got.
+func (j *Journal) Progress(id string, events uint64) {
+	j.append(Record{Kind: recProgress, ID: id, Events: events})
+}
+
+// Done records successful completion (resultHash is the canonical result
+// bytes' content address).
+func (j *Journal) Done(id, resultHash string) {
+	j.append(Record{Kind: recDone, ID: id, ResultHash: resultHash})
+}
+
+// Fail records terminal failure.
+func (j *Journal) Fail(id, errMsg string) {
+	j.append(Record{Kind: recFail, ID: id, Error: errMsg})
+}
+
+// Cancel records cancellation.
+func (j *Journal) Cancel(id string) {
+	j.append(Record{Kind: recCancel, ID: id})
+}
+
+// append writes a non-durable record (no fsync): losing one to a crash only
+// costs a redundant re-execution, which the content-addressed cache answers
+// without re-simulating. Append errors poison nothing — the record is
+// dropped and counted, and replay semantics absorb the gap.
+func (j *Journal) append(rec Record) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.writeLocked(rec); err != nil {
+		return
+	}
+	j.applyLocked(rec)
+	_ = j.maybeRotateLocked()
+}
+
+// MaxSeq returns the highest submission sequence number ever journaled; a
+// recovering executor resumes ID allocation above it.
+func (j *Journal) MaxSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.maxSeq
+}
+
+// Metrics returns a snapshot of the journal counters.
+func (j *Journal) Metrics() JournalMetrics {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	m := j.m
+	m.Segment = j.seg
+	m.SegmentBytes = j.size
+	m.OpenJobs = len(j.open)
+	return m
+}
+
+// Close fsyncs and closes the active segment.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.syncLocked()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}

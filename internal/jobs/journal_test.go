@@ -1,0 +1,235 @@
+package jobs_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aaws/internal/jobs"
+)
+
+// openJournal opens a journal in dir with small segments and no fsync (the
+// tests kill nothing harder than the process).
+func openJournal(t *testing.T, dir string, segBytes int64) (*jobs.Journal, []jobs.Pending) {
+	t.Helper()
+	j, pending, err := jobs.OpenJournal(dir, jobs.JournalConfig{SegmentBytes: segBytes, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, pending
+}
+
+func pendingFor(seed uint64, id string, seq uint64) jobs.Pending {
+	spec := testSpec(seed)
+	hash, _ := jobs.SpecHash(jobs.Normalize(spec))
+	return jobs.Pending{ID: id, Seq: seq, SpecHash: hash, Spec: jobs.Normalize(spec), Priority: 1}
+}
+
+// TestJournalRecordRoundTrip frames and re-parses a full record.
+func TestJournalRecordRoundTrip(t *testing.T) {
+	spec := jobs.Normalize(testSpec(3))
+	rec := jobs.Record{
+		Kind: "submit", ID: "abc-1", Seq: 1, SpecHash: "deadbeef", Spec: &spec,
+		Priority: 2, Class: 1, TimeoutMs: 500, NoCache: true,
+	}
+	line, err := jobs.EncodeRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line[len(line)-1] != '\n' {
+		t.Fatalf("record not newline-terminated: %q", line)
+	}
+	got, err := jobs.DecodeRecord(line[:len(line)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != rec.Kind || got.ID != rec.ID || got.Seq != rec.Seq ||
+		got.Priority != rec.Priority || got.Class != rec.Class ||
+		got.TimeoutMs != rec.TimeoutMs || !got.NoCache {
+		t.Fatalf("round trip mismatch: %+v != %+v", got, rec)
+	}
+	if got.Spec == nil || got.Spec.Seed != 3 {
+		t.Fatalf("spec did not survive: %+v", got.Spec)
+	}
+}
+
+// TestJournalDecodeRejectsCorruption flips one payload byte: the CRC must
+// catch it.
+func TestJournalDecodeRejectsCorruption(t *testing.T) {
+	line, err := jobs.EncodeRecord(jobs.Record{Kind: "done", ID: "x-1", ResultHash: "beef"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	line = line[:len(line)-1]
+	for _, mutate := range [][]byte{
+		append(append([]byte{}, line[:len(line)/2]...), line[len(line)/2]^0x01),
+		line[:9],                               // framing only, empty payload
+		[]byte("zzzzzzzz " + string(line[9:])), // non-hex CRC
+		{},
+	} {
+		if _, err := jobs.DecodeRecord(mutate); err == nil {
+			t.Fatalf("corrupt line decoded cleanly: %q", mutate)
+		}
+	}
+}
+
+// TestJournalReplay covers the full lifecycle: jobs that reached a terminal
+// record are not replayed; queued and running ones are, with attempts and
+// progress folded in, in submission order.
+func TestJournalReplay(t *testing.T) {
+	dir := t.TempDir()
+	j, pending := openJournal(t, dir, 1<<20)
+	if len(pending) != 0 {
+		t.Fatalf("fresh journal replayed %d jobs", len(pending))
+	}
+	for i, p := range []jobs.Pending{
+		pendingFor(1, "job-1", 1), // will finish
+		pendingFor(2, "job-2", 2), // will be running at the "crash"
+		pendingFor(3, "job-3", 3), // still queued
+		pendingFor(4, "job-4", 4), // canceled
+	} {
+		if err := j.Submit(p); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	j.Start("job-1", 1)
+	j.Done("job-1", "cafe")
+	j.Start("job-2", 2)
+	j.Progress("job-2", 12345)
+	j.Cancel("job-4")
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, pending := openJournal(t, dir, 1<<20)
+	defer j2.Close()
+	if len(pending) != 2 {
+		t.Fatalf("replayed %d jobs, want 2: %+v", len(pending), pending)
+	}
+	if pending[0].ID != "job-2" || pending[1].ID != "job-3" {
+		t.Fatalf("wrong replay order: %s, %s", pending[0].ID, pending[1].ID)
+	}
+	if pending[0].Attempts != 2 || pending[0].Events != 12345 {
+		t.Fatalf("job-2 state not folded in: %+v", pending[0])
+	}
+	if pending[0].Spec.Seed != 2 || pending[0].Priority != 1 {
+		t.Fatalf("job-2 spec/options lost: %+v", pending[0])
+	}
+	if got := j2.MaxSeq(); got != 4 {
+		t.Fatalf("MaxSeq = %d, want 4 (terminal jobs still reserve their IDs)", got)
+	}
+}
+
+// TestJournalTornTail appends garbage and a half-written record after valid
+// data: replay must keep everything before the tear and never fail.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openJournal(t, dir, 1<<20)
+	if err := j.Submit(pendingFor(1, "ok-1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Submit(pendingFor(2, "ok-2", 2)); err != nil {
+		t.Fatal(err)
+	}
+	j.Done("ok-2", "beef")
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Find the active segment and tear its tail: a valid line prefix with
+	// no newline, as a crash mid-write leaves behind.
+	segs, err := filepath.Glob(filepath.Join(dir, "journal-*.wal"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v (err %v)", segs, err)
+	}
+	valid, err := jobs.EncodeRecord(jobs.Record{Kind: "submit", ID: "torn", Seq: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(segs[0], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(valid[:len(valid)/2]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, pending := openJournal(t, dir, 1<<20)
+	defer j2.Close()
+	if len(pending) != 1 || pending[0].ID != "ok-1" {
+		t.Fatalf("torn-tail replay: %+v, want just ok-1", pending)
+	}
+	if m := j2.Metrics(); m.CorruptSkipped == 0 {
+		t.Fatal("torn tail not counted in CorruptSkipped")
+	}
+}
+
+// TestJournalRotationCompacts drives the journal past its segment bound many
+// times: old segments must be deleted, and the compacted state must still
+// replay exactly the open jobs.
+func TestJournalRotationCompacts(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openJournal(t, dir, 512) // tiny segments force rotation
+	// One long-lived open job that every compaction must carry forward.
+	if err := j.Submit(pendingFor(99, "sticky", 1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(2); i < 40; i++ {
+		p := pendingFor(i, fmt.Sprintf("ephemeral-%d", i), i)
+		if err := j.Submit(p); err != nil {
+			t.Fatal(err)
+		}
+		j.Done(p.ID, "beef")
+	}
+	m := j.Metrics()
+	if m.Rotations == 0 {
+		t.Fatal("no rotations despite 512-byte segments")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "journal-*.wal"))
+	if len(segs) != 1 {
+		t.Fatalf("compaction left %d segments: %v", len(segs), segs)
+	}
+
+	j2, pending := openJournal(t, dir, 512)
+	defer j2.Close()
+	if len(pending) != 1 || pending[0].ID != "sticky" {
+		t.Fatalf("compacted replay: %+v, want just sticky", pending)
+	}
+}
+
+// FuzzJournalDecode throws arbitrary bytes at the record decoder: it must
+// never panic, and every accepted record must re-encode and decode again
+// (the decoder defines the format).
+func FuzzJournalDecode(f *testing.F) {
+	seed, err := jobs.EncodeRecord(jobs.Record{Kind: "submit", ID: "s-1", Seq: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed[:len(seed)-1])
+	f.Add([]byte(""))
+	f.Add([]byte("00000000 {}"))
+	f.Add([]byte("zzzzzzzz {\"kind\":\"done\",\"id\":\"x\"}"))
+	f.Add([]byte(strings.Repeat("a", 9)))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		rec, err := jobs.DecodeRecord(line)
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		if rec.Kind == "" || rec.ID == "" {
+			t.Fatalf("accepted record missing kind/id: %+v", rec)
+		}
+		again, err := jobs.EncodeRecord(rec)
+		if err != nil {
+			t.Fatalf("accepted record failed to re-encode: %v", err)
+		}
+		if _, err := jobs.DecodeRecord(again[:len(again)-1]); err != nil {
+			t.Fatalf("re-encoded record failed to decode: %v", err)
+		}
+	})
+}

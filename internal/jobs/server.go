@@ -1,11 +1,15 @@
 package jobs
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"sort"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"aaws/internal/core"
@@ -18,22 +22,61 @@ import (
 // Server exposes an Executor over HTTP JSON:
 //
 //	POST   /v1/jobs            submit one job
-//	GET    /v1/jobs/{id}       job status (+ inline report when done)
+//	GET    /v1/jobs/{id}       job status (+ inline report when done);
+//	                           ?wait=1 or ?wait_ms=N long-polls for completion,
+//	                           &cancel_on_disconnect=1 cancels if the client goes away
 //	GET    /v1/jobs/{id}/report     raw canonical result bytes (ETag = result hash)
 //	GET    /v1/jobs/{id}/trace.svg  activity/DVFS profile (WithTrace jobs)
 //	GET    /v1/jobs/{id}/trace.csv  profile samples as CSV
 //	DELETE /v1/jobs/{id}       cancel
 //	POST   /v1/sweeps          submit a kernel × variant × system matrix
 //	GET    /metrics            Prometheus-style counters
-//	GET    /healthz            200 ok / 503 draining
+//	GET    /healthz            200 ok / 503 draining (liveness)
+//	GET    /readyz             200 only after crash recovery finishes (readiness)
+//
+// Overload responses carry a Retry-After header: 429 when a client exhausts
+// its token bucket, 503 when admission control sheds the job. Bodies past
+// the configured cap are rejected with 413.
 type Server struct {
-	ex  *Executor
-	mux *http.ServeMux
+	ex      *Executor
+	mux     *http.ServeMux
+	limiter *RateLimiter
+	opts    ServerOptions
+	ready   atomic.Bool
 }
 
-// NewServer wraps ex in the HTTP API.
+// ServerOptions tunes the HTTP-layer protections. The zero value disables
+// rate limiting and uses the default body cap.
+type ServerOptions struct {
+	// RatePerSec grants each client this many submissions per second
+	// (<= 0 disables rate limiting).
+	RatePerSec float64
+	// Burst is the token-bucket depth per client (minimum 1 when
+	// limiting is on).
+	Burst int
+	// MaxBodyBytes caps POST bodies (default 1 MiB). Oversized requests
+	// get 413 without reading the excess.
+	MaxBodyBytes int64
+}
+
+// NewServer wraps ex in the HTTP API with default options and readiness
+// already set (single-process uses that never replay a journal).
 func NewServer(ex *Executor) *Server {
-	s := &Server{ex: ex, mux: http.NewServeMux()}
+	return NewServerWithOptions(ex, ServerOptions{})
+}
+
+// NewServerWithOptions wraps ex with explicit HTTP-layer protections. The
+// server starts ready; callers that replay a journal should SetReady(false)
+// before listening and SetReady(true) once Recover returns.
+func NewServerWithOptions(ex *Executor, opts ServerOptions) *Server {
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 1 << 20
+	}
+	s := &Server{ex: ex, mux: http.NewServeMux(), opts: opts}
+	if opts.RatePerSec > 0 {
+		s.limiter = NewRateLimiter(opts.RatePerSec, opts.Burst)
+	}
+	s.ready.Store(true)
 	s.mux.HandleFunc("POST /v1/jobs", s.submitJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.getReport)
@@ -43,8 +86,14 @@ func NewServer(ex *Executor) *Server {
 	s.mux.HandleFunc("POST /v1/sweeps", s.submitSweep)
 	s.mux.HandleFunc("GET /metrics", s.metrics)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
+	s.mux.HandleFunc("GET /readyz", s.readyz)
 	return s
 }
+
+// SetReady flips the /readyz signal. Keep it false while replaying the
+// journal so load balancers don't route traffic to a server still rebuilding
+// its queue.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -170,10 +219,54 @@ func statusOf(s Snapshot) JobStatus {
 	return js
 }
 
-func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
-	var req JobRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+// clientKey identifies the caller for rate limiting: the X-AAWS-Client
+// header when present (multi-tenant proxies), else the remote IP.
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-AAWS-Client"); k != "" {
+		return k
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// decodeBody parses a capped JSON body into v, writing the appropriate
+// error response (413 for oversized, 400 for malformed) on failure.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+// rateLimit enforces the per-client token bucket, answering 429 with a
+// Retry-After header when the bucket is dry.
+func (s *Server) rateLimit(w http.ResponseWriter, r *http.Request) bool {
+	ok, wait := s.limiter.Allow(clientKey(r))
+	if !ok {
+		setRetryAfter(w, wait)
+		httpError(w, http.StatusTooManyRequests,
+			&RetryAfterError{Err: ErrRateLimited, RetryAfter: wait})
+		return false
+	}
+	return true
+}
+
+func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
+	if !s.rateLimit(w, r) {
+		return
+	}
+	var req JobRequest
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	spec, err := req.ToSpec()
@@ -183,7 +276,7 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.ex.Submit(spec, req.submitOptions())
 	if err != nil {
-		httpError(w, submitStatus(err), err)
+		s.submitError(w, err)
 		return
 	}
 	snap, _ := s.ex.Get(job.ID)
@@ -217,9 +310,11 @@ type SweepResponse struct {
 }
 
 func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) {
+	if !s.rateLimit(w, r) {
+		return
+	}
 	var req SweepRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Kernels) == 0 {
@@ -236,8 +331,11 @@ func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) {
 	if len(req.Seeds) == 0 {
 		req.Seeds = []uint64{42}
 	}
+	// Sweep matrices run in the concurrency-limited sweep class so a big
+	// batch cannot occupy every worker and starve interactive jobs.
 	opts := SubmitOptions{
 		Priority: req.Priority,
+		Class:    ClassSweep,
 		Timeout:  time.Duration(req.TimeoutMs) * time.Millisecond,
 		NoCache:  req.NoCache,
 	}
@@ -262,7 +360,7 @@ func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) {
 					}
 					job, err := s.ex.Submit(spec, opts)
 					if err != nil {
-						httpError(w, submitStatus(err), fmt.Errorf("submitting %s/%s/%s: %w", kname, sysName, vname, err))
+						s.submitError(w, fmt.Errorf("submitting %s/%s/%s: %w", kname, sysName, vname, err))
 						return
 					}
 					resp.IDs = append(resp.IDs, job.ID)
@@ -275,7 +373,40 @@ func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
-	snap, err := s.ex.Get(r.PathValue("id"))
+	id := r.PathValue("id")
+	q := r.URL.Query()
+	if q.Get("wait") != "" || q.Get("wait_ms") != "" {
+		// Long-poll: block on the request context so a disconnecting
+		// client releases the handler immediately — and, on request,
+		// cancels the job it was waiting for (nobody left to read the
+		// result).
+		ctx := r.Context()
+		if ms, err := strconv.Atoi(q.Get("wait_ms")); err == nil && ms > 0 {
+			var cancel func()
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+			defer cancel()
+		}
+		snap, err := s.ex.Wait(ctx, id)
+		switch {
+		case errors.Is(err, ErrUnknownJob):
+			httpError(w, http.StatusNotFound, err)
+			return
+		case err != nil:
+			if r.Context().Err() != nil && q.Get("cancel_on_disconnect") != "" {
+				_, _ = s.ex.Cancel(id)
+				return // client is gone; nothing to write
+			}
+			// wait_ms elapsed: report current state like a plain GET.
+			snap, err = s.ex.Get(id)
+			if err != nil {
+				httpError(w, http.StatusNotFound, err)
+				return
+			}
+		}
+		writeJSON(w, http.StatusOK, statusOf(snap))
+		return
+	}
+	snap, err := s.ex.Get(id)
 	if err != nil {
 		httpError(w, http.StatusNotFound, err)
 		return
@@ -371,9 +502,14 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	p("aaws_jobs_failed_total %d\n", m.Failed)
 	p("aaws_jobs_canceled_total %d\n", m.Canceled)
 	p("aaws_jobs_retries_total %d\n", m.Retries)
+	p("aaws_jobs_shed_total %d\n", m.Shed)
+	p("aaws_jobs_replayed_total %d\n", m.Replayed)
 	p("aaws_jobs_queue_depth %d\n", m.QueueDepth)
 	p("aaws_jobs_running %d\n", m.Running)
 	p("aaws_jobs_workers %d\n", m.Workers)
+	p("aaws_jobs_sweep_running %d\n", m.SweepRunning)
+	p("aaws_jobs_sweep_deferred %d\n", m.SweepDeferred)
+	p("aaws_jobs_avg_run_ms %g\n", m.AvgRunMs)
 	p("aaws_cache_hits_total %d\n", m.CacheHits)
 	p("aaws_cache_coalesced_total %d\n", m.Coalesced)
 	p("aaws_cache_misses_total %d\n", m.Cache.Misses)
@@ -385,6 +521,26 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 		hitRate = float64(m.CacheHits+m.Coalesced) / float64(m.Submitted)
 	}
 	p("aaws_cache_hit_ratio %g\n", hitRate)
+	p("aaws_cache_disk_errors_total %d\n", m.Cache.DiskErrors)
+	p("aaws_cache_breaker_state %d\n", int(m.Cache.Breaker.State))
+	p("aaws_cache_breaker_trips_total %d\n", m.Cache.Breaker.Trips)
+	p("aaws_cache_breaker_shortcuts_total %d\n", m.Cache.Breaker.ShortCuts)
+	if m.Journaled {
+		p("aaws_journal_records_total %d\n", m.Journal.Records)
+		p("aaws_journal_fsyncs_total %d\n", m.Journal.Fsyncs)
+		p("aaws_journal_rotations_total %d\n", m.Journal.Rotations)
+		p("aaws_journal_corrupt_skipped_total %d\n", m.Journal.CorruptSkipped)
+		p("aaws_journal_replayed_total %d\n", m.Journal.Replayed)
+		p("aaws_journal_segment %d\n", m.Journal.Segment)
+		p("aaws_journal_segment_bytes %d\n", m.Journal.SegmentBytes)
+		p("aaws_journal_open_jobs %d\n", m.Journal.OpenJobs)
+	}
+	if s.limiter != nil {
+		rl := s.limiter.Stats()
+		p("aaws_ratelimit_allowed_total %d\n", rl.Allowed)
+		p("aaws_ratelimit_limited_total %d\n", rl.Limited)
+		p("aaws_ratelimit_clients %d\n", rl.Clients)
+	}
 	names := make([]string, 0, len(m.PerKernel))
 	for k := range m.PerKernel {
 		names = append(names, k)
@@ -406,14 +562,42 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-func submitStatus(err error) int {
+func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "recovering"})
+		return
+	}
+	if s.ex.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// setRetryAfter stamps the standard back-off header (whole seconds, rounded
+// up so "0" never means "retry immediately" on a real wait).
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
+
+// submitError maps a Submit rejection onto HTTP: 503 for draining and
+// overload shedding, 429 for a full queue, 400 otherwise. Rejections that
+// carry a back-off hint also get a Retry-After header.
+func (s *Server) submitError(w http.ResponseWriter, err error) {
+	if ra, ok := RetryAfterOf(err); ok {
+		setRetryAfter(w, ra)
+	}
 	switch {
-	case errors.Is(err, ErrDraining):
-		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrOverloaded):
+		httpError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrQueueFull):
-		return http.StatusTooManyRequests
+		httpError(w, http.StatusTooManyRequests, err)
 	default:
-		return http.StatusBadRequest
+		httpError(w, http.StatusBadRequest, err)
 	}
 }
 

@@ -30,6 +30,12 @@ type Budget struct {
 	// context.Context) abort a simulation promptly instead of at
 	// completion. context.Context.Err is a valid value directly.
 	Interrupt func() error
+	// Progress, when non-nil, is called every InterruptEvery events with
+	// the number of events executed so far. Like Interrupt it has no
+	// side effects on simulation state; it exists so external observers
+	// (e.g. a job journal recording how far a run got before a crash)
+	// can track the event count without perturbing the schedule.
+	Progress func(events uint64)
 	// InterruptEvery is the polling stride in events (default 4096).
 	InterruptEvery uint64
 }
@@ -47,9 +53,14 @@ func (e *Engine) RunBudget(b Budget) error {
 		every = 4096
 	}
 	for {
-		if b.Interrupt != nil && n%every == 0 {
-			if err := b.Interrupt(); err != nil {
-				return fmt.Errorf("sim: interrupted after %d events at %v: %w", n, e.now, err)
+		if n%every == 0 {
+			if b.Progress != nil {
+				b.Progress(n)
+			}
+			if b.Interrupt != nil {
+				if err := b.Interrupt(); err != nil {
+					return fmt.Errorf("sim: interrupted after %d events at %v: %w", n, e.now, err)
+				}
 			}
 		}
 		if b.MaxEvents > 0 && n >= b.MaxEvents {

@@ -201,6 +201,11 @@ type Config struct {
 	// a non-nil return aborts the run with that error (see sim.Budget).
 	// Used to plumb context cancellation/deadlines into a simulation.
 	Interrupt func() error
+	// Progress, when non-nil, is called periodically by the event loop
+	// with the number of events executed so far (see sim.Budget). Like
+	// Interrupt it is side-effect-free on simulation state; the job
+	// service uses it to journal how far a run has advanced.
+	Progress func(events uint64)
 	// CacheMigration switches steal/mug cold-miss penalties from the
 	// fixed constants to the Table I cache-hierarchy model driven by each
 	// task's Ctx.Touch working-set estimate (high-fidelity mode).

@@ -282,6 +282,7 @@ func (rt *Runtime) ExecuteChecked(program func(r *Run)) (Report, error) {
 		MaxEvents: rt.cfg.MaxEvents,
 		MaxStall:  rt.cfg.MaxStallEvents,
 		Interrupt: rt.cfg.Interrupt,
+		Progress:  rt.cfg.Progress,
 	})
 
 	if err == nil && !rt.stopping {
