@@ -1,0 +1,322 @@
+// Command aaws-bench is the pinned performance-regression harness: it runs
+// the engine microbenchmarks plus one representative sweep, writes the
+// results as BENCH.json, and optionally compares them against a committed
+// baseline with a tolerance threshold.
+//
+//	go run ./cmd/aaws-bench -quick -out BENCH.json
+//	go run ./cmd/aaws-bench -quick -baseline BENCH.json   # warn on regression
+//	go run ./cmd/aaws-bench -quick -baseline BENCH.json -strict  # exit 1
+//
+// Wall-clock metrics (ns_per_op, wall_ms, events_per_sec) vary with the
+// host; the comparison tolerance exists for them. Allocation metrics
+// (allocs_per_op, mallocs_per_cell) are machine-independent and are the
+// robust regression signal.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+	"time"
+
+	"aaws/internal/core"
+	"aaws/internal/kernels"
+	"aaws/internal/sim"
+)
+
+// Metrics is one benchmark's measurements, keyed by metric name.
+type Metrics map[string]float64
+
+// Output is the BENCH.json schema.
+type Output struct {
+	Schema     int                `json:"schema"`
+	GoVersion  string             `json:"go"`
+	Quick      bool               `json:"quick"`
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+	// Reference preserves measurements of interest from before a change
+	// (e.g. the pre-pooling engine), for documentation; it is never
+	// compared against.
+	Reference map[string]Metrics `json:"reference,omitempty"`
+}
+
+// lowerIsBetter classifies metrics for the regression comparison; metrics
+// not listed (counts like cells/events) are informational only.
+var lowerIsBetter = map[string]bool{
+	"ns_per_op":        true,
+	"allocs_per_op":    true,
+	"wall_ms":          true,
+	"mallocs_per_cell": true,
+	"events_per_sec":   false,
+}
+
+func main() {
+	var (
+		quick      = flag.Bool("quick", false, "pinned quick suite (CI configuration: 4 kernels, scale 0.2)")
+		scale      = flag.Float64("scale", 0, "override sweep problem scale (0 = suite default)")
+		out        = flag.String("out", "BENCH.json", "write results to this file ('' = stdout only)")
+		baseline   = flag.String("baseline", "", "compare against this committed BENCH.json")
+		tolerance  = flag.Float64("tolerance", 0.25, "relative slack before a wall-clock metric counts as regressed")
+		strict     = flag.Bool("strict", false, "exit non-zero on regression (default: warn only)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file")
+	)
+	flag.Parse()
+
+	res := Output{
+		Schema:     1,
+		GoVersion:  runtime.Version(),
+		Quick:      *quick,
+		Benchmarks: map[string]Metrics{},
+	}
+
+	fmt.Println("== engine microbenchmarks ==")
+	for name, m := range engineBenchmarks() {
+		res.Benchmarks[name] = m
+		fmt.Printf("  %-24s %8.1f ns/op  %6.1f allocs/op\n", name, m["ns_per_op"], m["allocs_per_op"])
+	}
+
+	fmt.Println("== representative sweep ==")
+	name, m, err := sweepBenchmark(*quick, *scale, *cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aaws-bench:", err)
+		os.Exit(1)
+	}
+	res.Benchmarks[name] = m
+	fmt.Printf("  %-24s %.0f ms wall, %.0f cells, %.3g events (%.3g events/sec, %.0f mallocs/cell)\n",
+		name, m["wall_ms"], m["cells"], m["events"], m["events_per_sec"], m["mallocs_per_cell"])
+
+	if *out != "" {
+		if prev, err := readBaseline(*out); err == nil && prev.Reference != nil {
+			res.Reference = prev.Reference // carry the documented reference forward
+		}
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aaws-bench:", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "aaws-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+	}
+
+	if *baseline != "" {
+		base, err := readBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aaws-bench:", err)
+			os.Exit(1)
+		}
+		if regressed := compare(base, res, *tolerance); regressed && *strict {
+			os.Exit(1)
+		}
+	}
+}
+
+// engineBenchmarks times the schedule/cancel/reschedule hot paths by hand
+// (no testing.B in a main package) and measures their steady-state
+// allocation rate with testing.AllocsPerRun.
+func engineBenchmarks() map[string]Metrics {
+	const iters = 2_000_000
+	fn := func() {}
+	out := map[string]Metrics{}
+
+	time1 := func(body func(i int)) float64 {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			body(i)
+		}
+		return float64(time.Since(start).Nanoseconds()) / iters
+	}
+
+	e := sim.NewEngine()
+	for i := 0; i < 10_000; i++ { // warm arena
+		e.After(sim.Time(i%97), fn)
+		e.Step()
+	}
+	out["engine/schedule_pop"] = Metrics{
+		"ns_per_op": time1(func(i int) {
+			e.After(sim.Time(i%97), fn)
+			e.Step()
+		}),
+		"allocs_per_op": testing.AllocsPerRun(1000, func() {
+			e.After(7, fn)
+			e.Step()
+		}),
+	}
+
+	e.Reset()
+	for i := 0; i < 10_000; i++ {
+		ev := e.After(sim.Time(7+i%13), fn)
+		e.After(sim.Time(i%7), fn)
+		ev.Cancel()
+		e.Step()
+	}
+	out["engine/cancel"] = Metrics{
+		"ns_per_op": time1(func(i int) {
+			ev := e.After(sim.Time(7+i%13), fn)
+			e.After(sim.Time(i%7), fn)
+			ev.Cancel()
+			e.Step()
+		}),
+		"allocs_per_op": testing.AllocsPerRun(1000, func() {
+			ev := e.After(7, fn)
+			e.After(3, fn)
+			ev.Cancel()
+			e.Step()
+		}),
+	}
+	e.Run(0)
+
+	e.Reset()
+	var ev sim.Event
+	resched := func(i int) {
+		ev.Cancel()
+		ev = e.After(sim.Time(50+i%31), fn)
+		e.After(sim.Time(i%11), fn)
+		e.Step()
+	}
+	for i := 0; i < 10_000; i++ {
+		resched(i)
+	}
+	out["engine/reschedule"] = Metrics{
+		"ns_per_op": time1(resched),
+		"allocs_per_op": testing.AllocsPerRun(1000, func() {
+			resched(3)
+		}),
+	}
+	e.Run(0)
+	return out
+}
+
+// sweepBenchmark runs the representative sweep — core.DefaultSweep on the
+// 4B4L system — and reports wall clock, simulation events per second, and
+// host allocations per cell.
+func sweepBenchmark(quick bool, scale float64, cpuprofile, memprofile string) (string, Metrics, error) {
+	opt := core.DefaultSweep(core.Sys4B4L)
+	name := "sweep/default_4B4L"
+	opt.Scale = 0.35 // bench_test.go's benchScale: fast but representative
+	if quick {
+		opt.Kernels = kernels.Names()[:4]
+		opt.Scale = 0.2
+		name = "sweep/quick_4B4L"
+	}
+	if scale > 0 {
+		opt.Scale = scale
+	}
+	var cells int
+	var events uint64
+	opt.RunAll = func(specs []core.Spec) ([]core.Result, error) {
+		results := make([]core.Result, len(specs))
+		for i, s := range specs {
+			r, err := core.Run(s)
+			if err != nil {
+				return nil, err
+			}
+			events += r.Report.Events
+			results[i] = r
+		}
+		cells = len(specs)
+		return results, nil
+	}
+
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return name, nil, err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return name, nil, err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if _, err := core.Sweep(opt); err != nil {
+		return name, nil, err
+	}
+	wall := time.Since(start)
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	if memprofile != "" {
+		f, err := os.Create(memprofile)
+		if err != nil {
+			return name, nil, err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			return name, nil, err
+		}
+	}
+
+	m := Metrics{
+		"wall_ms":          float64(wall.Milliseconds()),
+		"cells":            float64(cells),
+		"events":           float64(events),
+		"events_per_sec":   float64(events) / wall.Seconds(),
+		"mallocs_per_cell": float64(after.Mallocs-before.Mallocs) / float64(cells),
+	}
+	return name, m, nil
+}
+
+func readBaseline(path string) (Output, error) {
+	var out Output
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return out, err
+	}
+	err = json.Unmarshal(buf, &out)
+	return out, err
+}
+
+// compare prints a PASS/WARN line per shared metric and reports whether
+// anything regressed beyond the tolerance. Zero-allocation baselines get
+// no relative slack: any allocation at all is a regression.
+func compare(base, cur Output, tol float64) bool {
+	regressed := false
+	fmt.Println("== baseline comparison ==")
+	for name, bm := range base.Benchmarks {
+		cm, ok := cur.Benchmarks[name]
+		if !ok {
+			fmt.Printf("  SKIP %s: not in current run\n", name)
+			continue
+		}
+		for metric, bv := range bm {
+			lower, tracked := lowerIsBetter[metric]
+			cv, ok := cm[metric]
+			if !tracked || !ok {
+				continue
+			}
+			bad := false
+			switch {
+			case bv == 0:
+				bad = cv > 0 && lower
+			case lower:
+				bad = cv > bv*(1+tol)
+			default:
+				bad = cv < bv*(1-tol)
+			}
+			status := "PASS"
+			if bad {
+				status = "WARN"
+				regressed = true
+			}
+			fmt.Printf("  %s %s/%s: %.4g (baseline %.4g, tolerance %.0f%%)\n",
+				status, name, metric, cv, bv, tol*100)
+		}
+	}
+	if regressed {
+		fmt.Println("  regression detected (see WARN lines)")
+	}
+	return regressed
+}

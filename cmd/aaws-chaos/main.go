@@ -29,6 +29,7 @@ import (
 	"aaws/internal/core"
 	"aaws/internal/fault"
 	"aaws/internal/jobs"
+	"aaws/internal/profiling"
 	"aaws/internal/sim"
 	"aaws/internal/wsrt"
 )
@@ -59,6 +60,7 @@ func main() {
 	useCache := flag.Bool("cache", false, "run cells through the jobs executor with a content-addressed result cache")
 	cacheDir := flag.String("cache-dir", "", "on-disk result store (implies -cache)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "executor worker-pool size (with -cache)")
+	prof := profiling.AddFlags("chaos")
 	flag.Parse()
 
 	run := runner(func(spec core.Spec, _ bool) (core.Result, error) { return core.Run(spec) })
@@ -74,6 +76,16 @@ func main() {
 			return res, err
 		}
 	}
+	// Count cells and simulation events for the -benchjson summary.
+	innerRun := run
+	run = func(spec core.Spec, forceFresh bool) (core.Result, error) {
+		res, err := innerRun(spec, forceFresh)
+		if err == nil {
+			prof.Cells++
+			prof.Events += res.Report.Events
+		}
+		return res, err
+	}
 
 	sys, ok := core.ParseSystem(*system)
 	if !ok {
@@ -86,6 +98,9 @@ func main() {
 			fatalf("unknown variant %q", s)
 		}
 		variants = append(variants, v)
+	}
+	if err := prof.Start(); err != nil {
+		fatalf("%v", err)
 	}
 	kernelList := splitList(*kernelsFlag)
 	var rates []float64
@@ -163,6 +178,8 @@ func main() {
 			}
 		}
 	}
+	// Explicit rather than deferred: os.Exit skips defers.
+	prof.Stop()
 	os.Exit(exitCode)
 }
 

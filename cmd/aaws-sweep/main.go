@@ -21,6 +21,7 @@ import (
 
 	"aaws/internal/core"
 	"aaws/internal/jobs"
+	"aaws/internal/profiling"
 	"aaws/internal/stats"
 	"aaws/internal/wsrt"
 )
@@ -34,6 +35,7 @@ func main() {
 	useCache := flag.Bool("cache", false, "run cells through the jobs executor with a content-addressed result cache")
 	cacheDir := flag.String("cache-dir", "", "on-disk result store (implies -cache; reused across invocations)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "executor worker-pool size (with -cache)")
+	prof := profiling.AddFlags("sweep")
 	flag.Parse()
 
 	var systems []core.System
@@ -63,7 +65,38 @@ func main() {
 		ex := jobs.NewExecutor(jobs.Config{Workers: *workers, Cache: cache})
 		defer ex.Close()
 		runAll = ex.BatchRunner(context.Background())
+	} else {
+		runAll = func(specs []core.Spec) ([]core.Result, error) {
+			results := make([]core.Result, len(specs))
+			for i, spec := range specs {
+				res, err := core.Run(spec)
+				if err != nil {
+					return nil, err
+				}
+				results[i] = res
+			}
+			return results, nil
+		}
 	}
+	// Count cells and simulation events for the -benchjson summary.
+	inner := runAll
+	runAll = func(specs []core.Spec) ([]core.Result, error) {
+		results, err := inner(specs)
+		if err != nil {
+			return nil, err
+		}
+		prof.Cells += len(results)
+		for _, r := range results {
+			prof.Events += r.Report.Events
+		}
+		return results, nil
+	}
+
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer prof.Stop()
 
 	for _, sys := range systems {
 		opt := core.DefaultSweep(sys)

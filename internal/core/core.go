@@ -8,6 +8,8 @@ import (
 	"context"
 	"fmt"
 	"runtime/debug"
+	"sync"
+	"sync/atomic"
 
 	"aaws/internal/dvfs"
 	"aaws/internal/fault"
@@ -227,6 +229,49 @@ func (r Result) SpeedupVsBig() float64 {
 // invariant violations (simulator or scheduler bugs surfacing as panics)
 // are converted to errors carrying the kernel/seed context needed to replay
 // them.
+// enginePool recycles engines across simulations (Engine.Reset keeps the
+// event arena and heap capacity), so sweeps and the jobs executor stop
+// re-allocating per run.
+var enginePool = sync.Pool{New: func() any { return sim.NewEngine() }}
+
+// lutKey identifies a DVFS lookup table by everything GenerateLUT depends
+// on. power.Params is a flat struct of float64s, so the key is comparable.
+type lutKey struct {
+	params     power.Params
+	nBig, nLit int
+	mode       model.Mode
+}
+
+// lutCache memoizes generated lookup tables across runs. LUT generation is
+// by far the most expensive part of a small simulation (hundreds of
+// bisection-based optimizations), and a sweep regenerates the same handful
+// of tables for every cell. A LUT is never mutated after generation (the
+// tuner's Adjust returns copies), so sharing one across concurrent runs is
+// safe and cannot perturb schedules. The cache is size-capped because the
+// jobs service accepts caller-supplied LUTAlpha/LUTBeta, which would
+// otherwise grow the key space without bound; once full, extra
+// configurations fall through to direct generation.
+var (
+	lutCache     sync.Map // lutKey -> *model.LUT
+	lutCacheSize atomic.Int64
+)
+
+const lutCacheMax = 256
+
+func cachedLUT(params power.Params, nBig, nLit int, mode model.Mode) *model.LUT {
+	key := lutKey{params: params, nBig: nBig, nLit: nLit, mode: mode}
+	if v, ok := lutCache.Load(key); ok {
+		return v.(*model.LUT)
+	}
+	lut := model.GenerateLUT(model.Config{Params: params, NBig: nBig, NLit: nLit}, mode)
+	if lutCacheSize.Load() < lutCacheMax {
+		if _, loaded := lutCache.LoadOrStore(key, lut); !loaded {
+			lutCacheSize.Add(1)
+		}
+	}
+	return lut
+}
+
 func Run(spec Spec) (Result, error) {
 	return RunCtx(context.Background(), spec)
 }
@@ -249,9 +294,10 @@ func RunCtx(ctx context.Context, spec Spec) (Result, error) {
 	if spec.LUTAlpha > 0 && spec.LUTBeta > 0 {
 		lutParams = p.WithAlphaBeta(spec.LUTAlpha, spec.LUTBeta)
 	}
-	lut := model.GenerateLUT(model.Config{Params: lutParams, NBig: nBig, NLit: nLit}, spec.Variant.LUTMode())
+	lut := cachedLUT(lutParams, nBig, nLit, spec.Variant.LUTMode())
 
-	eng := sim.NewEngine()
+	eng := enginePool.Get().(*sim.Engine)
+	eng.Reset()
 	mcfg := machine.Config{
 		BigCores: nBig, LittleCores: nLit, Params: p, LUT: lut, InterruptCycles: 20,
 		TransitionNsPerStep: spec.TransitionNsPerStep,
@@ -265,6 +311,7 @@ func RunCtx(ctx context.Context, spec Spec) (Result, error) {
 	}
 	m, err := machine.New(eng, mcfg)
 	if err != nil {
+		enginePool.Put(eng)
 		return Result{}, err
 	}
 
@@ -309,14 +356,18 @@ func RunCtx(ctx context.Context, spec Spec) (Result, error) {
 	if spec.Faults != nil && spec.Faults.Enabled() {
 		inj = fault.New(*spec.Faults)
 		if err := inj.Attach(m); err != nil {
+			enginePool.Put(eng)
 			return Result{}, err
 		}
 	}
 	w := k.New(spec.Seed, spec.Scale)
 	rep, err := executeChecked(rt, w.Run, spec)
 	if err != nil {
+		// Aborted runs do not return the engine to the pool: the drained
+		// root-program goroutine may still briefly reference it.
 		return Result{}, err
 	}
+	enginePool.Put(eng)
 
 	res := Result{
 		Spec:        spec,

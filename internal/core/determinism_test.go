@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"aaws/internal/kernels"
+	"aaws/internal/wsrt"
+)
+
+// fingerprintResult hashes everything schedule-dependent in a Result: the
+// full Report (events, steals, mugs, energy, per-worker stats), the
+// region breakdown and the serial-instruction account. Any divergence in
+// event order between two runs perturbs at least one of these.
+func fingerprintResult(res Result) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v|%+v|%v", res.Report, res.Regions, res.SerialInstr)
+	return h.Sum64()
+}
+
+// TestPooledEngineDeterminism is the tentpole invariant: the pooled,
+// compacting engine must produce bit-identical Report output across
+// repeated same-spec runs for every kernel × variant × system cell. The
+// second pass reuses pooled engines (warm arenas, recycled free lists,
+// Reset state), so agreement also proves Reset restores a pristine
+// schedule, not just an empty queue.
+func TestPooledEngineDeterminism(t *testing.T) {
+	names := kernels.Names()
+	variants := wsrt.Variants
+	systems := []System{Sys4B4L, Sys1B7L}
+	if testing.Short() {
+		names = names[:4]
+		variants = variants[:2]
+		systems = systems[:1]
+	}
+	// Warm the engine pool so the second pass runs on reused engines.
+	first := make(map[Spec]uint64)
+	var specs []Spec
+	for _, sys := range systems {
+		for _, kn := range names {
+			for _, v := range variants {
+				specs = append(specs, Spec{
+					Kernel: kn, System: sys, Variant: v, Seed: 7, Scale: 0.05,
+				})
+			}
+		}
+	}
+	for _, spec := range specs {
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatalf("%s/%s/%s: %v", spec.Kernel, spec.Variant, spec.System, err)
+		}
+		first[spec] = fingerprintResult(res)
+	}
+	for _, spec := range specs {
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatalf("%s/%s/%s rerun: %v", spec.Kernel, spec.Variant, spec.System, err)
+		}
+		if got := fingerprintResult(res); got != first[spec] {
+			t.Errorf("%s/%s/%s: schedule diverged across pooled reruns: %x != %x",
+				spec.Kernel, spec.Variant, spec.System, got, first[spec])
+		}
+	}
+}

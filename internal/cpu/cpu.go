@@ -49,8 +49,12 @@ type Core struct {
 	remaining float64 // instructions left in the current computation
 	segStart  sim.Time
 	segRate   float64 // instructions per second at segment start
-	doneEv    *sim.Event
+	doneEv    sim.Event
 	onDone    func()
+
+	// completeFn is c.complete bound once at construction so scheduling a
+	// completion does not allocate a fresh method-value closure per call.
+	completeFn func()
 
 	retired float64 // lifetime retired instructions
 }
@@ -59,7 +63,7 @@ type Core struct {
 // arrange for Retime to be invoked on the regulator's effective-voltage
 // changes so in-flight computations are retimed.
 func New(eng *sim.Engine, id int, class power.CoreClass, params power.Params, reg *vr.Regulator) *Core {
-	return &Core{
+	c := &Core{
 		ID:       id,
 		Class:    class,
 		eng:      eng,
@@ -68,6 +72,8 @@ func New(eng *sim.Engine, id int, class power.CoreClass, params power.Params, re
 		ipc:      params.IPC(class),
 		throttle: 1,
 	}
+	c.completeFn = c.complete
+	return c
 }
 
 // SetMemStallPs configures the optional frequency-independent per-
@@ -147,14 +153,14 @@ func (c *Core) schedule() {
 	c.segRate = c.rate()
 	if c.segRate <= 0 {
 		// Stalled (no clock). Progress resumes on the next retime.
-		c.doneEv = nil
+		c.doneEv = sim.Event{}
 		return
 	}
 	d := sim.FromSeconds(c.remaining / c.segRate)
 	if d < 1 && c.remaining > 0 {
 		d = 1 // guarantee forward progress
 	}
-	c.doneEv = c.eng.After(d, c.complete)
+	c.doneEv = c.eng.After(d, c.completeFn)
 }
 
 // syncProgress folds the elapsed portion of the current segment into the
@@ -181,9 +187,7 @@ func (c *Core) Retime() {
 		return
 	}
 	c.syncProgress()
-	if c.doneEv != nil {
-		c.doneEv.Cancel()
-	}
+	c.doneEv.Cancel()
 	c.schedule()
 }
 
@@ -192,7 +196,7 @@ func (c *Core) complete() {
 	c.retired += c.remaining
 	c.remaining = 0
 	c.busy = false
-	c.doneEv = nil
+	c.doneEv = sim.Event{}
 	done := c.onDone
 	c.onDone = nil
 	if done != nil {
@@ -208,10 +212,8 @@ func (c *Core) Preempt() float64 {
 		panic(fmt.Sprintf("cpu: core %d Preempt while idle", c.ID))
 	}
 	c.syncProgress()
-	if c.doneEv != nil {
-		c.doneEv.Cancel()
-	}
-	c.doneEv = nil
+	c.doneEv.Cancel()
+	c.doneEv = sim.Event{}
 	c.busy = false
 	c.onDone = nil
 	return c.remaining
@@ -235,10 +237,8 @@ func (c *Core) Fail() {
 	}
 	if c.busy {
 		c.syncProgress()
-		if c.doneEv != nil {
-			c.doneEv.Cancel()
-		}
-		c.doneEv = nil
+		c.doneEv.Cancel()
+		c.doneEv = sim.Event{}
 		c.busy = false
 		c.onDone = nil
 		c.remaining = 0
@@ -261,9 +261,7 @@ func (c *Core) SetThrottle(f float64) {
 		return
 	}
 	c.syncProgress()
-	if c.doneEv != nil {
-		c.doneEv.Cancel()
-	}
+	c.doneEv.Cancel()
 	c.throttle = f
 	c.schedule()
 }

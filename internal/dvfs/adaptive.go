@@ -79,6 +79,9 @@ type Tuner struct {
 
 	entries map[[2]int]*tuneEntry
 
+	// tickFn is t.tick bound once so periodic re-arming does not allocate.
+	tickFn func()
+
 	lastRetired float64
 	lastTime    sim.Time
 	lastCombo   [2]int
@@ -94,7 +97,7 @@ func NewTuner(eng *sim.Engine, ctl *Controller, sensors Sensors, target float64,
 	if cfg.Interval <= 0 {
 		cfg = DefaultTunerConfig()
 	}
-	return &Tuner{
+	t := &Tuner{
 		eng:     eng,
 		ctl:     ctl,
 		sensors: sensors,
@@ -104,6 +107,8 @@ func NewTuner(eng *sim.Engine, ctl *Controller, sensors Sensors, target float64,
 		alive:   alive,
 		entries: map[[2]int]*tuneEntry{},
 	}
+	t.tickFn = t.tick
+	return t
 }
 
 // Adjustments returns the number of accepted voltage adjustments.
@@ -128,7 +133,7 @@ func (t *Tuner) Adjust(nBA, nLA int, e model.VPair) model.VPair {
 func (t *Tuner) Start() {
 	t.lastRetired = t.sensors.Retired()
 	t.lastTime = t.eng.Now()
-	t.eng.After(t.cfg.Interval, t.tick)
+	t.eng.After(t.cfg.Interval, t.tickFn)
 }
 
 // tick is one adaptation step.
@@ -136,7 +141,7 @@ func (t *Tuner) tick() {
 	if !t.alive() {
 		return
 	}
-	defer t.eng.After(t.cfg.Interval, t.tick)
+	defer t.eng.After(t.cfg.Interval, t.tickFn)
 
 	now := t.eng.Now()
 	retired := t.sensors.Retired()

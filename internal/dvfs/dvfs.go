@@ -35,11 +35,11 @@ type Controller struct {
 	// (stuck/slow fault) and was abandoned at its last safe voltage. The
 	// controller re-derives operating points for the surviving mix only.
 	offline []bool
-	// cmdSeq[i] counts commands issued to regulator i, so a transition
-	// deadline can tell whether it is watching the current command.
-	cmdSeq []uint64
 	// deadlineEv[i] is the pending transition-deadline event, if any.
-	deadlineEv []*sim.Event
+	deadlineEv []sim.Event
+	// deadlineFns[i] is the deadline callback for regulator i, built once
+	// at construction so arming a deadline does not allocate.
+	deadlineFns []func()
 
 	// tuner, when set, adjusts LUT entries online using performance and
 	// power counters (the paper's future-work adaptive controller).
@@ -68,15 +68,15 @@ const deadlineFloor = sim.Microsecond
 // immediately).
 func New(eng *sim.Engine, lut *model.LUT, classes []power.CoreClass, regs []*vr.Regulator) *Controller {
 	c := &Controller{
-		eng:        eng,
-		lut:        lut,
-		regs:       regs,
-		classes:    classes,
-		active:     make([]bool, len(classes)),
-		offline:    make([]bool, len(classes)),
-		cmdSeq:     make([]uint64, len(classes)),
-		deadlineEv: make([]*sim.Event, len(classes)),
-		serCore:    -1,
+		eng:         eng,
+		lut:         lut,
+		regs:        regs,
+		classes:     classes,
+		active:      make([]bool, len(classes)),
+		offline:     make([]bool, len(classes)),
+		deadlineEv:  make([]sim.Event, len(classes)),
+		deadlineFns: make([]func(), len(classes)),
+		serCore:     -1,
 	}
 	for i := range c.active {
 		c.active[i] = true
@@ -84,6 +84,7 @@ func New(eng *sim.Engine, lut *model.LUT, classes []power.CoreClass, regs []*vr.
 	for i, r := range regs {
 		i := i
 		r.OnSettle = func() { c.settled(i) }
+		c.deadlineFns[i] = func() { c.onDeadline(i) }
 	}
 	return c
 }
@@ -212,21 +213,23 @@ func (c *Controller) evaluate() {
 func (c *Controller) command(i int, t float64) {
 	r := c.regs[i]
 	deadline := deadlineMargin*r.NominalLatency(t) + deadlineFloor
-	c.cmdSeq[i]++
-	seq := c.cmdSeq[i]
 	r.Set(t)
-	c.deadlineEv[i] = c.eng.After(deadline, func() { c.onDeadline(i, seq) })
+	// At most one command is ever outstanding per regulator (evaluate is
+	// gated on inFlight == 0), so any previous deadline has already fired
+	// or been cancelled on settle; Cancel here is a defensive no-op.
+	c.deadlineEv[i].Cancel()
+	c.deadlineEv[i] = c.eng.After(deadline, c.deadlineFns[i])
 }
 
-// onDeadline fires when a commanded transition overstays its deadline. A
-// stale or already-settled command is ignored; otherwise the regulator is
-// aborted at its current safe voltage, taken offline, and the decision
-// pipeline unblocked.
-func (c *Controller) onDeadline(i int, seq uint64) {
-	if c.cmdSeq[i] != seq || c.deadlineEv[i] == nil {
-		return
-	}
-	c.deadlineEv[i] = nil
+// onDeadline fires when a commanded transition overstays its deadline.
+// A cancelled deadline never fires and only the current command's deadline
+// can be armed, so a firing always refers to the outstanding command; if
+// the regulator somehow settled at the same instant the Transitioning
+// check makes this a no-op. Otherwise the regulator is aborted at its
+// current safe voltage, taken offline, and the decision pipeline
+// unblocked.
+func (c *Controller) onDeadline(i int) {
+	c.deadlineEv[i] = sim.Event{}
 	if !c.regs[i].Transitioning() {
 		return
 	}
@@ -250,10 +253,8 @@ func (c *Controller) Reevaluate() { c.evaluate() }
 
 // settled is invoked by regulator i when its transition completes.
 func (c *Controller) settled(i int) {
-	if c.deadlineEv[i] != nil {
-		c.deadlineEv[i].Cancel()
-		c.deadlineEv[i] = nil
-	}
+	c.deadlineEv[i].Cancel()
+	c.deadlineEv[i] = sim.Event{}
 	c.settleOne()
 }
 

@@ -46,6 +46,28 @@ type Network struct {
 	fault    FaultHook
 	dropped  int
 	delayed  int
+	// freeDeliveries recycles in-flight delivery records so a send does
+	// not allocate once the pool is warm.
+	freeDeliveries *delivery
+}
+
+// delivery is one in-flight message plus its preallocated callback; fn is
+// bound to deliver exactly once, when the record is first created.
+type delivery struct {
+	n    *Network
+	m    Message
+	fn   func()
+	next *delivery
+}
+
+// deliver returns the record to the freelist, then invokes the handler.
+// Releasing first means a handler that sends messages can reuse this very
+// record without growing the pool.
+func (d *delivery) deliver() {
+	n, m := d.n, d.m
+	d.next = n.freeDeliveries
+	n.freeDeliveries = d
+	n.handlers[m.To](m)
 }
 
 // New returns a network for n cores with the given one-way delivery latency.
@@ -95,5 +117,13 @@ func (n *Network) Send(m Message) {
 			lat += extra
 		}
 	}
-	n.eng.After(lat, func() { n.handlers[m.To](m) })
+	d := n.freeDeliveries
+	if d == nil {
+		d = &delivery{n: n}
+		d.fn = d.deliver
+	} else {
+		n.freeDeliveries = d.next
+	}
+	d.m = m
+	n.eng.After(lat, d.fn)
 }

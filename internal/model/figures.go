@@ -23,16 +23,17 @@ type ParetoPoint struct {
 // Pareto computes the Figure 2 point cloud for an all-active system across
 // a grid of feasible (VB, VL) pairs.
 func Pareto(c Config, steps int) []ParetoPoint {
+	h := c.hot()
 	vm := c.Params.VF
 	baseIPS := c.nominalIPS(c.NBig, c.NLit)
-	baseP := c.activePower(c.NBig, c.NLit, vf.VNominal, vf.VNominal)
+	baseP := h.activePower(c.NBig, c.NLit, vf.VNominal, vf.VNominal)
 	var out []ParetoPoint
 	for i := 0; i <= steps; i++ {
 		vb := vm.VMin + (vm.VMax-vm.VMin)*float64(i)/float64(steps)
 		for j := 0; j <= steps; j++ {
 			vl := vm.VMin + (vm.VMax-vm.VMin)*float64(j)/float64(steps)
-			ips := c.activeIPS(c.NBig, c.NLit, vb, vl)
-			p := c.activePower(c.NBig, c.NLit, vb, vl)
+			ips := h.activeIPS(c.NBig, c.NLit, vb, vl)
+			p := h.activePower(c.NBig, c.NLit, vb, vl)
 			out = append(out, ParetoPoint{
 				VBig: vb, VLit: vl,
 				Perf:       ips / baseIPS,
@@ -82,15 +83,16 @@ type ThroughputSample struct {
 // constraint for nBA/nLA active cores (rest selects sprinting semantics),
 // sweeping the big voltage across [lo, hi].
 func ThroughputCurve(c Config, nBA, nLA int, rest bool, lo, hi float64, steps int) []ThroughputSample {
+	h := c.hot()
 	budget := c.Params.TargetPower(c.NBig, c.NLit) - c.inactivePower(nBA, nLA, rest)
 	out := make([]ThroughputSample, 0, steps+1)
 	for i := 0; i <= steps; i++ {
 		vb := lo + (hi-lo)*float64(i)/float64(steps)
-		rem := budget - c.activePower(nBA, 0, vb, 0)
-		vl, ok := c.solveVoltage(power.Little, nLA, rem, searchLo, searchHi)
+		rem := budget - h.activePower(nBA, 0, vb, 0)
+		vl, ok := h.solveVoltage(power.Little, nLA, rem, searchLo, searchHi)
 		s := ThroughputSample{VBig: vb, VLit: vl, Valid: ok}
 		if ok {
-			s.IPSTot = c.activeIPS(nBA, nLA, vb, vl)
+			s.IPSTot = h.activeIPS(nBA, nLA, vb, vl)
 		}
 		out = append(out, s)
 	}

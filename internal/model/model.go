@@ -85,40 +85,84 @@ func (c Config) nominalIPS(nBA, nLA int) float64 {
 	return float64(nBA)*c.Params.NominalIPS(power.Big) + float64(nLA)*c.Params.NominalIPS(power.Little)
 }
 
+// hotModel caches the per-class power-model constants, so the inner
+// optimization loops (hundreds of bisection iterations per candidate
+// voltage, millions of power evaluations per lookup table) evaluate small
+// polynomials instead of re-deriving leakage currents from Params — and
+// re-copying the full Params struct — on every call. The arithmetic is
+// kept in exactly the order power.Params uses, so results are
+// bit-identical to calling ActivePower/IPS directly.
+type hotModel struct {
+	vfm    vf.Model
+	aB, aL float64 // alpha_c * IPC_c per class (dynamic-power coefficient)
+	iB, iL float64 // leakage current per class
+	ipcB   float64
+	ipcL   float64
+}
+
+func (c *Config) hot() hotModel {
+	p := &c.Params
+	return hotModel{
+		vfm:  p.VF,
+		aB:   p.Alpha * p.IPC(power.Big),
+		aL:   1 * p.IPC(power.Little),
+		iB:   p.LeakCurrent(power.Big),
+		iL:   p.LeakCurrent(power.Little),
+		ipcB: p.IPC(power.Big),
+		ipcL: p.IPC(power.Little),
+	}
+}
+
+// corePower is power.Params.ActivePower with the class constants hoisted:
+// dynamic (a*f*v*v) plus leakage (v*i).
+func (h *hotModel) corePower(a, i, v float64) float64 {
+	f := h.vfm.Freq(v)
+	return a*f*v*v + v*i
+}
+
 // activePower returns the power of the active set at the given voltages.
-func (c Config) activePower(nBA, nLA int, vb, vl float64) float64 {
+func (h *hotModel) activePower(nBA, nLA int, vb, vl float64) float64 {
 	p := 0.0
 	if nBA > 0 {
-		p += float64(nBA) * c.Params.ActivePower(power.Big, vb)
+		p += float64(nBA) * h.corePower(h.aB, h.iB, vb)
 	}
 	if nLA > 0 {
-		p += float64(nLA) * c.Params.ActivePower(power.Little, vl)
+		p += float64(nLA) * h.corePower(h.aL, h.iL, vl)
 	}
 	return p
 }
 
 // activeIPS returns the throughput of the active set at the given voltages.
-func (c Config) activeIPS(nBA, nLA int, vb, vl float64) float64 {
+func (h *hotModel) activeIPS(nBA, nLA int, vb, vl float64) float64 {
 	s := 0.0
 	if nBA > 0 {
-		s += float64(nBA) * c.Params.IPS(power.Big, vb)
+		s += float64(nBA) * (h.ipcB * h.vfm.Freq(vb))
 	}
 	if nLA > 0 {
-		s += float64(nLA) * c.Params.IPS(power.Little, vl)
+		s += float64(nLA) * (h.ipcL * h.vfm.Freq(vl))
 	}
 	return s
+}
+
+// classCoef returns the (a, i) coefficient pair for a class.
+func (h *hotModel) classCoef(cl power.CoreClass) (a, i float64) {
+	if cl == power.Big {
+		return h.aB, h.iB
+	}
+	return h.aL, h.iL
 }
 
 // solveVoltage finds v such that n cores of class cl draw budget power in
 // total, searching [lo, hi]. Returns (v, true) on success; (0, false) if the
 // budget is outside the bracketed range. ActivePower is monotonically
 // increasing in v over the search range, so bisection applies.
-func (c Config) solveVoltage(cl power.CoreClass, n int, budget, lo, hi float64) (float64, bool) {
+func (h *hotModel) solveVoltage(cl power.CoreClass, n int, budget, lo, hi float64) (float64, bool) {
 	if n <= 0 {
 		return 0, false
 	}
+	a, ic := h.classCoef(cl)
 	f := func(v float64) float64 {
-		return float64(n)*c.Params.ActivePower(cl, v) - budget
+		return float64(n)*h.corePower(a, ic, v) - budget
 	}
 	if f(lo) > 0 || f(hi) < 0 {
 		return 0, false
@@ -171,6 +215,7 @@ func Optimize(c Config, nBA, nLA int, rest bool) Result {
 // feasible mode voltages are restricted to [VMin, VMax] and the budget
 // becomes an upper bound (<= budget) because clamping can leave headroom.
 func (c Config) best(nBA, nLA int, budget float64, feasible bool) Point {
+	h := c.hot()
 	vm := c.Params.VF
 	lo, hi := searchLo, searchHi
 	if feasible {
@@ -183,7 +228,7 @@ func (c Config) best(nBA, nLA int, budget float64, feasible bool) Point {
 		if nBA == 0 {
 			cl, n = power.Little, nLA
 		}
-		v, ok := c.solveVoltage(cl, n, budget, searchLo, searchHi)
+		v, ok := h.solveVoltage(cl, n, budget, searchLo, searchHi)
 		if !ok {
 			// Budget exceeds even searchHi; pin at the top of the range.
 			v = searchHi
@@ -196,8 +241,8 @@ func (c Config) best(nBA, nLA int, budget float64, feasible bool) Point {
 			vb, vl = 0.0, v
 		}
 		return Point{VBig: vb, VLit: vl,
-			IPS: c.activeIPS(nBA, nLA, vb, vl),
-			Pow: c.activePower(nBA, nLA, vb, vl)}
+			IPS: h.activeIPS(nBA, nLA, vb, vl),
+			Pow: h.activePower(nBA, nLA, vb, vl)}
 	}
 
 	// score returns the achievable IPS for a candidate big voltage, with
@@ -205,9 +250,9 @@ func (c Config) best(nBA, nLA int, budget float64, feasible bool) Point {
 	// feasible mode). Invalid candidates (budget overdrawn even at the
 	// little core's minimum voltage) score -Inf.
 	eval := func(vb float64) (Point, float64) {
-		rem := budget - c.activePower(nBA, 0, vb, 0)
-		minP := c.activePower(0, nLA, 0, searchLo)
-		maxP := c.activePower(0, nLA, 0, searchHi)
+		rem := budget - h.activePower(nBA, 0, vb, 0)
+		minP := h.activePower(0, nLA, 0, searchLo)
+		maxP := h.activePower(0, nLA, 0, searchHi)
 		var vl float64
 		switch {
 		case rem < minP:
@@ -217,7 +262,7 @@ func (c Config) best(nBA, nLA int, budget float64, feasible bool) Point {
 			vl = searchHi // more budget than the bracket: pin high
 		default:
 			var ok bool
-			vl, ok = c.solveVoltage(power.Little, nLA, rem, searchLo, searchHi)
+			vl, ok = h.solveVoltage(power.Little, nLA, rem, searchLo, searchHi)
 			if !ok {
 				return Point{}, math.Inf(-1)
 			}
@@ -226,13 +271,13 @@ func (c Config) best(nBA, nLA int, budget float64, feasible bool) Point {
 			vl = vm.Clamp(vl)
 			// Clamping down leaves headroom (fine: budget is an upper
 			// bound). Clamping *up* to VMin would overdraw the budget.
-			if c.activePower(nBA, nLA, vb, vl) > budget*(1+1e-9) {
+			if h.activePower(nBA, nLA, vb, vl) > budget*(1+1e-9) {
 				return Point{}, math.Inf(-1)
 			}
 		}
 		pt := Point{VBig: vb, VLit: vl,
-			IPS: c.activeIPS(nBA, nLA, vb, vl),
-			Pow: c.activePower(nBA, nLA, vb, vl)}
+			IPS: h.activeIPS(nBA, nLA, vb, vl),
+			Pow: h.activePower(nBA, nLA, vb, vl)}
 		return pt, pt.IPS
 	}
 
@@ -253,8 +298,8 @@ func (c Config) best(nBA, nLA int, budget float64, feasible bool) Point {
 		// Pin everything at the lowest allowed voltage.
 		vb, vl := lo, lo
 		return Point{VBig: vb, VLit: vl,
-			IPS: c.activeIPS(nBA, nLA, vb, vl),
-			Pow: c.activePower(nBA, nLA, vb, vl)}
+			IPS: h.activeIPS(nBA, nLA, vb, vl),
+			Pow: h.activePower(nBA, nLA, vb, vl)}
 	}
 	span := (hi - lo) / scanN
 	a := math.Max(lo, bestV-span)

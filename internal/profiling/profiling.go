@@ -1,0 +1,113 @@
+// Package profiling provides the shared -cpuprofile/-memprofile/-benchjson
+// plumbing for the command-line tools, so every driver exposes the same
+// performance-investigation surface as cmd/aaws-bench: a pprof CPU profile
+// of the main work, an allocation profile at exit, and a small JSON summary
+// (wall clock, cells, events, events/sec) consumable by scripts.
+package profiling
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+)
+
+// Session owns the profile files and the wall-clock/throughput counters for
+// one command invocation. The zero value (no flags set) makes every method
+// a cheap no-op.
+type Session struct {
+	cpuPath   string
+	memPath   string
+	jsonPath  string
+	cpuFile   *os.File
+	start     time.Time
+	benchName string
+
+	// Cells and Events are incremented by the command as work completes;
+	// they feed the -benchjson summary.
+	Cells  int
+	Events uint64
+}
+
+// AddFlags registers the three flags on the default flag set and returns
+// the session that will honor them. benchName labels the JSON summary
+// (e.g. "sweep" or "chaos").
+func AddFlags(benchName string) *Session {
+	s := &Session{benchName: benchName}
+	flag.StringVar(&s.cpuPath, "cpuprofile", "", "write a CPU profile of the run to this file")
+	flag.StringVar(&s.memPath, "memprofile", "", "write an allocation profile to this file on exit")
+	flag.StringVar(&s.jsonPath, "benchjson", "", "write a JSON run summary (wall_ms, cells, events) to this file")
+	return s
+}
+
+// Start begins CPU profiling (if requested) and the wall clock. Call it
+// after flag.Parse and before the main work.
+func (s *Session) Start() error {
+	s.start = time.Now()
+	if s.cpuPath == "" {
+		return nil
+	}
+	f, err := os.Create(s.cpuPath)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	s.cpuFile = f
+	return nil
+}
+
+// Stop ends CPU profiling and writes the allocation profile and the JSON
+// summary. Call it once after the main work (a defer is fine; errors are
+// reported on stderr rather than returned so deferred calls stay simple).
+func (s *Session) Stop() {
+	wall := time.Since(s.start)
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		s.cpuFile.Close()
+		s.cpuFile = nil
+	}
+	if s.memPath != "" {
+		if err := s.writeMemProfile(); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
+	}
+	if s.jsonPath != "" {
+		if err := s.writeJSON(wall); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+		}
+	}
+}
+
+func (s *Session) writeMemProfile() error {
+	f, err := os.Create(s.memPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // materialize the final live set
+	return pprof.Lookup("allocs").WriteTo(f, 0)
+}
+
+func (s *Session) writeJSON(wall time.Duration) error {
+	sum := map[string]any{
+		"name":    s.benchName,
+		"go":      runtime.Version(),
+		"wall_ms": float64(wall.Milliseconds()),
+		"cells":   s.Cells,
+		"events":  s.Events,
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		sum["events_per_sec"] = float64(s.Events) / secs
+	}
+	buf, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(s.jsonPath, append(buf, '\n'), 0o644)
+}

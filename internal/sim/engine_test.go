@@ -1,0 +1,424 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// ---- reference scheduler ----
+//
+// refSched is a deliberately naive event queue: an unsorted slice scanned
+// linearly for the (when, seq) minimum on every pop. It shares no code
+// with Engine's arena/heap, so agreement between the two is evidence the
+// pooled engine preserves the schedule semantics rather than a tautology.
+
+type refEvent struct {
+	when      Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+}
+
+type refSched struct {
+	now  Time
+	seq  uint64
+	evs  []*refEvent
+	rand *Rand
+}
+
+func (r *refSched) after(d Time, fn func()) *refEvent {
+	ev := &refEvent{when: r.now + d, seq: r.seq, fn: fn}
+	r.seq++
+	r.evs = append(r.evs, ev)
+	return ev
+}
+
+func (r *refSched) run() {
+	for {
+		best := -1
+		for i, ev := range r.evs {
+			if ev.cancelled {
+				continue
+			}
+			if best < 0 || ev.when < r.evs[best].when ||
+				(ev.when == r.evs[best].when && ev.seq < r.evs[best].seq) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		ev := r.evs[best]
+		r.evs = append(r.evs[:best], r.evs[best+1:]...)
+		r.now = ev.when
+		ev.fn()
+	}
+}
+
+// opProgram drives an abstract scheduler through a deterministic pseudo-
+// random event program: callbacks schedule more events, cancel pending
+// ones, and occasionally reschedule (cancel + re-arm), all decided by a
+// seeded Rand so the pooled engine and the reference see the same ops.
+type opProgram struct {
+	rand    *Rand
+	budget  int
+	trace   []string
+	after   func(d Time, fn func()) (cancel func() bool)
+	now     func() Time
+	pending []func() bool // cancel funcs of not-yet-fired events
+}
+
+func (p *opProgram) record(id int) {
+	p.trace = append(p.trace, fmt.Sprintf("%d@%d", id, p.now()))
+}
+
+func (p *opProgram) step() {
+	id := p.budget
+	p.budget--
+	p.record(id)
+	if p.budget <= 0 {
+		return
+	}
+	n := p.rand.Intn(3)
+	for i := 0; i < n && p.budget > 0; i++ {
+		d := Time(p.rand.Intn(50))
+		cancel := p.after(d, p.step)
+		p.pending = append(p.pending, cancel)
+	}
+	// Sometimes cancel a random outstanding event (possibly already
+	// fired — its cancel must be a safe no-op either way).
+	if len(p.pending) > 0 && p.rand.Intn(4) == 0 {
+		k := p.rand.Intn(len(p.pending))
+		p.pending[k]()
+	}
+}
+
+func runProgramOnEngine(seed uint64, budget int) []string {
+	e := NewEngine()
+	p := &opProgram{rand: NewRand(seed), budget: budget, now: e.Now}
+	p.after = func(d Time, fn func()) func() bool {
+		ev := e.After(d, fn)
+		return ev.Cancel
+	}
+	e.After(0, p.step)
+	e.Run(0)
+	return p.trace
+}
+
+func runProgramOnReference(seed uint64, budget int) []string {
+	r := &refSched{rand: NewRand(seed)}
+	p := &opProgram{rand: r.rand, budget: budget, now: func() Time { return r.now }}
+	p.after = func(d Time, fn func()) func() bool {
+		ev := r.after(d, fn)
+		return func() bool {
+			if ev.cancelled {
+				return false
+			}
+			ev.cancelled = true
+			return true
+		}
+	}
+	r.after(0, p.step)
+	r.run()
+	return p.trace
+}
+
+// TestEngineMatchesReference checks bit-identical schedules between the
+// pooled engine and the naive reference across random event programs.
+func TestEngineMatchesReference(t *testing.T) {
+	for seed := uint64(0); seed < 60; seed++ {
+		got := runProgramOnEngine(seed, 300)
+		want := runProgramOnReference(seed, 300)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: engine fired %d events, reference %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: divergence at event %d: engine %s, reference %s",
+					seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// FuzzEngineVsReference lets the fuzzer pick the seed and program size.
+func FuzzEngineVsReference(f *testing.F) {
+	f.Add(uint64(1), uint16(50))
+	f.Add(uint64(42), uint16(200))
+	f.Add(uint64(7000000), uint16(400))
+	f.Fuzz(func(t *testing.T, seed uint64, size uint16) {
+		budget := int(size%500) + 1
+		got := runProgramOnEngine(seed, budget)
+		want := runProgramOnReference(seed, budget)
+		if len(got) != len(want) {
+			t.Fatalf("engine fired %d events, reference %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("divergence at event %d: engine %s, reference %s", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+// TestSteadyStateAllocFree asserts the acceptance criterion: once warm,
+// a schedule+pop cycle performs zero heap allocations, as does a
+// schedule+cancel+schedule+pop cycle (which exercises the free list and
+// the compaction path).
+func TestSteadyStateAllocFree(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	// Warm the arena and heap past their steady-state sizes, including
+	// the cancelled backlog the cancel loop accrues between sweeps.
+	for i := 0; i < 2000; i++ {
+		ev := e.After(7, fn)
+		e.After(3, fn)
+		ev.Cancel()
+		e.Step()
+	}
+	e.Run(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		e.After(5, fn)
+		e.Step()
+	}); n != 0 {
+		t.Errorf("schedule+pop allocates %.1f per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		ev := e.After(7, fn)
+		e.After(3, fn)
+		ev.Cancel()
+		e.Step()
+	}); n != 0 {
+		t.Errorf("schedule+cancel+pop allocates %.1f per op, want 0", n)
+	}
+	e.Run(0)
+}
+
+// TestPendingExcludesCancelled is the satellite fix: Pending must count
+// live events only, not cancelled records awaiting removal.
+func TestPendingExcludesCancelled(t *testing.T) {
+	e := NewEngine()
+	evs := make([]Event, 10)
+	for i := range evs {
+		evs[i] = e.After(Time(10+i), func() {})
+	}
+	if e.Pending() != 10 {
+		t.Fatalf("Pending() = %d, want 10", e.Pending())
+	}
+	for i := 0; i < 4; i++ {
+		evs[i].Cancel()
+	}
+	if e.Pending() != 6 {
+		t.Errorf("Pending() = %d after 4 cancels, want 6", e.Pending())
+	}
+	e.Run(0)
+	if e.Pending() != 0 {
+		t.Errorf("Pending() = %d after drain, want 0", e.Pending())
+	}
+}
+
+// TestCompaction checks that a cancel-heavy phase triggers the eager
+// sweep, shrinking the raw queue, without disturbing live event order.
+func TestCompaction(t *testing.T) {
+	e := NewEngine()
+	var live []Event
+	var cancels []Event
+	for i := 0; i < 1000; i++ {
+		if i%10 == 0 {
+			live = append(live, e.After(Time(i+1), func() {}))
+		} else {
+			cancels = append(cancels, e.After(Time(i+1), func() {}))
+		}
+	}
+	for _, ev := range cancels {
+		ev.Cancel()
+	}
+	// Sweeps fire whenever the cancelled backlog crosses the live-fraction
+	// threshold, so at most a sub-threshold residue may remain queued.
+	if q, p := e.queued(), e.Pending(); q-p >= sweepMin || q > 2*len(live) {
+		t.Errorf("queued %d vs pending %d after mass cancel; sweep did not compact", q, p)
+	}
+	if e.Pending() != len(live) {
+		t.Errorf("Pending() = %d, want %d", e.Pending(), len(live))
+	}
+	var fired []Time
+	for e.Step() {
+		fired = append(fired, e.Now())
+	}
+	if len(fired) != len(live) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(live))
+	}
+	if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+		t.Errorf("post-compaction events fired out of order: %v", fired)
+	}
+}
+
+// TestStaleHandle checks generation safety: a handle kept across fire,
+// arena reuse, and Reset must never cancel an unrelated event.
+func TestStaleHandle(t *testing.T) {
+	e := NewEngine()
+	stale := e.After(1, func() {})
+	e.Run(0) // fires; record goes to the free list
+	// The next schedule reuses the same arena slot.
+	fired := false
+	fresh := e.After(5, func() { fired = true })
+	if stale.Pending() {
+		t.Error("stale handle reads as pending")
+	}
+	if stale.Cancel() {
+		t.Error("stale handle cancelled something")
+	}
+	e.Run(0)
+	if !fired {
+		t.Error("fresh event did not fire; stale handle aliased it")
+	}
+	_ = fresh
+
+	// Same across Reset.
+	held := e.After(100, func() { t.Error("event from before Reset fired") })
+	e.Reset()
+	if held.Pending() {
+		t.Error("pre-Reset handle reads as pending")
+	}
+	ok := false
+	e.After(100, func() { ok = true })
+	held.Cancel() // must not touch the new event
+	e.Run(0)
+	if !ok {
+		t.Error("pre-Reset handle cancelled a post-Reset event")
+	}
+}
+
+// TestZeroEvent checks the zero Event is a safe null handle.
+func TestZeroEvent(t *testing.T) {
+	var ev Event
+	if ev.Pending() {
+		t.Error("zero Event is pending")
+	}
+	if ev.Cancel() {
+		t.Error("zero Event cancel returned true")
+	}
+	if ev.When() != 0 {
+		t.Error("zero Event When != 0")
+	}
+}
+
+// TestReset checks a reset engine reproduces a fresh engine's schedule
+// exactly (same seq numbering, same clock, same trace).
+func TestReset(t *testing.T) {
+	run := func(e *Engine) []string {
+		p := &opProgram{rand: NewRand(99), budget: 200, now: e.Now}
+		p.after = func(d Time, fn func()) func() bool {
+			ev := e.After(d, fn)
+			return ev.Cancel
+		}
+		e.After(0, p.step)
+		e.Run(0)
+		return p.trace
+	}
+	e := NewEngine()
+	first := run(e)
+	e.Reset()
+	if e.Now() != 0 || e.Pending() != 0 || e.Processed() != 0 {
+		t.Fatalf("Reset left state: now=%v pending=%d processed=%d",
+			e.Now(), e.Pending(), e.Processed())
+	}
+	second := run(e)
+	if len(first) != len(second) {
+		t.Fatalf("reset run fired %d events, fresh run %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("reset run diverged at %d: %s vs %s", i, second[i], first[i])
+		}
+	}
+
+	// Reset with events still queued (an aborted run) must also recycle
+	// every record: drain-free reuse.
+	for i := 0; i < 100; i++ {
+		e.After(Time(1000+i), func() { t.Error("leaked event fired") })
+	}
+	e.Reset()
+	third := run(e)
+	for i := range first {
+		if first[i] != third[i] {
+			t.Fatalf("reset-with-backlog run diverged at %d: %s vs %s", i, third[i], first[i])
+		}
+	}
+}
+
+// TestWhen checks When on pending, fired and cancelled handles.
+func TestWhen(t *testing.T) {
+	e := NewEngine()
+	ev := e.After(40, func() {})
+	if ev.When() != 40 {
+		t.Errorf("When() = %v, want 40", ev.When())
+	}
+	ev.Cancel()
+	if ev.When() != 0 {
+		t.Errorf("When() = %v after cancel, want 0", ev.When())
+	}
+}
+
+// ---- microbenchmarks ----
+
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%97), fn)
+		e.Step()
+	}
+}
+
+func BenchmarkEngineCancel(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := e.After(Time(7+i%13), fn)
+		e.After(Time(i%7), fn)
+		ev.Cancel()
+		e.Step()
+	}
+	b.StopTimer()
+	e.Run(0)
+}
+
+func BenchmarkEngineReschedule(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var ev Event
+	for i := 0; i < b.N; i++ {
+		ev.Cancel()
+		ev = e.After(Time(50+i%31), fn)
+		e.After(Time(i%11), fn)
+		e.Step()
+	}
+	b.StopTimer()
+	e.Run(0)
+}
+
+func BenchmarkEngineDeepQueue(b *testing.B) {
+	// Schedule/pop against a queue holding 4096 live events, the regime
+	// where heap depth (binary vs 4-ary) matters.
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 4096; i++ {
+		e.After(Time(1+i%509), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(1+i%509), fn)
+		e.Step()
+	}
+	b.StopTimer()
+	e.Run(0)
+}

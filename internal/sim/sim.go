@@ -6,6 +6,13 @@
 // popped from a single priority queue; the kernel is strictly
 // single-threaded, so any two runs with the same seed produce identical
 // schedules.
+//
+// The engine is allocation-free in steady state: event records live in a
+// pooled arena recycled through an intrusive free list, the priority queue
+// is a 4-ary heap of arena indices, and callers hold small value-type
+// handles validated by generation counters. Execution order depends only on
+// the total order (when, seq) — seq is unique per scheduling call — so it
+// is independent of heap arity, node placement, and compaction timing.
 package sim
 
 import "fmt"
@@ -49,40 +56,127 @@ func (t Time) String() string {
 // rounding to the nearest picosecond.
 func FromSeconds(s float64) Time { return Time(s*float64(Second) + 0.5) }
 
-// Event is a scheduled callback. Events are single-shot; cancelling an
-// event prevents its callback from firing but leaves it in the heap until
-// it is popped (lazy deletion).
-type Event struct {
+// node is one pooled event record in the engine's arena. A node is either
+// live (queued in the heap), cancelled (still queued, skipped on pop), or
+// free (on the free list awaiting reuse).
+type node struct {
 	when      Time
 	seq       uint64 // tie-break: FIFO among equal timestamps
-	index     int    // heap index, -1 once popped
-	cancelled bool
 	fn        func()
+	gen       uint32 // bumped on every release; stale handles mismatch
+	pos       int32  // heap position, -1 when not queued
+	next      int32  // free-list link, -1 at end
+	cancelled bool
 }
 
-// When returns the timestamp the event is scheduled for.
-func (e *Event) When() Time { return e.when }
+// Event is a value-type handle to a scheduled callback. Events are
+// single-shot; cancelling an event prevents its callback from firing.
+// The zero Event is a valid null handle: Pending reports false and Cancel
+// is a no-op. Handles stay safe after the event fires, is cancelled, or
+// the engine is Reset — the underlying record's generation counter no
+// longer matches, so the handle simply reads as not pending.
+type Event struct {
+	eng *Engine
+	idx int32
+	gen uint32
+}
 
-// Cancelled reports whether Cancel was called on the event.
-func (e *Event) Cancelled() bool { return e.cancelled }
+// live returns the node the handle refers to, or nil if the handle is the
+// zero Event or refers to a record that has since been recycled.
+func (ev Event) live() *node {
+	if ev.eng == nil || int(ev.idx) >= len(ev.eng.nodes) {
+		return nil
+	}
+	n := &ev.eng.nodes[ev.idx]
+	if n.gen != ev.gen {
+		return nil
+	}
+	return n
+}
 
-// Cancel prevents the event's callback from running. Cancelling an event
-// that already fired or was already cancelled is a no-op.
-func (e *Event) Cancel() { e.cancelled = true }
+// Pending reports whether the event is still queued and will fire.
+// It is false once the event fires, is cancelled, or the handle is stale.
+func (ev Event) Pending() bool {
+	n := ev.live()
+	return n != nil && !n.cancelled
+}
+
+// When returns the timestamp the event is scheduled for, or 0 if the
+// handle is no longer pending.
+func (ev Event) When() Time {
+	if n := ev.live(); n != nil && !n.cancelled {
+		return n.when
+	}
+	return 0
+}
+
+// Cancel prevents the event's callback from running. It reports whether
+// this call cancelled a pending event; cancelling an event that already
+// fired or was already cancelled is a no-op returning false.
+func (ev Event) Cancel() bool {
+	n := ev.live()
+	if n == nil || n.cancelled {
+		return false
+	}
+	n.cancelled = true
+	e := ev.eng
+	e.live--
+	e.cancelled++
+	// Eager compaction: once cancelled records dominate the queue, sweep
+	// them out in one O(n) pass so a cancel-heavy phase cannot hold the
+	// heap (and the arena) at its high-water mark indefinitely.
+	if e.cancelled >= sweepMin && e.cancelled*2 > len(e.heap) {
+		e.sweep()
+	}
+	return true
+}
+
+// sweepMin is the minimum cancelled backlog before compaction is
+// considered; below it the lazy pop-time cleanup is cheaper.
+const sweepMin = 64
 
 // Engine is a discrete-event simulation driver.
 //
 // The zero value is not usable; construct with NewEngine.
 type Engine struct {
-	now    Time
-	seq    uint64
-	heap   []*Event
-	popped uint64 // number of events executed (for stats/limits)
+	now       Time
+	seq       uint64
+	popped    uint64 // number of events executed (for stats/limits)
+	nodes     []node
+	free      int32 // head of the intrusive free list, -1 when empty
+	heap      []int32
+	live      int // queued events that will fire (excludes cancelled)
+	cancelled int // queued events that were cancelled but not yet removed
 }
 
 // NewEngine returns an Engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{heap: make([]*Event, 0, 1024)}
+	return &Engine{
+		nodes: make([]node, 0, 1024),
+		heap:  make([]int32, 0, 1024),
+		free:  -1,
+	}
+}
+
+// Reset returns the engine to its initial state — clock at zero, queue
+// empty — while keeping the arena and heap capacity, so a pooled engine
+// can be reused across simulations without re-allocating. Every record's
+// generation is bumped, so Event handles from before the Reset read as
+// not pending rather than aliasing events of the next run.
+func (e *Engine) Reset() {
+	e.now, e.seq, e.popped = 0, 0, 0
+	e.live, e.cancelled = 0, 0
+	e.heap = e.heap[:0]
+	e.free = -1
+	for i := range e.nodes {
+		n := &e.nodes[i]
+		n.gen++
+		n.fn = nil
+		n.cancelled = false
+		n.pos = -1
+		n.next = e.free
+		e.free = int32(i)
+	}
 }
 
 // Now returns the current simulated time.
@@ -91,24 +185,58 @@ func (e *Engine) Now() Time { return e.now }
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.popped }
 
-// Pending returns the number of events in the queue, including events
-// that were cancelled but not yet lazily removed.
-func (e *Engine) Pending() int { return len(e.heap) }
+// Pending returns the number of live events in the queue. Cancelled
+// events awaiting removal are not counted, so liveness checks see the
+// true amount of outstanding work.
+func (e *Engine) Pending() int { return e.live }
+
+// queued returns the raw queue length including cancelled records; used
+// by tests to observe compaction.
+func (e *Engine) queued() int { return len(e.heap) }
+
+// alloc takes a record off the free list, or grows the arena.
+func (e *Engine) alloc() int32 {
+	if e.free >= 0 {
+		idx := e.free
+		e.free = e.nodes[idx].next
+		return idx
+	}
+	e.nodes = append(e.nodes, node{})
+	return int32(len(e.nodes) - 1)
+}
+
+// release recycles a record onto the free list, invalidating all handles
+// to it by bumping the generation.
+func (e *Engine) release(idx int32) {
+	n := &e.nodes[idx]
+	n.gen++
+	n.fn = nil
+	n.cancelled = false
+	n.pos = -1
+	n.next = e.free
+	e.free = idx
+}
 
 // At schedules fn to run at absolute time when. Scheduling in the past
 // panics: it indicates a model bug that would silently corrupt causality.
-func (e *Engine) At(when Time, fn func()) *Event {
+func (e *Engine) At(when Time, fn func()) Event {
 	if when < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", when, e.now))
 	}
-	ev := &Event{when: when, seq: e.seq, fn: fn}
+	idx := e.alloc()
+	n := &e.nodes[idx]
+	n.when = when
+	n.seq = e.seq
+	n.fn = fn
+	n.next = -1
 	e.seq++
-	e.push(ev)
-	return ev
+	e.live++
+	e.push(idx)
+	return Event{eng: e, idx: idx, gen: n.gen}
 }
 
 // After schedules fn to run delay picoseconds from now.
-func (e *Engine) After(delay Time, fn func()) *Event {
+func (e *Engine) After(delay Time, fn func()) Event {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
@@ -116,20 +244,26 @@ func (e *Engine) After(delay Time, fn func()) *Event {
 }
 
 // Step executes the next event. It returns false if the queue is empty.
+// The fired record is recycled before its callback runs, so during the
+// callback the event's own handle already reads as not pending.
 func (e *Engine) Step() bool {
-	for {
-		ev := e.pop()
-		if ev == nil {
-			return false
-		}
-		if ev.cancelled {
+	for len(e.heap) > 0 {
+		idx := e.removeTop()
+		n := &e.nodes[idx]
+		if n.cancelled {
+			e.cancelled--
+			e.release(idx)
 			continue
 		}
-		e.now = ev.when
+		when, fn := n.when, n.fn
+		e.live--
+		e.release(idx)
+		e.now = when
 		e.popped++
-		ev.fn()
+		fn()
 		return true
 	}
+	return false
 }
 
 // Run executes events until the queue is empty or limit events have run.
@@ -149,8 +283,8 @@ func (e *Engine) Run(limit uint64) uint64 {
 // clock to deadline if it has not yet reached it.
 func (e *Engine) RunUntil(deadline Time) {
 	for {
-		ev := e.peek()
-		if ev == nil || ev.when > deadline {
+		when, ok := e.peekWhen()
+		if !ok || when > deadline {
 			break
 		}
 		e.Step()
@@ -160,87 +294,122 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 }
 
-// ---- binary heap ordered by (when, seq) ----
-
-func (e *Engine) less(i, j int) bool {
-	a, b := e.heap[i], e.heap[j]
-	if a.when != b.when {
-		return a.when < b.when
-	}
-	return a.seq < b.seq
-}
-
-func (e *Engine) swap(i, j int) {
-	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
-	e.heap[i].index = i
-	e.heap[j].index = j
-}
-
-func (e *Engine) push(ev *Event) {
-	ev.index = len(e.heap)
-	e.heap = append(e.heap, ev)
-	e.up(ev.index)
-}
-
-func (e *Engine) peek() *Event {
-	// Drop cancelled events eagerly from the top so peek reflects the
-	// next live event.
-	for len(e.heap) > 0 && e.heap[0].cancelled {
+// peekWhen returns the timestamp of the next live event, dropping
+// cancelled records eagerly from the top of the heap.
+func (e *Engine) peekWhen() (Time, bool) {
+	for len(e.heap) > 0 {
+		idx := e.heap[0]
+		if n := &e.nodes[idx]; !n.cancelled {
+			return n.when, true
+		}
 		e.removeTop()
+		e.cancelled--
+		e.release(idx)
 	}
-	if len(e.heap) == 0 {
-		return nil
-	}
-	return e.heap[0]
+	return 0, false
 }
 
-func (e *Engine) pop() *Event {
-	if ev := e.peek(); ev == nil {
-		return nil
+// ---- 4-ary heap of arena indices ordered by (when, seq) ----
+//
+// Four children per parent keeps the tree shallow and the child scan
+// within one cache line of int32 indices; ordering is a strict total
+// order because seq is unique, so pop order never depends on layout.
+
+func (e *Engine) less(a, b int32) bool {
+	na, nb := &e.nodes[a], &e.nodes[b]
+	if na.when != nb.when {
+		return na.when < nb.when
 	}
-	top := e.heap[0]
-	e.removeTop()
-	return top
+	return na.seq < nb.seq
 }
 
-func (e *Engine) removeTop() {
-	n := len(e.heap) - 1
-	e.heap[0].index = -1
-	e.heap[0] = e.heap[n]
-	e.heap[0].index = 0
-	e.heap[n] = nil
-	e.heap = e.heap[:n]
-	if n > 0 {
+func (e *Engine) push(idx int32) {
+	i := len(e.heap)
+	e.heap = append(e.heap, idx)
+	e.nodes[idx].pos = int32(i)
+	e.up(i)
+}
+
+// removeTop detaches and returns the root record's index, restoring the
+// heap property. The caller releases (or fires) the record.
+func (e *Engine) removeTop() int32 {
+	h := e.heap
+	idx := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	e.nodes[h[0]].pos = 0
+	e.heap = h[:last]
+	if last > 0 {
 		e.down(0)
 	}
+	e.nodes[idx].pos = -1
+	return idx
 }
 
 func (e *Engine) up(i int) {
+	h := e.heap
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !e.less(i, parent) {
+		p := (i - 1) >> 2
+		if !e.less(h[i], h[p]) {
 			break
 		}
-		e.swap(i, parent)
-		i = parent
+		h[i], h[p] = h[p], h[i]
+		e.nodes[h[i]].pos = int32(i)
+		e.nodes[h[p]].pos = int32(p)
+		i = p
 	}
 }
 
 func (e *Engine) down(i int) {
-	n := len(e.heap)
+	h := e.heap
+	n := len(h)
 	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && e.less(l, smallest) {
-			smallest = l
-		}
-		if r < n && e.less(r, smallest) {
-			smallest = r
-		}
-		if smallest == i {
+		first := i<<2 + 1
+		if first >= n {
 			return
 		}
-		e.swap(i, smallest)
-		i = smallest
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if e.less(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !e.less(h[best], h[i]) {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		e.nodes[h[i]].pos = int32(i)
+		e.nodes[h[best]].pos = int32(best)
+		i = best
+	}
+}
+
+// sweep compacts the heap in place, releasing every cancelled record and
+// re-heapifying the survivors (Floyd build). Compaction never changes
+// which events fire or in what order — that is fixed by (when, seq) — it
+// only bounds the memory a cancel-heavy workload can pin.
+func (e *Engine) sweep() {
+	h := e.heap
+	w := 0
+	for _, idx := range h {
+		if e.nodes[idx].cancelled {
+			e.release(idx)
+			continue
+		}
+		h[w] = idx
+		w++
+	}
+	h = h[:w]
+	e.heap = h
+	e.cancelled = 0
+	for i, idx := range h {
+		e.nodes[idx].pos = int32(i)
+	}
+	for i := (w - 2) >> 2; i >= 0; i-- {
+		e.down(i)
 	}
 }

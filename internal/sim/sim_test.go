@@ -45,13 +45,17 @@ func TestCancel(t *testing.T) {
 	e := NewEngine()
 	fired := false
 	ev := e.After(10, func() { fired = true })
-	e.After(5, func() { ev.Cancel() })
+	e.After(5, func() {
+		if !ev.Cancel() {
+			t.Error("Cancel() = false for a pending event")
+		}
+	})
 	e.Run(0)
 	if fired {
 		t.Error("cancelled event fired")
 	}
-	if !ev.Cancelled() {
-		t.Error("Cancelled() = false after Cancel")
+	if ev.Pending() {
+		t.Error("Pending() = true after Cancel")
 	}
 }
 
@@ -59,7 +63,9 @@ func TestCancelAfterFire(t *testing.T) {
 	e := NewEngine()
 	ev := e.After(1, func() {})
 	e.Run(0)
-	ev.Cancel() // must not panic
+	if ev.Cancel() { // must not panic, must report no-op
+		t.Error("Cancel() = true after the event fired")
+	}
 }
 
 func TestNestedScheduling(t *testing.T) {

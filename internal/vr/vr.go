@@ -26,8 +26,12 @@ type Regulator struct {
 
 	voltage float64 // settled output voltage
 	target  float64 // in-flight target (== voltage when idle)
-	done    *sim.Event
+	done    sim.Event
 	stuck   bool // an in-flight transition that will never settle
+
+	// settleFn is r.settle bound once at construction so each commanded
+	// transition does not allocate a closure.
+	settleFn func()
 
 	// stepNs is the transition latency per 0.15 V step (default the
 	// paper's 40 ns; Section IV-D sweeps this to 250 ns in a sensitivity
@@ -47,7 +51,9 @@ type Regulator struct {
 
 // New returns a regulator settled at the given initial voltage.
 func New(eng *sim.Engine, initial float64) *Regulator {
-	return &Regulator{eng: eng, voltage: initial, target: initial, stepNs: vf.StepLatencyNs}
+	r := &Regulator{eng: eng, voltage: initial, target: initial, stepNs: vf.StepLatencyNs}
+	r.settleFn = r.settle
+	return r
 }
 
 // SetStepLatencyNs overrides the per-step transition latency (sensitivity
@@ -65,7 +71,7 @@ func (r *Regulator) Target() float64 { return r.target }
 
 // Transitioning reports whether a voltage change is in flight (including a
 // stuck one that will never settle on its own).
-func (r *Regulator) Transitioning() bool { return r.done != nil || r.stuck }
+func (r *Regulator) Transitioning() bool { return r.done.Pending() || r.stuck }
 
 // Stuck reports whether the in-flight transition is a stuck one (fault
 // injection) that will never settle without an Abort.
@@ -102,10 +108,8 @@ func (r *Regulator) Abort() {
 		return
 	}
 	eff := r.Effective()
-	if r.done != nil {
-		r.done.Cancel()
-		r.done = nil
-	}
+	r.done.Cancel()
+	r.done = sim.Event{}
 	r.stuck = false
 	r.voltage = eff
 	r.target = eff
@@ -120,10 +124,8 @@ func (r *Regulator) Abort() {
 func (r *Regulator) Set(v float64) sim.Time {
 	if r.Transitioning() {
 		eff := r.Effective()
-		if r.done != nil {
-			r.done.Cancel()
-			r.done = nil
-		}
+		r.done.Cancel()
+		r.done = sim.Event{}
 		r.stuck = false
 		r.voltage = eff
 	}
@@ -147,20 +149,23 @@ func (r *Regulator) Set(v float64) sim.Time {
 			return r.eng.Now() + lat
 		}
 	}
-	r.done = r.eng.After(lat, func() {
-		r.done = nil
-		r.voltage = r.target
-		if r.OnChange != nil {
-			r.OnChange()
-		}
-		if r.OnSettle != nil {
-			r.OnSettle()
-		}
-	})
+	r.done = r.eng.After(lat, r.settleFn)
 	// Starting a transition can lower the effective voltage immediately
 	// (scaling down executes at the lower frequency from the start).
 	if r.OnChange != nil && v < r.voltage {
 		r.OnChange()
 	}
 	return r.eng.Now() + lat
+}
+
+// settle completes an in-flight transition.
+func (r *Regulator) settle() {
+	r.done = sim.Event{}
+	r.voltage = r.target
+	if r.OnChange != nil {
+		r.OnChange()
+	}
+	if r.OnSettle != nil {
+		r.OnSettle()
+	}
 }

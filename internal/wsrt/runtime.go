@@ -47,9 +47,10 @@ type Report struct {
 	OverheadInstr   float64 // retired minus app and serial work
 	DVFSDecisions   int
 	DVFSTransitions int
-	StuckRegs       int // regulators abandoned after missing a transition deadline
-	MugsDropped     int // interrupts suppressed by the fault injector
-	MugsDelayed     int // interrupts delivered late by the fault injector
+	StuckRegs       int    // regulators abandoned after missing a transition deadline
+	MugsDropped     int    // interrupts suppressed by the fault injector
+	MugsDelayed     int    // interrupts delivered late by the fault injector
+	Events          uint64 // simulation events executed during the run
 	Energy          []power.Breakdown
 	TotalEnergy     float64
 	PerWorker       []WorkerStats
@@ -302,6 +303,7 @@ func (rt *Runtime) ExecuteChecked(program func(r *Run)) (Report, error) {
 		StuckRegs:       rt.m.Ctl.StuckRegs(),
 		MugsDropped:     rt.m.Net.Dropped(),
 		MugsDelayed:     rt.m.Net.Delayed(),
+		Events:          rt.eng.Processed(),
 		Energy:          rt.m.EnergyBreakdown(),
 		TotalEnergy:     rt.m.TotalEnergy(),
 	}
@@ -361,10 +363,8 @@ func (rt *Runtime) onCoreFail(id int) bool {
 	if w.state == wsMugSend {
 		w.abandonMug()
 	}
-	if w.pendingEv != nil {
-		w.pendingEv.Cancel()
-		w.pendingEv = nil
-	}
+	w.pendingEv.Cancel()
+	w.pendingEv = sim.Event{}
 	if w.state == wsRunning && w.cur != nil {
 		t := w.cur
 		w.cur = nil
@@ -454,7 +454,7 @@ func (rt *Runtime) onPhaseZero(completer *worker) {
 		return
 	}
 	if w0.state == wsMugSend {
-		if w0.pendingEv != nil {
+		if w0.pendingEv.Pending() {
 			// The ack watchdog is armed: abandon the handshake and hand the
 			// phase back now instead of waiting out the timeout. Any late
 			// delivery is dropped as stale.
@@ -465,10 +465,10 @@ func (rt *Runtime) onPhaseZero(completer *worker) {
 		// re-enters loop() and observes phaseDone.
 		return
 	}
-	if w0.pendingEv != nil {
+	if w0.pendingEv.Pending() {
 		// w0 is mid steal-probe or biased spin: interrupt it.
 		w0.pendingEv.Cancel()
-		w0.pendingEv = nil
+		w0.pendingEv = sim.Event{}
 		rt.finishPhase()
 		return
 	}

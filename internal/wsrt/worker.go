@@ -42,7 +42,18 @@ type worker struct {
 
 	state     wstate
 	cur       *task
-	pendingEv *sim.Event // steal/spin event, non-nil only in wsStealing/wsSpinning
+	pendingEv sim.Event // steal/spin/mug-watchdog event; pending only while parked
+
+	// Preallocated event callbacks, bound once at construction so the
+	// steal/spin/execute hot paths never allocate closures.
+	resumeFn       func() // clears pendingEv and re-enters loop
+	resolveStealFn func()
+	mugTimeoutFn   func()
+	taskDoneFn     func() // taskDone(w.cur) for the core's completion event
+
+	// ctx is the reusable spawn context handed to task bodies; runBody
+	// resets it per task instead of allocating a fresh one.
+	ctx Ctx
 
 	failed    int     // consecutive failed steal probes since last work
 	backoff   float64 // extra instructions added to the next probe
@@ -66,7 +77,15 @@ type worker struct {
 }
 
 func newWorker(rt *Runtime, id int, core *cpu.Core) *worker {
-	return &worker{rt: rt, id: id, core: core, dq: deque.New[task](), state: wsStealing}
+	w := &worker{rt: rt, id: id, core: core, dq: deque.New[task](), state: wsStealing}
+	w.resumeFn = func() {
+		w.pendingEv = sim.Event{}
+		w.loop()
+	}
+	w.resolveStealFn = w.resolveSteal
+	w.mugTimeoutFn = w.mugTimeout
+	w.taskDoneFn = func() { w.taskDone(w.cur) }
+	return w
 }
 
 // big reports whether the worker runs on a big core.
@@ -124,10 +143,7 @@ func (w *worker) shareWait() {
 	w.rt.m.SetState(w.id, power.StateWaiting)
 	w.state = wsSpinning
 	w.noteFailedProbe()
-	w.pendingEv = w.rt.eng.After(w.core.TimeFor(cfg.SpinIterInstr+w.backoff), func() {
-		w.pendingEv = nil
-		w.loop()
-	})
+	w.pendingEv = w.rt.eng.After(w.core.TimeFor(cfg.SpinIterInstr+w.backoff), w.resumeFn)
 	w.growBackoff()
 }
 
@@ -140,21 +156,18 @@ func (w *worker) stealLoop() {
 		// inactive (Section III-C).
 		w.state = wsSpinning
 		w.noteFailedProbe()
-		w.pendingEv = w.rt.eng.After(w.core.TimeFor(cfg.SpinIterInstr+w.backoff), func() {
-			w.pendingEv = nil
-			w.loop()
-		})
+		w.pendingEv = w.rt.eng.After(w.core.TimeFor(cfg.SpinIterInstr+w.backoff), w.resumeFn)
 		w.growBackoff()
 		return
 	}
 	w.state = wsStealing
-	w.pendingEv = w.rt.eng.After(w.core.TimeFor(cfg.StealAttemptCost+w.backoff), w.resolveSteal)
+	w.pendingEv = w.rt.eng.After(w.core.TimeFor(cfg.StealAttemptCost+w.backoff), w.resolveStealFn)
 }
 
 // resolveSteal runs when a steal probe completes: it picks the victim with
 // the highest queue occupancy at this instant and attempts the steal.
 func (w *worker) resolveSteal() {
-	w.pendingEv = nil
+	w.pendingEv = sim.Event{}
 	if w.rt.stopping {
 		w.stop()
 		return
@@ -268,7 +281,7 @@ func (w *worker) execute(t *task, overhead float64) {
 		}
 	}
 	t.remaining += overhead
-	w.core.Start(t.remaining, func() { w.taskDone(t) })
+	w.core.Start(t.remaining, w.taskDoneFn)
 }
 
 // stealPenalty returns the cache-migration cost of a stolen task: under
@@ -299,7 +312,10 @@ func (w *worker) mugPenalty(t *task) float64 {
 // children to this worker's deque.
 func (w *worker) runBody(t *task) {
 	t.ran = true
-	ctx := &Ctx{w: w, t: t}
+	ctx := &w.ctx
+	ctx.w, ctx.t = w, t
+	ctx.charged, ctx.touched, ctx.cont = 0, 0, nil
+	ctx.children = ctx.children[:0]
 	t.fn(ctx)
 	cfg := &w.rt.cfg
 	t.cost = ctx.charged + float64(len(ctx.children))*cfg.SpawnCost
@@ -415,7 +431,7 @@ func (w *worker) sendMugMsg() {
 	w.mugSeq = rt.mugSeq
 	rt.m.Net.Send(icn.Message{From: w.id, To: w.mugTarget.id, Kind: mugKind, Seq: w.mugSeq})
 	if f := rt.cfg.MugAckTimeoutFactor; f > 0 {
-		w.pendingEv = rt.eng.After(sim.Time(f*float64(rt.m.Net.Latency())), w.mugTimeout)
+		w.pendingEv = rt.eng.After(sim.Time(f*float64(rt.m.Net.Latency())), w.mugTimeoutFn)
 	}
 }
 
@@ -423,7 +439,7 @@ func (w *worker) sendMugMsg() {
 // deadline: resend while retries remain and the target still looks
 // muggable, otherwise abandon the handshake and resume stealing.
 func (w *worker) mugTimeout() {
-	w.pendingEv = nil
+	w.pendingEv = sim.Event{}
 	rt := w.rt
 	if rt.stopping {
 		w.stop()
@@ -449,10 +465,8 @@ func (w *worker) mugTimeout() {
 // disarmed, the target is released for other muggers, and any late
 // delivery of the interrupt will be dropped as stale (sequence mismatch).
 func (w *worker) abandonMug() {
-	if w.pendingEv != nil {
-		w.pendingEv.Cancel()
-		w.pendingEv = nil
-	}
+	w.pendingEv.Cancel()
+	w.pendingEv = sim.Event{}
 	if w.mugTarget != nil {
 		w.mugTarget.beingMugged = false
 		w.mugTarget = nil
@@ -474,11 +488,10 @@ func (rt *Runtime) handleMug(msg icn.Message) {
 		rt.stats.MugStale++
 		return
 	}
-	if mugger.pendingEv != nil {
-		// Delivery beat the ack watchdog; disarm it.
-		mugger.pendingEv.Cancel()
-		mugger.pendingEv = nil
-	}
+	// Delivery may have beaten the ack watchdog; disarm it (no-op when no
+	// watchdog was armed).
+	mugger.pendingEv.Cancel()
+	mugger.pendingEv = sim.Event{}
 	mugger.mugTarget = nil
 	if muggee.state != wsRunning || muggee.cur == nil {
 		// The muggee finished its task while the interrupt was in flight:
@@ -487,10 +500,7 @@ func (rt *Runtime) handleMug(msg icn.Message) {
 		muggee.beingMugged = false
 		rt.stats.FailedMugs++
 		mugger.state = wsStealing
-		mugger.pendingEv = rt.eng.After(mugger.core.TimeFor(rt.cfg.MugHandlerInstr), func() {
-			mugger.pendingEv = nil
-			mugger.loop()
-		})
+		mugger.pendingEv = rt.eng.After(mugger.core.TimeFor(rt.cfg.MugHandlerInstr), mugger.resumeFn)
 		return
 	}
 	t := muggee.cur
@@ -551,10 +561,8 @@ func (w *worker) stop() {
 			w.mugTarget = nil
 		}
 	}
-	if w.pendingEv != nil {
-		w.pendingEv.Cancel()
-		w.pendingEv = nil
-	}
+	w.pendingEv.Cancel()
+	w.pendingEv = sim.Event{}
 	w.state = wsStopped
 	w.rt.m.SetState(w.id, power.StateWaiting)
 }
