@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aaws/internal/core"
+	"aaws/internal/power"
+	"aaws/internal/wsrt"
+)
+
+// goodResult runs one small validated cell so the tests have a Result that
+// genuinely passes the full verification chain.
+func goodResult(t *testing.T) core.Result {
+	t.Helper()
+	spec := core.DefaultSpec("dict", core.Sys4B4L, wsrt.BasePSM)
+	spec.Seed = 7
+	spec.Scale = 0.05
+	res, err := core.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestVerifyResultPassesOnValidRun(t *testing.T) {
+	if err := verifyResult("dict/4B4L/base+psm", goodResult(t)); err != nil {
+		t.Fatalf("valid run failed verification: %v", err)
+	}
+}
+
+func TestVerifyResultCatchesInvariantViolation(t *testing.T) {
+	res := goodResult(t)
+	res.Report.TasksExecuted++ // simulate a lost/duplicated task
+	err := verifyResult("dict/4B4L/base+psm", res)
+	if err == nil {
+		t.Fatal("broken scheduler invariants passed verification")
+	}
+	if !strings.Contains(err.Error(), "tasks created") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestVerifyResultCatchesConservationViolation(t *testing.T) {
+	res := goodResult(t)
+	if len(res.Report.Energy) == 0 {
+		t.Fatal("run produced no energy accounting")
+	}
+	// Desynchronize one core's accounted time span from the others.
+	res.Report.Energy = append([]power.Breakdown(nil), res.Report.Energy...)
+	res.Report.Energy[0].ActiveTime += 12345
+	err := verifyResult("dict/4B4L/base+psm", res)
+	if err == nil {
+		t.Fatal("broken energy conservation passed verification")
+	}
+	if !strings.Contains(err.Error(), "stats:") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestRunMarksReportFailed covers the wiring from a failed section to the
+// non-zero exit: run() must set hadError, which realMain turns into exit 1.
+func TestRunMarksReportFailed(t *testing.T) {
+	var diag bytes.Buffer
+	hadError = false
+	errOut = &diag
+	defer func() { hadError = false }()
+
+	spec := core.DefaultSpec("dict", core.Sys4B4L, wsrt.BasePSM)
+	spec.Kernel = "no-such-kernel"
+	if _, ok := run(spec); ok {
+		t.Fatal("run() reported success for an unknown kernel")
+	}
+	if !hadError {
+		t.Fatal("run() failure did not mark the report as failed")
+	}
+	if !strings.Contains(diag.String(), "aaws-report:") {
+		t.Fatalf("no diagnostic written: %q", diag.String())
+	}
+}
+
+func TestRealMainBadFlagExitsNonZero(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := realMain([]string{"-no-such-flag"}, &out, &errw); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "flag") {
+		t.Fatalf("no usage diagnostic: %q", errw.String())
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // /debug/pprof/ on the opt-in -debug-addr listener
 	"os"
 	"os/signal"
 	"runtime"
@@ -57,6 +58,7 @@ func main() {
 	perPrioDepth := flag.Int("max-queue-per-priority", 0, "max queued jobs within one priority level (0 = no per-level cap)")
 	maxWait := flag.Duration("max-wait", 0, "shed submissions whose estimated queue wait exceeds this (0 = shed only vs per-job deadlines)")
 	maxBodyKB := flag.Int("max-body-kb", 1024, "max request body size (KiB) before 413")
+	debugAddr := flag.String("debug-addr", "", "optional debug listener (net/http/pprof under /debug/pprof/); keep it off public interfaces")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -103,6 +105,18 @@ func main() {
 		MaxBodyBytes: int64(*maxBodyKB) << 10,
 	})
 	srv := &http.Server{Addr: *addr, Handler: api}
+
+	if *debugAddr != "" {
+		// The pprof mux registers on http.DefaultServeMux at import; serve
+		// it on its own opt-in listener so profiling endpoints never share
+		// a port with the public API.
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "aaws-serve: debug listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("aaws-serve debug (pprof) on %s\n", *debugAddr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

@@ -16,6 +16,7 @@ import (
 	"aaws/internal/kernels"
 	"aaws/internal/machine"
 	"aaws/internal/model"
+	"aaws/internal/obs"
 	"aaws/internal/power"
 	"aaws/internal/sim"
 	"aaws/internal/stats"
@@ -173,6 +174,9 @@ type Result struct {
 	Report  wsrt.Report
 	Regions stats.Breakdown
 	Trace   *trace.Recorder // nil unless Spec.WithTrace
+	// SchedTrace is the scheduler/DVFS event flight recorder (steals, mugs,
+	// region transitions, voltage commands); nil unless Spec.WithTrace.
+	SchedTrace *obs.Trace
 	// SerialInstr is the total app+serial instruction count: the cost of
 	// an optimized serial implementation doing the same work.
 	SerialInstr float64
@@ -317,18 +321,27 @@ func RunCtx(ctx context.Context, spec Spec) (Result, error) {
 
 	tracker := stats.NewTracker(coreClasses(nBig, nLit))
 	var rec *trace.Recorder
+	var st *obs.Trace
 	if spec.WithTrace {
 		rec = trace.NewRecorder(nBig + nLit)
+		st = obs.NewTrace(0)
 	}
-	m.OnState = func(now sim.Time, id int, st power.CoreState) {
-		tracker.OnState(now, id, st)
+	m.OnState = func(now sim.Time, id int, stt power.CoreState) {
+		tracker.OnState(now, id, stt)
 		if rec != nil {
-			rec.OnState(now, id, st)
+			rec.OnState(now, id, stt)
 		}
 	}
 	m.OnSerial = tracker.OnSerial
 	if rec != nil {
-		m.OnVoltage = rec.OnVoltage
+		m.OnVoltage = func(now sim.Time, id int, v float64) {
+			rec.OnVoltage(now, id, v)
+			// Arg carries the commanded voltage in millivolts.
+			st.Emit(now, obs.KindVoltage, int16(id), int64(v*1000))
+		}
+		m.Ctl.OnDecision = func(nBA, nLA int) {
+			st.Emit(eng.Now(), obs.KindDVFSDecision, -1, int64(nBA)<<32|int64(nLA))
+		}
 	}
 
 	rcfg := wsrt.DefaultConfig(spec.Variant)
@@ -340,6 +353,7 @@ func RunCtx(ctx context.Context, spec Spec) (Result, error) {
 		rcfg.Biasing = false
 	}
 	rcfg.MaxEvents = spec.MaxEvents
+	rcfg.Trace = st
 	if ctx != nil && ctx.Done() != nil {
 		rcfg.Interrupt = ctx.Err
 	}
@@ -374,6 +388,7 @@ func RunCtx(ctx context.Context, spec Spec) (Result, error) {
 		Report:      rep,
 		Regions:     tracker.Finish(rep.ExecTime),
 		Trace:       rec,
+		SchedTrace:  st,
 		SerialInstr: rep.AppInstr + rep.SerialInstr,
 		Alpha:       k.Alpha,
 		Beta:        k.Beta,

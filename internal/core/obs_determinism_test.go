@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"aaws/internal/kernels"
+	"aaws/internal/wsrt"
+)
+
+// TestDeterminismUnderObservability pins the observer-effect contract:
+// enabling the full observability surface (activity/DVFS recorder plus the
+// scheduler event ring) must not perturb the simulation. Every kernel ×
+// variant × system cell is fingerprinted with tracing off and on; the
+// fingerprints must be bit-identical, which holds only if the trace hooks
+// never branch the schedule and the report never derives a field from the
+// observability state.
+func TestDeterminismUnderObservability(t *testing.T) {
+	names := kernels.Names()
+	variants := wsrt.Variants
+	systems := []System{Sys4B4L, Sys1B7L}
+	if testing.Short() {
+		names = names[:4]
+		variants = variants[:2]
+		systems = systems[:1]
+	}
+	for _, sys := range systems {
+		for _, kn := range names {
+			for _, v := range variants {
+				spec := Spec{Kernel: kn, System: sys, Variant: v, Seed: 7, Scale: 0.05}
+				plain, err := Run(spec)
+				if err != nil {
+					t.Fatalf("%s/%s/%s: %v", kn, v, sys, err)
+				}
+				spec.WithTrace = true
+				traced, err := Run(spec)
+				if err != nil {
+					t.Fatalf("%s/%s/%s traced: %v", kn, v, sys, err)
+				}
+				if traced.Trace == nil || traced.SchedTrace == nil {
+					t.Fatalf("%s/%s/%s: WithTrace run returned no trace", kn, v, sys)
+				}
+				if traced.SchedTrace.Total() == 0 {
+					t.Errorf("%s/%s/%s: scheduler event ring is empty", kn, v, sys)
+				}
+				if got, want := fingerprintResult(traced), fingerprintResult(plain); got != want {
+					t.Errorf("%s/%s/%s: tracing changed the schedule: %x != %x",
+						kn, v, sys, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"aaws/internal/wsrt"
+)
+
+// Paper-conformance suite: table-driven tests that pin the headline shapes
+// of the reproduced figures (see EXPERIMENTS.md) with explicit tolerance
+// bands, so a change that silently drifts the paper's results fails
+// `go test ./...` instead of surviving until someone re-reads a report.
+//
+// The bands are centred on the measured values of the committed model at
+// the default seed (42) and full scale, widened enough to absorb benign
+// calibration tweaks: a regression that flattens a figure (e.g. mugging
+// stops helping, or a system ordering flips) lands far outside them.
+
+// paperData runs the full-scale Figure 8 sweeps and Table III once and
+// shares the rows across the conformance tests (the sweep dominates the
+// suite's wall clock; ~3s per system).
+var paperData struct {
+	once  sync.Once
+	err   error
+	rows4 []Figure8Row // 4B4L sweep, all kernels × variants
+	rows1 []Figure8Row // 1B7L sweep
+	t3    []Table3Row
+}
+
+func loadPaperData(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-conformance sweep skipped in -short mode")
+	}
+	paperData.once.Do(func() {
+		for _, sys := range []System{Sys4B4L, Sys1B7L} {
+			opt := DefaultSweep(sys)
+			rows, err := Sweep(opt)
+			if err != nil {
+				paperData.err = err
+				return
+			}
+			if sys == Sys4B4L {
+				paperData.rows4 = rows
+			} else {
+				paperData.rows1 = rows
+			}
+		}
+		paperData.t3, paperData.err = Table3(42, 1.0)
+	})
+	if paperData.err != nil {
+		t.Fatal(paperData.err)
+	}
+}
+
+// band is an inclusive tolerance interval for one headline statistic.
+type band struct {
+	name     string
+	lo, hi   float64
+	measured func(Summary) float64
+}
+
+var speedupBands = []struct {
+	system System
+	rows   func() []Figure8Row
+	bands  []band
+}{
+	{
+		// Paper 4B4L base+psm: 1.02 / 1.10 / 1.32 (min/median/max).
+		// This reproduction measures 1.03 / 1.10 / 1.24 at seed 42.
+		system: Sys4B4L,
+		rows:   func() []Figure8Row { return paperData.rows4 },
+		bands: []band{
+			{"min speedup", 1.00, 1.08, func(s Summary) float64 { return s.MinSpeedup }},
+			{"median speedup", 1.05, 1.15, func(s Summary) float64 { return s.MedianSpeedup }},
+			{"max speedup", 1.16, 1.35, func(s Summary) float64 { return s.MaxSpeedup }},
+		},
+	},
+	{
+		// This reproduction measures 1.06 / 1.11 / 1.28 on 1B7L.
+		system: Sys1B7L,
+		rows:   func() []Figure8Row { return paperData.rows1 },
+		bands: []band{
+			{"min speedup", 1.01, 1.11, func(s Summary) float64 { return s.MinSpeedup }},
+			{"median speedup", 1.06, 1.16, func(s Summary) float64 { return s.MedianSpeedup }},
+			{"max speedup", 1.18, 1.40, func(s Summary) float64 { return s.MaxSpeedup }},
+		},
+	},
+}
+
+// TestFigure8HeadlineSpeedups pins the min/median/max base+psm speedup of
+// both systems to their tolerance bands.
+func TestFigure8HeadlineSpeedups(t *testing.T) {
+	loadPaperData(t)
+	for _, sys := range speedupBands {
+		s := Summarize(sys.rows(), wsrt.BasePSM)
+		for _, b := range sys.bands {
+			got := b.measured(s)
+			t.Logf("%s base+psm %s = %.3f (band [%.2f, %.2f])", sys.system, b.name, got, b.lo, b.hi)
+			if got < b.lo || got > b.hi {
+				t.Errorf("%s base+psm %s = %.3f outside [%.2f, %.2f]",
+					sys.system, b.name, got, b.lo, b.hi)
+			}
+		}
+	}
+}
+
+// TestFigure9AllKernelsImprove pins the paper's strongest qualitative
+// claim: on 4B4L, base+psm makes every kernel both faster AND more
+// energy-efficient than base (the full win-win quadrant of Figure 9).
+func TestFigure9AllKernelsImprove(t *testing.T) {
+	loadPaperData(t)
+	s := Summarize(paperData.rows4, wsrt.BasePSM)
+	if s.KernelsFaster != s.TotalKernels {
+		t.Errorf("only %d/%d kernels faster under base+psm", s.KernelsFaster, s.TotalKernels)
+	}
+	if s.KernelsMoreEff != s.TotalKernels {
+		t.Errorf("only %d/%d kernels more energy-efficient under base+psm",
+			s.KernelsMoreEff, s.TotalKernels)
+	}
+	psm := 0
+	for _, p := range Figure9(paperData.rows4) {
+		if p.Variant != wsrt.BasePSM {
+			continue
+		}
+		psm++
+		if p.Perf <= 1 || p.EnergyEff <= 1 {
+			t.Errorf("%s base+psm outside the win-win quadrant: perf %.3f, eff %.3f",
+				p.Kernel, p.Perf, p.EnergyEff)
+		}
+	}
+	if psm != s.TotalKernels {
+		t.Errorf("Figure 9 has %d base+psm points, want %d", psm, s.TotalKernels)
+	}
+}
+
+// TestVariantOrdering pins the incremental-technique story of Figure 8:
+// for each kernel, adding serial-sprinting to biasing (ps over p) and
+// mugging to both (psm over ps) must not lose performance beyond a small
+// per-kernel tolerance (scheduling noise on near-serial kernels).
+func TestVariantOrdering(t *testing.T) {
+	loadPaperData(t)
+	// Serial-sprinting can cost a near-embarrassingly-parallel kernel a few
+	// points (mis and heat measure ~0.023-0.027 below base+p on 4B4L), so
+	// the p -> ps step gets a wider band than the ps -> psm step, where
+	// mugging never hurts.
+	const tolPS = 0.04
+	const tolPSM = 0.02
+	for _, rows := range [][]Figure8Row{paperData.rows4, paperData.rows1} {
+		for _, r := range rows {
+			p := r.Speedup(wsrt.BaseP)
+			ps := r.Speedup(wsrt.BasePS)
+			psm := r.Speedup(wsrt.BasePSM)
+			if ps < p-tolPS {
+				t.Errorf("%s/%s: base+ps %.3f < base+p %.3f - %.2f", r.System, r.Kernel, ps, p, tolPS)
+			}
+			if psm < ps-tolPSM {
+				t.Errorf("%s/%s: base+psm %.3f < base+ps %.3f - %.2f", r.System, r.Kernel, psm, ps, tolPSM)
+			}
+		}
+	}
+}
+
+// TestTable3SystemOrdering pins the Table III system relationship: the
+// 4B4L system (4 big cores) must beat 1B7L (1 big core) over the serial
+// in-order baseline for every kernel — more big cores cannot hurt a
+// work-stealing runtime at matched area.
+func TestTable3SystemOrdering(t *testing.T) {
+	loadPaperData(t)
+	if len(paperData.t3) == 0 {
+		t.Fatal("Table III produced no rows")
+	}
+	const tol = 0.05
+	for _, r := range paperData.t3 {
+		t.Logf("%s: 4B4L %.2fx, 1B7L %.2fx (vs serial IO)", r.Kernel.Name, r.Speedup4B4LvsIO, r.Speedup1B7LvsIO)
+		if r.Speedup4B4LvsIO < r.Speedup1B7LvsIO-tol {
+			t.Errorf("%s: 4B4L speedup %.3f below 1B7L %.3f",
+				r.Kernel.Name, r.Speedup4B4LvsIO, r.Speedup1B7LvsIO)
+		}
+		if r.Speedup4B4LvsIO <= 0 || r.Speedup1B7LvsIO <= 0 {
+			t.Errorf("%s: non-positive speedup (%.3f, %.3f)",
+				r.Kernel.Name, r.Speedup4B4LvsIO, r.Speedup1B7LvsIO)
+		}
+	}
+}

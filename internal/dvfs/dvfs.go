@@ -47,6 +47,11 @@ type Controller struct {
 		Adjust(nBA, nLA int, e model.VPair) model.VPair
 	}
 
+	// OnDecision, when non-nil, observes every committed controller
+	// decision with the active-core counts that drove the LUT lookup. It
+	// must not mutate controller or simulation state.
+	OnDecision func(nBA, nLA int)
+
 	// Stats.
 	decisions   int
 	transitions int
@@ -188,6 +193,9 @@ func (c *Controller) evaluate() {
 	}
 	c.decisions++
 	nBA, nLA := c.counts()
+	if c.OnDecision != nil {
+		c.OnDecision(nBA, nLA)
+	}
 	e := c.lut.Lookup(nBA, nLA)
 	if c.tuner != nil {
 		e = c.tuner.Adjust(nBA, nLA, e)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"aaws/internal/core"
+	"aaws/internal/obs"
 	"aaws/internal/trace"
 )
 
@@ -145,6 +146,11 @@ type Executor struct {
 
 	m         Metrics
 	perKernel map[string]KernelMetrics
+
+	// reg is the executor's unified metrics registry; inst holds the live
+	// instruments updated on the job lifecycle path (see metrics.go).
+	reg  *obs.Registry
+	inst *instruments
 }
 
 // NewExecutor starts cfg.Workers workers and returns the executor. Call
@@ -174,7 +180,9 @@ func NewExecutor(cfg Config) *Executor {
 		inflight:     make(map[string]*Job),
 		queuedByPrio: make(map[int]int),
 		perKernel:    make(map[string]KernelMetrics),
+		reg:          obs.NewRegistry(),
 	}
+	ex.inst = newInstruments(ex.reg)
 	ex.cond = sync.NewCond(&ex.mu)
 	for i := 0; i < cfg.Workers; i++ {
 		ex.wg.Add(1)
@@ -417,6 +425,22 @@ func (ex *Executor) TraceRecorder(id string) (*trace.Recorder, Snapshot, error) 
 	return job.trace, ex.snapshotLocked(job), nil
 }
 
+// SchedTrace returns the scheduler/DVFS event ring captured by the job's own
+// simulation, under the same availability rules as TraceRecorder.
+func (ex *Executor) SchedTrace(id string) (*obs.Trace, Snapshot, error) {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	job, ok := ex.jobs[id]
+	if !ok {
+		return nil, Snapshot{}, ErrUnknownJob
+	}
+	return job.sched, ex.snapshotLocked(job), nil
+}
+
+// Registry exposes the executor's metrics registry so the HTTP layer (and
+// tests) can render /metrics from one place.
+func (ex *Executor) Registry() *obs.Registry { return ex.reg }
+
 // Cancel cancels a queued or running job. Canceling a terminal job is a
 // no-op returning its state.
 func (ex *Executor) Cancel(id string) (State, error) {
@@ -638,6 +662,7 @@ func (ex *Executor) worker() {
 		}
 		job.state = StateRunning
 		job.started = time.Now()
+		ex.inst.queueSeconds.Observe(job.started.Sub(job.submitted).Seconds())
 		ex.running++
 		ctx := context.Background()
 		var cancel context.CancelFunc
@@ -649,11 +674,12 @@ func (ex *Executor) worker() {
 		job.cancel = cancel
 		ex.mu.Unlock()
 
-		data, trc, err := ex.runJob(ex.withProgress(ctx, job), job)
+		data, res, err := ex.runJob(ex.withProgress(ctx, job), job)
 		cancel()
 
 		ex.mu.Lock()
-		job.trace = trc
+		job.trace = res.Trace
+		job.sched = res.SchedTrace
 		if err == nil && !job.noCache && ex.cfg.Cache != nil {
 			ex.cfg.Cache.Put(job.SpecHash, data)
 		}
@@ -671,6 +697,7 @@ func (ex *Executor) worker() {
 				km.MaxSec = dur
 			}
 			ex.perKernel[job.Spec.Kernel] = km
+			ex.inst.observeRun(&res, dur)
 		}
 		ex.running--
 		if job.class == ClassSweep {
@@ -711,8 +738,9 @@ func (ex *Executor) releaseSweepLocked() {
 
 // runJob executes one job with panic isolation and transient-failure
 // retries (capped exponential backoff, deterministic jitter, canceled
-// promptly by ctx), returning the canonical result bytes.
-func (ex *Executor) runJob(ctx context.Context, job *Job) (data []byte, trc *trace.Recorder, err error) {
+// promptly by ctx), returning the canonical result bytes alongside the
+// in-memory result (traces, report) of the successful attempt.
+func (ex *Executor) runJob(ctx context.Context, job *Job) (data []byte, res core.Result, err error) {
 	for attempt := 0; ; attempt++ {
 		ex.mu.Lock()
 		job.attempts = attempt + 1
@@ -720,15 +748,14 @@ func (ex *Executor) runJob(ctx context.Context, job *Job) (data []byte, trc *tra
 		if j := ex.cfg.Journal; j != nil {
 			j.Start(job.ID, attempt+1)
 		}
-		var res core.Result
 		res, err = ex.safeRun(ctx, job.Spec)
 		if err == nil {
 			out := NewOutcome(job.SpecHash, res)
 			data, err = CanonicalJSON(out)
-			return data, res.Trace, err
+			return data, res, err
 		}
 		if !IsTransient(err) || attempt >= ex.cfg.MaxRetries || ctx.Err() != nil {
-			return nil, nil, err
+			return nil, core.Result{}, err
 		}
 		ex.mu.Lock()
 		ex.m.Retries++
@@ -736,7 +763,7 @@ func (ex *Executor) runJob(ctx context.Context, job *Job) (data []byte, trc *tra
 		select {
 		case <-time.After(retryDelay(ex.cfg.RetryBaseDelay, ex.cfg.RetryMaxDelay, attempt, job.ID)):
 		case <-ctx.Done():
-			return nil, nil, fmt.Errorf("jobs: canceled waiting to retry %q: %w", err, ctx.Err())
+			return nil, core.Result{}, fmt.Errorf("jobs: canceled waiting to retry %q: %w", err, ctx.Err())
 		}
 	}
 }

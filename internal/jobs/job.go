@@ -8,6 +8,7 @@ import (
 
 	"aaws/internal/core"
 	"aaws/internal/fault"
+	"aaws/internal/obs"
 	"aaws/internal/stats"
 	"aaws/internal/trace"
 	"aaws/internal/wsrt"
@@ -146,6 +147,7 @@ type Job struct {
 	attempts  int    // simulation attempts (>1 means transient retries)
 	events    atomic.Uint64
 	trace     *trace.Recorder
+	sched     *obs.Trace // scheduler/DVFS event ring (WithTrace jobs only)
 
 	submitted time.Time
 	started   time.Time

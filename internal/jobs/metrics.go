@@ -1,0 +1,133 @@
+package jobs
+
+import (
+	"sort"
+
+	"aaws/internal/core"
+	"aaws/internal/obs"
+)
+
+// Histogram bucket bounds. Queue and run latencies are wall-clock seconds;
+// mug latency is *simulated* seconds (ICN one-way latency is tens of
+// nanoseconds, so the buckets sit in the 1e-8..1e-5 range).
+var (
+	queueBuckets  = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60}
+	runBuckets    = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+	mugLatBuckets = []float64{1e-8, 2.5e-8, 5e-8, 1e-7, 2.5e-7, 5e-7, 1e-6, 1e-5}
+)
+
+// instruments bundles the executor's live metrics: updated on the job
+// lifecycle path rather than synthesized at scrape time, so histograms see
+// every observation.
+type instruments struct {
+	queueSeconds *obs.Histogram // submit → worker pickup (fresh simulations)
+	runSeconds   *obs.Histogram // worker pickup → completion (successful runs)
+	mugLatency   *obs.Histogram // simulated mug send → delivery
+
+	simEvents          *obs.Counter
+	simSteals          *obs.Counter
+	simFailedSteals    *obs.Counter
+	simMugs            *obs.Counter
+	simDVFSTransitions *obs.Counter
+	simTasks           *obs.Counter
+	simPeakLive        *obs.IntGauge // max pending-event high-water across runs
+}
+
+func newInstruments(reg *obs.Registry) *instruments {
+	return &instruments{
+		queueSeconds:       reg.Histogram("aaws_job_queue_seconds", queueBuckets),
+		runSeconds:         reg.Histogram("aaws_job_run_seconds", runBuckets),
+		mugLatency:         reg.Histogram("aaws_sim_mug_latency_seconds", mugLatBuckets),
+		simEvents:          reg.Counter("aaws_sim_events_total"),
+		simSteals:          reg.Counter("aaws_sim_steals_total"),
+		simFailedSteals:    reg.Counter("aaws_sim_failed_steals_total"),
+		simMugs:            reg.Counter("aaws_sim_mugs_total"),
+		simDVFSTransitions: reg.Counter("aaws_sim_dvfs_transitions_total"),
+		simTasks:           reg.Counter("aaws_sim_tasks_total"),
+		simPeakLive:        reg.IntGauge("aaws_sim_peak_live_events"),
+	}
+}
+
+// observeRun folds one successful fresh simulation into the instruments.
+// Called with the executor lock held (the peak-live max is read-check-set).
+func (in *instruments) observeRun(res *core.Result, wallSec float64) {
+	rep := &res.Report
+	in.runSeconds.Observe(wallSec)
+	in.simEvents.Add(rep.Events)
+	in.simSteals.Add(uint64(rep.Steals))
+	in.simFailedSteals.Add(uint64(rep.FailedSteals))
+	in.simMugs.Add(uint64(rep.Mugs))
+	in.simDVFSTransitions.Add(uint64(rep.DVFSTransitions))
+	in.simTasks.Add(uint64(rep.TasksExecuted))
+	for _, lat := range rep.MugLatencies {
+		in.mugLatency.Observe(lat.Seconds())
+	}
+	if pl := int64(rep.PeakLive); pl > in.simPeakLive.Value() {
+		in.simPeakLive.Set(pl)
+	}
+}
+
+// syncLegacyMetrics mirrors the executor's snapshot counters into the
+// registry under the series names /metrics has always served. The legacy
+// series are point-in-time snapshots, so they live as gauges — IntGauge for
+// the historically-%d series, Gauge for floats — keeping the rendered text
+// byte-compatible with the old hand-rolled printer. Conditional series
+// (journal, rate limiter) register lazily, so they appear exactly when they
+// used to.
+func syncLegacyMetrics(reg *obs.Registry, m Metrics, rl *RateLimiterStats) {
+	set := func(name string, v int64) { reg.IntGauge(name).Set(v) }
+	set("aaws_jobs_submitted_total", int64(m.Submitted))
+	set("aaws_jobs_completed_total", int64(m.Completed))
+	set("aaws_jobs_failed_total", int64(m.Failed))
+	set("aaws_jobs_canceled_total", int64(m.Canceled))
+	set("aaws_jobs_retries_total", int64(m.Retries))
+	set("aaws_jobs_shed_total", int64(m.Shed))
+	set("aaws_jobs_replayed_total", int64(m.Replayed))
+	set("aaws_jobs_queue_depth", int64(m.QueueDepth))
+	set("aaws_jobs_running", int64(m.Running))
+	set("aaws_jobs_workers", int64(m.Workers))
+	set("aaws_jobs_sweep_running", int64(m.SweepRunning))
+	set("aaws_jobs_sweep_deferred", int64(m.SweepDeferred))
+	reg.Gauge("aaws_jobs_avg_run_ms").Set(m.AvgRunMs)
+	set("aaws_cache_hits_total", int64(m.CacheHits))
+	set("aaws_cache_coalesced_total", int64(m.Coalesced))
+	set("aaws_cache_misses_total", int64(m.Cache.Misses))
+	set("aaws_cache_evictions_total", int64(m.Cache.Evictions))
+	set("aaws_cache_disk_hits_total", int64(m.Cache.DiskHits))
+	set("aaws_cache_entries", int64(m.Cache.Entries))
+	hitRate := 0.0
+	if m.Submitted > 0 {
+		hitRate = float64(m.CacheHits+m.Coalesced) / float64(m.Submitted)
+	}
+	reg.Gauge("aaws_cache_hit_ratio").Set(hitRate)
+	set("aaws_cache_disk_errors_total", int64(m.Cache.DiskErrors))
+	set("aaws_cache_breaker_state", int64(m.Cache.Breaker.State))
+	set("aaws_cache_breaker_trips_total", int64(m.Cache.Breaker.Trips))
+	set("aaws_cache_breaker_shortcuts_total", int64(m.Cache.Breaker.ShortCuts))
+	if m.Journaled {
+		set("aaws_journal_records_total", int64(m.Journal.Records))
+		set("aaws_journal_fsyncs_total", int64(m.Journal.Fsyncs))
+		set("aaws_journal_rotations_total", int64(m.Journal.Rotations))
+		set("aaws_journal_corrupt_skipped_total", int64(m.Journal.CorruptSkipped))
+		set("aaws_journal_replayed_total", int64(m.Journal.Replayed))
+		set("aaws_journal_segment", int64(m.Journal.Segment))
+		set("aaws_journal_segment_bytes", m.Journal.SegmentBytes)
+		set("aaws_journal_open_jobs", int64(m.Journal.OpenJobs))
+	}
+	if rl != nil {
+		set("aaws_ratelimit_allowed_total", int64(rl.Allowed))
+		set("aaws_ratelimit_limited_total", int64(rl.Limited))
+		set("aaws_ratelimit_clients", int64(rl.Clients))
+	}
+	names := make([]string, 0, len(m.PerKernel))
+	for k := range m.PerKernel {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		km := m.PerKernel[k]
+		set(obs.Label("aaws_kernel_runs_total", "kernel", k), int64(km.Runs))
+		reg.Gauge(obs.Label("aaws_kernel_latency_seconds_sum", "kernel", k)).Set(km.TotalSec)
+		reg.Gauge(obs.Label("aaws_kernel_latency_seconds_max", "kernel", k)).Set(km.MaxSec)
+	}
+}

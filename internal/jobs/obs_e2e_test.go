@@ -1,0 +1,426 @@
+package jobs_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aaws/internal/core"
+	"aaws/internal/jobs"
+)
+
+// legacyMetricNames is the frozen /metrics contract: every series the
+// hand-rolled printer served before the registry rewrite. Renaming or
+// dropping any of these breaks dashboards, so this list must only grow.
+var legacyMetricNames = []string{
+	"aaws_jobs_submitted_total",
+	"aaws_jobs_completed_total",
+	"aaws_jobs_failed_total",
+	"aaws_jobs_canceled_total",
+	"aaws_jobs_retries_total",
+	"aaws_jobs_shed_total",
+	"aaws_jobs_replayed_total",
+	"aaws_jobs_queue_depth",
+	"aaws_jobs_running",
+	"aaws_jobs_workers",
+	"aaws_jobs_sweep_running",
+	"aaws_jobs_sweep_deferred",
+	"aaws_jobs_avg_run_ms",
+	"aaws_cache_hits_total",
+	"aaws_cache_coalesced_total",
+	"aaws_cache_misses_total",
+	"aaws_cache_evictions_total",
+	"aaws_cache_disk_hits_total",
+	"aaws_cache_entries",
+	"aaws_cache_hit_ratio",
+	"aaws_cache_disk_errors_total",
+	"aaws_cache_breaker_state",
+	"aaws_cache_breaker_trips_total",
+	"aaws_cache_breaker_shortcuts_total",
+	"aaws_journal_records_total",
+	"aaws_journal_fsyncs_total",
+	"aaws_journal_rotations_total",
+	"aaws_journal_corrupt_skipped_total",
+	"aaws_journal_replayed_total",
+	"aaws_journal_segment",
+	"aaws_journal_segment_bytes",
+	"aaws_journal_open_jobs",
+	"aaws_ratelimit_allowed_total",
+	"aaws_ratelimit_limited_total",
+	"aaws_ratelimit_clients",
+}
+
+// newSimMetricNames are the simulator/service series the unified registry
+// added (the acceptance criterion requires at least 6 new series).
+var newSimMetricNames = []string{
+	"aaws_job_queue_seconds_bucket",
+	"aaws_job_run_seconds_bucket",
+	"aaws_sim_mug_latency_seconds_bucket",
+	"aaws_sim_events_total",
+	"aaws_sim_steals_total",
+	"aaws_sim_failed_steals_total",
+	"aaws_sim_mugs_total",
+	"aaws_sim_dvfs_transitions_total",
+	"aaws_sim_tasks_total",
+	"aaws_sim_peak_live_events",
+}
+
+// metricValue extracts the sample value of an exact (unlabeled) series
+// name from a Prometheus text exposition.
+func metricValue(t *testing.T, body, name string) string {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			return rest
+		}
+	}
+	t.Fatalf("series %q not found in /metrics output", name)
+	return ""
+}
+
+// TestMetricsLegacyNamesAndNewSeries runs one real simulation through a
+// fully-equipped server (journal + rate limiter) and checks the /metrics
+// contract: every pre-registry series name still present, the new
+// simulator series present, and the sim counters actually moved.
+func TestMetricsLegacyNamesAndNewSeries(t *testing.T) {
+	cache, err := jobs.NewCache(16, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal, pending, err := jobs.OpenJournal(t.TempDir(), jobs.JournalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 0 {
+		t.Fatalf("fresh journal has %d pending jobs", len(pending))
+	}
+	ex := jobs.NewExecutor(jobs.Config{Workers: 2, Cache: cache, Journal: journal})
+	ts := httptest.NewServer(jobs.NewServerWithOptions(ex, jobs.ServerOptions{
+		RatePerSec: 1000, Burst: 100,
+	}))
+	t.Cleanup(func() {
+		ts.Close()
+		ex.Close()
+		journal.Close()
+	})
+
+	code, m := postJSON(t, ts.URL+"/v1/jobs", `{"kernel":"cilksort","variant":"base+psm","scale":0.05}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d (%v)", code, m)
+	}
+	if st := awaitJob(t, ts.URL, m["id"].(string)); st["state"] != "done" {
+		t.Fatalf("job failed: %v", st)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	for _, name := range legacyMetricNames {
+		if !strings.Contains(body, "\n"+name+" ") && !strings.HasPrefix(body, name+" ") {
+			t.Errorf("legacy series %q missing from /metrics", name)
+		}
+	}
+	for _, name := range newSimMetricNames {
+		if !strings.Contains(body, name) {
+			t.Errorf("new series %q missing from /metrics", name)
+		}
+	}
+	if !strings.Contains(body, `aaws_kernel_runs_total{kernel="cilksort"} 1`) {
+		t.Errorf("per-kernel legacy series missing:\n%s", body)
+	}
+
+	// The simulator instruments must reflect the real run, not sit at zero.
+	for _, name := range []string{
+		"aaws_sim_events_total", "aaws_sim_steals_total", "aaws_sim_tasks_total",
+		"aaws_sim_mugs_total", "aaws_sim_peak_live_events",
+	} {
+		if v := metricValue(t, body, name); v == "0" {
+			t.Errorf("%s = 0 after a real base+psm run", name)
+		}
+	}
+	if v := metricValue(t, body, "aaws_job_run_seconds_count"); v == "0" {
+		t.Error("run-latency histogram recorded no observations")
+	}
+	if v := metricValue(t, body, "aaws_sim_mug_latency_seconds_count"); v == "0" {
+		t.Error("mug-latency histogram recorded no observations for a mugging variant")
+	}
+	if v := metricValue(t, body, "aaws_jobs_submitted_total"); v != "1" {
+		t.Errorf("aaws_jobs_submitted_total = %s, want 1", v)
+	}
+}
+
+// TestTraceEndpointEndToEnd covers GET /v1/jobs/{id}/trace: a traced job
+// returns its stage timeline and the scheduler event ring; an untraced job
+// gets 404 with a hint; CSV export works.
+func TestTraceEndpointEndToEnd(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.Config{Workers: 2})
+
+	code, m := postJSON(t, ts.URL+"/v1/jobs",
+		`{"kernel":"cilksort","variant":"base+psm","scale":0.05,"with_trace":true,"no_cache":true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d (%v)", code, m)
+	}
+	id := m["id"].(string)
+	if st := awaitJob(t, ts.URL, id); st["state"] != "done" {
+		t.Fatalf("traced job failed: %v", st)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status = %d", resp.StatusCode)
+	}
+	var tr struct {
+		ID     string `json:"id"`
+		Kernel string `json:"kernel"`
+		Stages []struct {
+			Stage   string  `json:"stage"`
+			StartMs float64 `json:"start_ms"`
+			EndMs   float64 `json:"end_ms"`
+		} `json:"stages"`
+		Sched struct {
+			Total  uint64 `json:"total"`
+			Events []struct {
+				T    int64  `json:"t_ps"`
+				Kind string `json:"kind"`
+				Core int16  `json:"core"`
+			} `json:"events"`
+		} `json:"sched"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatalf("decoding trace: %v", err)
+	}
+	if tr.ID != id || tr.Kernel != "cilksort" {
+		t.Fatalf("trace header: %+v", tr)
+	}
+	if len(tr.Stages) < 2 {
+		t.Fatalf("trace has %d stages, want queued+running", len(tr.Stages))
+	}
+	if tr.Sched.Total == 0 || len(tr.Sched.Events) == 0 {
+		t.Fatalf("scheduler ring empty: total=%d events=%d", tr.Sched.Total, len(tr.Sched.Events))
+	}
+	kinds := map[string]bool{}
+	for _, e := range tr.Sched.Events {
+		kinds[e.Kind] = true
+	}
+	if !kinds["steal"] && !kinds["mug-delivered"] && !kinds["phase-start"] {
+		t.Fatalf("ring has no recognizable scheduler events: %v", kinds)
+	}
+
+	// CSV export of the same ring.
+	resp2, err := http.Get(ts.URL + "/v1/jobs/" + id + "/trace?format=csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	csv, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "t_ps,kind,core,arg\n") {
+		t.Fatalf("CSV export header wrong: %.60q", string(csv))
+	}
+	if len(strings.Split(strings.TrimSpace(string(csv)), "\n")) < 2 {
+		t.Fatal("CSV export has no event rows")
+	}
+
+	// An untraced job must 404 on the trace endpoint with a usable hint.
+	code, m = postJSON(t, ts.URL+"/v1/jobs", `{"kernel":"cilksort","scale":0.05}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("untraced submit status = %d", code)
+	}
+	id2 := m["id"].(string)
+	awaitJob(t, ts.URL, id2)
+	resp3, err := http.Get(ts.URL + "/v1/jobs/" + id2 + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("untraced trace status = %d, want 404", resp3.StatusCode)
+	}
+	hint, _ := io.ReadAll(resp3.Body)
+	if !strings.Contains(string(hint), "with_trace") {
+		t.Fatalf("404 body gives no with_trace hint: %s", hint)
+	}
+
+	// Unknown job id.
+	resp4, err := http.Get(ts.URL + "/v1/jobs/nope/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp4.Body.Close()
+	if resp4.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown-job trace status = %d, want 404", resp4.StatusCode)
+	}
+}
+
+// FuzzJobRequestDecode throws arbitrary JSON at the submission decode path
+// (JobRequest -> ToSpec -> SpecHash), mirroring FuzzJournalDecode: it must
+// never panic, and every accepted spec must hash deterministically.
+func FuzzJobRequestDecode(f *testing.F) {
+	f.Add([]byte(`{"kernel":"cilksort","variant":"base+psm"}`))
+	f.Add([]byte(`{"kernel":"radix-2","system":"1B7L","seed":7,"scale":0.5,"check":false}`))
+	f.Add([]byte(`{"kernel":"hull","nbig":2,"nlit":6,"with_trace":true,"no_cache":true}`))
+	f.Add([]byte(`{"kernel":"uts","faults":{},"max_events":18446744073709551615}`))
+	f.Add([]byte(`{"kernel":"dict","scale":-1,"priority":-99,"timeout_ms":-5}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"system":"9B9L"}`))
+	f.Add([]byte(`{"kernel":"\x00","variant":"base+`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var req jobs.JobRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return // malformed JSON is rejected upstream with a 400
+		}
+		spec, err := req.ToSpec()
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		h1, err := jobs.SpecHash(spec)
+		if err != nil {
+			t.Fatalf("accepted spec failed to hash: %v (%+v)", err, spec)
+		}
+		h2, err := jobs.SpecHash(jobs.Normalize(spec))
+		if err != nil {
+			t.Fatalf("re-normalized spec failed to hash: %v", err)
+		}
+		if h1 != h2 {
+			t.Fatalf("normalization is not idempotent: %s != %s", h1, h2)
+		}
+	})
+}
+
+// TestLongPollDrainRace interleaves long-poll GET ?wait readers with a
+// graceful drain under -race: every accepted job must reach a terminal
+// state observable through the long-poll, the drain must complete, and
+// submissions racing the drain must either be accepted (and then drained)
+// or rejected with 503 — never lost.
+func TestLongPollDrainRace(t *testing.T) {
+	release := make(chan struct{})
+	ts, ex := newTestServer(t, jobs.Config{
+		Workers: 2,
+		Runner: func(ctx context.Context, spec core.Spec) (core.Result, error) {
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return core.Result{}, ctx.Err()
+			}
+			return fakeResult(spec), nil
+		},
+	})
+
+	const preDrain = 6
+	ids := make([]string, 0, preDrain)
+	for i := 0; i < preDrain; i++ {
+		code, m := postJSON(t, ts.URL+"/v1/jobs",
+			fmt.Sprintf(`{"kernel":"cilksort","seed":%d,"no_cache":true}`, i))
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d status = %d", i, code)
+		}
+		ids = append(ids, m["id"].(string))
+	}
+
+	// Long-pollers block on every job before the drain starts.
+	states := make([]string, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			_, st := getJSON(t, ts.URL+"/v1/jobs/"+id+"?wait=1")
+			states[i], _ = st["state"].(string)
+		}(i, id)
+	}
+
+	// Racing submitters: some land before the drain flag, some after.
+	var submitWG sync.WaitGroup
+	rejected := make([]bool, 4)
+	lateIDs := make([]string, 4)
+	for i := range rejected {
+		submitWG.Add(1)
+		go func(i int) {
+			defer submitWG.Done()
+			code, m := postJSON(t, ts.URL+"/v1/jobs",
+				fmt.Sprintf(`{"kernel":"cilksort","seed":%d,"no_cache":true}`, 100+i))
+			switch code {
+			case http.StatusAccepted:
+				lateIDs[i], _ = m["id"].(string)
+			case http.StatusServiceUnavailable:
+				rejected[i] = true
+			default:
+				t.Errorf("racing submit %d: unexpected status %d (%v)", i, code, m)
+			}
+		}(i)
+	}
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- ex.Drain(ctx)
+	}()
+	// Let the drain flag and the racing submitters interleave, then unblock
+	// the workers so the queue can empty.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	submitWG.Wait()
+	wg.Wait()
+
+	for i, st := range states {
+		if st != "done" {
+			t.Errorf("long-poll %d returned state %q, want done", i, st)
+		}
+	}
+	for i, id := range lateIDs {
+		if id == "" {
+			if !rejected[i] {
+				t.Errorf("racing submit %d neither accepted nor rejected", i)
+			}
+			continue
+		}
+		// Accepted before the drain flag: the drain must have waited for it.
+		_, st := getJSON(t, ts.URL+"/v1/jobs/"+id)
+		if st["state"] != "done" {
+			t.Errorf("accepted-then-drained job %s in state %v, want done", id, st["state"])
+		}
+	}
+
+	// Post-drain: health reports draining and submissions are 503.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz after drain = %d, want 503", resp.StatusCode)
+	}
+	code, _ := postJSON(t, ts.URL+"/v1/jobs", `{"kernel":"cilksort"}`)
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("post-drain submit status = %d, want 503", code)
+	}
+}

@@ -1,13 +1,13 @@
 package jobs
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"net/http"
-	"sort"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -15,6 +15,7 @@ import (
 	"aaws/internal/core"
 	"aaws/internal/fault"
 	"aaws/internal/kernels"
+	"aaws/internal/obs"
 	"aaws/internal/trace"
 	"aaws/internal/wsrt"
 )
@@ -26,6 +27,9 @@ import (
 //	                           ?wait=1 or ?wait_ms=N long-polls for completion,
 //	                           &cancel_on_disconnect=1 cancels if the client goes away
 //	GET    /v1/jobs/{id}/report     raw canonical result bytes (ETag = result hash)
+//	GET    /v1/jobs/{id}/trace      structured run trace: lifecycle stages +
+//	                                scheduler/DVFS events (WithTrace jobs);
+//	                                ?format=csv for the raw event stream
 //	GET    /v1/jobs/{id}/trace.svg  activity/DVFS profile (WithTrace jobs)
 //	GET    /v1/jobs/{id}/trace.csv  profile samples as CSV
 //	DELETE /v1/jobs/{id}       cancel
@@ -80,6 +84,7 @@ func NewServerWithOptions(ex *Executor, opts ServerOptions) *Server {
 	s.mux.HandleFunc("POST /v1/jobs", s.submitJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.getReport)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.getTrace)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace.svg", s.getTraceSVG)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace.csv", s.getTraceCSV)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancelJob)
@@ -464,6 +469,75 @@ func (s *Server) traceRecorder(w http.ResponseWriter, r *http.Request) (*trace.R
 	return rec, snap, true
 }
 
+// TraceStage is one wall-clock lifecycle segment in the /trace response,
+// with bounds in milliseconds since submission.
+type TraceStage struct {
+	Stage   string  `json:"stage"`
+	StartMs float64 `json:"start_ms"`
+	EndMs   float64 `json:"end_ms"`
+}
+
+// TraceResponse is the JSON body of GET /v1/jobs/{id}/trace: the job's
+// wall-clock lifecycle (submit → queue → execute) plus the simulation's
+// scheduler/DVFS event ring.
+type TraceResponse struct {
+	ID       string          `json:"id"`
+	Kernel   string          `json:"kernel"`
+	System   string          `json:"system"`
+	Variant  string          `json:"variant"`
+	Seed     uint64          `json:"seed"`
+	Attempts int             `json:"attempts,omitempty"`
+	Stages   []TraceStage    `json:"stages"`
+	Sched    json.RawMessage `json:"sched"`
+}
+
+// getTrace serves the structured run trace. Like the SVG/CSV profile
+// endpoints it requires a job that simulated locally with with_trace=true
+// (cache hits and coalesced duplicates carry no ring).
+func (s *Server) getTrace(w http.ResponseWriter, r *http.Request) {
+	sched, snap, err := s.ex.SchedTrace(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	if !snap.State.Terminal() {
+		httpError(w, http.StatusConflict, fmt.Errorf("job is %s, trace not available yet", snap.State))
+		return
+	}
+	if sched == nil {
+		httpError(w, http.StatusNotFound, errors.New(
+			"no trace: submit with with_trace=true and no_cache=true (cached/coalesced results carry no event ring)"))
+		return
+	}
+	if r.URL.Query().Get("format") == "csv" {
+		w.Header().Set("Content-Type", "text/csv")
+		_ = sched.WriteCSV(w)
+		return
+	}
+	ms := func(t time.Time) float64 {
+		return float64(t.Sub(snap.Submitted)) / float64(time.Millisecond)
+	}
+	resp := TraceResponse{
+		ID:       snap.ID,
+		Kernel:   snap.Spec.Kernel,
+		System:   snap.Spec.System.String(),
+		Variant:  snap.Spec.Variant.String(),
+		Seed:     snap.Spec.Seed,
+		Attempts: snap.Attempts,
+		Stages: []TraceStage{
+			{Stage: "queued", StartMs: 0, EndMs: ms(snap.Started)},
+			{Stage: "running", StartMs: ms(snap.Started), EndMs: ms(snap.Finished)},
+		},
+	}
+	var buf bytes.Buffer
+	if err := sched.WriteJSON(&buf); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp.Sched = buf.Bytes()
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) getTraceSVG(w http.ResponseWriter, r *http.Request) {
 	rec, snap, ok := s.traceRecorder(w, r)
 	if !ok {
@@ -473,11 +547,38 @@ func (s *Server) getTraceSVG(w http.ResponseWriter, r *http.Request) {
 	if snap.Spec.NBig > 0 {
 		nBig, nLit = snap.Spec.NBig, snap.Spec.NLit
 	}
+	marks := schedMarks(s.ex, snap.ID)
 	w.Header().Set("Content-Type", "image/svg+xml")
-	if err := rec.WriteSVG(w, trace.CoreNames(nBig, nLit), 1600); err != nil {
+	if err := rec.WriteSVGWithMarks(w, trace.CoreNames(nBig, nLit), 1600, marks); err != nil {
 		// Headers are gone; all we can do is stop streaming.
 		return
 	}
+}
+
+// schedMarks projects the job's scheduler event ring onto SVG overlay dots:
+// green for steals, orange for mug deliveries, red for core fail-stops.
+// Returns nil when the job has no ring.
+func schedMarks(ex *Executor, id string) []trace.Mark {
+	sched, _, err := ex.SchedTrace(id)
+	if err != nil || sched == nil {
+		return nil
+	}
+	var marks []trace.Mark
+	for _, e := range sched.Events() {
+		var color string
+		switch e.Kind {
+		case obs.KindSteal:
+			color = "#2ca02c"
+		case obs.KindMugDelivered:
+			color = "#ff7f0e"
+		case obs.KindCoreFail:
+			color = "#d62728"
+		default:
+			continue
+		}
+		marks = append(marks, trace.Mark{At: e.At, Core: int(e.Core), Color: color})
+	}
+	return marks
 }
 
 func (s *Server) getTraceCSV(w http.ResponseWriter, r *http.Request) {
@@ -493,65 +594,20 @@ func (s *Server) getTraceCSV(w http.ResponseWriter, r *http.Request) {
 	_ = rec.WriteCSV(w, trace.CoreNames(nBig, nLit), 200)
 }
 
+// metrics renders the unified registry: the executor's live instruments
+// (latency histograms, simulator counters) plus the legacy snapshot series,
+// synced under their historical names just before the scrape.
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	m := s.ex.Metrics()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
-	p("aaws_jobs_submitted_total %d\n", m.Submitted)
-	p("aaws_jobs_completed_total %d\n", m.Completed)
-	p("aaws_jobs_failed_total %d\n", m.Failed)
-	p("aaws_jobs_canceled_total %d\n", m.Canceled)
-	p("aaws_jobs_retries_total %d\n", m.Retries)
-	p("aaws_jobs_shed_total %d\n", m.Shed)
-	p("aaws_jobs_replayed_total %d\n", m.Replayed)
-	p("aaws_jobs_queue_depth %d\n", m.QueueDepth)
-	p("aaws_jobs_running %d\n", m.Running)
-	p("aaws_jobs_workers %d\n", m.Workers)
-	p("aaws_jobs_sweep_running %d\n", m.SweepRunning)
-	p("aaws_jobs_sweep_deferred %d\n", m.SweepDeferred)
-	p("aaws_jobs_avg_run_ms %g\n", m.AvgRunMs)
-	p("aaws_cache_hits_total %d\n", m.CacheHits)
-	p("aaws_cache_coalesced_total %d\n", m.Coalesced)
-	p("aaws_cache_misses_total %d\n", m.Cache.Misses)
-	p("aaws_cache_evictions_total %d\n", m.Cache.Evictions)
-	p("aaws_cache_disk_hits_total %d\n", m.Cache.DiskHits)
-	p("aaws_cache_entries %d\n", m.Cache.Entries)
-	hitRate := 0.0
-	if m.Submitted > 0 {
-		hitRate = float64(m.CacheHits+m.Coalesced) / float64(m.Submitted)
-	}
-	p("aaws_cache_hit_ratio %g\n", hitRate)
-	p("aaws_cache_disk_errors_total %d\n", m.Cache.DiskErrors)
-	p("aaws_cache_breaker_state %d\n", int(m.Cache.Breaker.State))
-	p("aaws_cache_breaker_trips_total %d\n", m.Cache.Breaker.Trips)
-	p("aaws_cache_breaker_shortcuts_total %d\n", m.Cache.Breaker.ShortCuts)
-	if m.Journaled {
-		p("aaws_journal_records_total %d\n", m.Journal.Records)
-		p("aaws_journal_fsyncs_total %d\n", m.Journal.Fsyncs)
-		p("aaws_journal_rotations_total %d\n", m.Journal.Rotations)
-		p("aaws_journal_corrupt_skipped_total %d\n", m.Journal.CorruptSkipped)
-		p("aaws_journal_replayed_total %d\n", m.Journal.Replayed)
-		p("aaws_journal_segment %d\n", m.Journal.Segment)
-		p("aaws_journal_segment_bytes %d\n", m.Journal.SegmentBytes)
-		p("aaws_journal_open_jobs %d\n", m.Journal.OpenJobs)
-	}
+	var rl *RateLimiterStats
 	if s.limiter != nil {
-		rl := s.limiter.Stats()
-		p("aaws_ratelimit_allowed_total %d\n", rl.Allowed)
-		p("aaws_ratelimit_limited_total %d\n", rl.Limited)
-		p("aaws_ratelimit_clients %d\n", rl.Clients)
+		st := s.limiter.Stats()
+		rl = &st
 	}
-	names := make([]string, 0, len(m.PerKernel))
-	for k := range m.PerKernel {
-		names = append(names, k)
-	}
-	sort.Strings(names)
-	for _, k := range names {
-		km := m.PerKernel[k]
-		p("aaws_kernel_runs_total{kernel=%q} %d\n", k, km.Runs)
-		p("aaws_kernel_latency_seconds_sum{kernel=%q} %g\n", k, km.TotalSec)
-		p("aaws_kernel_latency_seconds_max{kernel=%q} %g\n", k, km.MaxSec)
-	}
+	reg := s.ex.Registry()
+	syncLegacyMetrics(reg, m, rl)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = reg.Render(w)
 }
 
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a minimal Prometheus-text metrics registry: counters, gauges
+// and fixed-bucket histograms, rendered in registration order by WriteTo.
+// Instruments are get-or-create by full series name (including any label
+// set, e.g. `aaws_kernel_runs_total{kernel="fib"}`), so scrape-time code
+// can mirror dynamic snapshots into stable series without bookkeeping.
+// All instruments are safe for concurrent use; creation is serialized.
+type Registry struct {
+	mu    sync.Mutex
+	order []metric
+	byKey map[string]metric
+}
+
+// metric is anything the registry can render.
+type metric interface {
+	seriesName() string
+	write(w io.Writer) error
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]metric)}
+}
+
+// Label formats one-label series name: Label("x_total", "kernel", "fib")
+// returns `x_total{kernel="fib"}`.
+func Label(name, key, value string) string {
+	return fmt.Sprintf("%s{%s=%q}", name, key, value)
+}
+
+// lookup returns the instrument registered under name, creating it with
+// mk on first use. It panics if the name is already registered as a
+// different instrument type — one series, one meaning.
+func (r *Registry) lookup(name string, mk func() metric) metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byKey[name]; ok {
+		return m
+	}
+	m := mk()
+	r.byKey[name] = m
+	r.order = append(r.order, m)
+	return m
+}
+
+// Counter returns the monotonically increasing counter registered under
+// name, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	m := r.lookup(name, func() metric { return &Counter{name: name} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: %q registered as %T, not Counter", name, m))
+	}
+	return c
+}
+
+// Gauge returns the float-valued gauge registered under name.
+func (r *Registry) Gauge(name string) *Gauge {
+	m := r.lookup(name, func() metric { return &Gauge{name: name} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: %q registered as %T, not Gauge", name, m))
+	}
+	return g
+}
+
+// IntGauge returns the integer-valued gauge registered under name. It
+// renders with %d, matching series that have historically been printed as
+// integers.
+func (r *Registry) IntGauge(name string) *IntGauge {
+	m := r.lookup(name, func() metric { return &IntGauge{name: name} })
+	g, ok := m.(*IntGauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: %q registered as %T, not IntGauge", name, m))
+	}
+	return g
+}
+
+// Histogram returns the fixed-bucket histogram registered under name,
+// creating it with the given upper bounds (ascending; +Inf is implicit).
+// Bounds are fixed at first registration; later calls may pass nil.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	m := r.lookup(name, func() metric {
+		if len(bounds) == 0 {
+			panic(fmt.Sprintf("obs: histogram %q created without bounds", name))
+		}
+		if !sort.Float64sAreSorted(bounds) {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
+		}
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		return &Histogram{name: name, bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	})
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: %q registered as %T, not Histogram", name, m))
+	}
+	return h
+}
+
+// Render writes every instrument in registration order in the Prometheus
+// text exposition format.
+func (r *Registry) Render(w io.Writer) error {
+	r.mu.Lock()
+	metrics := make([]metric, len(r.order))
+	copy(metrics, r.order)
+	r.mu.Unlock()
+	for _, m := range metrics {
+		if err := m.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- instruments ----
+
+// Counter is a monotonically increasing uint64.
+type Counter struct {
+	name string
+	v    atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) seriesName() string { return c.name }
+func (c *Counter) write(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "%s %d\n", c.name, c.v.Load())
+	return err
+}
+
+// Gauge is a float64 that can go up and down.
+type Gauge struct {
+	name string
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) seriesName() string { return g.name }
+func (g *Gauge) write(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "%s %g\n", g.name, g.Value())
+	return err
+}
+
+// IntGauge is an int64 gauge rendered with %d.
+type IntGauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Set stores v.
+func (g *IntGauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current value.
+func (g *IntGauge) Value() int64 { return g.v.Load() }
+
+func (g *IntGauge) seriesName() string { return g.name }
+func (g *IntGauge) write(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "%s %d\n", g.name, g.v.Load())
+	return err
+}
+
+// Histogram is a fixed-bucket cumulative histogram in the Prometheus
+// style: counts per upper bound plus an implicit +Inf bucket, a running
+// sum, and a total count.
+type Histogram struct {
+	name    string
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+func (h *Histogram) seriesName() string { return h.name }
+func (h *Histogram) write(w io.Writer) error {
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatBound(b), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %g\n", h.name, h.Sum()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", h.name, h.count.Load())
+	return err
+}
+
+// formatBound renders a bucket bound the way Prometheus clients expect
+// (shortest float form).
+func formatBound(b float64) string {
+	return fmt.Sprintf("%g", b)
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"aaws/internal/sim"
+)
+
+func TestNilTraceIsSafeAndFree(t *testing.T) {
+	var tr *Trace
+	tr.Emit(1, KindSteal, 0, 1) // must not panic
+	if tr.Len() != 0 || tr.Total() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatalf("nil trace reported state: len=%d total=%d", tr.Len(), tr.Total())
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		tr.Emit(42, KindFailedSteal, 3, -1)
+	}); avg != 0 {
+		t.Fatalf("disabled Emit allocates %v allocs/op, want 0", avg)
+	}
+}
+
+func TestEnabledEmitDoesNotAllocate(t *testing.T) {
+	tr := NewTrace(64)
+	if avg := testing.AllocsPerRun(1000, func() {
+		tr.Emit(42, KindSteal, 1, 2)
+	}); avg != 0 {
+		t.Fatalf("enabled Emit allocates %v allocs/op, want 0", avg)
+	}
+}
+
+func TestTraceRingWrap(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(sim.Time(i), KindSteal, int16(i), int64(i))
+	}
+	if tr.Len() != 4 || tr.Total() != 10 || tr.Dropped() != 6 {
+		t.Fatalf("len=%d total=%d dropped=%d, want 4/10/6", tr.Len(), tr.Total(), tr.Dropped())
+	}
+	evs := tr.Events()
+	for i, e := range evs {
+		if want := sim.Time(6 + i); e.At != want {
+			t.Fatalf("event %d at %v, want %v (oldest retained should be 6)", i, e.At, want)
+		}
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := NewTrace(8)
+	tr.Emit(100, KindMugSend, 0, 5)
+	tr.Emit(250, KindMugDelivered, 5, 0)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Capacity int    `json:"capacity"`
+		Total    uint64 `json:"total"`
+		Dropped  uint64 `json:"dropped"`
+		Events   []struct {
+			T    int64  `json:"t_ps"`
+			Kind string `json:"kind"`
+			Core int16  `json:"core"`
+			Arg  int64  `json:"arg"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if got.Capacity != 8 || got.Total != 2 || got.Dropped != 0 || len(got.Events) != 2 {
+		t.Fatalf("unexpected header: %+v", got)
+	}
+	if got.Events[0].Kind != "mug-send" || got.Events[1].Kind != "mug-delivered" {
+		t.Fatalf("unexpected kinds: %+v", got.Events)
+	}
+	if got.Events[1].T != 250 || got.Events[1].Core != 5 {
+		t.Fatalf("unexpected event payload: %+v", got.Events[1])
+	}
+}
+
+func TestTraceCSV(t *testing.T) {
+	tr := NewTrace(8)
+	tr.Emit(7, KindVoltage, 2, 1100)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "t_ps,kind,core,arg\n7,voltage,2,1100\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestKindStringsAreUnique(t *testing.T) {
+	seen := map[string]Kind{}
+	for k := KindNone; k <= KindRescue; k++ {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("kinds %d and %d share name %q", prev, k, s)
+		}
+		seen[s] = k
+	}
+}
+
+func TestRegistryCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("aaws_test_total")
+	c.Inc()
+	c.Add(4)
+	if r.Counter("aaws_test_total") != c {
+		t.Fatal("Counter is not get-or-create")
+	}
+	g := r.Gauge("aaws_test_ratio")
+	g.Set(0.25)
+	ig := r.IntGauge("aaws_test_depth")
+	ig.Set(-3)
+	r.Counter(Label("aaws_test_labeled_total", "kernel", "fib")).Add(2)
+
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"aaws_test_total 5\n",
+		"aaws_test_ratio 0.25\n",
+		"aaws_test_depth -3\n",
+		"aaws_test_labeled_total{kernel=\"fib\"} 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Registration order is render order.
+	if strings.Index(out, "aaws_test_total") > strings.Index(out, "aaws_test_depth") {
+		t.Fatalf("render order does not follow registration order:\n%s", out)
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("aaws_test_total")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("aaws_test_total")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("aaws_test_seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.005+0.01+0.05+0.5+5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`aaws_test_seconds_bucket{le="0.01"} 2`, // 0.005 and 0.01 (le is inclusive)
+		`aaws_test_seconds_bucket{le="0.1"} 3`,
+		`aaws_test_seconds_bucket{le="1"} 4`,
+		`aaws_test_seconds_bucket{le="+Inf"} 5`,
+		"aaws_test_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("aaws_test_conc_seconds", []float64{1, 2})
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 1000; j++ {
+				h.Observe(1)
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	if h.Count() != 4000 || h.Sum() != 4000 {
+		t.Fatalf("count=%d sum=%g, want 4000/4000", h.Count(), h.Sum())
+	}
+}

@@ -1,0 +1,246 @@
+// Package obs is the runtime observability layer: a fixed-capacity,
+// allocation-free scheduler event recorder threaded through the
+// work-stealing runtime, the DVFS controller and the jobs service, plus a
+// small Prometheus-text metrics registry unifying the service counters.
+//
+// Both halves are designed around the repository's two standing promises:
+//
+//   - Zero cost when disabled. A nil *Trace is the disabled recorder; Emit
+//     on a nil receiver is a branch and a return, so the scheduler hot
+//     paths (steal probes, deque pops) keep their 0 allocs/op baselines.
+//   - No schedule perturbation. Recording only copies values into a
+//     preallocated ring; it never schedules events, allocates, or touches
+//     simulation state, so report fingerprints are bit-identical with
+//     tracing on and off.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"aaws/internal/sim"
+)
+
+// Kind classifies one recorded scheduler event.
+type Kind uint8
+
+const (
+	// KindNone is the zero value; it never appears in a recorded event.
+	KindNone Kind = iota
+	// KindSteal is a successful steal: Core stole from worker Arg.
+	KindSteal
+	// KindFailedSteal is a probe that found every other deque empty.
+	KindFailedSteal
+	// KindMugSend is a mug interrupt sent by big core Core to muggee Arg.
+	KindMugSend
+	// KindMugResend is a mug interrupt resent after a delivery timeout.
+	KindMugResend
+	// KindMugTimeout is a mug interrupt that missed its delivery deadline.
+	KindMugTimeout
+	// KindMugDelivered is a delivered interrupt beginning the swap at
+	// muggee Core (Arg = mugger).
+	KindMugDelivered
+	// KindMugDone is a completed mug swap: Core resumes the migrated task
+	// it took from muggee Arg.
+	KindMugDone
+	// KindMugFailed is an interrupt that lost the race with task
+	// completion (the muggee Arg had nothing left to swap).
+	KindMugFailed
+	// KindMugAbandoned is a handshake given up (retries exhausted, phase
+	// end, fail-stop, shutdown).
+	KindMugAbandoned
+	// KindSerialStart opens a serial region on worker 0 (Arg =
+	// instructions charged).
+	KindSerialStart
+	// KindSerialEnd closes the serial region.
+	KindSerialEnd
+	// KindPhaseStart opens a parallel phase (root task enqueued).
+	KindPhaseStart
+	// KindPhaseEnd closes the parallel phase (join hit zero).
+	KindPhaseEnd
+	// KindVoltage is a regulator effective-voltage change on core Core
+	// (Arg = millivolts).
+	KindVoltage
+	// KindDVFSDecision is a controller re-evaluation (Core = -1, Arg packs
+	// the active counts: nBA<<32 | nLA).
+	KindDVFSDecision
+	// KindCoreFail is a fail-stop absorbed by the scheduler on core Core.
+	KindCoreFail
+	// KindRescue is a task reclaimed from fail-stopped core Core.
+	KindRescue
+)
+
+var kindNames = [...]string{
+	KindNone:         "none",
+	KindSteal:        "steal",
+	KindFailedSteal:  "failed-steal",
+	KindMugSend:      "mug-send",
+	KindMugResend:    "mug-resend",
+	KindMugTimeout:   "mug-timeout",
+	KindMugDelivered: "mug-delivered",
+	KindMugDone:      "mug-done",
+	KindMugFailed:    "mug-failed",
+	KindMugAbandoned: "mug-abandoned",
+	KindSerialStart:  "serial-start",
+	KindSerialEnd:    "serial-end",
+	KindPhaseStart:   "phase-start",
+	KindPhaseEnd:     "phase-end",
+	KindVoltage:      "voltage",
+	KindDVFSDecision: "dvfs-decision",
+	KindCoreFail:     "core-fail",
+	KindRescue:       "rescue",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one recorded scheduler event. Core is the worker/core the event
+// happened on (-1 for machine-global events); Arg's meaning depends on the
+// kind (peer core, millivolts, charged instructions, packed counts).
+type Event struct {
+	At   sim.Time
+	Kind Kind
+	Core int16
+	Arg  int64
+}
+
+// Trace is a flight-recorder ring of scheduler events. A nil *Trace is the
+// disabled recorder: every method is a safe no-op, so hook sites call
+// unconditionally without a nil check. When the ring fills, the oldest
+// events are overwritten (and counted as dropped) — the recorder favors
+// the end of the run, where stalls and failures usually are.
+//
+// A Trace belongs to one simulation; it is not safe for concurrent use
+// (the simulator is single-threaded by construction).
+type Trace struct {
+	ring  []Event
+	head  int    // next write slot
+	count int    // valid events (<= len(ring))
+	total uint64 // everything ever emitted, including overwritten
+}
+
+// DefaultCapacity is the ring size used when NewTrace is given a
+// non-positive capacity: large enough to hold every steal and mug of a
+// typical full-scale kernel run, small enough to serve whole over HTTP.
+const DefaultCapacity = 8192
+
+// NewTrace returns an enabled recorder holding up to capacity events
+// (DefaultCapacity when capacity <= 0).
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Trace{ring: make([]Event, capacity)}
+}
+
+// Emit records one event. On a nil receiver it is a no-op; on an enabled
+// recorder it writes into the preallocated ring — no path allocates.
+func (t *Trace) Emit(at sim.Time, kind Kind, core int16, arg int64) {
+	if t == nil {
+		return
+	}
+	t.ring[t.head] = Event{At: at, Kind: kind, Core: core, Arg: arg}
+	t.head++
+	if t.head == len(t.ring) {
+		t.head = 0
+	}
+	if t.count < len(t.ring) {
+		t.count++
+	}
+	t.total++
+}
+
+// Len returns the number of events currently retained.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	return t.count
+}
+
+// Total returns the number of events ever emitted.
+func (t *Trace) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}
+
+// Dropped returns how many events were overwritten by ring wrap.
+func (t *Trace) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total - uint64(t.count)
+}
+
+// Events returns the retained events oldest-first.
+func (t *Trace) Events() []Event {
+	if t == nil || t.count == 0 {
+		return nil
+	}
+	out := make([]Event, 0, t.count)
+	start := t.head - t.count
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < t.count; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// jsonEvent is the wire form of one event.
+type jsonEvent struct {
+	T    int64  `json:"t_ps"`
+	Kind string `json:"kind"`
+	Core int16  `json:"core"`
+	Arg  int64  `json:"arg"`
+}
+
+// jsonTrace is the wire form of the whole recorder.
+type jsonTrace struct {
+	Capacity int         `json:"capacity"`
+	Total    uint64      `json:"total"`
+	Dropped  uint64      `json:"dropped"`
+	Events   []jsonEvent `json:"events"`
+}
+
+// WriteJSON writes the retained events as one JSON object:
+//
+//	{"capacity":N,"total":T,"dropped":D,"events":[{"t_ps":...,"kind":"steal","core":1,"arg":3},...]}
+func (t *Trace) WriteJSON(w io.Writer) error {
+	jt := jsonTrace{Events: []jsonEvent{}}
+	if t != nil {
+		jt.Capacity = len(t.ring)
+		jt.Total = t.total
+		jt.Dropped = t.Dropped()
+		for _, e := range t.Events() {
+			jt.Events = append(jt.Events, jsonEvent{
+				T: int64(e.At), Kind: e.Kind.String(), Core: e.Core, Arg: e.Arg,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(jt)
+}
+
+// WriteCSV writes the retained events as CSV (t_ps,kind,core,arg), for the
+// same scripts that consume the profile CSV endpoint.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "t_ps,kind,core,arg"); err != nil {
+		return err
+	}
+	for _, e := range t.Events() {
+		if _, err := fmt.Fprintf(w, "%d,%s,%d,%d\n", int64(e.At), e.Kind, e.Core, e.Arg); err != nil {
+			return err
+		}
+	}
+	return nil
+}

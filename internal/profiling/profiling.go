@@ -1,8 +1,9 @@
-// Package profiling provides the shared -cpuprofile/-memprofile/-benchjson
-// plumbing for the command-line tools, so every driver exposes the same
-// performance-investigation surface as cmd/aaws-bench: a pprof CPU profile
-// of the main work, an allocation profile at exit, and a small JSON summary
-// (wall clock, cells, events, events/sec) consumable by scripts.
+// Package profiling provides the shared -cpuprofile/-memprofile/-trace/
+// -benchjson plumbing for the command-line tools, so every driver exposes
+// the same performance-investigation surface as cmd/aaws-bench: a pprof CPU
+// profile of the main work, an allocation profile at exit, a Go runtime
+// execution trace (`go tool trace`), and a small JSON summary (wall clock,
+// cells, events, events/sec) consumable by scripts.
 package profiling
 
 import (
@@ -12,6 +13,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	rtrace "runtime/trace"
 	"time"
 )
 
@@ -22,7 +24,9 @@ type Session struct {
 	cpuPath   string
 	memPath   string
 	jsonPath  string
+	tracePath string
 	cpuFile   *os.File
+	traceFile *os.File
 	start     time.Time
 	benchName string
 
@@ -40,25 +44,37 @@ func AddFlags(benchName string) *Session {
 	flag.StringVar(&s.cpuPath, "cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.StringVar(&s.memPath, "memprofile", "", "write an allocation profile to this file on exit")
 	flag.StringVar(&s.jsonPath, "benchjson", "", "write a JSON run summary (wall_ms, cells, events) to this file")
+	flag.StringVar(&s.tracePath, "trace", "", "write a Go runtime execution trace (go tool trace) to this file")
 	return s
 }
 
-// Start begins CPU profiling (if requested) and the wall clock. Call it
-// after flag.Parse and before the main work.
+// Start begins CPU profiling and the runtime execution trace (each if
+// requested) and the wall clock. Call it after flag.Parse and before the
+// main work.
 func (s *Session) Start() error {
 	s.start = time.Now()
-	if s.cpuPath == "" {
-		return nil
+	if s.cpuPath != "" {
+		f, err := os.Create(s.cpuPath)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		s.cpuFile = f
 	}
-	f, err := os.Create(s.cpuPath)
-	if err != nil {
-		return err
+	if s.tracePath != "" {
+		f, err := os.Create(s.tracePath)
+		if err != nil {
+			return err
+		}
+		if err := rtrace.Start(f); err != nil {
+			f.Close()
+			return err
+		}
+		s.traceFile = f
 	}
-	if err := pprof.StartCPUProfile(f); err != nil {
-		f.Close()
-		return err
-	}
-	s.cpuFile = f
 	return nil
 }
 
@@ -71,6 +87,11 @@ func (s *Session) Stop() {
 		pprof.StopCPUProfile()
 		s.cpuFile.Close()
 		s.cpuFile = nil
+	}
+	if s.traceFile != nil {
+		rtrace.Stop()
+		s.traceFile.Close()
+		s.traceFile = nil
 	}
 	if s.memPath != "" {
 		if err := s.writeMemProfile(); err != nil {

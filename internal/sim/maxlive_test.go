@@ -1,0 +1,59 @@
+package sim
+
+import "testing"
+
+func TestMaxLiveHighWater(t *testing.T) {
+	e := NewEngine()
+	if e.MaxLive() != 0 {
+		t.Fatalf("fresh engine MaxLive = %d, want 0", e.MaxLive())
+	}
+	fn := func() {}
+	for i := 0; i < 5; i++ {
+		e.After(Time(i+1), fn)
+	}
+	if e.MaxLive() != 5 {
+		t.Fatalf("MaxLive = %d after 5 schedules, want 5", e.MaxLive())
+	}
+	// Draining the queue must not lower the high-water mark.
+	for e.Step() {
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("queue not drained: %d pending", e.Pending())
+	}
+	if e.MaxLive() != 5 {
+		t.Fatalf("MaxLive = %d after drain, want 5 (high-water, not live count)", e.MaxLive())
+	}
+	// A shallower second wave keeps the old peak...
+	e.After(1, fn)
+	if e.MaxLive() != 5 {
+		t.Fatalf("MaxLive = %d, want 5 after shallow refill", e.MaxLive())
+	}
+	// ...and Reset clears it.
+	e.Reset()
+	if e.MaxLive() != 0 {
+		t.Fatalf("MaxLive = %d after Reset, want 0", e.MaxLive())
+	}
+	e.After(1, fn)
+	e.After(2, fn)
+	if e.MaxLive() != 2 {
+		t.Fatalf("MaxLive = %d after Reset + 2 schedules, want 2", e.MaxLive())
+	}
+}
+
+// TestSchedulePopZeroAllocs pins the engine's pooled-arena guarantee: once
+// the arena is warm, the schedule+pop cycle performs no heap allocations
+// (the MaxLive bookkeeping added for observability must stay free too).
+func TestSchedulePopZeroAllocs(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 1024; i++ { // warm the arena and heap
+		e.After(Time(i%97), fn)
+		e.Step()
+	}
+	if avg := testing.AllocsPerRun(2000, func() {
+		e.After(7, fn)
+		e.Step()
+	}); avg != 0 {
+		t.Fatalf("schedule+pop allocates %v allocs/op, want 0", avg)
+	}
+}

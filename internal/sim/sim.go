@@ -147,6 +147,7 @@ type Engine struct {
 	heap      []int32
 	live      int // queued events that will fire (excludes cancelled)
 	cancelled int // queued events that were cancelled but not yet removed
+	maxLive   int // high-water mark of live (pending-queue introspection)
 }
 
 // NewEngine returns an Engine with the clock at zero.
@@ -165,7 +166,7 @@ func NewEngine() *Engine {
 // not pending rather than aliasing events of the next run.
 func (e *Engine) Reset() {
 	e.now, e.seq, e.popped = 0, 0, 0
-	e.live, e.cancelled = 0, 0
+	e.live, e.cancelled, e.maxLive = 0, 0, 0
 	e.heap = e.heap[:0]
 	e.free = -1
 	for i := range e.nodes {
@@ -189,6 +190,11 @@ func (e *Engine) Processed() uint64 { return e.popped }
 // events awaiting removal are not counted, so liveness checks see the
 // true amount of outstanding work.
 func (e *Engine) Pending() int { return e.live }
+
+// MaxLive returns the high-water mark of the live event count since the
+// engine was constructed or Reset: how deep the pending queue ever got.
+// Observability only; it never affects scheduling.
+func (e *Engine) MaxLive() int { return e.maxLive }
 
 // queued returns the raw queue length including cancelled records; used
 // by tests to observe compaction.
@@ -231,6 +237,9 @@ func (e *Engine) At(when Time, fn func()) Event {
 	n.next = -1
 	e.seq++
 	e.live++
+	if e.live > e.maxLive {
+		e.maxLive = e.live
+	}
 	e.push(idx)
 	return Event{eng: e, idx: idx, gen: n.gen}
 }

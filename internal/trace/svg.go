@@ -22,6 +22,14 @@ func (ew *errWriter) printf(format string, args ...any) {
 	}
 }
 
+// Mark is one discrete scheduler event (a steal, a mug delivery, ...)
+// overlaid on a core's activity strip by WriteSVGWithMarks.
+type Mark struct {
+	At    sim.Time
+	Core  int
+	Color string
+}
+
 // WriteSVG renders the profile as a self-contained SVG in the style of the
 // paper's Figures 1 and 7: one activity strip and one DVFS strip per core.
 // Activity is black (task) / light gray (steal loop) / hatched gray
@@ -30,6 +38,13 @@ func (ew *errWriter) printf(format string, args ...any) {
 // streaming the SVG can report broken connections instead of silently
 // truncating.
 func (r *Recorder) WriteSVG(w io.Writer, names []string, width int) error {
+	return r.WriteSVGWithMarks(w, names, width, nil)
+}
+
+// WriteSVGWithMarks is WriteSVG with discrete scheduler events overlaid as
+// colored dots on the owning core's activity strip (steals and mug
+// deliveries from the run's event ring, typically).
+func (r *Recorder) WriteSVGWithMarks(w io.Writer, names []string, width int, marks []Mark) error {
 	if width < 100 {
 		width = 800
 	}
@@ -75,6 +90,15 @@ func (r *Recorder) WriteSVG(w io.Writer, names []string, width int) error {
 			ew.printf(`<rect x="%d" y="%d" width="2" height="%d" fill="%s"/>`+"\n",
 				x, y+rowH+1, dvfsH, voltFill(v))
 		}
+	}
+	cols2 := cols * 2 // mark x resolution: one pixel
+	for _, m := range marks {
+		if m.Core < 0 || m.Core >= n || m.At > end || ew.err != nil {
+			continue
+		}
+		x := leftPad + int(int64(cols2)*int64(m.At)/int64(end))
+		y := topPad + m.Core*(rowH+dvfsH+rowGap)
+		ew.printf(`<circle cx="%d" cy="%d" r="2" fill="%s"/>`+"\n", x, y+3, m.Color)
 	}
 	ew.printf("</svg>\n")
 	return ew.err

@@ -17,6 +17,7 @@ package wsrt
 import (
 	"aaws/internal/cache"
 	"aaws/internal/model"
+	"aaws/internal/obs"
 )
 
 // Variant selects a runtime configuration from Figure 8.
@@ -206,6 +207,13 @@ type Config struct {
 	// Interrupt it is side-effect-free on simulation state; the job
 	// service uses it to journal how far a run has advanced.
 	Progress func(events uint64)
+	// Trace, when non-nil, records scheduler events (steals, mugs, region
+	// transitions) into the given flight-recorder ring. Recording copies
+	// values into preallocated storage and never touches simulation state,
+	// so schedules — and therefore report fingerprints — are identical
+	// with tracing on and off. nil (the default) disables recording at
+	// zero cost on the hot paths.
+	Trace *obs.Trace
 	// CacheMigration switches steal/mug cold-miss penalties from the
 	// fixed constants to the Table I cache-hierarchy model driven by each
 	// task's Ctx.Touch working-set estimate (high-fidelity mode).

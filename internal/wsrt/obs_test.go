@@ -1,0 +1,146 @@
+package wsrt
+
+import (
+	"testing"
+
+	"aaws/internal/obs"
+)
+
+// bootStealLoop starts every worker except the root in the steal loop with
+// no work anywhere, so the runtime settles into its steady-state probe
+// cycle: failed steals, backoff, biased spinning — the disabled-tracing
+// hot path the zero-alloc guarantee covers.
+func bootStealLoop(t *testing.T, tr *obs.Trace) *Runtime {
+	t.Helper()
+	rt := newTestRuntime(t, BasePSM, 4, 4)
+	rt.cfg.Trace = tr
+	for _, w := range rt.workers[1:] {
+		w := w
+		rt.eng.At(0, func() {
+			rt.m.HintActivity(w.id, true)
+			w.loop()
+		})
+	}
+	// Warm up: arena growth, backoff ramp, DVFS settling all happen here.
+	for i := 0; i < 5000; i++ {
+		if !rt.eng.Step() {
+			t.Fatal("steal loop drained; it should self-sustain")
+		}
+	}
+	return rt
+}
+
+// TestStealPathZeroAllocsTracingDisabled asserts the acceptance criterion
+// that a nil Config.Trace costs zero allocations per event on the steal
+// path (steal probes, failed-steal accounting, spin backoff).
+func TestStealPathZeroAllocsTracingDisabled(t *testing.T) {
+	rt := bootStealLoop(t, nil)
+	if avg := testing.AllocsPerRun(2000, func() {
+		rt.eng.Step()
+	}); avg != 0 {
+		t.Fatalf("steal path with tracing disabled allocates %v allocs/op, want 0", avg)
+	}
+	if rt.stats.FailedSteals == 0 {
+		t.Fatal("no failed steals recorded; the test did not exercise the steal path")
+	}
+}
+
+// TestStealPathZeroAllocsTracingEnabled asserts the stronger property that
+// even an enabled trace stays allocation-free on the hot path: events land
+// in the preallocated ring, overwriting the oldest on wrap.
+func TestStealPathZeroAllocsTracingEnabled(t *testing.T) {
+	tr := obs.NewTrace(256)
+	rt := bootStealLoop(t, tr)
+	if avg := testing.AllocsPerRun(2000, func() {
+		rt.eng.Step()
+	}); avg != 0 {
+		t.Fatalf("steal path with tracing enabled allocates %v allocs/op, want 0", avg)
+	}
+	if tr.Total() == 0 {
+		t.Fatal("enabled trace recorded nothing on the steal path")
+	}
+	for _, e := range tr.Events() {
+		if e.Kind == obs.KindFailedSteal {
+			return
+		}
+	}
+	t.Fatalf("trace holds %d events but no failed steals", tr.Len())
+}
+
+// TestExecuteRecordsTrace runs a real program with a configured trace and
+// checks the ring captured the scheduler narrative: phase boundaries,
+// serial regions, and (for a mugging variant under load) steals.
+func TestExecuteRecordsTrace(t *testing.T) {
+	tr := obs.NewTrace(0)
+	rt := newTestRuntime(t, BasePSM, 4, 4)
+	rt.cfg.Trace = tr
+	rep := rt.Execute(func(r *Run) {
+		r.SerialWork(1e5)
+		r.ParallelFor(0, 256, 1, func(c *Ctx, lo, hi int) {
+			c.Work(float64(hi-lo) * 2e4)
+		})
+		r.SerialWork(1e5)
+	})
+	if rep.ExecTime <= 0 {
+		t.Fatal("no time simulated")
+	}
+	want := map[obs.Kind]bool{
+		obs.KindSerialStart: false,
+		obs.KindSerialEnd:   false,
+		obs.KindPhaseStart:  false,
+		obs.KindPhaseEnd:    false,
+		obs.KindSteal:       false,
+	}
+	for _, e := range tr.Events() {
+		if _, ok := want[e.Kind]; ok {
+			want[e.Kind] = true
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("trace missing %v event (total recorded %d)", k, tr.Total())
+		}
+	}
+	if rep.PeakLive <= 0 {
+		t.Errorf("Report.PeakLive = %d, want > 0", rep.PeakLive)
+	}
+}
+
+// TestMugLatenciesRecordedWithoutTrace pins the determinism contract: mug
+// latencies are part of the report (recorded always), not an observability
+// side effect, so enabling tracing cannot change report fingerprints.
+func TestMugLatenciesRecordedWithoutTrace(t *testing.T) {
+	run := func(tr *obs.Trace) Report {
+		rt := newTestRuntime(t, BasePSM, 1, 7)
+		rt.cfg.Trace = tr
+		return rt.Execute(func(r *Run) {
+			for range [4]int{} {
+				r.ParallelFor(0, 64, 1, func(c *Ctx, lo, hi int) {
+					c.Work(float64(hi-lo) * 5e4)
+				})
+				r.SerialWork(5e4)
+			}
+		})
+	}
+	plain := run(nil)
+	traced := run(obs.NewTrace(0))
+	if plain.Mugs == 0 {
+		t.Skip("workload produced no mugs on this configuration")
+	}
+	if len(plain.MugLatencies) != plain.Mugs {
+		t.Fatalf("%d mug latencies for %d mugs", len(plain.MugLatencies), plain.Mugs)
+	}
+	if len(traced.MugLatencies) != len(plain.MugLatencies) {
+		t.Fatalf("tracing changed mug-latency count: %d vs %d",
+			len(traced.MugLatencies), len(plain.MugLatencies))
+	}
+	for i := range plain.MugLatencies {
+		if plain.MugLatencies[i] != traced.MugLatencies[i] {
+			t.Fatalf("mug latency %d differs with tracing: %v vs %v",
+				i, plain.MugLatencies[i], traced.MugLatencies[i])
+		}
+		if plain.MugLatencies[i] <= 0 {
+			t.Fatalf("mug latency %d is %v, want > 0", i, plain.MugLatencies[i])
+		}
+	}
+}

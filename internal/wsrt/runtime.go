@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"aaws/internal/machine"
+	"aaws/internal/obs"
 	"aaws/internal/power"
 	"aaws/internal/sim"
 )
@@ -51,9 +52,15 @@ type Report struct {
 	MugsDropped     int    // interrupts suppressed by the fault injector
 	MugsDelayed     int    // interrupts delivered late by the fault injector
 	Events          uint64 // simulation events executed during the run
-	Energy          []power.Breakdown
-	TotalEnergy     float64
-	PerWorker       []WorkerStats
+	PeakLive        int    // high-water mark of the engine's pending queue
+	// MugLatencies lists, in delivery order, the simulated time from each
+	// mug interrupt's first send to its delivery at the muggee. Mugs are
+	// rare (tens per run), so recording them always — tracing on or off —
+	// keeps report fingerprints independent of observability.
+	MugLatencies []sim.Time
+	Energy       []power.Breakdown
+	TotalEnergy  float64
+	PerWorker    []WorkerStats
 }
 
 // CheckInvariants verifies the scheduler's accounting invariants after a
@@ -154,7 +161,8 @@ type Runtime struct {
 	workers []*worker
 	rng     *sim.Rand
 	stats   Stats
-	mugSeq  uint64 // global mug-interrupt sequence counter
+	mugSeq  uint64     // global mug-interrupt sequence counter
+	mugLat  []sim.Time // send→delivery latency per completed handshake
 
 	rootReq chan rootReq
 	rootAck chan struct{}
@@ -203,6 +211,13 @@ func New(m *machine.Machine, cfg Config) *Runtime {
 
 // Machine returns the underlying machine (for observers and assertions).
 func (rt *Runtime) Machine() *machine.Machine { return rt.m }
+
+// emit records one scheduler event at the current simulated time. With no
+// trace configured this is a nil-receiver no-op — a branch, no allocation —
+// so hot paths call it unconditionally.
+func (rt *Runtime) emit(kind obs.Kind, core int16, arg int64) {
+	rt.cfg.Trace.Emit(rt.eng.Now(), kind, core, arg)
+}
 
 // Running reports whether the program is still executing (false after
 // shutdown). Periodic observers use it to stop re-arming their events so
@@ -304,6 +319,8 @@ func (rt *Runtime) ExecuteChecked(program func(r *Run)) (Report, error) {
 		MugsDropped:     rt.m.Net.Dropped(),
 		MugsDelayed:     rt.m.Net.Delayed(),
 		Events:          rt.eng.Processed(),
+		PeakLive:        rt.eng.MaxLive(),
+		MugLatencies:    rt.mugLat,
 		Energy:          rt.m.EnergyBreakdown(),
 		TotalEnergy:     rt.m.TotalEnergy(),
 	}
@@ -360,6 +377,7 @@ func (rt *Runtime) onCoreFail(id int) bool {
 		return true
 	}
 	rt.stats.CoreFails++
+	rt.emit(obs.KindCoreFail, int16(id), 0)
 	if w.state == wsMugSend {
 		w.abandonMug()
 	}
@@ -398,6 +416,7 @@ func (rt *Runtime) onCoreFail(id int) bool {
 // before stealing or spinning again.
 func (rt *Runtime) rescue(t *task, dead *worker) {
 	rt.stats.TasksRescued++
+	rt.emit(obs.KindRescue, int16(dead.id), 0)
 	if rt.cfg.Sched == SchedSharing {
 		rt.pushShared(t)
 		return
@@ -423,9 +442,11 @@ func (w *worker) processRoot() {
 	if req.parallel == nil {
 		w.state = wsSerial
 		rt.stats.SerialInstr += req.serial
+		rt.emit(obs.KindSerialStart, 0, int64(req.serial))
 		rt.m.HintSerial(0, true)
 		rt.m.SetState(0, power.StateActive)
 		w.core.Start(req.serial, func() {
+			rt.emit(obs.KindSerialEnd, 0, 0)
 			rt.m.HintSerial(0, false)
 			rt.m.SetState(0, power.StateWaiting)
 			w.state = wsRoot
@@ -434,6 +455,7 @@ func (w *worker) processRoot() {
 		})
 		return
 	}
+	rt.emit(obs.KindPhaseStart, 0, 0)
 	ph := &join{pending: 1, onZero: rt.onPhaseZero}
 	root := &task{fn: req.parallel, join: ph, spawner: 0}
 	rt.stats.TasksCreated++
@@ -479,6 +501,7 @@ func (rt *Runtime) onPhaseZero(completer *worker) {
 // event context.
 func (rt *Runtime) finishPhase() {
 	w0 := rt.workers[0]
+	rt.emit(obs.KindPhaseEnd, 0, 0)
 	rt.phaseDone = false
 	w0.state = wsRoot
 	rt.m.SetState(0, power.StateWaiting)

@@ -6,6 +6,7 @@ import (
 	"aaws/internal/cpu"
 	"aaws/internal/deque"
 	"aaws/internal/icn"
+	"aaws/internal/obs"
 	"aaws/internal/power"
 	"aaws/internal/sim"
 )
@@ -63,11 +64,13 @@ type worker struct {
 
 	// Mug-handshake bookkeeping (valid while state == wsMugSend): the
 	// muggee this worker is trying to mug, the sequence number of the
-	// outstanding interrupt, and how many times it has been resent after a
-	// delivery timeout.
+	// outstanding interrupt, how many times it has been resent after a
+	// delivery timeout, and when the first send left — the anchor for the
+	// report's send-to-delivery mug latency.
 	mugTarget  *worker
 	mugSeq     uint64
 	mugResends int
+	mugSendAt  sim.Time
 
 	// failPending defers a fail-stop that arrived mid mug-swap; the swap's
 	// release re-invokes machine.FailCore at the next safe point.
@@ -90,6 +93,12 @@ func newWorker(rt *Runtime, id int, core *cpu.Core) *worker {
 
 // big reports whether the worker runs on a big core.
 func (w *worker) big() bool { return w.core.Class == power.Big }
+
+// emit records one scheduler event attributed to this worker's core. A nil
+// configured trace makes this a single-branch no-op (see Runtime.emit).
+func (w *worker) emit(kind obs.Kind, arg int64) {
+	w.rt.cfg.Trace.Emit(w.rt.eng.Now(), kind, int16(w.id), arg)
+}
 
 // active reports whether the worker is doing useful work (for the
 // shared-memory activity table consulted by biasing and mugging).
@@ -183,6 +192,7 @@ func (w *worker) resolveSteal() {
 			w.rt.stats.Steals++
 			w.ws.Steals++
 			v.ws.Stolen++
+			w.emit(obs.KindSteal, int64(v.id))
 			// The stolen task's working set is unknown until its body runs;
 			// the migration penalty is charged in execute after runBody.
 			w.execute(t, cfg.StealSuccessCost)
@@ -190,6 +200,7 @@ func (w *worker) resolveSteal() {
 		}
 	}
 	w.rt.stats.FailedSteals++
+	w.emit(obs.KindFailedSteal, -1)
 	w.noteFailedProbe()
 	if cfg.Variant.Mugging() && w.big() && w.failed >= 2 {
 		if m := w.rt.pickMuggee(); m != nil {
@@ -419,6 +430,8 @@ func (w *worker) startMug(m *worker) {
 	w.state = wsMugSend
 	w.mugTarget = m
 	w.mugResends = 0
+	w.mugSendAt = w.rt.eng.Now()
+	w.emit(obs.KindMugSend, int64(m.id))
 	w.sendMugMsg()
 }
 
@@ -446,9 +459,11 @@ func (w *worker) mugTimeout() {
 		return
 	}
 	rt.stats.MugTimeouts++
+	w.emit(obs.KindMugTimeout, int64(w.mugResends))
 	if w.mugResends < rt.cfg.MugRetryMax && w.mugTarget.state == wsRunning && w.mugTarget.cur != nil {
 		w.mugResends++
 		rt.stats.MugResends++
+		w.emit(obs.KindMugResend, int64(w.mugTarget.id))
 		w.sendMugMsg()
 		return
 	}
@@ -472,6 +487,7 @@ func (w *worker) abandonMug() {
 		w.mugTarget = nil
 	}
 	w.rt.stats.MugAbandoned++
+	w.emit(obs.KindMugAbandoned, 0)
 	w.state = wsStealing
 }
 
@@ -499,6 +515,7 @@ func (rt *Runtime) handleMug(msg icn.Message) {
 		// cost and resumes stealing.
 		muggee.beingMugged = false
 		rt.stats.FailedMugs++
+		muggee.emit(obs.KindMugFailed, int64(mugger.id))
 		mugger.state = wsStealing
 		mugger.pendingEv = rt.eng.After(mugger.core.TimeFor(rt.cfg.MugHandlerInstr), mugger.resumeFn)
 		return
@@ -510,6 +527,8 @@ func (rt *Runtime) handleMug(msg icn.Message) {
 	rt.stats.Mugs++
 	mugger.ws.MugsDone++
 	muggee.ws.TimesMugged++
+	rt.mugLat = append(rt.mugLat, rt.eng.Now()-mugger.mugSendAt)
+	muggee.emit(obs.KindMugDelivered, int64(mugger.id))
 
 	// Both sides store/load architectural state through shared memory and
 	// synchronize at a barrier (Section III-B); the first arriver spins at
@@ -520,6 +539,7 @@ func (rt *Runtime) handleMug(msg icn.Message) {
 			return
 		}
 		muggee.beingMugged = false
+		mugger.emit(obs.KindMugDone, int64(muggee.id))
 		// The big core resumes the migrated task, paying the cache
 		// migration penalty; the little core enters the steal loop.
 		mugger.execute(t, mugger.mugPenalty(t))
