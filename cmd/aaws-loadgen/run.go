@@ -1,0 +1,305 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// The traffic engine: one pacer goroutine per tenant draws requests from the
+// tenant's deterministic corpus and fires them at the target server; a
+// bounded set of watcher goroutines polls accepted jobs to completion so
+// latency is measured submit → terminal state, not submit → 202.
+
+// outcome is what happened to one generated request.
+type outcome struct {
+	tenant    string
+	kind      reqKind
+	accepted  bool // 202 (queued) or 200 (immediate)
+	cacheHit  bool
+	completed bool
+	shed      bool // 503 (overloaded / draining)
+	limited   bool // 429 rate limited
+	rejected  bool // 429 queue full (reported alongside limited)
+	errored   bool // transport error, unexpected status, decode failure
+	latency   time.Duration
+}
+
+// collector accumulates outcomes per tenant.
+type collector struct {
+	mu sync.Mutex
+	by map[string]*tenantTally
+}
+
+type tenantTally struct {
+	requests, accepted, completed, cacheHits  int
+	shed, limited, errors, sweeps, unresolved int
+	latenciesMs                               []float64
+}
+
+func newCollector() *collector { return &collector{by: make(map[string]*tenantTally)} }
+
+func (c *collector) add(o outcome) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.by[o.tenant]
+	if t == nil {
+		t = &tenantTally{}
+		c.by[o.tenant] = t
+	}
+	t.requests++
+	if o.kind == kindSweep {
+		t.sweeps++
+	}
+	switch {
+	case o.errored:
+		t.errors++
+	case o.shed:
+		t.shed++
+	case o.limited || o.rejected:
+		t.limited++
+	case o.accepted:
+		t.accepted++
+		if o.cacheHit {
+			t.cacheHits++
+		}
+		if o.completed {
+			t.completed++
+			t.latenciesMs = append(t.latenciesMs, float64(o.latency)/float64(time.Millisecond))
+		} else {
+			t.unresolved++
+		}
+	default:
+		t.errors++
+	}
+}
+
+// client drives one server.
+type client struct {
+	base string
+	http *http.Client
+}
+
+func newClient(base string) *client {
+	return &client{
+		base: base,
+		http: &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: 256, // pollers reuse connections instead of piling up sockets
+			},
+		},
+	}
+}
+
+type jobStatusLite struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	CacheHit bool   `json:"cache_hit"`
+}
+
+type sweepRespLite struct {
+	IDs []string `json:"ids"`
+}
+
+func terminal(state string) bool {
+	return state == "done" || state == "failed" || state == "canceled"
+}
+
+// post sends one JSON body with the tenant identity header.
+func (cl *client) post(ctx context.Context, path, tenant string, body any) (*http.Response, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cl.base+path, bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-AAWS-Client", tenant)
+	return cl.http.Do(req)
+}
+
+// await polls a job until terminal or ctx expires.
+func (cl *client) await(ctx context.Context, id string) bool {
+	interval := 10 * time.Millisecond
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, cl.base+"/v1/jobs/"+id, nil)
+		if err != nil {
+			return false
+		}
+		resp, err := cl.http.Do(req)
+		if err != nil {
+			return false
+		}
+		var st jobStatusLite
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err == nil && terminal(st.State) {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(interval):
+		}
+		if interval < 100*time.Millisecond {
+			interval *= 2
+		}
+	}
+}
+
+// jobBody builds the submission body for a single-job request.
+func jobBody(r genRequest) map[string]any {
+	return map[string]any{
+		"kernel":  "cilksort",
+		"variant": "base+psm",
+		"seed":    r.Seed,
+		"scale":   1.0,
+	}
+}
+
+// fire executes one generated request end to end and reports its outcome.
+func (cl *client) fire(ctx context.Context, tenant string, r genRequest, col *collector) {
+	start := time.Now()
+	o := outcome{tenant: tenant, kind: r.Kind}
+	defer func() { col.add(o) }()
+
+	var resp *http.Response
+	var err error
+	if r.Kind == kindSweep {
+		resp, err = cl.post(ctx, "/v1/sweeps", tenant, map[string]any{
+			"kernels": []string{"cilksort"},
+			"seeds":   r.SweepSeeds,
+			"scale":   1.0,
+		})
+	} else {
+		resp, err = cl.post(ctx, "/v1/jobs", tenant, jobBody(r))
+	}
+	if err != nil {
+		o.errored = ctx.Err() == nil // shutdown-canceled submits are not server errors
+		return
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+
+	switch resp.StatusCode {
+	case http.StatusServiceUnavailable:
+		o.shed = true
+		return
+	case http.StatusTooManyRequests:
+		o.limited = true
+		return
+	case http.StatusOK, http.StatusAccepted:
+	default:
+		o.errored = true
+		return
+	}
+	o.accepted = true
+
+	if r.Kind == kindSweep {
+		var sr sweepRespLite
+		if json.Unmarshal(body, &sr) != nil || len(sr.IDs) == 0 {
+			o.errored = true
+			return
+		}
+		for _, id := range sr.IDs {
+			if !cl.await(ctx, id) {
+				return // unresolved: counted against the invariant check
+			}
+		}
+		o.completed = true
+		o.latency = time.Since(start)
+		return
+	}
+
+	var st jobStatusLite
+	if json.Unmarshal(body, &st) != nil || st.ID == "" {
+		o.errored = true
+		return
+	}
+	o.cacheHit = st.CacheHit
+	if terminal(st.State) || cl.await(ctx, st.ID) {
+		o.completed = true
+		o.latency = time.Since(start)
+	}
+}
+
+// runScenario drives every tenant's load against the target for duration,
+// then grants a drain grace period for in-flight jobs to resolve.
+func runScenario(cl *client, sc scenario, runSeed int64, duration, grace time.Duration, col *collector) {
+	// Submission window.
+	subCtx, cancelSub := context.WithTimeout(context.Background(), duration)
+	defer cancelSub()
+	// Watchers outlive the window so accepted jobs can resolve.
+	watchCtx, cancelWatch := context.WithTimeout(context.Background(), duration+grace)
+	defer cancelWatch()
+
+	var wg sync.WaitGroup
+	for _, load := range sc.Tenants {
+		load := load
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			crp := newCorpus(runSeed, load)
+			var inner sync.WaitGroup
+			if load.OpenQPS > 0 {
+				// Open loop: fixed pacing, fire-and-watch. The corpus is
+				// drawn in the pacer (deterministic order), the request
+				// runs in its own goroutine.
+				tick := time.NewTicker(time.Duration(float64(time.Second) / load.OpenQPS))
+				defer tick.Stop()
+				for {
+					select {
+					case <-subCtx.Done():
+						inner.Wait()
+						return
+					case <-tick.C:
+						r := crp.next()
+						inner.Add(1)
+						go func() {
+							defer inner.Done()
+							cl.fire(watchCtx, load.Name, r, col)
+						}()
+					}
+				}
+			}
+			// Closed loop: each worker submits, waits, repeats.
+			workers := load.Closed
+			if workers < 1 {
+				workers = 1
+			}
+			var mu sync.Mutex // serialize corpus draws across workers
+			for w := 0; w < workers; w++ {
+				inner.Add(1)
+				go func() {
+					defer inner.Done()
+					for subCtx.Err() == nil {
+						mu.Lock()
+						r := crp.next()
+						mu.Unlock()
+						cl.fire(watchCtx, load.Name, r, col)
+					}
+				}()
+			}
+			inner.Wait()
+		}()
+	}
+	wg.Wait()
+}
+
+// probe checks the target answers /healthz before traffic starts.
+func (cl *client) probe() error {
+	resp, err := cl.http.Get(cl.base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("aaws-loadgen: target %s unreachable: %w", cl.base, err)
+	}
+	resp.Body.Close()
+	return nil
+}

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// A scenario is a named multi-tenant traffic shape: which tenants exist, how
+// each one paces itself (open-loop QPS or closed-loop concurrency), and what
+// mix of job kinds it submits. Scenarios are fully determined by the run
+// seed, so two runs against different server configurations (e.g. -qos wfq
+// vs -qos fifo) submit the same specs and their reports are comparable
+// line for line.
+type scenario struct {
+	Name        string
+	Description string
+	Tenants     []tenantLoad
+}
+
+// tenantLoad is one tenant's traffic shape.
+type tenantLoad struct {
+	Name string
+	// OpenQPS > 0 paces submissions open-loop at that rate regardless of
+	// completions (the overload-generating mode); otherwise Closed workers
+	// run closed-loop: submit, wait for the job to finish, repeat.
+	OpenQPS float64
+	Closed  int
+
+	// Mix fractions (the remainder is interactive singles drawn from a
+	// medium warm pool). HotFrac draws from a HotPool-sized replay set
+	// (cache-hot); ColdFrac draws a never-repeated seed (cache-miss flood);
+	// SweepFrac submits a small batch sweep matrix.
+	HotFrac   float64
+	ColdFrac  float64
+	SweepFrac float64
+	HotPool   int
+
+	// Protected marks tenants whose latency/shed budgets matter (the
+	// victims, not the floods): warn-only budget checks apply to them.
+	Protected bool
+}
+
+// scenarios are the built-in traffic shapes.
+var scenarios = map[string]scenario{
+	"mixed": {
+		Name:        "mixed",
+		Description: "three tenants with realistic blended traffic: an interactive API tenant, a batch-sweep tenant, and a bursty ML tenant",
+		Tenants: []tenantLoad{
+			{Name: "team-api", OpenQPS: 25, HotFrac: 0.6, ColdFrac: 0.1, HotPool: 8, Protected: true},
+			{Name: "team-batch", Closed: 2, SweepFrac: 0.4, ColdFrac: 0.6},
+			{Name: "team-ml", OpenQPS: 10, HotFrac: 0.3, ColdFrac: 0.7, HotPool: 4},
+		},
+	},
+	"adversarial": {
+		Name:        "adversarial",
+		Description: "a cache-miss flood (unique specs at high QPS) attacking a low-rate interactive victim replaying a small hot set — the QoS isolation acceptance scenario",
+		Tenants: []tenantLoad{
+			{Name: "flood", OpenQPS: 90, ColdFrac: 1.0},
+			{Name: "victim", OpenQPS: 5, HotFrac: 0.8, ColdFrac: 0.2, HotPool: 4, Protected: true},
+		},
+	},
+	"cache-hot": {
+		Name:        "cache-hot",
+		Description: "two tenants replaying small hot sets: measures steady-state cache behavior and fair sharing without overload",
+		Tenants: []tenantLoad{
+			{Name: "replay-a", OpenQPS: 40, HotFrac: 1.0, HotPool: 6, Protected: true},
+			{Name: "replay-b", OpenQPS: 40, HotFrac: 1.0, HotPool: 6, Protected: true},
+		},
+	},
+}
+
+func scenarioNames() string {
+	names := make([]string, 0, len(scenarios))
+	for n := range scenarios {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// ---- deterministic corpus ----
+
+// reqKind classifies one generated request.
+type reqKind int
+
+const (
+	kindInteractive reqKind = iota // warm-pool single
+	kindHot                        // hot-pool replay (cache-hot)
+	kindCold                       // unique seed (cache miss)
+	kindSweep                      // batch sweep matrix
+)
+
+func (k reqKind) String() string {
+	switch k {
+	case kindHot:
+		return "hot"
+	case kindCold:
+		return "cold"
+	case kindSweep:
+		return "sweep"
+	}
+	return "interactive"
+}
+
+// genRequest is one request the corpus produced: a job submission (Seed set)
+// or a sweep submission (SweepSeeds set).
+type genRequest struct {
+	Kind       reqKind
+	Seed       uint64
+	SweepSeeds []uint64
+}
+
+// corpus deterministically generates one tenant's request stream. Seeds are
+// partitioned per tenant (FNV offset) so tenants never collide except by
+// design, and the draw sequence depends only on (runSeed, tenant) — never on
+// timing — so WFQ and FIFO runs replay identical work.
+type corpus struct {
+	load     tenantLoad
+	rng      *rand.Rand
+	base     uint64 // tenant seed-space offset
+	coldNext uint64 // monotone unique-seed counter
+}
+
+func newCorpus(runSeed int64, load tenantLoad) *corpus {
+	h := fnv.New64a()
+	fmt.Fprint(h, load.Name)
+	base := h.Sum64() &^ (1<<20 - 1) // tenant-sized seed partitions
+	return &corpus{
+		load: load,
+		rng:  rand.New(rand.NewSource(runSeed ^ int64(h.Sum64()))),
+		base: base,
+	}
+}
+
+// next draws the tenant's next request.
+func (c *corpus) next() genRequest {
+	roll := c.rng.Float64()
+	switch {
+	case roll < c.load.HotFrac:
+		pool := c.load.HotPool
+		if pool < 1 {
+			pool = 1
+		}
+		return genRequest{Kind: kindHot, Seed: c.base + uint64(c.rng.Intn(pool))}
+	case roll < c.load.HotFrac+c.load.ColdFrac:
+		c.coldNext++
+		return genRequest{Kind: kindCold, Seed: c.base + 1<<19 + c.coldNext}
+	case roll < c.load.HotFrac+c.load.ColdFrac+c.load.SweepFrac:
+		// A small sweep matrix: 3 fresh cells per submission.
+		seeds := make([]uint64, 3)
+		for i := range seeds {
+			c.coldNext++
+			seeds[i] = c.base + 1<<19 + c.coldNext
+		}
+		return genRequest{Kind: kindSweep, SweepSeeds: seeds}
+	default:
+		// Interactive singles from a warm pool: repeats happen, but the
+		// pool is wide enough that many submissions still simulate.
+		return genRequest{Kind: kindInteractive, Seed: c.base + 1<<18 + uint64(c.rng.Intn(64))}
+	}
+}

@@ -59,6 +59,12 @@ func main() {
 	maxWait := flag.Duration("max-wait", 0, "shed submissions whose estimated queue wait exceeds this (0 = shed only vs per-job deadlines)")
 	maxBodyKB := flag.Int("max-body-kb", 1024, "max request body size (KiB) before 413")
 	debugAddr := flag.String("debug-addr", "", "optional debug listener (net/http/pprof under /debug/pprof/); keep it off public interfaces")
+	qos := flag.String("qos", "wfq", "ready-queue policy: wfq (tenant-aware weighted-fair) or fifo (legacy global priority queue)")
+	tenantWeights := flag.String("tenant-weights", "", "per-tenant WFQ weights, e.g. 'team-a=2,team-b=1'")
+	defaultWeight := flag.Float64("default-tenant-weight", 1, "WFQ weight for tenants not listed in -tenant-weights")
+	perTenantDepth := flag.Int("max-queue-per-tenant", 0, "max queued jobs per tenant (0 = no per-tenant cap)")
+	tenantCacheMB := flag.Int("tenant-cache-mb", 0, "per-tenant result-cache byte quota (MiB, 0 = unlimited)")
+	tenantCacheEntries := flag.Int("tenant-cache-entries", 0, "per-tenant result-cache entry quota (0 = unlimited)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -66,6 +72,22 @@ func main() {
 		os.Exit(2)
 	}
 	cache, err := jobs.NewCache(*cacheSize, *cacheDir)
+	if err != nil {
+		fail(err)
+	}
+	if *tenantCacheMB > 0 || *tenantCacheEntries > 0 {
+		cache.SetTenantQuotas(int64(*tenantCacheMB)<<20, *tenantCacheEntries)
+	}
+	var policy jobs.SchedPolicy
+	switch *qos {
+	case "wfq":
+		policy = jobs.PolicyWFQ
+	case "fifo":
+		policy = jobs.PolicyFIFO
+	default:
+		fail(fmt.Errorf("aaws-serve: -qos must be wfq or fifo, got %q", *qos))
+	}
+	weights, err := jobs.ParseWeights(*tenantWeights)
 	if err != nil {
 		fail(err)
 	}
@@ -95,8 +117,14 @@ func main() {
 		Journal:        journal,
 		Admission: jobs.AdmissionConfig{
 			PerPriorityDepth: *perPrioDepth,
+			PerTenantDepth:   *perTenantDepth,
 			SweepSlots:       slots,
 			MaxWait:          *maxWait,
+		},
+		QoS: jobs.QoSConfig{
+			Policy:        policy,
+			DefaultWeight: *defaultWeight,
+			Weights:       weights,
 		},
 	})
 	api := jobs.NewServerWithOptions(ex, jobs.ServerOptions{
@@ -128,7 +156,7 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("aaws-serve listening on %s (%d workers, cache %d", *addr, *workers, *cacheSize)
+	fmt.Printf("aaws-serve listening on %s (%d workers, qos %s, cache %d", *addr, *workers, policy, *cacheSize)
 	if *cacheDir != "" {
 		fmt.Printf(" + disk %s", *cacheDir)
 	}

@@ -86,6 +86,11 @@ type AdmissionConfig struct {
 	// PerPriorityDepth caps queued jobs within a single priority level
 	// (0 = only the shared QueueDepth bound applies).
 	PerPriorityDepth int
+	// PerTenantDepth caps queued jobs per tenant (0 = no per-tenant cap).
+	// It is the queue-occupancy quota that keeps one tenant's flood from
+	// filling the shared queue and turning every other tenant's
+	// submissions into queue-full rejections.
+	PerTenantDepth int
 	// SweepSlots caps concurrently *running* ClassSweep jobs (0 = no cap).
 	// Keep it below Workers so interactive jobs always have a free slot.
 	SweepSlots int

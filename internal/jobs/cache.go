@@ -32,35 +32,66 @@ func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, ne
 // the memory bound. Disk I/O runs behind a circuit breaker: repeated I/O
 // errors trip it open and the cache degrades to memory-only (no disk reads
 // or writes, no error latency) until a half-open probe succeeds — a flaky
-// disk slows nothing and fails nothing. All methods are safe for concurrent
-// use.
+// disk slows nothing and fails nothing.
+//
+// Multi-tenant quotas: entries stored via PutOwned are charged to the
+// storing tenant, and SetTenantQuotas bounds each tenant's share in bytes
+// and entries. When a tenant exceeds its budget, *its own* least recently
+// used entries are evicted first — one tenant's cache-miss flood cannot
+// evict everyone else's hot entries. Lookups stay global (content addressing
+// makes a hit on another tenant's entry equally correct), and the overall
+// capacity is still enforced by a global LRU across tenants. All methods are
+// safe for concurrent use.
 type Cache struct {
-	mu       sync.Mutex
-	capacity int
-	ll       *list.List               // front = most recently used
-	items    map[string]*list.Element // hash → element holding *cacheEntry
-	dir      string                   // "" = memory only
-	fs       DiskFS
-	breaker  *Breaker
+	mu               sync.Mutex
+	capacity         int
+	ll               *list.List             // global LRU; front = most recently used
+	items            map[string]*cacheEntry // hash → entry
+	tenants          map[string]*cacheTenant
+	tenantMaxBytes   int64  // 0 = unlimited
+	tenantMaxEntries int    // 0 = unlimited
+	dir              string // "" = memory only
+	fs               DiskFS
+	breaker          *Breaker
 
-	hits, misses, evictions, diskHits, diskErrors uint64
+	hits, misses, evictions, tenantEvictions, diskHits, diskErrors uint64
 }
 
 type cacheEntry struct {
-	key  string
-	data []byte
+	key    string
+	data   []byte
+	tenant string        // owning tenant ("" = unowned; exempt from quotas)
+	gel    *list.Element // position in the global LRU
+	tel    *list.Element // position in the owner's LRU (nil when unowned)
+}
+
+// cacheTenant tracks one tenant's owned slice of the cache.
+type cacheTenant struct {
+	ll    *list.List // tenant-local LRU; front = most recently used
+	bytes int64
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness counters.
 type CacheStats struct {
-	Entries    int
-	Capacity   int
-	Hits       uint64
-	Misses     uint64
-	Evictions  uint64
-	DiskHits   uint64
-	DiskErrors uint64
-	Breaker    BreakerStats
+	Entries   int
+	Capacity  int
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	// TenantEvictions counts evictions forced by a tenant's own quota
+	// (also included in Evictions).
+	TenantEvictions uint64
+	DiskHits        uint64
+	DiskErrors      uint64
+	Breaker         BreakerStats
+	// PerTenant is each tenant's owned share of the in-memory LRU.
+	PerTenant map[string]TenantCacheStats
+}
+
+// TenantCacheStats is one tenant's owned cache footprint.
+type TenantCacheStats struct {
+	Entries int
+	Bytes   int64
 }
 
 // NewCache returns a cache holding up to capacity entries in memory
@@ -92,11 +123,23 @@ func NewCacheWith(capacity int, dir string, fs DiskFS, breaker *Breaker) (*Cache
 	return &Cache{
 		capacity: capacity,
 		ll:       list.New(),
-		items:    make(map[string]*list.Element),
+		items:    make(map[string]*cacheEntry),
+		tenants:  make(map[string]*cacheTenant),
 		dir:      dir,
 		fs:       fs,
 		breaker:  breaker,
 	}, nil
+}
+
+// SetTenantQuotas bounds each tenant's owned share of the in-memory cache:
+// maxBytes of stored result bytes and maxEntries entries (0 = unlimited).
+// Entries past a budget evict that tenant's own LRU entries; other tenants
+// are untouched. Applies to entries stored after the call.
+func (c *Cache) SetTenantQuotas(maxBytes int64, maxEntries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tenantMaxBytes = maxBytes
+	c.tenantMaxEntries = maxEntries
 }
 
 // Get returns the cached bytes for key, or (nil, false). Callers must not
@@ -105,10 +148,10 @@ func NewCacheWith(capacity int, dir string, fs DiskFS, breaker *Breaker) (*Cache
 func (c *Cache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
+	if e, ok := c.items[key]; ok {
+		c.touchLocked(e)
 		c.hits++
-		return el.Value.(*cacheEntry).data, true
+		return e.data, true
 	}
 	if c.dir != "" && c.breaker.Allow() {
 		data, err := c.fs.ReadFile(c.path(key))
@@ -117,7 +160,9 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 			c.breaker.Success()
 			c.hits++
 			c.diskHits++
-			c.putLocked(key, data, false)
+			// Disk promotions are unowned: the reading tenant is unknown
+			// here and content-addressed bytes belong to no one.
+			c.putLocked(key, data, "", false)
 			return data, true
 		case os.IsNotExist(err):
 			c.breaker.Success() // a clean miss is a healthy disk
@@ -130,26 +175,62 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	return nil, false
 }
 
-// Put stores data under key, evicting the least recently used in-memory
-// entry past capacity. The disk copy (when configured and the breaker is
-// closed) is written via a temp-file rename so readers never observe a torn
-// artifact.
-func (c *Cache) Put(key string, data []byte) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.putLocked(key, data, true)
+// touchLocked promotes an entry to most-recently-used in both LRUs.
+func (c *Cache) touchLocked(e *cacheEntry) {
+	c.ll.MoveToFront(e.gel)
+	if e.tel != nil {
+		c.tenants[e.tenant].ll.MoveToFront(e.tel)
+	}
 }
 
-func (c *Cache) putLocked(key string, data []byte, persist bool) {
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).data = data
+// Put stores data under key unowned (exempt from tenant quotas), evicting
+// the least recently used in-memory entry past capacity. The disk copy
+// (when configured and the breaker is closed) is written via a temp-file
+// rename so readers never observe a torn artifact.
+func (c *Cache) Put(key string, data []byte) {
+	c.PutOwned(key, data, "")
+}
+
+// PutOwned is Put with the stored bytes charged to tenant's quota. If the
+// write pushes the tenant past its byte or entry budget, the tenant's own
+// least recently used entries are evicted first; the global LRU bound then
+// applies across tenants.
+func (c *Cache) PutOwned(key string, data []byte, tenant string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.putLocked(key, data, tenant, true)
+}
+
+func (c *Cache) putLocked(key string, data []byte, tenant string, persist bool) {
+	if e, ok := c.items[key]; ok {
+		c.touchLocked(e)
+		if e.tel != nil {
+			c.tenants[e.tenant].bytes += int64(len(data)) - int64(len(e.data))
+		}
+		e.data = data
 	} else {
-		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
+		e := &cacheEntry{key: key, data: data, tenant: tenant}
+		e.gel = c.ll.PushFront(e)
+		c.items[key] = e
+		if tenant != "" {
+			t := c.tenants[tenant]
+			if t == nil {
+				t = &cacheTenant{ll: list.New()}
+				c.tenants[tenant] = t
+			}
+			e.tel = t.ll.PushFront(e)
+			t.bytes += int64(len(data))
+			// Tenant quota: evict the owner's own LRU tail (possibly the
+			// entry just stored, if it alone exceeds the byte budget).
+			for (c.tenantMaxEntries > 0 && t.ll.Len() > c.tenantMaxEntries) ||
+				(c.tenantMaxBytes > 0 && t.bytes > c.tenantMaxBytes) {
+				c.removeLocked(t.ll.Back().Value.(*cacheEntry))
+				c.tenantEvictions++
+				c.evictions++
+			}
+		}
 		for c.ll.Len() > c.capacity {
-			oldest := c.ll.Back()
-			c.ll.Remove(oldest)
-			delete(c.items, oldest.Value.(*cacheEntry).key)
+			c.removeLocked(c.ll.Back().Value.(*cacheEntry))
 			c.evictions++
 		}
 	}
@@ -168,6 +249,21 @@ func (c *Cache) putLocked(key string, data []byte, persist bool) {
 	}
 }
 
+// removeLocked detaches an entry from the item map and both LRUs, dropping
+// the owner's accounting (and the owner itself once empty).
+func (c *Cache) removeLocked(e *cacheEntry) {
+	c.ll.Remove(e.gel)
+	delete(c.items, e.key)
+	if e.tel != nil {
+		t := c.tenants[e.tenant]
+		t.ll.Remove(e.tel)
+		t.bytes -= int64(len(e.data))
+		if t.ll.Len() == 0 {
+			delete(c.tenants, e.tenant)
+		}
+	}
+}
+
 // Len returns the number of in-memory entries.
 func (c *Cache) Len() int {
 	c.mu.Lock()
@@ -180,13 +276,20 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := CacheStats{
-		Entries:    c.ll.Len(),
-		Capacity:   c.capacity,
-		Hits:       c.hits,
-		Misses:     c.misses,
-		Evictions:  c.evictions,
-		DiskHits:   c.diskHits,
-		DiskErrors: c.diskErrors,
+		Entries:         c.ll.Len(),
+		Capacity:        c.capacity,
+		Hits:            c.hits,
+		Misses:          c.misses,
+		Evictions:       c.evictions,
+		TenantEvictions: c.tenantEvictions,
+		DiskHits:        c.diskHits,
+		DiskErrors:      c.diskErrors,
+	}
+	if len(c.tenants) > 0 {
+		s.PerTenant = make(map[string]TenantCacheStats, len(c.tenants))
+		for name, t := range c.tenants {
+			s.PerTenant[name] = TenantCacheStats{Entries: t.ll.Len(), Bytes: t.bytes}
+		}
 	}
 	if c.dir != "" {
 		s.Breaker = c.breaker.Stats()

@@ -1,7 +1,6 @@
 package jobs
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"fmt"
@@ -68,6 +67,10 @@ type Config struct {
 	// Admission tunes overload protection (zero value = none beyond
 	// QueueDepth).
 	Admission AdmissionConfig
+	// QoS tunes the multi-tenant scheduler (zero value = weighted-fair
+	// queueing with every tenant at weight 1; Policy PolicyFIFO restores
+	// the legacy global priority+FIFO queue).
+	QoS QoSConfig
 	// Runner overrides how specs execute (default core.RunCtx).
 	Runner Runner
 }
@@ -80,6 +83,10 @@ type SubmitOptions struct {
 	// ClassSweep is concurrency-limited so batch matrices cannot starve
 	// single jobs).
 	Class Class
+	// Tenant is the submitting client's identity (from admission). It keys
+	// weighted-fair scheduling, per-tenant metrics, and result-cache
+	// quotas; empty means the shared anonymous tenant.
+	Tenant string
 	// Timeout overrides Config.DefaultTimeout (0 = inherit).
 	Timeout time.Duration
 	// NoCache bypasses the cache entirely — no lookup, no in-flight
@@ -107,14 +114,41 @@ type Metrics struct {
 	// class: running batch jobs and batch jobs holding for a free slot.
 	SweepRunning  int
 	SweepDeferred int
-	// AvgRunMs is the EWMA of fresh simulation wall-clock latencies that
-	// drives queue-wait estimation for shedding.
-	AvgRunMs float64
-	Cache    CacheStats
+	// AvgRunMs is the EWMA of fresh simulation wall-clock latencies;
+	// AvgRunMsByClass splits it per scheduling class — the split is what
+	// drives queue-wait estimation for shedding, so a slow sweep backlog
+	// cannot doom cheap interactive arrivals.
+	AvgRunMs        float64
+	AvgRunMsByClass map[string]float64
+	// QoSPolicy names the active scheduler ("wfq" or "fifo"); PerTenant
+	// breaks the service down by tenant identity.
+	QoSPolicy string
+	PerTenant map[string]TenantMetrics
+	Cache     CacheStats
 	// Journal is the zero value unless the executor is journaled.
 	Journal   JournalMetrics
 	Journaled bool
 	PerKernel map[string]KernelMetrics
+}
+
+// TenantMetrics aggregates one tenant's service: admission outcomes, queue
+// occupancy, scheduler state, and its slice of the result cache.
+type TenantMetrics struct {
+	Submitted uint64
+	Completed uint64
+	Shed      uint64 // queue-deadline sheds (503s)
+	Rejected  uint64 // queue-full rejections (429s)
+	CacheHits uint64
+	Coalesced uint64
+	Queued    int
+	Weight    float64
+	// VLag is the tenant's virtual-service lead over the scheduler's
+	// global virtual time (WFQ only; 0 = least-served backlogged tenant).
+	VLag float64
+	// CacheBytes / CacheEntries are the tenant's owned share of the
+	// in-memory result cache.
+	CacheBytes   int64
+	CacheEntries int
 }
 
 // KernelMetrics aggregates wall-clock latency per kernel (simulated runs
@@ -125,27 +159,32 @@ type KernelMetrics struct {
 	MaxSec   float64
 }
 
-// Executor runs jobs on a bounded worker pool over a priority+FIFO queue.
+// Executor runs jobs on a bounded worker pool over a tenant-aware
+// weighted-fair queue (or the legacy priority+FIFO queue in PolicyFIFO mode).
 type Executor struct {
 	cfg Config
 
-	mu           sync.Mutex
-	cond         *sync.Cond
-	queue        jobQueue
-	jobs         map[string]*Job
-	inflight     map[string]*Job // spec-hash → primary job (for coalescing)
-	queuedByPrio map[int]int
-	sweepRunning int
-	sweepWait    []*Job // sweep jobs holding for a free slot
-	avgRunSec    float64
-	seq          uint64
-	draining     bool
-	closed       bool
-	running      int
-	wg           sync.WaitGroup
+	mu               sync.Mutex
+	cond             *sync.Cond
+	sched            scheduler
+	jobs             map[string]*Job
+	inflight         map[string]*Job // spec-hash → primary job (for coalescing)
+	queuedByPrio     map[int]int
+	queuedByClass    [2]int
+	queuedByTenant   map[string]int
+	sweepRunning     int
+	sweepWait        []*Job // sweep jobs holding for a free slot
+	avgRunSec        float64
+	avgRunSecByClass [2]float64
+	seq              uint64
+	draining         bool
+	closed           bool
+	running          int
+	wg               sync.WaitGroup
 
 	m         Metrics
 	perKernel map[string]KernelMetrics
+	perTenant map[string]*tenantCounters
 
 	// reg is the executor's unified metrics registry; inst holds the live
 	// instruments updated on the job lifecycle path (see metrics.go).
@@ -175,12 +214,19 @@ func NewExecutor(cfg Config) *Executor {
 		cfg.Runner = core.RunCtx
 	}
 	ex := &Executor{
-		cfg:          cfg,
-		jobs:         make(map[string]*Job),
-		inflight:     make(map[string]*Job),
-		queuedByPrio: make(map[int]int),
-		perKernel:    make(map[string]KernelMetrics),
-		reg:          obs.NewRegistry(),
+		cfg:            cfg,
+		jobs:           make(map[string]*Job),
+		inflight:       make(map[string]*Job),
+		queuedByPrio:   make(map[int]int),
+		queuedByTenant: make(map[string]int),
+		perKernel:      make(map[string]KernelMetrics),
+		perTenant:      make(map[string]*tenantCounters),
+		reg:            obs.NewRegistry(),
+	}
+	if cfg.QoS.Policy == PolicyFIFO {
+		ex.sched = newFIFOSched()
+	} else {
+		ex.sched = newWFQSched(cfg.QoS, ex.estCostLocked)
 	}
 	ex.inst = newInstruments(ex.reg)
 	ex.cond = sync.NewCond(&ex.mu)
@@ -220,6 +266,7 @@ func (ex *Executor) Recover(pending []Pending) (int, error) {
 		opts := SubmitOptions{
 			Priority: p.Priority,
 			Class:    p.Class,
+			Tenant:   p.Tenant,
 			Timeout:  time.Duration(p.TimeoutMs) * time.Millisecond,
 			NoCache:  p.NoCache,
 		}
@@ -268,6 +315,7 @@ func (ex *Executor) submit(spec core.Spec, opts SubmitOptions, rep *Pending) (*J
 		Spec:      spec,
 		priority:  opts.Priority,
 		class:     opts.Class,
+		tenant:    opts.Tenant,
 		seq:       seq,
 		timeout:   timeout,
 		noCache:   opts.NoCache,
@@ -280,13 +328,16 @@ func (ex *Executor) submit(spec core.Spec, opts SubmitOptions, rep *Pending) (*J
 	if rep != nil {
 		ex.m.Replayed++
 	}
+	tc := ex.tenantLocked(job.tenant)
 
 	if !opts.NoCache && ex.cfg.Cache != nil {
 		if data, ok := ex.cfg.Cache.Get(hash); ok {
 			ex.jobs[job.ID] = job
 			ex.m.Submitted++
+			tc.Submitted++
 			job.cacheHit = true
 			ex.m.CacheHits++
+			tc.CacheHits++
 			ex.completeLocked(job, data, nil)
 			return job, nil
 		}
@@ -298,8 +349,10 @@ func (ex *Executor) submit(spec core.Spec, opts SubmitOptions, rep *Pending) (*J
 			}
 			ex.jobs[job.ID] = job
 			ex.m.Submitted++
+			tc.Submitted++
 			job.coalesced = true
 			ex.m.Coalesced++
+			tc.Coalesced++
 			primary.dups = append(primary.dups, job)
 			return job, nil
 		}
@@ -314,6 +367,7 @@ func (ex *Executor) submit(spec core.Spec, opts SubmitOptions, rep *Pending) (*J
 	}
 	ex.jobs[job.ID] = job
 	ex.m.Submitted++
+	tc.Submitted++
 	if !opts.NoCache {
 		ex.inflight[hash] = job
 	}
@@ -323,18 +377,28 @@ func (ex *Executor) submit(spec core.Spec, opts SubmitOptions, rep *Pending) (*J
 }
 
 // admitLocked applies overload protection to a fresh submission: the shared
-// queue bound, the per-priority share, and queue-deadline shedding — if the
-// estimated wait behind the current queue already exceeds the job's
-// deadline (or the configured ceiling), admitting it would burn a worker
-// slot on a result nobody can use, so it is rejected now with a come-back
-// hint.
+// queue bound, the per-priority and per-tenant shares, and queue-deadline
+// shedding — if the estimated wait behind the current queue already exceeds
+// the job's deadline (or the configured ceiling), admitting it would burn a
+// worker slot on a result nobody can use, so it is rejected now with a
+// come-back hint.
 func (ex *Executor) admitLocked(job *Job, timeout time.Duration) error {
 	adm := ex.cfg.Admission
-	est := ex.estWaitLocked()
-	if ex.queue.Len() >= ex.cfg.QueueDepth {
+	est := ex.estWaitLocked(job.tenant, job.class)
+	tc := ex.tenantLocked(job.tenant)
+	if ex.sched.Len() >= ex.cfg.QueueDepth {
+		tc.Rejected++
 		return &RetryAfterError{Err: ErrQueueFull, RetryAfter: maxDuration(est, time.Second)}
 	}
+	if adm.PerTenantDepth > 0 && ex.queuedByTenant[job.tenant] >= adm.PerTenantDepth {
+		tc.Rejected++
+		return &RetryAfterError{
+			Err:        fmt.Errorf("tenant queue quota (%d): %w", adm.PerTenantDepth, ErrQueueFull),
+			RetryAfter: maxDuration(est, time.Second),
+		}
+	}
 	if adm.PerPriorityDepth > 0 && ex.queuedByPrio[job.priority] >= adm.PerPriorityDepth {
+		tc.Rejected++
 		return &RetryAfterError{
 			Err:        fmt.Errorf("priority %d: %w", job.priority, ErrQueueFull),
 			RetryAfter: maxDuration(est, time.Second),
@@ -346,22 +410,10 @@ func (ex *Executor) admitLocked(job *Job, timeout time.Duration) error {
 	}
 	if limit > 0 && est > limit {
 		ex.m.Shed++
+		tc.Shed++
 		return &RetryAfterError{Err: ErrOverloaded, RetryAfter: est}
 	}
 	return nil
-}
-
-// estWaitLocked estimates how long a newly queued job would wait for a
-// worker: jobs ahead of it divided across the pool, times the EWMA of
-// recent simulation latencies. Zero until the first completion seeds the
-// average.
-func (ex *Executor) estWaitLocked() time.Duration {
-	ahead := ex.queue.Len() + len(ex.sweepWait)
-	if ahead == 0 || ex.avgRunSec <= 0 {
-		return 0
-	}
-	perWorker := (float64(ahead) + float64(ex.cfg.Workers-1)) / float64(ex.cfg.Workers)
-	return time.Duration(perWorker * ex.avgRunSec * float64(time.Second))
 }
 
 // journalSubmitLocked durably records an accepted submission; failure to
@@ -373,7 +425,7 @@ func (ex *Executor) journalSubmitLocked(job *Job) error {
 	}
 	err := ex.cfg.Journal.Submit(Pending{
 		ID: job.ID, Seq: job.seq, SpecHash: job.SpecHash, Spec: job.Spec,
-		Priority: job.priority, Class: job.class,
+		Priority: job.priority, Class: job.class, Tenant: job.tenant,
 		TimeoutMs: int64(job.timeout / time.Millisecond), NoCache: job.noCache,
 	})
 	if err != nil {
@@ -383,11 +435,13 @@ func (ex *Executor) journalSubmitLocked(job *Job) error {
 	return nil
 }
 
-// enqueueLocked pushes job into the priority heap with admission accounting.
+// enqueueLocked pushes job into the scheduler with admission accounting.
 func (ex *Executor) enqueueLocked(job *Job) {
 	job.inQueue = true
 	ex.queuedByPrio[job.priority]++
-	heap.Push(&ex.queue, job)
+	ex.queuedByClass[classIdx(job.class)]++
+	ex.queuedByTenant[job.tenant]++
+	ex.sched.Push(job)
 }
 
 // dequeuedLocked undoes enqueueLocked's accounting for a popped job.
@@ -398,7 +452,41 @@ func (ex *Executor) dequeuedLocked(job *Job) {
 		if ex.queuedByPrio[job.priority] <= 0 {
 			delete(ex.queuedByPrio, job.priority)
 		}
+		ex.queuedByClass[classIdx(job.class)]--
+		ex.queuedByTenant[job.tenant]--
+		if ex.queuedByTenant[job.tenant] <= 0 {
+			delete(ex.queuedByTenant, job.tenant)
+		}
 	}
+}
+
+// maxTenantStats bounds the per-tenant counters map; past it new tenants
+// aggregate under "other" so metric cardinality cannot grow without bound.
+const maxTenantStats = 1024
+
+// tenantCounters is the executor's per-tenant tally (guarded by ex.mu).
+type tenantCounters struct {
+	Submitted, Completed, Shed, Rejected, CacheHits, Coalesced uint64
+}
+
+// tenantLocked returns the counters bucket for a tenant key, creating it on
+// first use. The empty key (anonymous submitters) reports as "default".
+func (ex *Executor) tenantLocked(tenant string) *tenantCounters {
+	if tenant == "" {
+		tenant = "default"
+	}
+	tc := ex.perTenant[tenant]
+	if tc == nil {
+		if len(ex.perTenant) >= maxTenantStats {
+			tenant = "other"
+			if tc = ex.perTenant[tenant]; tc != nil {
+				return tc
+			}
+		}
+		tc = &tenantCounters{}
+		ex.perTenant[tenant] = tc
+	}
+	return tc
 }
 
 // Get returns a snapshot of the job with the given ID.
@@ -545,7 +633,7 @@ func (ex *Executor) Drain(ctx context.Context) error {
 	idle := make(chan struct{})
 	go func() {
 		ex.mu.Lock()
-		for ex.queue.Len() > 0 || ex.running > 0 || len(ex.sweepWait) > 0 {
+		for ex.sched.Len() > 0 || ex.running > 0 || len(ex.sweepWait) > 0 {
 			ex.cond.Wait()
 		}
 		ex.mu.Unlock()
@@ -556,8 +644,7 @@ func (ex *Executor) Drain(ctx context.Context) error {
 		return nil
 	case <-ctx.Done():
 		ex.mu.Lock()
-		for ex.queue.Len() > 0 {
-			job := heap.Pop(&ex.queue).(*Job)
+		for job := ex.sched.Pop(); job != nil; job = ex.sched.Pop() {
 			ex.dequeuedLocked(job)
 			if job.state == StateQueued {
 				ex.completeLocked(job, nil, context.Canceled)
@@ -606,15 +693,45 @@ func (ex *Executor) Metrics() Metrics {
 	ex.mu.Lock()
 	defer ex.mu.Unlock()
 	m := ex.m
-	m.QueueDepth = ex.queue.Len()
+	m.QueueDepth = ex.sched.Len()
 	m.Running = ex.running
 	m.Workers = ex.cfg.Workers
 	m.Draining = ex.draining
 	m.SweepRunning = ex.sweepRunning
 	m.SweepDeferred = len(ex.sweepWait)
 	m.AvgRunMs = ex.avgRunSec * 1e3
+	m.AvgRunMsByClass = map[string]float64{
+		ClassInteractive.String(): ex.avgRunSecByClass[0] * 1e3,
+		ClassSweep.String():       ex.avgRunSecByClass[1] * 1e3,
+	}
+	m.QoSPolicy = ex.cfg.QoS.Policy.String()
 	if ex.cfg.Cache != nil {
 		m.Cache = ex.cfg.Cache.Stats()
+	}
+	m.PerTenant = make(map[string]TenantMetrics, len(ex.perTenant))
+	for name, tc := range ex.perTenant {
+		m.PerTenant[name] = TenantMetrics{
+			Submitted: tc.Submitted, Completed: tc.Completed,
+			Shed: tc.Shed, Rejected: tc.Rejected,
+			CacheHits: tc.CacheHits, Coalesced: tc.Coalesced,
+		}
+	}
+	for _, qs := range ex.sched.Tenants() {
+		name := qs.Tenant
+		if name == "" {
+			name = "default"
+		}
+		tm := m.PerTenant[name]
+		tm.Queued, tm.Weight, tm.VLag = qs.Queued, qs.Weight, qs.VLag
+		m.PerTenant[name] = tm
+	}
+	for name, cs := range m.Cache.PerTenant {
+		if name == "" {
+			name = "default"
+		}
+		tm := m.PerTenant[name]
+		tm.CacheBytes, tm.CacheEntries = cs.Bytes, cs.Entries
+		m.PerTenant[name] = tm
 	}
 	if ex.cfg.Journal != nil {
 		m.Journal = ex.cfg.Journal.Metrics()
@@ -635,14 +752,14 @@ func (ex *Executor) worker() {
 		ex.mu.Lock()
 		var job *Job
 		for job == nil {
-			for ex.queue.Len() == 0 && !ex.closed {
+			for ex.sched.Len() == 0 && !ex.closed {
 				ex.cond.Wait()
 			}
-			if ex.queue.Len() == 0 && ex.closed {
+			if ex.sched.Len() == 0 && ex.closed {
 				ex.mu.Unlock()
 				return
 			}
-			j := heap.Pop(&ex.queue).(*Job)
+			j := ex.sched.Pop()
 			ex.dequeuedLocked(j)
 			if j.state != StateQueued { // canceled while queued
 				continue
@@ -657,6 +774,9 @@ func (ex *Executor) worker() {
 			}
 			job = j
 		}
+		// Charge the tenant's fair-queue account at dispatch (not at
+		// pop) so sweep jobs held for a slot are not double-billed.
+		ex.sched.Dispatched(job, ex.estCostLocked(job.class))
 		if job.class == ClassSweep {
 			ex.sweepRunning++
 		}
@@ -681,13 +801,19 @@ func (ex *Executor) worker() {
 		job.trace = res.Trace
 		job.sched = res.SchedTrace
 		if err == nil && !job.noCache && ex.cfg.Cache != nil {
-			ex.cfg.Cache.Put(job.SpecHash, data)
+			ex.cfg.Cache.PutOwned(job.SpecHash, data, job.tenant)
 		}
 		dur := time.Since(job.started).Seconds()
 		if ex.avgRunSec == 0 {
 			ex.avgRunSec = dur
 		} else {
 			ex.avgRunSec = 0.8*ex.avgRunSec + 0.2*dur
+		}
+		ci := classIdx(job.class)
+		if ex.avgRunSecByClass[ci] == 0 {
+			ex.avgRunSecByClass[ci] = dur
+		} else {
+			ex.avgRunSecByClass[ci] = 0.8*ex.avgRunSecByClass[ci] + 0.2*dur
 		}
 		if err == nil {
 			km := ex.perKernel[job.Spec.Kernel]
@@ -817,6 +943,7 @@ func (ex *Executor) completeLocked(job *Job, data []byte, err error) {
 		case err == nil:
 			j.state = StateDone
 			ex.m.Completed++
+			ex.tenantLocked(j.tenant).Completed++
 		case errors.Is(err, context.Canceled):
 			j.state = StateCanceled
 			ex.m.Canceled++
@@ -857,6 +984,7 @@ func (ex *Executor) snapshotLocked(job *Job) Snapshot {
 		State:     job.state,
 		Priority:  job.priority,
 		Class:     job.class,
+		Tenant:    job.tenant,
 		CacheHit:  job.cacheHit,
 		Coalesced: job.coalesced,
 		Replayed:  job.replayed,

@@ -132,6 +132,7 @@ type Job struct {
 
 	priority int
 	class    Class
+	tenant   string // client identity: WFQ key, cache-quota owner
 	seq      uint64 // FIFO tie-break within a priority level
 	timeout  time.Duration
 	noCache  bool
@@ -169,6 +170,7 @@ type Snapshot struct {
 	State     State
 	Priority  int
 	Class     Class
+	Tenant    string
 	CacheHit  bool
 	Coalesced bool
 	Replayed  bool // resubmitted from the journal after a crash

@@ -64,6 +64,7 @@ type Record struct {
 	Spec       *core.Spec `json:"spec,omitempty"`
 	Priority   int        `json:"priority,omitempty"`
 	Class      int        `json:"class,omitempty"`
+	Tenant     string     `json:"tenant,omitempty"`
 	TimeoutMs  int64      `json:"timeout_ms,omitempty"`
 	NoCache    bool       `json:"no_cache,omitempty"`
 	Attempt    int        `json:"attempt,omitempty"`
@@ -123,6 +124,7 @@ type Pending struct {
 	Spec      core.Spec
 	Priority  int
 	Class     Class
+	Tenant    string
 	TimeoutMs int64
 	NoCache   bool
 	// Attempts counts start records seen before the crash; >0 means the
@@ -279,7 +281,7 @@ func (j *Journal) applyLocked(rec Record) {
 		}
 		j.open[rec.ID] = &Pending{
 			ID: rec.ID, Seq: rec.Seq, SpecHash: rec.SpecHash, Spec: *rec.Spec,
-			Priority: rec.Priority, Class: Class(rec.Class),
+			Priority: rec.Priority, Class: Class(rec.Class), Tenant: rec.Tenant,
 			TimeoutMs: rec.TimeoutMs, NoCache: rec.NoCache,
 			Attempts: rec.Attempt, Events: rec.Events,
 		}
@@ -318,8 +320,9 @@ func (j *Journal) startSegmentLocked(oldSegs []int) error {
 		spec := p.Spec
 		rec := Record{
 			Kind: recSubmit, ID: p.ID, Seq: p.Seq, SpecHash: p.SpecHash, Spec: &spec,
-			Priority: p.Priority, Class: int(p.Class), TimeoutMs: p.TimeoutMs,
-			NoCache: p.NoCache, Attempt: p.Attempts, Events: p.Events,
+			Priority: p.Priority, Class: int(p.Class), Tenant: p.Tenant,
+			TimeoutMs: p.TimeoutMs,
+			NoCache:   p.NoCache, Attempt: p.Attempts, Events: p.Events,
 		}
 		if err := j.writeLocked(rec); err != nil {
 			return err
@@ -382,7 +385,8 @@ func (j *Journal) Submit(p Pending) error {
 	spec := p.Spec
 	rec := Record{
 		Kind: recSubmit, ID: p.ID, Seq: p.Seq, SpecHash: p.SpecHash, Spec: &spec,
-		Priority: p.Priority, Class: int(p.Class), TimeoutMs: p.TimeoutMs, NoCache: p.NoCache,
+		Priority: p.Priority, Class: int(p.Class), Tenant: p.Tenant,
+		TimeoutMs: p.TimeoutMs, NoCache: p.NoCache,
 	}
 	if err := j.writeLocked(rec); err != nil {
 		return err

@@ -130,4 +130,25 @@ func syncLegacyMetrics(reg *obs.Registry, m Metrics, rl *RateLimiterStats) {
 		reg.Gauge(obs.Label("aaws_kernel_latency_seconds_sum", "kernel", k)).Set(km.TotalSec)
 		reg.Gauge(obs.Label("aaws_kernel_latency_seconds_max", "kernel", k)).Set(km.MaxSec)
 	}
+	for _, c := range []string{ClassInteractive.String(), ClassSweep.String()} {
+		reg.Gauge(obs.Label("aaws_jobs_avg_run_ms_by_class", "class", c)).Set(m.AvgRunMsByClass[c])
+	}
+	tenants := make([]string, 0, len(m.PerTenant))
+	for t := range m.PerTenant {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		tm := m.PerTenant[t]
+		set(obs.Label("aaws_tenant_submitted_total", "tenant", t), int64(tm.Submitted))
+		set(obs.Label("aaws_tenant_completed_total", "tenant", t), int64(tm.Completed))
+		set(obs.Label("aaws_tenant_shed_total", "tenant", t), int64(tm.Shed))
+		set(obs.Label("aaws_tenant_rejected_total", "tenant", t), int64(tm.Rejected))
+		set(obs.Label("aaws_tenant_cache_hits_total", "tenant", t), int64(tm.CacheHits))
+		set(obs.Label("aaws_tenant_queue_depth", "tenant", t), int64(tm.Queued))
+		reg.Gauge(obs.Label("aaws_tenant_weight", "tenant", t)).Set(tm.Weight)
+		reg.Gauge(obs.Label("aaws_tenant_vlag", "tenant", t)).Set(tm.VLag)
+		set(obs.Label("aaws_tenant_cache_bytes", "tenant", t), tm.CacheBytes)
+		set(obs.Label("aaws_tenant_cache_entries", "tenant", t), int64(tm.CacheEntries))
+	}
 }

@@ -185,6 +185,7 @@ type JobStatus struct {
 	ID         string          `json:"id"`
 	SpecHash   string          `json:"spec_hash"`
 	State      string          `json:"state"`
+	Tenant     string          `json:"tenant,omitempty"`
 	Kernel     string          `json:"kernel"`
 	System     string          `json:"system"`
 	Variant    string          `json:"variant"`
@@ -203,6 +204,7 @@ func statusOf(s Snapshot) JobStatus {
 		ID:        s.ID,
 		SpecHash:  s.SpecHash,
 		State:     s.State.String(),
+		Tenant:    s.Tenant,
 		Kernel:    s.Spec.Kernel,
 		System:    s.Spec.System.String(),
 		Variant:   s.Spec.Variant.String(),
@@ -224,16 +226,31 @@ func statusOf(s Snapshot) JobStatus {
 	return js
 }
 
-// clientKey identifies the caller for rate limiting: the X-AAWS-Client
-// header when present (multi-tenant proxies), else the remote IP.
-func clientKey(r *http.Request) string {
-	if k := r.Header.Get("X-AAWS-Client"); k != "" {
-		return k
+// maxTenantKeyLen bounds the accepted tenant identity; longer keys are
+// rejected rather than truncated (truncation would silently merge tenants).
+const maxTenantKeyLen = 128
+
+// tenantFrom extracts the caller's tenant identity: the X-AAWS-Client header
+// when present (multi-tenant proxies), else the remote host. The one helper
+// feeds rate limiting, weighted-fair scheduling, and cache quotas, so every
+// layer agrees on who a request belongs to. An explicitly empty or oversized
+// header is a client error (400) — silently bucketing malformed identities
+// together would let them share (and exhaust) one tenant's quota.
+func tenantFrom(r *http.Request) (string, error) {
+	if vals, ok := r.Header["X-Aaws-Client"]; ok {
+		k := vals[0]
+		switch {
+		case k == "":
+			return "", errors.New("X-AAWS-Client header present but empty")
+		case len(k) > maxTenantKeyLen:
+			return "", fmt.Errorf("X-AAWS-Client header exceeds %d bytes", maxTenantKeyLen)
+		}
+		return k, nil
 	}
 	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
-		return host
+		return host, nil
 	}
-	return r.RemoteAddr
+	return r.RemoteAddr, nil
 }
 
 // decodeBody parses a capped JSON body into v, writing the appropriate
@@ -253,13 +270,12 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 	return true
 }
 
-// rateLimit enforces the per-client token bucket, answering 429 with a
+// rateLimit enforces the per-tenant token bucket, answering 429 with a
 // Retry-After header when the bucket is dry.
-func (s *Server) rateLimit(w http.ResponseWriter, r *http.Request) bool {
-	ok, wait := s.limiter.Allow(clientKey(r))
+func (s *Server) rateLimit(w http.ResponseWriter, tenant string) bool {
+	ok, wait := s.limiter.Allow(tenant)
 	if !ok {
-		setRetryAfter(w, wait)
-		httpError(w, http.StatusTooManyRequests,
+		writeRetryError(w, http.StatusTooManyRequests,
 			&RetryAfterError{Err: ErrRateLimited, RetryAfter: wait})
 		return false
 	}
@@ -267,7 +283,12 @@ func (s *Server) rateLimit(w http.ResponseWriter, r *http.Request) bool {
 }
 
 func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
-	if !s.rateLimit(w, r) {
+	tenant, err := tenantFrom(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !s.rateLimit(w, tenant) {
 		return
 	}
 	var req JobRequest
@@ -279,7 +300,9 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	job, err := s.ex.Submit(spec, req.submitOptions())
+	opts := req.submitOptions()
+	opts.Tenant = tenant
+	job, err := s.ex.Submit(spec, opts)
 	if err != nil {
 		s.submitError(w, err)
 		return
@@ -315,7 +338,12 @@ type SweepResponse struct {
 }
 
 func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) {
-	if !s.rateLimit(w, r) {
+	tenant, err := tenantFrom(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !s.rateLimit(w, tenant) {
 		return
 	}
 	var req SweepRequest
@@ -341,6 +369,7 @@ func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) {
 	opts := SubmitOptions{
 		Priority: req.Priority,
 		Class:    ClassSweep,
+		Tenant:   tenant,
 		Timeout:  time.Duration(req.TimeoutMs) * time.Millisecond,
 		NoCache:  req.NoCache,
 	}
@@ -630,28 +659,60 @@ func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
-// setRetryAfter stamps the standard back-off header (whole seconds, rounded
-// up so "0" never means "retry immediately" on a real wait).
-func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+// retryAfterSeconds converts a back-off hint to whole seconds, rounded up
+// with a floor of 1 — a sub-second wait must never serialize as "0", which
+// clients read as "retry immediately" and turn into a retry stampede. The
+// same value feeds the Retry-After header and the JSON error body so the
+// two can never disagree.
+func retryAfterSeconds(d time.Duration) int64 {
 	secs := int64((d + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
+	return secs
+}
+
+// retryErrorBody is the JSON body of a 429/503 rejection. RetryAfterSec
+// matches the Retry-After header; RetryHint tells well-behaved clients how
+// to decorrelate their retries.
+type retryErrorBody struct {
+	Error         string `json:"error"`
+	RetryAfterSec int64  `json:"retry_after_s"`
+	RetryHint     string `json:"retry_hint"`
+}
+
+// writeRetryError answers an overload rejection: Retry-After header (whole
+// seconds, rounded up) plus a structured body carrying the same wait and
+// deterministic-jitter guidance, so a burst of rejected clients does not
+// come back in lockstep at second granularity.
+func writeRetryError(w http.ResponseWriter, code int, err error) {
+	ra, _ := RetryAfterOf(err)
+	secs := retryAfterSeconds(ra)
 	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeJSON(w, code, retryErrorBody{
+		Error:         err.Error(),
+		RetryAfterSec: secs,
+		RetryHint: fmt.Sprintf(
+			"wait retry_after_s plus deterministic jitter, e.g. (hash(client_id, attempt) mod %d) ms, before retrying",
+			secs*500),
+	})
 }
 
 // submitError maps a Submit rejection onto HTTP: 503 for draining and
 // overload shedding, 429 for a full queue, 400 otherwise. Rejections that
-// carry a back-off hint also get a Retry-After header.
+// carry a back-off hint get a Retry-After header and the structured
+// retry body.
 func (s *Server) submitError(w http.ResponseWriter, err error) {
-	if ra, ok := RetryAfterOf(err); ok {
-		setRetryAfter(w, ra)
-	}
+	_, retryable := RetryAfterOf(err)
 	switch {
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrOverloaded):
+		if retryable {
+			writeRetryError(w, http.StatusServiceUnavailable, err)
+			return
+		}
 		httpError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrQueueFull):
-		httpError(w, http.StatusTooManyRequests, err)
+		writeRetryError(w, http.StatusTooManyRequests, err)
 	default:
 		httpError(w, http.StatusBadRequest, err)
 	}

@@ -1,0 +1,150 @@
+package jobs_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"aaws/internal/jobs"
+)
+
+const specBody = `{"kernel":"cilksort","variant":"base+psm","seed":9001}`
+
+func postWithTenant(t *testing.T, url, tenant string) (*http.Response, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(specBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-AAWS-Client", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, m
+}
+
+// TestTenantFromHeader checks the identity plumbing end to end: the
+// X-AAWS-Client header becomes the job's tenant, visible in the status
+// response and per-tenant metrics.
+func TestTenantFromHeader(t *testing.T) {
+	ts, ex := newTestServer(t, jobs.Config{Workers: 2})
+	resp, m := postWithTenant(t, ts.URL+"/v1/jobs", "team-a")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d, want 202 (%v)", resp.StatusCode, m)
+	}
+	st := awaitJob(t, ts.URL, m["id"].(string))
+	if st["tenant"] != "team-a" {
+		t.Fatalf("job status tenant = %v, want team-a", st["tenant"])
+	}
+	tm := ex.Metrics().PerTenant["team-a"]
+	if tm.Submitted != 1 || tm.Completed != 1 {
+		t.Fatalf("team-a submitted/completed = %d/%d, want 1/1", tm.Submitted, tm.Completed)
+	}
+}
+
+// TestTenantHeaderValidation checks rejection of degenerate identities: a
+// present-but-empty header and an oversized one are both 400s, before any
+// admission work happens.
+func TestTenantHeaderValidation(t *testing.T) {
+	ts, ex := newTestServer(t, jobs.Config{Workers: 1})
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", strings.NewReader(specBody))
+	req.Header["X-Aaws-Client"] = []string{""} // present but empty
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty tenant header: status = %d, want 400", resp.StatusCode)
+	}
+
+	long, _ := postWithTenant(t, ts.URL+"/v1/jobs", strings.Repeat("x", 129))
+	if long.StatusCode != http.StatusBadRequest {
+		t.Fatalf("129-byte tenant: status = %d, want 400", long.StatusCode)
+	}
+	if max, _ := postWithTenant(t, ts.URL+"/v1/jobs", strings.Repeat("x", 128)); max.StatusCode != http.StatusAccepted {
+		t.Fatalf("128-byte tenant: status = %d, want 202", max.StatusCode)
+	}
+	if got := ex.Metrics().Submitted; got != 1 {
+		t.Fatalf("submitted = %d, want 1 (rejected identities must not reach admission)", got)
+	}
+}
+
+// TestTenantFallsBackToRemoteHost checks that without the header the remote
+// host (not host:port, which changes per connection) identifies the client.
+func TestTenantFallsBackToRemoteHost(t *testing.T) {
+	ts, ex := newTestServer(t, jobs.Config{Workers: 2})
+	resp, m := postWithTenant(t, ts.URL+"/v1/jobs", "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d, want 202 (%v)", resp.StatusCode, m)
+	}
+	awaitJob(t, ts.URL, m["id"].(string))
+	pt := ex.Metrics().PerTenant
+	if _, ok := pt["127.0.0.1"]; !ok {
+		t.Fatalf("expected tenant 127.0.0.1 from RemoteAddr fallback, got %v", keys(pt))
+	}
+}
+
+func keys(m map[string]jobs.TenantMetrics) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestRetryErrorBody checks the structured overload rejection: the JSON body
+// carries retry_after_s matching the Retry-After header (whole seconds,
+// rounded up, never 0) plus deterministic-jitter guidance.
+func TestRetryErrorBody(t *testing.T) {
+	cache, err := jobs.NewCache(16, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := jobs.NewExecutor(jobs.Config{Workers: 1, Cache: cache})
+	t.Cleanup(ex.Close)
+	ts := httptest.NewServer(jobs.NewServerWithOptions(ex, jobs.ServerOptions{
+		RatePerSec: 0.5, // refill is 2s/token: Retry-After must round up, not truncate to 0
+		Burst:      1,
+	}))
+	t.Cleanup(ts.Close)
+
+	if resp, m := postWithTenant(t, ts.URL+"/v1/jobs", "greedy"); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submission: status = %d (%v)", resp.StatusCode, m)
+	}
+	resp, m := postWithTenant(t, ts.URL+"/v1/jobs", "greedy")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submission: status = %d, want 429 (%v)", resp.StatusCode, m)
+	}
+	header, err := strconv.ParseInt(resp.Header.Get("Retry-After"), 10, 64)
+	if err != nil || header < 1 {
+		t.Fatalf("Retry-After header = %q, want a whole second >= 1", resp.Header.Get("Retry-After"))
+	}
+	body, ok := m["retry_after_s"].(float64)
+	if !ok || int64(body) != header {
+		t.Fatalf("body retry_after_s = %v, want header value %d", m["retry_after_s"], header)
+	}
+	hint, _ := m["retry_hint"].(string)
+	if !strings.Contains(hint, "jitter") {
+		t.Fatalf("retry_hint = %q, want jitter guidance", hint)
+	}
+
+	// A different tenant is not rate limited by greedy's bucket (202, or 200
+	// if greedy's identical spec already finished and this is a cache hit).
+	if resp, m := postWithTenant(t, ts.URL+"/v1/jobs", "patient"); resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("other tenant: status = %d, want 202/200 (%v)", resp.StatusCode, m)
+	}
+}
