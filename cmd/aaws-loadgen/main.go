@@ -24,6 +24,11 @@
 // never resolve, accounting mismatches, goroutine leaks in self mode) exit
 // nonzero. Latency/shed budgets (-budget-p99-ms, -budget-shed) only warn:
 // they are regression telemetry, not gates.
+//
+// With -target-coord the same scenarios drive a fabric coordinator
+// (aaws-coord) instead of a single server: the run is labeled "fabric" and
+// the report gains a remote_cache section with the shared result tier's
+// hit/miss split scraped from the coordinator's /metrics.
 package main
 
 import (
@@ -41,6 +46,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "", "target server base URL (e.g. http://localhost:8080); mutually exclusive with -self")
+	targetCoord := flag.String("target-coord", "", "fabric coordinator base URL (e.g. http://localhost:8090): like -addr, but labels the run \"fabric\" and reports the shared remote-cache hit rate from coordinator metrics")
 	self := flag.Bool("self", false, "boot an in-process server on a loopback port and drive it")
 	selfQoS := flag.String("self-qos", "wfq", "self-server queue policy: wfq (weighted-fair + tenant cache quotas) or fifo (legacy, no quotas)")
 	selfWorkers := flag.Int("self-workers", 1, "self-server worker pool size")
@@ -67,21 +73,35 @@ func main() {
 	if !ok {
 		fail(fmt.Errorf("aaws-loadgen: unknown scenario %q (have: %s)", *scenarioName, scenarioNames()))
 	}
-	if *self == (*addr != "") {
-		fail(fmt.Errorf("aaws-loadgen: exactly one of -addr or -self required"))
+	modes := 0
+	for _, on := range []bool{*self, *addr != "", *targetCoord != ""} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fail(fmt.Errorf("aaws-loadgen: exactly one of -addr, -target-coord, or -self required"))
 	}
 
 	goroutineBaseline := runtime.NumGoroutine()
 	target := *addr
 	policy := *policyLabel
 	var shutdownSelf func() error
-	if *self {
+	switch {
+	case *self:
 		var err error
 		target, shutdownSelf, err = bootSelf(*selfQoS, *selfWorkers, *selfQueue, *selfTenantDepth, *selfMaxWait, *selfCache)
 		if err != nil {
 			fail(err)
 		}
 		policy = *selfQoS
+	case *targetCoord != "":
+		// The coordinator speaks the same /v1/jobs API subset, so the
+		// scenario machinery drives it unchanged.
+		target = *targetCoord
+		if policy == "" {
+			policy = "fabric"
+		}
 	}
 	if policy == "" {
 		policy = "unknown"
@@ -97,6 +117,14 @@ func main() {
 	runScenario(cl, sc, *seed, *duration, *grace, col)
 
 	rep := buildReport(col, sc, *seed, *duration, target, policy)
+	if *targetCoord != "" {
+		rc, err := scrapeRemoteCache(target)
+		if err != nil {
+			rep.Warnings = append(rep.Warnings, fmt.Sprintf("coordinator metrics scrape: %v", err))
+		} else {
+			rep.RemoteCache = rc
+		}
+	}
 	rep.checkBudgets(sc, *budgetP99, *budgetShed)
 	rep.checkInvariants()
 

@@ -1,11 +1,15 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"math"
+	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -23,6 +27,9 @@ type Report struct {
 	QoSPolicy string `json:"qos_policy"`
 
 	Tenants map[string]TenantReport `json:"tenants"`
+	// RemoteCache is the coordinator's shared result-tier effectiveness over
+	// the whole run (fabric targets only, scraped from /metrics).
+	RemoteCache *RemoteCacheReport `json:"remote_cache,omitempty"`
 	// FairnessIndex is Jain's index over per-tenant completed throughput:
 	// 1.0 = perfectly equal service, 1/n = one tenant got everything.
 	FairnessIndex float64 `json:"fairness_index"`
@@ -56,6 +63,52 @@ type LatencySummary struct {
 	P99  float64 `json:"p99"`
 	P999 float64 `json:"p999"`
 	Max  float64 `json:"max"`
+}
+
+// RemoteCacheReport is the fabric shared tier's hit/miss split, from the
+// coordinator's aaws_fabric_remote_cache_* counters.
+type RemoteCacheReport struct {
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// scrapeRemoteCache reads the coordinator's Prometheus text exposition and
+// folds the shared-tier counters into a RemoteCacheReport.
+func scrapeRemoteCache(base string) (*RemoteCacheReport, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	rc := &RemoteCacheReport{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		name, value, ok := strings.Cut(strings.TrimSpace(sc.Text()), " ")
+		if !ok || strings.HasPrefix(name, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			continue
+		}
+		switch name {
+		case "aaws_fabric_remote_cache_hits_total":
+			rc.Hits = uint64(v)
+		case "aaws_fabric_remote_cache_misses_total":
+			rc.Misses = uint64(v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if total := rc.Hits + rc.Misses; total > 0 {
+		rc.HitRate = round(float64(rc.Hits) / float64(total))
+	}
+	return rc, nil
 }
 
 // percentile returns the p-th percentile (0..100) of sorted samples by
@@ -218,6 +271,10 @@ func (rep *Report) summarize() {
 			"  %-10s req=%-5d done=%-5d shed=%-4d 429=%-4d hit=%.2f p50=%.1fms p99=%.1fms p999=%.1fms\n",
 			n, tr.Requests, tr.Completed, tr.Shed, tr.RateLimited, tr.CacheHitPct,
 			tr.LatencyMs.P50, tr.LatencyMs.P99, tr.LatencyMs.P999)
+	}
+	if rc := rep.RemoteCache; rc != nil {
+		fmt.Fprintf(os.Stderr, "  remote-cache hits=%d misses=%d hit_rate=%.3f\n",
+			rc.Hits, rc.Misses, rc.HitRate)
 	}
 	for _, w := range rep.Warnings {
 		fmt.Fprintf(os.Stderr, "  WARN: %s\n", w)

@@ -23,6 +23,12 @@
 // SIGINT/SIGTERM triggers a graceful drain: /healthz flips to 503, new
 // submissions are rejected, in-flight jobs finish (bounded by
 // -drain-timeout), then the listener closes.
+//
+// With -worker -coordinator host:port the server also joins a distributed
+// sweep fabric: it registers with an aaws-coord coordinator, executes
+// dispatched shards through the same bounded executor, and streams results
+// back; -remote-cache URL layers the fabric-wide shared result tier under
+// the local cache. /readyz reports degraded until registration completes.
 package main
 
 import (
@@ -38,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"aaws/internal/fabric"
 	"aaws/internal/jobs"
 )
 
@@ -65,11 +72,18 @@ func main() {
 	perTenantDepth := flag.Int("max-queue-per-tenant", 0, "max queued jobs per tenant (0 = no per-tenant cap)")
 	tenantCacheMB := flag.Int("tenant-cache-mb", 0, "per-tenant result-cache byte quota (MiB, 0 = unlimited)")
 	tenantCacheEntries := flag.Int("tenant-cache-entries", 0, "per-tenant result-cache entry quota (0 = unlimited)")
+	worker := flag.Bool("worker", false, "register with a fabric coordinator and execute dispatched shards")
+	coordAddr := flag.String("coordinator", "", "fabric coordinator TCP address (host:port) for -worker mode")
+	workerName := flag.String("worker-name", "", "fabric worker name (default: hostname)")
+	remoteCacheURL := flag.String("remote-cache", "", "coordinator HTTP base URL for the shared result-cache tier (e.g. http://coord:8090)")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *worker && *coordAddr == "" {
+		fail(errors.New("aaws-serve: -worker requires -coordinator host:port"))
 	}
 	cache, err := jobs.NewCache(*cacheSize, *cacheDir)
 	if err != nil {
@@ -77,6 +91,12 @@ func main() {
 	}
 	if *tenantCacheMB > 0 || *tenantCacheEntries > 0 {
 		cache.SetTenantQuotas(int64(*tenantCacheMB)<<20, *tenantCacheEntries)
+	}
+	// With a shared tier configured, the executor consults local-then-remote
+	// before computing; completed results write through to both.
+	var tier jobs.CacheTier = cache
+	if *remoteCacheURL != "" {
+		tier = jobs.NewTieredCache(cache, fabric.NewRemoteCache(*remoteCacheURL))
 	}
 	var policy jobs.SchedPolicy
 	switch *qos {
@@ -108,13 +128,12 @@ func main() {
 	if slots >= *workers {
 		slots = *workers - 1 // always leave a slot for interactive jobs
 	}
-	ex := jobs.NewExecutor(jobs.Config{
+	cfg := jobs.Config{
 		Workers:        *workers,
 		QueueDepth:     *queueDepth,
 		DefaultTimeout: *timeout,
 		MaxRetries:     *retries,
-		Cache:          cache,
-		Journal:        journal,
+		Cache:          tier,
 		Admission: jobs.AdmissionConfig{
 			PerPriorityDepth: *perPrioDepth,
 			PerTenantDepth:   *perTenantDepth,
@@ -126,13 +145,37 @@ func main() {
 			DefaultWeight: *defaultWeight,
 			Weights:       weights,
 		},
-	})
+	}
+	if journal != nil {
+		// Assign only when non-nil: a typed-nil *Journal inside the Store
+		// interface would read as "journaled" to the executor.
+		cfg.Journal = journal
+	}
+	ex := jobs.NewExecutor(cfg)
 	api := jobs.NewServerWithOptions(ex, jobs.ServerOptions{
 		RatePerSec:   *rate,
 		Burst:        *burst,
 		MaxBodyBytes: int64(*maxBodyKB) << 10,
 	})
 	srv := &http.Server{Addr: *addr, Handler: api}
+
+	var fw *fabric.Worker
+	if *worker {
+		name := *workerName
+		if name == "" {
+			if name, _ = os.Hostname(); name == "" {
+				name = fmt.Sprintf("worker-%d", os.Getpid())
+			}
+		}
+		fw, err = fabric.NewWorker(fabric.WorkerConfig{
+			Name:      name,
+			CoordAddr: *coordAddr,
+			Executor:  ex,
+		})
+		if err != nil {
+			fail(err)
+		}
+	}
 
 	if *debugAddr != "" {
 		// The pprof mux registers on http.DefaultServeMux at import; serve
@@ -163,6 +206,9 @@ func main() {
 	if journal != nil {
 		fmt.Printf(", journal %s", *journalDir)
 	}
+	if *remoteCacheURL != "" {
+		fmt.Printf(", remote cache %s", *remoteCacheURL)
+	}
 	fmt.Println(")")
 	if len(pending) > 0 {
 		n, err := ex.Recover(pending)
@@ -172,6 +218,22 @@ func main() {
 			fmt.Printf("aaws-serve: recovered %d journaled job(s)\n", n)
 		}
 		api.SetReady(true)
+	}
+
+	// Worker registration happens after journal replay so recovered work is
+	// schedulable before fabric shards start arriving; /readyz reports
+	// degraded until the coordinator has acknowledged the hello.
+	if fw != nil {
+		api.SetPhase("worker registration")
+		go func() { _ = fw.Run(ctx) }()
+		go func() {
+			select {
+			case <-fw.Ready():
+				api.SetPhase("")
+				fmt.Printf("aaws-serve: registered with coordinator %s\n", *coordAddr)
+			case <-ctx.Done():
+			}
+		}()
 	}
 
 	select {

@@ -1,0 +1,794 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"aaws/internal/core"
+	"aaws/internal/jobs"
+	"aaws/internal/obs"
+)
+
+// ErrClosed is returned for submissions to a closed coordinator.
+var ErrClosed = errors.New("fabric: coordinator closed")
+
+// ErrNoWorkers marks a task failed because the coordinator shut down with
+// shards still waiting for a worker.
+var ErrNoWorkers = errors.New("fabric: no workers available")
+
+// ErrUnknownTask is returned for task IDs the coordinator has never seen.
+var ErrUnknownTask = errors.New("fabric: unknown task")
+
+// CoordConfig parameterizes a Coordinator.
+type CoordConfig struct {
+	// Cache is the shared remote result tier every submission consults
+	// before any worker computes (nil = a default in-memory cache). Workers
+	// both read it (via the coordinator's HTTP cache endpoints) and fill it
+	// (every committed result is stored).
+	Cache jobs.CacheTier
+	// HedgeDelay is how long a dispatched shard may go uncommitted before a
+	// hedged duplicate is dispatched to a second worker (default 1s;
+	// negative disables hedging).
+	HedgeDelay time.Duration
+	// HedgeJitter spreads hedge firings: each shard's delay is HedgeDelay
+	// plus a deterministic fraction of HedgeJitter derived from its content
+	// address (default HedgeDelay/2), so a stalled worker's backlog does
+	// not hedge in lockstep yet reruns hedge identically.
+	HedgeJitter time.Duration
+	// HeartbeatTimeout fails a worker that hasn't been heard from for this
+	// long and re-dispatches its uncommitted shards (default 5s).
+	HeartbeatTimeout time.Duration
+	// RetryBackoff delays re-dispatch after a retryable worker error —
+	// queue full, draining — so a saturated fleet isn't hammered (default
+	// 100ms).
+	RetryBackoff time.Duration
+	// MaxTasks bounds retained terminal tasks; the oldest are evicted
+	// (default 16384).
+	MaxTasks int
+	// Registry receives the aaws_fabric_* metrics (nil = a private one).
+	Registry *obs.Registry
+}
+
+// Coordinator shards content-addressed work across registered workers.
+//
+// Routing is rendezvous-free and deterministic: the shard's spec hash
+// indexes the sorted list of live workers, so identical cells always route
+// to the same node while its local cache stays warm. Every submission first
+// consults the shared cache tier; in-flight shards coalesce by content
+// address (fabric-wide singleflight); committed results are duplicate-
+// suppressed (first result wins) so hedges and re-dispatches never commit
+// twice.
+type Coordinator struct {
+	cfg  CoordConfig
+	reg  *obs.Registry
+	inst *instruments
+
+	mu        sync.Mutex
+	workers   map[string]*remoteWorker
+	shards    map[string]*shard // uncommitted work by content address
+	waiting   []*shard          // shards with no live worker to run on
+	tasks     map[string]*Task
+	doneOrder []string // terminal task IDs, oldest first (retention GC)
+	latencies []float64
+	seq       uint64
+	closed    bool
+	lns       []net.Listener
+	stopMon   chan struct{}
+}
+
+// remoteWorker is one registered worker connection.
+type remoteWorker struct {
+	name       string
+	fc         *frameConn
+	slots      int
+	running    int
+	lastBeat   time.Time
+	registered time.Time
+	shards     *obs.Counter
+	up         *obs.IntGauge
+}
+
+// shard is one uncommitted unit of fabric work: a content-addressed cell
+// plus every task coalesced onto it.
+type shard struct {
+	hash  string
+	spec  core.Spec
+	tasks []*Task
+	// assigned maps worker name → dispatch time for every outstanding
+	// dispatch (primary + hedge).
+	assigned      map[string]time.Time
+	primary       string
+	firstDispatch time.Time
+	hedgeTimer    *time.Timer
+	hedged        bool
+	retryTimer    *time.Timer
+	parked        bool // on the waiting list (no live worker to run on)
+}
+
+// Task is one tracked fabric submission.
+type Task struct {
+	ID       string
+	SpecHash string
+	Spec     core.Spec
+
+	state     jobs.State
+	data      []byte
+	err       error
+	remoteHit bool // answered from the shared cache tier
+	worker    string
+	submitted time.Time
+	finished  time.Time
+	done      chan struct{}
+}
+
+// TaskSnapshot is an immutable copy of a task's observable state.
+type TaskSnapshot struct {
+	ID        string
+	SpecHash  string
+	Spec      core.Spec
+	State     jobs.State
+	Data      []byte
+	Err       error
+	RemoteHit bool
+	Worker    string
+	Submitted time.Time
+	Finished  time.Time
+}
+
+// WorkerInfo is one worker's liveness snapshot.
+type WorkerInfo struct {
+	Name      string  `json:"name"`
+	Slots     int     `json:"slots"`
+	Running   int     `json:"running"`
+	LastBeat  float64 `json:"last_beat_ago_ms"`
+	Connected float64 `json:"connected_ms"`
+}
+
+// NewCoordinator returns a running coordinator (heartbeat monitor started).
+// Call Close to stop it.
+func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
+	if cfg.Cache == nil {
+		cache, err := jobs.NewCache(4096, "")
+		if err != nil {
+			return nil, err
+		}
+		cfg.Cache = cache
+	}
+	if cfg.HedgeDelay == 0 {
+		cfg.HedgeDelay = time.Second
+	}
+	if cfg.HedgeJitter == 0 {
+		cfg.HedgeJitter = cfg.HedgeDelay / 2
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 5 * time.Second
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxTasks <= 0 {
+		cfg.MaxTasks = 16384
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		reg:     reg,
+		inst:    newInstruments(reg),
+		workers: make(map[string]*remoteWorker),
+		shards:  make(map[string]*shard),
+		tasks:   make(map[string]*Task),
+		stopMon: make(chan struct{}),
+	}
+	go c.monitor()
+	return c, nil
+}
+
+// Registry exposes the coordinator's metrics registry (for /metrics).
+func (c *Coordinator) Registry() *obs.Registry { return c.reg }
+
+// Metrics returns the programmatic fabric-health snapshot.
+func (c *Coordinator) Metrics() Metrics { return c.inst.snapshot() }
+
+// ShardLatencies returns the recorded dispatch→commit latencies in seconds
+// (bounded; the first 8192 commits), for the smoke-test artifact.
+func (c *Coordinator) ShardLatencies() []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]float64, len(c.latencies))
+	copy(out, c.latencies)
+	return out
+}
+
+// WorkerCount returns the number of live registered workers.
+func (c *Coordinator) WorkerCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// Workers returns a liveness snapshot of every registered worker.
+func (c *Coordinator) Workers() []WorkerInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	out := make([]WorkerInfo, 0, len(c.workers))
+	for _, w := range c.workers {
+		out = append(out, WorkerInfo{
+			Name:      w.name,
+			Slots:     w.slots,
+			Running:   w.running,
+			LastBeat:  float64(now.Sub(w.lastBeat)) / float64(time.Millisecond),
+			Connected: float64(now.Sub(w.registered)) / float64(time.Millisecond),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CacheGet reads the shared result tier (the worker-facing HTTP endpoint).
+func (c *Coordinator) CacheGet(hash string) ([]byte, bool) {
+	return c.cfg.Cache.Get(hash)
+}
+
+// CachePut fills the shared result tier (worker write-through).
+func (c *Coordinator) CachePut(hash string, data []byte) {
+	c.cfg.Cache.Put(hash, data)
+}
+
+// Serve accepts worker registrations on ln until it closes. Run one per
+// fabric listener; Close closes every served listener.
+func (c *Coordinator) Serve(ln net.Listener) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		ln.Close()
+		return ErrClosed
+	}
+	c.lns = append(c.lns, ln)
+	c.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		go c.handleConn(conn)
+	}
+}
+
+// handleConn runs one worker connection: hello, then heartbeats and results
+// until the connection drops.
+func (c *Coordinator) handleConn(conn net.Conn) {
+	fc := newFrameConn(conn)
+	// A connection that never completes registration must not hold a slot.
+	_ = conn.SetReadDeadline(time.Now().Add(c.cfg.HeartbeatTimeout * 2))
+	hello, err := fc.read()
+	if err != nil || hello.Kind != KindHello {
+		_ = fc.close()
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+
+	w := &remoteWorker{
+		name:       hello.Worker,
+		fc:         fc,
+		slots:      hello.Slots,
+		lastBeat:   time.Now(),
+		registered: time.Now(),
+		shards:     c.reg.Counter(obs.Label("aaws_fabric_worker_shards_total", "worker", hello.Worker)),
+		up:         c.reg.IntGauge(obs.Label("aaws_fabric_worker_up", "worker", hello.Worker)),
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		_ = fc.close()
+		return
+	}
+	if old := c.workers[w.name]; old != nil {
+		// A reconnecting worker replaces its old (dead) connection.
+		c.failWorkerLocked(old)
+	}
+	c.workers[w.name] = w
+	w.up.Set(1)
+	c.inst.workersConnected.Set(int64(len(c.workers)))
+	// A new worker unblocks anything that had nowhere to run.
+	blocked := c.waiting
+	c.waiting = nil
+	for _, sh := range blocked {
+		c.dispatchLocked(sh)
+	}
+	c.mu.Unlock()
+
+	if err := fc.write(Frame{Kind: KindHelloAck}); err != nil {
+		c.failWorker(w)
+		return
+	}
+	for {
+		f, err := fc.read()
+		if err != nil {
+			c.failWorker(w)
+			return
+		}
+		switch f.Kind {
+		case KindHeartbeat:
+			c.mu.Lock()
+			w.lastBeat = time.Now()
+			w.running = f.Running
+			c.mu.Unlock()
+		case KindResult:
+			c.handleResult(w, f)
+		default:
+			// hello twice, or a dispatch echoed back: protocol violation.
+			c.failWorker(w)
+			return
+		}
+	}
+}
+
+// Submit routes one spec into the fabric: remote cache tier first, then
+// coalescing onto an in-flight shard, then a fresh dispatch.
+func (c *Coordinator) Submit(spec core.Spec) (*Task, error) {
+	spec = jobs.Normalize(spec)
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	hash, err := jobs.SpecHash(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	c.seq++
+	t := &Task{
+		ID:        fmt.Sprintf("f-%s-%d", hash[:12], c.seq),
+		SpecHash:  hash,
+		Spec:      spec,
+		state:     jobs.StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	c.tasks[t.ID] = t
+	c.inst.tasksSubmitted.Inc()
+
+	// Shared cache tier first: a hit is a completed task with zero dispatch.
+	if data, ok := c.cfg.Cache.Get(hash); ok {
+		c.inst.remoteHits.Inc()
+		t.remoteHit = true
+		c.completeTaskLocked(t, data, nil, "")
+		return t, nil
+	}
+	c.inst.remoteMisses.Inc()
+
+	// Fabric-wide singleflight: coalesce onto the in-flight shard.
+	if sh := c.shards[hash]; sh != nil {
+		sh.tasks = append(sh.tasks, t)
+		c.inst.coalesced.Inc()
+		return t, nil
+	}
+
+	sh := &shard{
+		hash:     hash,
+		spec:     spec,
+		tasks:    []*Task{t},
+		assigned: make(map[string]time.Time),
+	}
+	c.shards[hash] = sh
+	c.inst.shardsInflight.Set(int64(len(c.shards)))
+	c.dispatchLocked(sh)
+	return sh.tasks[0], nil
+}
+
+// liveNamesLocked returns the sorted live worker names.
+func (c *Coordinator) liveNamesLocked() []string {
+	names := make([]string, 0, len(c.workers))
+	for n := range c.workers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RouteIndex is the shard routing function: the content address indexes the
+// sorted live-worker list, so a given cell deterministically prefers one
+// node (whose local cache it warms) while any change in fleet membership
+// only moves 1/n of the keyspace.
+func RouteIndex(hash string, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(hash))
+	return int(h.Sum64() % uint64(n))
+}
+
+// hedgeDelay returns this shard's deterministic hedge delay: the base plus
+// a content-address-derived fraction of the jitter window.
+func (c *Coordinator) hedgeDelay(hash string) time.Duration {
+	d := c.cfg.HedgeDelay
+	if c.cfg.HedgeJitter <= 0 {
+		return d
+	}
+	h := fnv.New64a()
+	h.Write([]byte(hash))
+	h.Write([]byte("hedge"))
+	return d + time.Duration(h.Sum64()%uint64(c.cfg.HedgeJitter))
+}
+
+// dispatchLocked sends sh to the next preferred worker it isn't already
+// running on. With no live workers the shard parks on the waiting list
+// until one registers. Caller holds c.mu.
+func (c *Coordinator) dispatchLocked(sh *shard) {
+	if c.shards[sh.hash] != sh {
+		return // already committed or failed
+	}
+	names := c.liveNamesLocked()
+	if len(names) == 0 {
+		if !sh.parked {
+			sh.parked = true
+			c.waiting = append(c.waiting, sh)
+		}
+		return
+	}
+	sh.parked = false
+	start := RouteIndex(sh.hash, len(names))
+	var w *remoteWorker
+	for i := range names {
+		name := names[(start+i)%len(names)]
+		if _, dup := sh.assigned[name]; !dup {
+			w = c.workers[name]
+			break
+		}
+	}
+	if w == nil {
+		return // already outstanding on every live worker
+	}
+	now := time.Now()
+	sh.assigned[w.name] = now
+	if sh.firstDispatch.IsZero() {
+		sh.firstDispatch = now
+		sh.primary = w.name
+	}
+	c.inst.dispatched.Inc()
+	w.shards.Inc()
+	if sh.hedgeTimer == nil && c.cfg.HedgeDelay >= 0 {
+		hash := sh.hash
+		sh.hedgeTimer = time.AfterFunc(c.hedgeDelay(hash), func() { c.hedge(hash) })
+	}
+	// The TCP write can block; never under the lock. A failed write fails
+	// the whole worker — its reader goroutine is about to find out anyway.
+	frame := Frame{Kind: KindDispatch, Shard: sh.hash, Spec: &sh.spec}
+	go func() {
+		if err := w.fc.write(frame); err != nil {
+			c.failWorker(w)
+		}
+	}()
+}
+
+// hedge fires the shard's straggler mitigation: if it is still uncommitted,
+// dispatch a duplicate to the next distinct worker. First result wins;
+// the loser is suppressed by content address.
+func (c *Coordinator) hedge(hash string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sh := c.shards[hash]
+	if sh == nil || c.closed {
+		return
+	}
+	if len(c.workers) <= len(sh.assigned) {
+		return // nowhere distinct to hedge to
+	}
+	sh.hedged = true
+	c.inst.hedgesFired.Inc()
+	c.dispatchLocked(sh)
+}
+
+// handleResult commits or suppresses one worker result frame.
+func (c *Coordinator) handleResult(w *remoteWorker, f Frame) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w.lastBeat = time.Now()
+	sh := c.shards[f.Shard]
+	if sh == nil {
+		// Committed (or failed) already: a hedge loser or a re-dispatch
+		// duplicate. First result won; suppress.
+		c.inst.duplicates.Inc()
+		return
+	}
+
+	if f.Error != "" {
+		if f.Retryable {
+			// Substrate rejection (queue full, draining): take this worker
+			// out of the shard's assignment set and try elsewhere after a
+			// backoff, unless a hedge is still outstanding somewhere.
+			c.inst.workerRetries.Inc()
+			delete(sh.assigned, w.name)
+			if len(sh.assigned) == 0 && sh.retryTimer == nil {
+				hash := sh.hash
+				sh.retryTimer = time.AfterFunc(c.cfg.RetryBackoff, func() {
+					c.mu.Lock()
+					defer c.mu.Unlock()
+					if sh := c.shards[hash]; sh != nil {
+						sh.retryTimer = nil
+						c.dispatchLocked(sh)
+					}
+				})
+			}
+			return
+		}
+		// Simulation failure: deterministic, so every node would fail the
+		// same way. Fail the shard.
+		c.inst.shardsFailed.Inc()
+		c.removeShardLocked(sh)
+		err := fmt.Errorf("fabric: worker %s: %s", w.name, f.Error)
+		for _, t := range sh.tasks {
+			c.completeTaskLocked(t, nil, err, w.name)
+		}
+		return
+	}
+
+	// First result wins.
+	if f.CacheHit {
+		c.inst.workerCacheHits.Inc()
+	}
+	if sh.hedged && w.name != sh.primary {
+		c.inst.hedgeWins.Inc()
+	}
+	c.inst.shardsCompleted.Inc()
+	if !sh.firstDispatch.IsZero() {
+		lat := time.Since(sh.firstDispatch).Seconds()
+		c.inst.shardLatency.Observe(lat)
+		if len(c.latencies) < 8192 {
+			c.latencies = append(c.latencies, lat)
+		}
+	}
+	c.removeShardLocked(sh)
+	// Fill the shared tier so every future submission — from any node — is
+	// a remote hit.
+	c.cfg.Cache.Put(sh.hash, f.Data)
+	for _, t := range sh.tasks {
+		c.completeTaskLocked(t, f.Data, nil, w.name)
+	}
+}
+
+// removeShardLocked takes sh out of the in-flight map and stops its timers.
+// Caller holds c.mu.
+func (c *Coordinator) removeShardLocked(sh *shard) {
+	delete(c.shards, sh.hash)
+	c.inst.shardsInflight.Set(int64(len(c.shards)))
+	if sh.hedgeTimer != nil {
+		sh.hedgeTimer.Stop()
+	}
+	if sh.retryTimer != nil {
+		sh.retryTimer.Stop()
+		sh.retryTimer = nil
+	}
+}
+
+// completeTaskLocked finalizes one task. Caller holds c.mu.
+func (c *Coordinator) completeTaskLocked(t *Task, data []byte, err error, worker string) {
+	if t.state.Terminal() {
+		return
+	}
+	t.finished = time.Now()
+	t.worker = worker
+	if err == nil {
+		t.state = jobs.StateDone
+		t.data = data
+		c.inst.tasksCompleted.Inc()
+	} else {
+		t.state = jobs.StateFailed
+		t.err = err
+		c.inst.tasksFailed.Inc()
+	}
+	close(t.done)
+	c.doneOrder = append(c.doneOrder, t.ID)
+	for len(c.doneOrder) > c.cfg.MaxTasks {
+		delete(c.tasks, c.doneOrder[0])
+		c.doneOrder = c.doneOrder[1:]
+	}
+}
+
+// failWorker drops w from the fleet (if it is still the registered
+// connection for its name) and re-dispatches its uncommitted shards.
+func (c *Coordinator) failWorker(w *remoteWorker) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failWorkerLocked(w)
+}
+
+func (c *Coordinator) failWorkerLocked(w *remoteWorker) {
+	if c.workers[w.name] != w {
+		return // a reconnect already replaced this connection
+	}
+	delete(c.workers, w.name)
+	w.up.Set(0)
+	c.inst.workersConnected.Set(int64(len(c.workers)))
+	c.inst.workerFailures.Inc()
+	_ = w.fc.close()
+	// Anything outstanding on the dead worker re-routes. Shards that were
+	// hedged to a still-live worker keep that assignment and need nothing.
+	for _, sh := range c.shards {
+		if _, ok := sh.assigned[w.name]; !ok {
+			continue
+		}
+		delete(sh.assigned, w.name)
+		if len(sh.assigned) == 0 {
+			c.inst.redispatches.Inc()
+			c.dispatchLocked(sh)
+		}
+	}
+}
+
+// monitor fails workers that stop heartbeating.
+func (c *Coordinator) monitor() {
+	tick := c.cfg.HeartbeatTimeout / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopMon:
+			return
+		case <-t.C:
+			c.mu.Lock()
+			var stale []*remoteWorker
+			cutoff := time.Now().Add(-c.cfg.HeartbeatTimeout)
+			for _, w := range c.workers {
+				if w.lastBeat.Before(cutoff) {
+					stale = append(stale, w)
+				}
+			}
+			for _, w := range stale {
+				c.failWorkerLocked(w)
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// Get returns a snapshot of the task.
+func (c *Coordinator) Get(id string) (TaskSnapshot, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.tasks[id]
+	if t == nil {
+		return TaskSnapshot{}, ErrUnknownTask
+	}
+	return c.snapshotLocked(t), nil
+}
+
+// Wait blocks until the task reaches a terminal state or ctx expires.
+func (c *Coordinator) Wait(ctx context.Context, id string) (TaskSnapshot, error) {
+	c.mu.Lock()
+	t := c.tasks[id]
+	c.mu.Unlock()
+	if t == nil {
+		return TaskSnapshot{}, ErrUnknownTask
+	}
+	select {
+	case <-t.done:
+	case <-ctx.Done():
+		return TaskSnapshot{}, ctx.Err()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.snapshotLocked(t), nil
+}
+
+func (c *Coordinator) snapshotLocked(t *Task) TaskSnapshot {
+	return TaskSnapshot{
+		ID:        t.ID,
+		SpecHash:  t.SpecHash,
+		Spec:      t.Spec,
+		State:     t.state,
+		Data:      t.data,
+		Err:       t.err,
+		RemoteHit: t.remoteHit,
+		Worker:    t.worker,
+		Submitted: t.submitted,
+		Finished:  t.finished,
+	}
+}
+
+// CellBytes runs every spec through the fabric and returns each cell's
+// canonical outcome bytes in input order — the merge primitive: determinism
+// plus canonical encoding make the concatenation bit-identical to a
+// single-node run.
+func (c *Coordinator) CellBytes(ctx context.Context, specs []core.Spec) ([][]byte, error) {
+	ids := make([]string, len(specs))
+	for i, spec := range specs {
+		t, err := c.Submit(spec)
+		if err != nil {
+			return nil, fmt.Errorf("fabric: submitting cell %d: %w", i, err)
+		}
+		ids[i] = t.ID
+	}
+	out := make([][]byte, len(specs))
+	for i, id := range ids {
+		snap, err := c.Wait(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if snap.State != jobs.StateDone {
+			return nil, fmt.Errorf("fabric: cell %d %s: %w", i, snap.State, snap.Err)
+		}
+		out[i] = snap.Data
+	}
+	return out, nil
+}
+
+// BatchRunner adapts the fabric to core.SweepOptions.RunAll: the merge-on-
+// complete path. Results come back in input order, reconstructed from
+// canonical bytes, so a fabric sweep plugs into Figure-8 tables, conformance
+// checks, and fingerprints exactly like a local one.
+func (c *Coordinator) BatchRunner(ctx context.Context) func([]core.Spec) ([]core.Result, error) {
+	return func(specs []core.Spec) ([]core.Result, error) {
+		cells, err := c.CellBytes(ctx, specs)
+		if err != nil {
+			return nil, err
+		}
+		results := make([]core.Result, len(specs))
+		for i, data := range cells {
+			out, err := jobs.DecodeOutcome(data)
+			if err != nil {
+				return nil, fmt.Errorf("fabric: decoding cell %d: %w", i, err)
+			}
+			results[i] = out.ToResult(jobs.Normalize(specs[i]))
+		}
+		return results, nil
+	}
+}
+
+// Close stops the coordinator: listeners close, workers disconnect, and
+// every pending task fails with ErrClosed.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	close(c.stopMon)
+	for _, ln := range c.lns {
+		_ = ln.Close()
+	}
+	for _, w := range c.workers {
+		_ = w.fc.close()
+		w.up.Set(0)
+	}
+	c.workers = make(map[string]*remoteWorker)
+	c.inst.workersConnected.Set(0)
+	var pending []*shard
+	for _, sh := range c.shards {
+		pending = append(pending, sh)
+	}
+	pending = append(pending, c.waiting...)
+	c.waiting = nil
+	for _, sh := range pending {
+		c.removeShardLocked(sh)
+		for _, t := range sh.tasks {
+			c.completeTaskLocked(t, nil, ErrNoWorkers, "")
+		}
+	}
+	c.mu.Unlock()
+}

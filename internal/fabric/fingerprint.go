@@ -1,0 +1,20 @@
+package fabric
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Fingerprint reduces a sweep to one comparable hash: SHA-256 over the
+// newline-joined canonical cell bytes in matrix order. Because cell bytes
+// are canonical JSON of deterministic simulations, a fabric-merged sweep
+// fingerprints identically to a single-node run — the bit-identity
+// acceptance check, in one string.
+func Fingerprint(cells [][]byte) string {
+	h := sha256.New()
+	for _, c := range cells {
+		h.Write(c)
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,150 @@
+package fabric
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aaws/internal/jobs"
+)
+
+// RemoteCache is a jobs.CacheTier backed by the coordinator's shared result
+// tier over HTTP (GET/PUT /v1/cache/{hash}). Wrap it under a node's local
+// cache with jobs.NewTieredCache and the executor consults the fabric-wide
+// tier before computing anything locally.
+//
+// Lookups singleflight per key: N concurrent misses on the same content
+// address cost one round trip. Transport failures degrade to misses (the
+// node just computes locally) and are counted for the remote-tier stats.
+type RemoteCache struct {
+	base string
+	http *http.Client
+
+	mu     sync.Mutex
+	flight map[string]*remoteFetch
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	errs   atomic.Uint64
+}
+
+// remoteFetch is one in-flight GET other callers wait on.
+type remoteFetch struct {
+	done chan struct{}
+	data []byte
+	ok   bool
+}
+
+// NewRemoteCache targets the coordinator's HTTP base URL, e.g.
+// "http://coord:8090".
+func NewRemoteCache(base string) *RemoteCache {
+	return &RemoteCache{
+		base:   base,
+		http:   &http.Client{Timeout: 5 * time.Second},
+		flight: make(map[string]*remoteFetch),
+	}
+}
+
+// Get fetches key from the shared tier, coalescing concurrent lookups.
+func (rc *RemoteCache) Get(key string) ([]byte, bool) {
+	rc.mu.Lock()
+	if f := rc.flight[key]; f != nil {
+		rc.mu.Unlock()
+		<-f.done
+		rc.count(f.ok)
+		return f.data, f.ok
+	}
+	f := &remoteFetch{done: make(chan struct{})}
+	rc.flight[key] = f
+	rc.mu.Unlock()
+
+	f.data, f.ok = rc.fetch(key)
+	rc.mu.Lock()
+	delete(rc.flight, key)
+	rc.mu.Unlock()
+	close(f.done)
+	rc.count(f.ok)
+	return f.data, f.ok
+}
+
+func (rc *RemoteCache) count(hit bool) {
+	if hit {
+		rc.hits.Add(1)
+	} else {
+		rc.misses.Add(1)
+	}
+}
+
+func (rc *RemoteCache) fetch(key string) ([]byte, bool) {
+	resp, err := rc.http.Get(rc.base + "/v1/cache/" + key)
+	if err != nil {
+		rc.errs.Add(1)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode != http.StatusNotFound {
+			rc.errs.Add(1)
+		}
+		return nil, false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxFrameBytes))
+	if err != nil {
+		rc.errs.Add(1)
+		return nil, false
+	}
+	return data, true
+}
+
+// Put stores data in the shared tier, best effort: a fabric partition must
+// never fail local work.
+func (rc *RemoteCache) Put(key string, data []byte) {
+	req, err := http.NewRequest(http.MethodPut, rc.base+"/v1/cache/"+key, bytes.NewReader(data))
+	if err != nil {
+		rc.errs.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rc.http.Do(req)
+	if err != nil {
+		rc.errs.Add(1)
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		rc.errs.Add(1)
+	}
+}
+
+// PutOwned stores unowned: tenant quotas are a node-local concern; the
+// shared tier is common infrastructure.
+func (rc *RemoteCache) PutOwned(key string, data []byte, tenant string) {
+	rc.Put(key, data)
+}
+
+// Stats reports the remote tier's contribution in CacheStats form.
+func (rc *RemoteCache) Stats() jobs.CacheStats {
+	return jobs.CacheStats{
+		Hits:   rc.hits.Load(),
+		Misses: rc.misses.Load(),
+		Remote: &jobs.RemoteTierStats{
+			Hits:   rc.hits.Load(),
+			Misses: rc.misses.Load(),
+			Errors: rc.errs.Load(),
+		},
+	}
+}
+
+// TierErrors reports transport failures (jobs.TieredCache picks this up for
+// its Stats snapshot).
+func (rc *RemoteCache) TierErrors() uint64 { return rc.errs.Load() }
+
+var _ jobs.CacheTier = (*RemoteCache)(nil)
+
+// String identifies the tier in logs.
+func (rc *RemoteCache) String() string { return fmt.Sprintf("remote-cache(%s)", rc.base) }

@@ -1,0 +1,206 @@
+// Package fabric is the distributed sweep fabric: a coordinator that shards
+// sweep matrices across N worker nodes by spec content-address, a worker
+// mode that executes shards through the node-local bounded executor, a
+// shared remote result-cache tier consulted before local compute, and
+// straggler mitigation via hedged shard dispatch.
+//
+// The spec SHA-256 from internal/jobs/canonical.go is both the dedup key and
+// the routing key: identical cells collapse onto one in-flight shard across
+// every node (fabric-wide singleflight), completed cells are shared through
+// the coordinator's cache tier, and routing is a pure function of the hash so
+// repeats land on the node whose local cache is already warm. Determinism
+// makes the merge exact: a sweep sharded across N workers produces bytes
+// bit-identical to a single-node run.
+package fabric
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"net"
+	"sync"
+
+	"aaws/internal/core"
+)
+
+// ProtoVersion is the fabric wire-protocol version. A frame carrying any
+// other version is rejected at decode, so a mixed-version fleet fails fast
+// at registration instead of corrupting a sweep mid-flight.
+const ProtoVersion = 1
+
+// Frame kinds. The worker opens with hello, the coordinator answers
+// hello_ack; after that the worker streams heartbeat and result frames while
+// the coordinator streams dispatch frames.
+const (
+	KindHello     = "hello"
+	KindHelloAck  = "hello_ack"
+	KindHeartbeat = "heartbeat"
+	KindDispatch  = "dispatch"
+	KindResult    = "result"
+)
+
+// Frame is one fabric protocol message. The wire format reuses the journal's
+// framing idiom: one frame per line,
+//
+//	<crc32c-hex8> <json>\n
+//
+// where the CRC (Castagnoli) covers exactly the JSON payload. Unlike the
+// journal — where a torn record merely ends replay — a framing or CRC error
+// here is a protocol violation and the receiver drops the connection; the
+// registration/redispatch machinery handles the rest.
+type Frame struct {
+	V    int    `json:"v"`
+	Kind string `json:"kind"`
+
+	// Worker identifies the sending node (hello, heartbeat).
+	Worker string `json:"worker,omitempty"`
+	// Slots is the worker's executor pool size (hello; informational).
+	Slots int `json:"slots,omitempty"`
+	// Running is the worker's in-flight job count (heartbeat).
+	Running int `json:"running,omitempty"`
+
+	// Shard is the spec content-address (dispatch, result).
+	Shard string `json:"shard,omitempty"`
+	// Spec is the cell to execute (dispatch).
+	Spec *core.Spec `json:"spec,omitempty"`
+
+	// Data is the canonical outcome bytes (successful result).
+	Data json.RawMessage `json:"data,omitempty"`
+	// CacheHit reports that the worker answered from its local cache tier
+	// (result; feeds the coordinator's hit-rate metrics).
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Error is the failure message (failed result); Retryable marks
+	// substrate failures (queue full, draining) worth re-dispatching to
+	// another node rather than failing the shard.
+	Error     string `json:"error,omitempty"`
+	Retryable bool   `json:"retryable,omitempty"`
+}
+
+var wireCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// maxFrameBytes bounds one frame line (canonical outcome bytes dominate; the
+// largest default-matrix cell is well under 1 MiB, so 32 MiB is headroom,
+// not a working size).
+const maxFrameBytes = 32 << 20
+
+// EncodeFrame frames f as one wire line. It stamps ProtoVersion. HTML
+// escaping is off: the Data field carries canonical outcome bytes that must
+// cross the wire byte-identical (Region labels contain '<' and '>', which
+// json.Marshal would rewrite to </> even inside a RawMessage,
+// silently breaking the fabric's bit-identity guarantee).
+func EncodeFrame(f Frame) ([]byte, error) {
+	f.V = ProtoVersion
+	var pbuf bytes.Buffer
+	enc := json.NewEncoder(&pbuf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(f); err != nil {
+		return nil, fmt.Errorf("fabric: encoding %s frame: %w", f.Kind, err)
+	}
+	payload := bytes.TrimSuffix(pbuf.Bytes(), []byte{'\n'})
+	var buf bytes.Buffer
+	buf.Grow(len(payload) + 10)
+	fmt.Fprintf(&buf, "%08x ", crc32.Checksum(payload, wireCRC))
+	buf.Write(payload)
+	buf.WriteByte('\n')
+	return buf.Bytes(), nil
+}
+
+// DecodeFrame parses one wire line (without the trailing newline),
+// verifying framing, CRC, protocol version, and the per-kind required
+// fields. Any error is a protocol violation: drop the connection.
+func DecodeFrame(line []byte) (Frame, error) {
+	if len(line) < 10 || line[8] != ' ' {
+		return Frame{}, fmt.Errorf("fabric: frame too short or misframed (%d bytes)", len(line))
+	}
+	var want uint32
+	for _, c := range line[:8] {
+		var d uint32
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint32(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint32(c-'a') + 10
+		default:
+			return Frame{}, fmt.Errorf("fabric: bad frame CRC field %q", line[:8])
+		}
+		want = want<<4 | d
+	}
+	payload := line[9:]
+	if got := crc32.Checksum(payload, wireCRC); got != want {
+		return Frame{}, fmt.Errorf("fabric: frame CRC mismatch: %08x != %08x", got, want)
+	}
+	var f Frame
+	if err := json.Unmarshal(payload, &f); err != nil {
+		return Frame{}, fmt.Errorf("fabric: frame payload: %w", err)
+	}
+	if f.V != ProtoVersion {
+		return Frame{}, fmt.Errorf("fabric: protocol version %d (want %d)", f.V, ProtoVersion)
+	}
+	switch f.Kind {
+	case KindHello:
+		if f.Worker == "" {
+			return Frame{}, fmt.Errorf("fabric: hello missing worker name")
+		}
+	case KindHelloAck, KindHeartbeat:
+	case KindDispatch:
+		if f.Shard == "" || f.Spec == nil {
+			return Frame{}, fmt.Errorf("fabric: dispatch missing shard or spec")
+		}
+	case KindResult:
+		if f.Shard == "" {
+			return Frame{}, fmt.Errorf("fabric: result missing shard")
+		}
+		if len(f.Data) == 0 && f.Error == "" {
+			return Frame{}, fmt.Errorf("fabric: result carries neither data nor error")
+		}
+	default:
+		return Frame{}, fmt.Errorf("fabric: unknown frame kind %q", f.Kind)
+	}
+	return f, nil
+}
+
+// frameConn is a net.Conn speaking the fabric protocol: a line scanner on
+// the read side, a mutex-serialized writer on the write side (dispatches and
+// the hello_ack can race on the coordinator; results and heartbeats race on
+// the worker).
+type frameConn struct {
+	c  net.Conn
+	sc *bufio.Scanner
+
+	wmu sync.Mutex
+}
+
+func newFrameConn(c net.Conn) *frameConn {
+	sc := bufio.NewScanner(c)
+	sc.Buffer(make([]byte, 64<<10), maxFrameBytes)
+	return &frameConn{c: c, sc: sc}
+}
+
+// read blocks for the next frame. An EOF, transport error, oversized line,
+// or protocol violation all surface as an error; the caller drops the
+// connection either way.
+func (fc *frameConn) read() (Frame, error) {
+	if !fc.sc.Scan() {
+		if err := fc.sc.Err(); err != nil {
+			return Frame{}, err
+		}
+		return Frame{}, fmt.Errorf("fabric: connection closed")
+	}
+	return DecodeFrame(fc.sc.Bytes())
+}
+
+// write sends one frame, serialized against concurrent writers.
+func (fc *frameConn) write(f Frame) error {
+	buf, err := EncodeFrame(f)
+	if err != nil {
+		return err
+	}
+	fc.wmu.Lock()
+	defer fc.wmu.Unlock()
+	_, err = fc.c.Write(buf)
+	return err
+}
+
+func (fc *frameConn) close() error { return fc.c.Close() }

@@ -1,0 +1,165 @@
+package fabric_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"strings"
+	"testing"
+
+	"aaws/internal/core"
+	"aaws/internal/fabric"
+	"aaws/internal/wsrt"
+)
+
+func mustEncode(t *testing.T, f fabric.Frame) []byte {
+	t.Helper()
+	line, err := fabric.EncodeFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.TrimSuffix(line, []byte{'\n'})
+}
+
+// TestFrameRoundTrip encodes and decodes every frame kind.
+func TestFrameRoundTrip(t *testing.T) {
+	spec := core.Spec{Kernel: "cilksort", System: core.Sys4B4L, Variant: wsrt.BasePSM, Seed: 42, Scale: 1.0}
+	frames := []fabric.Frame{
+		{Kind: fabric.KindHello, Worker: "node-1", Slots: 8},
+		{Kind: fabric.KindHelloAck},
+		{Kind: fabric.KindHeartbeat, Worker: "node-1", Running: 3},
+		{Kind: fabric.KindDispatch, Shard: "abc123", Spec: &spec},
+		{Kind: fabric.KindResult, Worker: "node-1", Shard: "abc123", Data: json.RawMessage(`{"SpecHash":"abc123"}`), CacheHit: true},
+		{Kind: fabric.KindResult, Worker: "node-1", Shard: "abc123", Error: "queue full", Retryable: true},
+	}
+	for _, in := range frames {
+		out, err := fabric.DecodeFrame(mustEncode(t, in))
+		if err != nil {
+			t.Fatalf("%s: %v", in.Kind, err)
+		}
+		if out.V != fabric.ProtoVersion {
+			t.Fatalf("%s: version %d", in.Kind, out.V)
+		}
+		if out.Kind != in.Kind || out.Worker != in.Worker || out.Slots != in.Slots ||
+			out.Running != in.Running || out.Shard != in.Shard ||
+			out.CacheHit != in.CacheHit || out.Error != in.Error || out.Retryable != in.Retryable {
+			t.Fatalf("%s: round trip mutated frame: %+v -> %+v", in.Kind, in, out)
+		}
+		if in.Spec != nil && *out.Spec != *in.Spec {
+			t.Fatalf("%s: spec mutated: %+v -> %+v", in.Kind, *in.Spec, *out.Spec)
+		}
+		if !bytes.Equal(out.Data, in.Data) {
+			t.Fatalf("%s: data mutated", in.Kind)
+		}
+	}
+}
+
+// TestFrameDataBytesExact is the transport half of the bit-identity
+// guarantee: canonical outcome bytes containing JSON-hostile characters
+// ('<', '>', '&' appear in region labels) must cross the frame encoding
+// untouched.
+func TestFrameDataBytesExact(t *testing.T) {
+	payload := []byte(`{"Regions":{"BI<LA":1,"BI>=LA":2,"a&b":3},"SpecHash":"x"}`)
+	out, err := fabric.DecodeFrame(mustEncode(t, fabric.Frame{
+		Kind: fabric.KindResult, Shard: "x", Data: json.RawMessage(payload),
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Data, payload) {
+		t.Fatalf("data bytes mutated in transit:\n in:  %s\n out: %s", payload, out.Data)
+	}
+}
+
+// TestDecodeFrameRejects exercises every protocol-violation branch: each must
+// error (the connection would drop), never pass corrupt frames through.
+func TestDecodeFrameRejects(t *testing.T) {
+	good := mustEncode(t, fabric.Frame{Kind: fabric.KindHello, Worker: "w"})
+	cases := []struct {
+		name string
+		line []byte
+		want string
+	}{
+		{"empty", nil, "too short"},
+		{"short", []byte("deadbeef"), "too short"},
+		{"no space", append(bytes.Clone(good[:8]), good[9:]...), ""},
+		{"bad hex", append([]byte("XXXXXXXX"), good[8:]...), "CRC field"},
+		{"uppercase hex", append(bytes.ToUpper(bytes.Clone(good[:8])), good[8:]...), ""},
+		{"crc mismatch", append([]byte("00000000"), good[8:]...), "CRC mismatch"},
+		{"flipped payload byte", flipLast(good), ""},
+		{"not json", reframe(t, "{"), "payload"},
+		{"wrong version", reframe(t, `{"v":99,"kind":"hello","worker":"w"}`), "version"},
+		{"unknown kind", reframe(t, `{"v":1,"kind":"mystery"}`), "unknown frame kind"},
+		{"hello no worker", reframe(t, `{"v":1,"kind":"hello"}`), "missing worker"},
+		{"dispatch no spec", reframe(t, `{"v":1,"kind":"dispatch","shard":"x"}`), "missing shard or spec"},
+		{"result no shard", reframe(t, `{"v":1,"kind":"result","data":{}}`), "missing shard"},
+		{"result empty", reframe(t, `{"v":1,"kind":"result","shard":"x"}`), "neither data nor error"},
+	}
+	for _, tc := range cases {
+		_, err := fabric.DecodeFrame(tc.line)
+		if err == nil {
+			t.Fatalf("%s: decoded without error", tc.name)
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// flipLast corrupts the final payload byte while keeping the CRC field.
+func flipLast(line []byte) []byte {
+	c := bytes.Clone(line)
+	c[len(c)-1] ^= 0x01
+	return c
+}
+
+// reframe CRC-frames an arbitrary payload so decode reaches the JSON and
+// validation layers.
+func reframe(t *testing.T, payload string) []byte {
+	t.Helper()
+	crc := crc32.Checksum([]byte(payload), crc32.MakeTable(crc32.Castagnoli))
+	return []byte(fmt.Sprintf("%08x %s", crc, payload))
+}
+
+// FuzzFrameDecode mirrors FuzzJobRequestDecode: whatever bytes arrive on a
+// fabric connection, DecodeFrame must never panic, and any frame it does
+// accept must re-encode and re-decode to the same frame.
+func FuzzFrameDecode(f *testing.F) {
+	spec := core.Spec{Kernel: "cilksort", System: core.Sys4B4L, Variant: wsrt.BasePSM, Seed: 1, Scale: 1.0}
+	seeds := []fabric.Frame{
+		{Kind: fabric.KindHello, Worker: "w", Slots: 4},
+		{Kind: fabric.KindHelloAck},
+		{Kind: fabric.KindHeartbeat, Worker: "w", Running: 1},
+		{Kind: fabric.KindDispatch, Shard: "h", Spec: &spec},
+		{Kind: fabric.KindResult, Shard: "h", Data: json.RawMessage(`{"SpecHash":"h"}`)},
+	}
+	for _, s := range seeds {
+		line, err := fabric.EncodeFrame(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(bytes.TrimSuffix(line, []byte{'\n'}))
+	}
+	f.Add([]byte("00000000 {}"))
+	f.Add([]byte("deadbeef not json"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		frame, err := fabric.DecodeFrame(line)
+		if err != nil {
+			return
+		}
+		re, err := fabric.EncodeFrame(frame)
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		again, err := fabric.DecodeFrame(bytes.TrimSuffix(re, []byte{'\n'}))
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if again.Kind != frame.Kind || again.Worker != frame.Worker || again.Shard != frame.Shard ||
+			!bytes.Equal(again.Data, frame.Data) || again.Error != frame.Error {
+			t.Fatalf("re-encode changed frame: %+v -> %+v", frame, again)
+		}
+	})
+}

@@ -1,0 +1,205 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"aaws/internal/jobs"
+)
+
+// WorkerConfig parameterizes a fabric worker.
+type WorkerConfig struct {
+	// Name identifies this node to the coordinator; a reconnect under the
+	// same name replaces the old registration. Required.
+	Name string
+	// CoordAddr is the coordinator's fabric listener (host:port). Required.
+	CoordAddr string
+	// Executor runs dispatched shards through the node's bounded pool,
+	// admission-exempt paths excluded — shards queue like any other sweep
+	// work. Required.
+	Executor *jobs.Executor
+	// Tenant is the identity shard executions run under (default "fabric"),
+	// so fabric work is visible in per-tenant metrics and WFQ-schedulable
+	// against interactive traffic.
+	Tenant string
+	// HeartbeatEvery paces liveness frames (default 1s; keep well under the
+	// coordinator's HeartbeatTimeout).
+	HeartbeatEvery time.Duration
+	// ReconnectDelay paces re-registration after a lost coordinator
+	// connection (default 1s).
+	ReconnectDelay time.Duration
+	// DialTimeout bounds one connection attempt (default 5s).
+	DialTimeout time.Duration
+}
+
+// Worker registers a node with the coordinator and executes dispatched
+// shards through the local executor, streaming results back. It reconnects
+// (and re-registers) until its context is canceled, so a coordinator
+// restart heals without operator action.
+type Worker struct {
+	cfg WorkerConfig
+
+	readyOnce sync.Once
+	ready     chan struct{}
+}
+
+// NewWorker validates cfg and returns a worker; call Run to connect.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("fabric: worker needs a name")
+	}
+	if cfg.CoordAddr == "" {
+		return nil, errors.New("fabric: worker needs a coordinator address")
+	}
+	if cfg.Executor == nil {
+		return nil, errors.New("fabric: worker needs an executor")
+	}
+	if cfg.Tenant == "" {
+		cfg.Tenant = "fabric"
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = time.Second
+	}
+	if cfg.ReconnectDelay <= 0 {
+		cfg.ReconnectDelay = time.Second
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	return &Worker{cfg: cfg, ready: make(chan struct{})}, nil
+}
+
+// Ready is closed after the first successful registration (hello_ack) —
+// the signal /readyz waits on before routing traffic to a worker node.
+func (w *Worker) Ready() <-chan struct{} { return w.ready }
+
+// Run connects, registers, and serves dispatches until ctx is canceled,
+// reconnecting on any connection loss.
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		err := w.session(ctx)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		_ = err // transient: log-free by design; the coordinator tracks liveness
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(w.cfg.ReconnectDelay):
+		}
+	}
+}
+
+// session runs one coordinator connection to failure.
+func (w *Worker) session(ctx context.Context) error {
+	conn, err := net.DialTimeout("tcp", w.cfg.CoordAddr, w.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	fc := newFrameConn(conn)
+	defer fc.close()
+	// Cancelation unblocks the reader by closing the connection.
+	stop := context.AfterFunc(ctx, func() { _ = fc.close() })
+	defer stop()
+
+	slots := w.cfg.Executor.Metrics().Workers
+	if err := fc.write(Frame{Kind: KindHello, Worker: w.cfg.Name, Slots: slots}); err != nil {
+		return err
+	}
+	ack, err := fc.read()
+	if err != nil {
+		return err
+	}
+	if ack.Kind != KindHelloAck {
+		return fmt.Errorf("fabric: expected hello_ack, got %q", ack.Kind)
+	}
+	w.readyOnce.Do(func() { close(w.ready) })
+
+	// Heartbeats ride their own goroutine so a long dispatch backlog never
+	// looks like death. A failed write closes the conn, unblocking the
+	// reader below.
+	hbStop := make(chan struct{})
+	defer close(hbStop)
+	go func() {
+		t := time.NewTicker(w.cfg.HeartbeatEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-t.C:
+				running := w.cfg.Executor.Metrics().Running
+				if err := fc.write(Frame{Kind: KindHeartbeat, Worker: w.cfg.Name, Running: running}); err != nil {
+					_ = fc.close()
+					return
+				}
+			}
+		}
+	}()
+
+	for {
+		f, err := fc.read()
+		if err != nil {
+			return err
+		}
+		switch f.Kind {
+		case KindDispatch:
+			// Executor.Wait blocks until the shard finishes; each dispatch
+			// gets its own goroutine so the pipe stays full.
+			go w.execute(ctx, fc, f)
+		case KindHelloAck:
+			// Benign duplicate; ignore.
+		default:
+			return fmt.Errorf("fabric: unexpected %q frame from coordinator", f.Kind)
+		}
+	}
+}
+
+// execute runs one dispatched shard through the local executor and streams
+// the result (or a typed failure) back.
+func (w *Worker) execute(ctx context.Context, fc *frameConn, f Frame) {
+	result := Frame{Kind: KindResult, Worker: w.cfg.Name, Shard: f.Shard}
+	job, err := w.cfg.Executor.Submit(*f.Spec, jobs.SubmitOptions{
+		Class:  jobs.ClassSweep,
+		Tenant: w.cfg.Tenant,
+	})
+	if err != nil {
+		result.Error = err.Error()
+		// Queue-full / draining / shed rejections are substrate conditions:
+		// the coordinator should try another node, not fail the shard.
+		if _, retryable := jobs.RetryAfterOf(err); retryable ||
+			errors.Is(err, jobs.ErrQueueFull) || errors.Is(err, jobs.ErrDraining) {
+			result.Retryable = true
+		}
+		_ = fc.write(result)
+		return
+	}
+	snap, err := w.cfg.Executor.Wait(ctx, job.ID)
+	if err != nil {
+		// Node shutting down mid-shard: best-effort retryable signal; the
+		// dropped connection re-dispatches it regardless.
+		result.Error = err.Error()
+		result.Retryable = true
+		_ = fc.write(result)
+		return
+	}
+	switch snap.State {
+	case jobs.StateDone:
+		result.Data = snap.Data
+		result.CacheHit = snap.CacheHit || snap.Coalesced
+	case jobs.StateCanceled:
+		result.Error = "canceled on worker"
+		result.Retryable = true
+	default:
+		if snap.Err != nil {
+			result.Error = snap.Err.Error()
+		} else {
+			result.Error = "failed on worker"
+		}
+	}
+	_ = fc.write(result)
+}

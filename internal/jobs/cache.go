@@ -86,6 +86,9 @@ type CacheStats struct {
 	Breaker         BreakerStats
 	// PerTenant is each tenant's owned share of the in-memory LRU.
 	PerTenant map[string]TenantCacheStats
+	// Remote is the remote tier's contribution when the snapshot comes from
+	// a TieredCache (nil for a plain local cache).
+	Remote *RemoteTierStats
 }
 
 // TenantCacheStats is one tenant's owned cache footprint.

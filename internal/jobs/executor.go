@@ -53,13 +53,16 @@ type Config struct {
 	RetryBaseDelay time.Duration
 	// RetryMaxDelay caps the retry backoff (default 2s).
 	RetryMaxDelay time.Duration
-	// Cache, when non-nil, short-circuits identical submissions.
-	Cache *Cache
+	// Cache, when non-nil, short-circuits identical submissions. Any
+	// CacheTier works: the local memory+disk *Cache, or a TieredCache
+	// layering a shared remote tier beneath it.
+	Cache CacheTier
 	// Journal, when non-nil, write-ahead-logs every accepted submission
 	// (fsync before Submit returns) and each job's lifecycle, making
 	// queued and running jobs survive a process crash: open the journal
 	// with OpenJournal and hand its pending jobs to Recover on startup.
-	Journal *Journal
+	// Any Store works; *Journal is the segmented-WAL implementation.
+	Journal Store
 	// ProgressEvents is the stride, in simulation events, between
 	// journaled progress records for a running job (default 8M events;
 	// only meaningful with Journal set).

@@ -101,6 +101,11 @@ func syncLegacyMetrics(reg *obs.Registry, m Metrics, rl *RateLimiterStats) {
 	}
 	reg.Gauge("aaws_cache_hit_ratio").Set(hitRate)
 	set("aaws_cache_disk_errors_total", int64(m.Cache.DiskErrors))
+	if r := m.Cache.Remote; r != nil {
+		set("aaws_cache_remote_hits_total", int64(r.Hits))
+		set("aaws_cache_remote_misses_total", int64(r.Misses))
+		set("aaws_cache_remote_errors_total", int64(r.Errors))
+	}
 	set("aaws_cache_breaker_state", int64(m.Cache.Breaker.State))
 	set("aaws_cache_breaker_trips_total", int64(m.Cache.Breaker.Trips))
 	set("aaws_cache_breaker_shortcuts_total", int64(m.Cache.Breaker.ShortCuts))

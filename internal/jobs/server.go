@@ -46,7 +46,11 @@ type Server struct {
 	mux     *http.ServeMux
 	limiter *RateLimiter
 	opts    ServerOptions
-	ready   atomic.Bool
+	// phase is the current startup phase ("" = ready). While non-empty,
+	// /readyz reports degraded with the phase as the reason, so load
+	// balancers don't route to a node still replaying its journal or
+	// registering with a fabric coordinator.
+	phase atomic.Value // string
 }
 
 // ServerOptions tunes the HTTP-layer protections. The zero value disables
@@ -80,7 +84,7 @@ func NewServerWithOptions(ex *Executor, opts ServerOptions) *Server {
 	if opts.RatePerSec > 0 {
 		s.limiter = NewRateLimiter(opts.RatePerSec, opts.Burst)
 	}
-	s.ready.Store(true)
+	s.phase.Store("")
 	s.mux.HandleFunc("POST /v1/jobs", s.submitJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.getReport)
@@ -97,8 +101,20 @@ func NewServerWithOptions(ex *Executor, opts ServerOptions) *Server {
 
 // SetReady flips the /readyz signal. Keep it false while replaying the
 // journal so load balancers don't route traffic to a server still rebuilding
-// its queue.
-func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+// its queue. Equivalent to SetPhase("journal replay") / SetPhase("").
+func (s *Server) SetReady(ready bool) {
+	if ready {
+		s.SetPhase("")
+	} else {
+		s.SetPhase("journal replay")
+	}
+}
+
+// SetPhase names the startup work still in progress ("" = done). While a
+// phase is set, /readyz answers 503 with {"status":"degraded","reason":phase}
+// — distinct from draining — so orchestrators can tell a cold node from a
+// dying one. Used for journal replay and fabric worker registration.
+func (s *Server) SetPhase(phase string) { s.phase.Store(phase) }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -337,6 +353,54 @@ type SweepResponse struct {
 	IDs   []string `json:"ids"`
 }
 
+// Specs expands the request into its cell specs in matrix order, applying
+// the defaults (all kernels / 4B4L / all five variants / seed 42). The same
+// expansion serves the single-node sweep endpoint and the fabric
+// coordinator's, so a matrix shards into exactly the cells it would run
+// locally.
+func (req SweepRequest) Specs() ([]core.Spec, error) {
+	kernelNames := req.Kernels
+	if len(kernelNames) == 0 {
+		kernelNames = kernels.Names()
+	}
+	systems := req.Systems
+	if len(systems) == 0 {
+		systems = []string{"4B4L"}
+	}
+	variantNames := req.Variants
+	if len(variantNames) == 0 {
+		for _, v := range wsrt.Variants {
+			variantNames = append(variantNames, v.String())
+		}
+	}
+	seeds := req.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{42}
+	}
+	var specs []core.Spec
+	for _, kname := range kernelNames {
+		for _, sysName := range systems {
+			sys, ok := core.ParseSystem(sysName)
+			if !ok {
+				return nil, fmt.Errorf("unknown system %q", sysName)
+			}
+			for _, vname := range variantNames {
+				v, ok := wsrt.ParseVariant(vname)
+				if !ok {
+					return nil, fmt.Errorf("unknown variant %q", vname)
+				}
+				for _, seed := range seeds {
+					specs = append(specs, core.Spec{
+						Kernel: kname, System: sys, Variant: v,
+						Seed: seed, Scale: req.Scale, Check: req.Check,
+					})
+				}
+			}
+		}
+	}
+	return specs, nil
+}
+
 func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) {
 	tenant, err := tenantFrom(r)
 	if err != nil {
@@ -350,19 +414,10 @@ func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	if len(req.Kernels) == 0 {
-		req.Kernels = kernels.Names()
-	}
-	if len(req.Systems) == 0 {
-		req.Systems = []string{"4B4L"}
-	}
-	if len(req.Variants) == 0 {
-		for _, v := range wsrt.Variants {
-			req.Variants = append(req.Variants, v.String())
-		}
-	}
-	if len(req.Seeds) == 0 {
-		req.Seeds = []uint64{42}
+	specs, err := req.Specs()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
 	}
 	// Sweep matrices run in the concurrency-limited sweep class so a big
 	// batch cannot occupy every worker and starve interactive jobs.
@@ -374,33 +429,14 @@ func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) {
 		NoCache:  req.NoCache,
 	}
 	var resp SweepResponse
-	for _, kname := range req.Kernels {
-		for _, sysName := range req.Systems {
-			sys, ok := core.ParseSystem(sysName)
-			if !ok {
-				httpError(w, http.StatusBadRequest, fmt.Errorf("unknown system %q", sysName))
-				return
-			}
-			for _, vname := range req.Variants {
-				v, ok := wsrt.ParseVariant(vname)
-				if !ok {
-					httpError(w, http.StatusBadRequest, fmt.Errorf("unknown variant %q", vname))
-					return
-				}
-				for _, seed := range req.Seeds {
-					spec := core.Spec{
-						Kernel: kname, System: sys, Variant: v,
-						Seed: seed, Scale: req.Scale, Check: req.Check,
-					}
-					job, err := s.ex.Submit(spec, opts)
-					if err != nil {
-						s.submitError(w, fmt.Errorf("submitting %s/%s/%s: %w", kname, sysName, vname, err))
-						return
-					}
-					resp.IDs = append(resp.IDs, job.ID)
-				}
-			}
+	for _, spec := range specs {
+		job, err := s.ex.Submit(spec, opts)
+		if err != nil {
+			s.submitError(w, fmt.Errorf("submitting %s/%s/%s: %w",
+				spec.Kernel, spec.System, spec.Variant, err))
+			return
 		}
+		resp.IDs = append(resp.IDs, job.ID)
 	}
 	resp.Count = len(resp.IDs)
 	writeJSON(w, http.StatusAccepted, resp)
@@ -648,12 +684,15 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
-	if !s.ready.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "recovering"})
-		return
-	}
 	if s.ex.Draining() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	if phase, _ := s.phase.Load().(string); phase != "" {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "degraded",
+			"reason": phase,
+		})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})

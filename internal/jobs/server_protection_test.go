@@ -190,7 +190,10 @@ func jsonDecode(r io.Reader, v any) error {
 	return json.NewDecoder(r).Decode(v)
 }
 
-// TestServerReadyz exercises the readiness gate used during journal replay.
+// TestServerReadyz exercises the readiness gate used during journal replay
+// and fabric worker registration: startup phases report degraded (with the
+// phase as the reason) — distinct from ok and from draining — so load
+// balancers don't route traffic to a cold node.
 func TestServerReadyz(t *testing.T) {
 	ts, api, _ := newProtectedServer(t, jobs.Config{Workers: 1}, jobs.ServerOptions{})
 	code, _ := getJSON(t, ts.URL+"/readyz")
@@ -199,12 +202,19 @@ func TestServerReadyz(t *testing.T) {
 	}
 	api.SetReady(false)
 	code, m := getJSON(t, ts.URL+"/readyz")
-	if code != http.StatusServiceUnavailable || m["status"] != "recovering" {
+	if code != http.StatusServiceUnavailable || m["status"] != "degraded" || m["reason"] != "journal replay" {
 		t.Fatalf("readyz during recovery: %d %v", code, m)
 	}
 	// Liveness is independent of readiness.
 	if code, _ := getJSON(t, ts.URL+"/healthz"); code != http.StatusOK {
 		t.Fatalf("healthz flipped with readiness: %d", code)
+	}
+	// A fabric worker waiting for its coordinator is degraded too, with its
+	// own reason.
+	api.SetPhase("worker registration")
+	code, m = getJSON(t, ts.URL+"/readyz")
+	if code != http.StatusServiceUnavailable || m["status"] != "degraded" || m["reason"] != "worker registration" {
+		t.Fatalf("readyz during registration: %d %v", code, m)
 	}
 	api.SetReady(true)
 	if code, _ := getJSON(t, ts.URL+"/readyz"); code != http.StatusOK {

@@ -1,0 +1,142 @@
+package jobs_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"aaws/internal/jobs"
+)
+
+// fakeTier is an instrumented in-memory CacheTier standing in for either
+// side of a TieredCache.
+type fakeTier struct {
+	mu      sync.Mutex
+	data    map[string][]byte
+	owners  map[string]string
+	gets    int
+	puts    int
+	errs    uint64
+	statsIn jobs.CacheStats
+}
+
+func newFakeTier() *fakeTier {
+	return &fakeTier{data: make(map[string][]byte), owners: make(map[string]string)}
+}
+
+func (f *fakeTier) Get(key string) ([]byte, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.gets++
+	d, ok := f.data[key]
+	return d, ok
+}
+
+func (f *fakeTier) Put(key string, data []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.puts++
+	f.data[key] = data
+}
+
+func (f *fakeTier) PutOwned(key string, data []byte, tenant string) {
+	f.Put(key, data)
+	f.mu.Lock()
+	f.owners[key] = tenant
+	f.mu.Unlock()
+}
+
+func (f *fakeTier) Stats() jobs.CacheStats { return f.statsIn }
+func (f *fakeTier) TierErrors() uint64     { return f.errs }
+
+func (f *fakeTier) counts() (gets, puts int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.gets, f.puts
+}
+
+func TestTieredCacheLocalFirst(t *testing.T) {
+	local, remote := newFakeTier(), newFakeTier()
+	tc := jobs.NewTieredCache(local, remote)
+
+	local.Put("k", []byte("v"))
+	data, ok := tc.Get("k")
+	if !ok || !bytes.Equal(data, []byte("v")) {
+		t.Fatal("local hit not served")
+	}
+	if gets, _ := remote.counts(); gets != 0 {
+		t.Fatalf("local hit reached the remote tier (%d gets)", gets)
+	}
+}
+
+func TestTieredCachePromotesRemoteHits(t *testing.T) {
+	local, remote := newFakeTier(), newFakeTier()
+	tc := jobs.NewTieredCache(local, remote)
+
+	remote.Put("k", []byte("v"))
+	if data, ok := tc.Get("k"); !ok || !bytes.Equal(data, []byte("v")) {
+		t.Fatal("remote hit not served")
+	}
+	// The hit must now live locally: a repeat stays node-local.
+	if _, ok := local.data["k"]; !ok {
+		t.Fatal("remote hit not promoted into the local tier")
+	}
+	remoteGetsBefore, _ := remote.counts()
+	if _, ok := tc.Get("k"); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if gets, _ := remote.counts(); gets != remoteGetsBefore {
+		t.Fatal("repeat lookup went remote despite promotion")
+	}
+
+	stats := tc.Stats()
+	if stats.Remote == nil || stats.Remote.Hits != 1 {
+		t.Fatalf("remote tier stats: %+v", stats.Remote)
+	}
+}
+
+func TestTieredCacheWriteThrough(t *testing.T) {
+	local, remote := newFakeTier(), newFakeTier()
+	tc := jobs.NewTieredCache(local, remote)
+
+	tc.Put("k", []byte("v"))
+	if _, ok := local.data["k"]; !ok {
+		t.Fatal("Put skipped the local tier")
+	}
+	if _, ok := remote.data["k"]; !ok {
+		t.Fatal("Put skipped the remote tier")
+	}
+
+	// Owned stores charge the local tenant quota but land unowned remotely:
+	// the shared tier is common infrastructure.
+	tc.PutOwned("k2", []byte("v2"), "team-a")
+	if local.owners["k2"] != "team-a" {
+		t.Fatalf("local owner = %q, want team-a", local.owners["k2"])
+	}
+	if owner, owned := remote.owners["k2"]; owned {
+		t.Fatalf("remote entry owned by %q, want unowned", owner)
+	}
+	if _, ok := remote.data["k2"]; !ok {
+		t.Fatal("PutOwned skipped the remote tier")
+	}
+}
+
+func TestTieredCacheStatsCountsMisses(t *testing.T) {
+	local, remote := newFakeTier(), newFakeTier()
+	remote.errs = 3
+	tc := jobs.NewTieredCache(local, remote)
+
+	if _, ok := tc.Get("absent"); ok {
+		t.Fatal("phantom hit")
+	}
+	stats := tc.Stats()
+	if stats.Remote == nil {
+		t.Fatal("no remote tier stats attached")
+	}
+	if stats.Remote.Misses != 1 {
+		t.Fatalf("remote misses = %d, want 1", stats.Remote.Misses)
+	}
+	if stats.Remote.Errors != 3 {
+		t.Fatalf("remote errors = %d, want 3 (from TierErrors)", stats.Remote.Errors)
+	}
+}
