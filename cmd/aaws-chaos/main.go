@@ -60,8 +60,25 @@ func main() {
 	useCache := flag.Bool("cache", false, "run cells through the jobs executor with a content-addressed result cache")
 	cacheDir := flag.String("cache-dir", "", "on-disk result store (implies -cache)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "executor worker-pool size (with -cache)")
+	fabricMode := flag.Bool("fabric", false, "run the distributed-fabric chaos scenarios instead of the fault sweep")
+	fabricScenario := flag.String("fabric-scenario", "all", "fabric chaos scenario: coord-crash, zombie, reorder, cache-outage, or all")
+	fabricNodes := flag.Int("fabric-nodes", 3, "fabric chaos: in-process worker nodes")
+	fabricFP := flag.String("fabric-fingerprint", "", "fabric chaos: committed fingerprint file to gate coord-crash recovery against")
+	fabricOut := flag.String("fabric-out", "", "fabric chaos: write a JSON report")
 	prof := profiling.AddFlags("chaos")
 	flag.Parse()
+
+	if *fabricMode {
+		os.Exit(runFabricChaos(fabricChaosOptions{
+			scenario: *fabricScenario,
+			nodes:    *fabricNodes,
+			system:   *system,
+			seed:     *seed,
+			scale:    *scale,
+			fpPath:   *fabricFP,
+			outPath:  *fabricOut,
+		}))
+	}
 
 	run := runner(func(spec core.Spec, _ bool) (core.Result, error) { return core.Run(spec) })
 	if *useCache || *cacheDir != "" {

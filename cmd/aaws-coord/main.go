@@ -39,6 +39,8 @@ func main() {
 		fabricAddr  = flag.String("fabric-addr", ":9090", "worker (fabric TCP) listen address")
 		cacheSize   = flag.Int("cache-size", 8192, "shared result cache capacity (entries)")
 		cacheDir    = flag.String("cache-dir", "", "shared cache spill directory (empty = memory only)")
+		journalDir  = flag.String("journal-dir", "", "sweep journal directory (empty = memory only, no crash durability)")
+		journalSeg  = flag.Int("journal-segment-mb", 4, "journal segment size before rotation+compaction (MiB)")
 		hedgeDelay  = flag.Duration("hedge-delay", time.Second, "delay before hedging an uncommitted shard (negative disables)")
 		hedgeJitter = flag.Duration("hedge-jitter", 0, "deterministic per-shard hedge jitter span (0 = hedge-delay/2)")
 		hbTimeout   = flag.Duration("heartbeat-timeout", 5*time.Second, "fail workers silent for this long")
@@ -75,8 +77,25 @@ func main() {
 	if err != nil {
 		log.Fatalf("aaws-coord: cache: %v", err)
 	}
+
+	// The sweep journal opens before the coordinator so MaxSeq seeds the ID
+	// sequence; replaying the pending backlog happens after the listeners
+	// are up (workers can register while /readyz reports journal-replay).
+	var store jobs.Store
+	var pending []jobs.Pending
+	if *journalDir != "" {
+		j, p, err := jobs.OpenJournal(*journalDir, jobs.JournalConfig{
+			SegmentBytes: int64(*journalSeg) << 20,
+		})
+		if err != nil {
+			log.Fatalf("aaws-coord: journal: %v", err)
+		}
+		store, pending = j, p
+	}
+
 	coord, err := fabric.NewCoordinator(fabric.CoordConfig{
 		Cache:            cache,
+		Store:            store,
 		HedgeDelay:       *hedgeDelay,
 		HedgeJitter:      *hedgeJitter,
 		HeartbeatTimeout: *hbTimeout,
@@ -95,10 +114,8 @@ func main() {
 		}
 	}()
 
-	srv := &http.Server{
-		Addr:    *addr,
-		Handler: fabric.NewHTTP(coord, fabric.HTTPOptions{MaxBodyBytes: int64(*maxBodyKB) << 10}),
-	}
+	api := fabric.NewHTTP(coord, fabric.HTTPOptions{MaxBodyBytes: int64(*maxBodyKB) << 10})
+	srv := &http.Server{Addr: *addr, Handler: api}
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			log.Fatalf("aaws-coord: http: %v", err)
@@ -106,11 +123,26 @@ func main() {
 	}()
 	log.Printf("aaws-coord: api on %s, fabric on %s", *addr, fln.Addr())
 
+	if len(pending) > 0 {
+		// Submissions 503 (Retry-After) until the crashed backlog is back in
+		// flight; recovered shards park if no worker has re-registered yet.
+		api.SetPhase("journal-replay")
+		n, err := coord.Recover(pending)
+		if err != nil {
+			log.Fatalf("aaws-coord: journal replay: %v", err)
+		}
+		api.SetPhase("")
+		log.Printf("aaws-coord: recovered %d journaled task(s)", n)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("aaws-coord: shutting down")
 	coord.Close()
+	if store != nil {
+		_ = store.Close()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	_ = srv.Shutdown(ctx)

@@ -76,6 +76,7 @@ func main() {
 	coordAddr := flag.String("coordinator", "", "fabric coordinator TCP address (host:port) for -worker mode")
 	workerName := flag.String("worker-name", "", "fabric worker name (default: hostname)")
 	remoteCacheURL := flag.String("remote-cache", "", "coordinator HTTP base URL for the shared result-cache tier (e.g. http://coord:8090)")
+	remoteCacheTimeout := flag.Duration("remote-cache-timeout", 5*time.Second, "per-request timeout for the shared result-cache tier")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -95,8 +96,12 @@ func main() {
 	// With a shared tier configured, the executor consults local-then-remote
 	// before computing; completed results write through to both.
 	var tier jobs.CacheTier = cache
+	var remoteCache *fabric.RemoteCache
 	if *remoteCacheURL != "" {
-		tier = jobs.NewTieredCache(cache, fabric.NewRemoteCache(*remoteCacheURL))
+		remoteCache = fabric.NewRemoteCacheWith(*remoteCacheURL, fabric.RemoteCacheOptions{
+			Timeout: *remoteCacheTimeout,
+		})
+		tier = jobs.NewTieredCache(cache, remoteCache)
 	}
 	var policy jobs.SchedPolicy
 	switch *qos {
@@ -174,6 +179,12 @@ func main() {
 		})
 		if err != nil {
 			fail(err)
+		}
+		if remoteCache != nil {
+			// The cache tier was built before the worker existed; bind the
+			// worker's registration epoch to it now so cache fills carry the
+			// fence headers.
+			remoteCache.SetEpochSource(fw.EpochInfo)
 		}
 	}
 

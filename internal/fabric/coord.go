@@ -32,6 +32,14 @@ type CoordConfig struct {
 	// both read it (via the coordinator's HTTP cache endpoints) and fill it
 	// (every committed result is stored).
 	Cache jobs.CacheTier
+	// Store is the coordinator's write-ahead sweep journal (nil = memory
+	// only, no crash durability). Every accepted task is durably recorded
+	// (fsync) before Submit acknowledges it and marked done/failed as its
+	// shard commits, so a crashed coordinator can Recover the uncommitted
+	// remainder with preserved task IDs. The concrete implementation is the
+	// same segmented CRC-framed WAL aaws-serve journals jobs through
+	// (jobs.OpenJournal); rotation compacts fully-merged sweeps away.
+	Store jobs.Store
 	// HedgeDelay is how long a dispatched shard may go uncommitted before a
 	// hedged duplicate is dispatched to a second worker (default 1s;
 	// negative disables hedging).
@@ -48,6 +56,10 @@ type CoordConfig struct {
 	// queue full, draining — so a saturated fleet isn't hammered (default
 	// 100ms).
 	RetryBackoff time.Duration
+	// WriteTimeout bounds every coordinator→worker frame send (default 5s):
+	// a worker that stops draining its socket fails fast instead of wedging
+	// the sending goroutine until the heartbeat monitor notices.
+	WriteTimeout time.Duration
 	// MaxTasks bounds retained terminal tasks; the oldest are evicted
 	// (default 16384).
 	MaxTasks int
@@ -71,12 +83,14 @@ type Coordinator struct {
 
 	mu        sync.Mutex
 	workers   map[string]*remoteWorker
+	epochs    map[string]uint64 // highest epoch ever assigned per worker name
 	shards    map[string]*shard // uncommitted work by content address
 	waiting   []*shard          // shards with no live worker to run on
 	tasks     map[string]*Task
 	doneOrder []string // terminal task IDs, oldest first (retention GC)
 	latencies []float64
 	seq       uint64
+	epochSeq  uint64 // monotonic registration counter (never reused)
 	closed    bool
 	lns       []net.Listener
 	stopMon   chan struct{}
@@ -85,6 +99,7 @@ type Coordinator struct {
 // remoteWorker is one registered worker connection.
 type remoteWorker struct {
 	name       string
+	epoch      uint64 // fence: frames must echo this registration's epoch
 	fc         *frameConn
 	slots      int
 	running    int
@@ -121,6 +136,8 @@ type Task struct {
 	data      []byte
 	err       error
 	remoteHit bool // answered from the shared cache tier
+	replayed  bool // restored from the sweep journal after a crash
+	journaled bool // has a durable submit record (terminal state must be journaled too)
 	worker    string
 	submitted time.Time
 	finished  time.Time
@@ -136,6 +153,7 @@ type TaskSnapshot struct {
 	Data      []byte
 	Err       error
 	RemoteHit bool
+	Replayed  bool
 	Worker    string
 	Submitted time.Time
 	Finished  time.Time
@@ -172,6 +190,9 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 100 * time.Millisecond
 	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 5 * time.Second
+	}
 	if cfg.MaxTasks <= 0 {
 		cfg.MaxTasks = 16384
 	}
@@ -184,9 +205,15 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 		reg:     reg,
 		inst:    newInstruments(reg),
 		workers: make(map[string]*remoteWorker),
+		epochs:  make(map[string]uint64),
 		shards:  make(map[string]*shard),
 		tasks:   make(map[string]*Task),
 		stopMon: make(chan struct{}),
+	}
+	if cfg.Store != nil {
+		// Task IDs embed the submission sequence; resuming past the
+		// journal's high-water mark keeps recovered IDs unique forever.
+		c.seq = cfg.Store.MaxSeq()
 	}
 	go c.monitor()
 	return c, nil
@@ -194,6 +221,15 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 
 // Registry exposes the coordinator's metrics registry (for /metrics).
 func (c *Coordinator) Registry() *obs.Registry { return c.reg }
+
+// JournalMetrics reports the sweep journal's health (false when the
+// coordinator runs memory-only).
+func (c *Coordinator) JournalMetrics() (jobs.JournalMetrics, bool) {
+	if c.cfg.Store == nil {
+		return jobs.JournalMetrics{}, false
+	}
+	return c.cfg.Store.Metrics(), true
+}
 
 // Metrics returns the programmatic fabric-health snapshot.
 func (c *Coordinator) Metrics() Metrics { return c.inst.snapshot() }
@@ -274,6 +310,7 @@ func (c *Coordinator) Serve(ln net.Listener) error {
 // until the connection drops.
 func (c *Coordinator) handleConn(conn net.Conn) {
 	fc := newFrameConn(conn)
+	fc.writeTimeout = c.cfg.WriteTimeout
 	// A connection that never completes registration must not hold a slot.
 	_ = conn.SetReadDeadline(time.Now().Add(c.cfg.HeartbeatTimeout * 2))
 	hello, err := fc.read()
@@ -302,6 +339,12 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 		// A reconnecting worker replaces its old (dead) connection.
 		c.failWorkerLocked(old)
 	}
+	// Fence the registration: this connection owns a fresh epoch, so frames
+	// still in flight from any superseded connection for the same name are
+	// identifiable — and rejectable — by their stale epoch.
+	c.epochSeq++
+	w.epoch = c.epochSeq
+	c.epochs[w.name] = w.epoch
 	c.workers[w.name] = w
 	w.up.Set(1)
 	c.inst.workersConnected.Set(int64(len(c.workers)))
@@ -313,7 +356,7 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 	}
 	c.mu.Unlock()
 
-	if err := fc.write(Frame{Kind: KindHelloAck}); err != nil {
+	if err := fc.write(Frame{Kind: KindHelloAck, Epoch: w.epoch}); err != nil {
 		c.failWorker(w)
 		return
 	}
@@ -326,6 +369,15 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 		switch f.Kind {
 		case KindHeartbeat:
 			c.mu.Lock()
+			if c.workers[w.name] != w || f.Epoch != w.epoch {
+				// Superseded registration (or an epoch the worker never
+				// owned): the frame must not refresh the replacement's
+				// liveness. Drop it; the connection itself dies when the
+				// replacement registered.
+				c.inst.staleEpochFrames.Inc()
+				c.mu.Unlock()
+				continue
+			}
 			w.lastBeat = time.Now()
 			w.running = f.Running
 			c.mu.Unlock()
@@ -376,6 +428,25 @@ func (c *Coordinator) Submit(spec core.Spec) (*Task, error) {
 		return t, nil
 	}
 	c.inst.remoteMisses.Inc()
+
+	// Durability point: the task is journaled (fsync) before Submit
+	// acknowledges it, so a crashed coordinator recovers it with the same
+	// ID. Cache hits above never reach here — an inline completion needs no
+	// crash story — and a journal write failure refuses the task rather
+	// than accepting work that could vanish.
+	if c.cfg.Store != nil {
+		if err := c.cfg.Store.Submit(jobs.Pending{
+			ID:       t.ID,
+			Seq:      c.seq,
+			SpecHash: hash,
+			Spec:     spec,
+			Class:    jobs.ClassSweep,
+		}); err != nil {
+			delete(c.tasks, t.ID)
+			return nil, fmt.Errorf("fabric: journaling task: %w", err)
+		}
+		t.journaled = true
+	}
 
 	// Fabric-wide singleflight: coalesce onto the in-flight shard.
 	if sh := c.shards[hash]; sh != nil {
@@ -504,6 +575,16 @@ func (c *Coordinator) hedge(hash string) {
 func (c *Coordinator) handleResult(w *remoteWorker, f Frame) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.workers[w.name] != w || f.Epoch != w.epoch {
+		// Epoch fence: a result from a superseded registration — a zombie
+		// behind a healed partition racing its replacement — must not
+		// commit, refresh liveness, or count as a duplicate. Results are
+		// deterministic, but the zombie may have been dispatched stale work
+		// or its frame may interleave with the replacement's; rejecting the
+		// whole superseded epoch is the only ordering-free rule.
+		c.inst.staleEpochFrames.Inc()
+		return
+	}
 	w.lastBeat = time.Now()
 	sh := c.shards[f.Shard]
 	if sh == nil {
@@ -597,6 +678,17 @@ func (c *Coordinator) completeTaskLocked(t *Task, data []byte, err error, worker
 		t.state = jobs.StateFailed
 		t.err = err
 		c.inst.tasksFailed.Inc()
+	}
+	// Journal the terminal state so compaction can drop the record. Skipped
+	// during Close: tasks failed with ErrNoWorkers at shutdown are not
+	// resolved, and leaving their submit records open is what lets the next
+	// incarnation Recover them.
+	if c.cfg.Store != nil && t.journaled && !c.closed {
+		if err == nil {
+			c.cfg.Store.Done(t.ID, jobs.ResultHash(data))
+		} else {
+			c.cfg.Store.Fail(t.ID, err.Error())
+		}
 	}
 	close(t.done)
 	c.doneOrder = append(c.doneOrder, t.ID)
@@ -704,10 +796,21 @@ func (c *Coordinator) snapshotLocked(t *Task) TaskSnapshot {
 		Data:      t.data,
 		Err:       t.err,
 		RemoteHit: t.remoteHit,
+		Replayed:  t.replayed,
 		Worker:    t.worker,
 		Submitted: t.submitted,
 		Finished:  t.finished,
 	}
+}
+
+// WorkerEpoch returns the current registration epoch for a worker name, and
+// whether the name has ever registered. HTTP cache fills are fenced with it:
+// a fill stamped with a lower epoch comes from a superseded connection.
+func (c *Coordinator) WorkerEpoch(name string) (uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.epochs[name]
+	return e, ok
 }
 
 // CellBytes runs every spec through the fabric and returns each cell's

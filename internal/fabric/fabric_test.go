@@ -4,8 +4,12 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"net"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -120,6 +124,49 @@ func startWorker(t *testing.T, coordAddr, name string, cfg jobs.Config) context.
 	return cancel
 }
 
+// startFailstopProxy forwards TCP connections to target and severs every
+// conn (and the listener) abruptly on kill — a true fail-stop from the
+// coordinator's point of view: nothing the dying node writes after the cut
+// is ever seen, unlike a context cancel, which lets in-flight executor
+// waits race their retryable rejections onto the socket before it closes.
+func startFailstopProxy(t *testing.T, target string) (addr string, kill func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var conns []net.Conn
+	go func() {
+		for {
+			down, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			up, err := net.Dial("tcp", target)
+			if err != nil {
+				down.Close()
+				continue
+			}
+			mu.Lock()
+			conns = append(conns, down, up)
+			mu.Unlock()
+			go func() { _, _ = io.Copy(up, down); up.Close() }()
+			go func() { _, _ = io.Copy(down, up); down.Close() }()
+		}
+	}()
+	kill = func() {
+		ln.Close()
+		mu.Lock()
+		defer mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+	t.Cleanup(kill)
+	return ln.Addr().String(), kill
+}
+
 func defaultMatrix() []core.Spec {
 	var specs []core.Spec
 	for _, name := range kernels.Names() {
@@ -205,12 +252,24 @@ func TestFabricFailstopBitIdentity(t *testing.T) {
 
 	coord, addr := startCoord(t, fabric.CoordConfig{
 		HedgeDelay:       -1, // recovery must come from fail-stop handling alone
-		HeartbeatTimeout: 2 * time.Second,
+		HeartbeatTimeout: 30 * time.Second,
 		RetryBackoff:     20 * time.Millisecond,
 	})
-	// The doomed worker drags every cell out so it is guaranteed to hold
-	// uncommitted shards when killed.
+	// The doomed worker commits at most two cells and then parks until the
+	// kill lands, so it is guaranteed to hold uncommitted shards when it
+	// dies — no scheduler interleaving can drain it first. The generous
+	// heartbeat timeout keeps the monitor out of the picture: recovery here
+	// must come from the connection teardown alone.
+	killed := make(chan struct{})
+	var doomedRuns atomic.Int64
 	slowRunner := func(ctx context.Context, spec core.Spec) (core.Result, error) {
+		if doomedRuns.Add(1) > 2 {
+			select {
+			case <-killed:
+			case <-ctx.Done():
+			}
+			return core.Result{}, errors.New("doomed worker parked")
+		}
 		select {
 		case <-time.After(30 * time.Millisecond):
 		case <-ctx.Done():
@@ -218,15 +277,20 @@ func TestFabricFailstopBitIdentity(t *testing.T) {
 		}
 		return core.RunCtx(ctx, spec)
 	}
-	killSlow := startWorker(t, addr, "doomed", jobs.Config{Workers: 1, Runner: slowRunner})
+	proxyAddr, killWire := startFailstopProxy(t, addr)
+	startWorker(t, proxyAddr, "doomed", jobs.Config{Workers: 1, Runner: slowRunner})
 	startWorker(t, addr, "survivor", jobs.Config{Workers: 2})
 
-	// Kill once some shards committed but the sweep is clearly mid-flight.
+	// Cut the wire once some shards committed but the sweep is clearly
+	// mid-flight; the parked doomed worker means the sweep cannot drain
+	// before this fires, so the dead node provably holds uncommitted shards
+	// and recovery must flow through the fail-stop re-dispatch path.
 	go func() {
 		for coord.Metrics().ShardsCompleted < 5 {
 			time.Sleep(2 * time.Millisecond)
 		}
-		killSlow()
+		killWire()
+		close(killed)
 	}()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
@@ -243,7 +307,7 @@ func TestFabricFailstopBitIdentity(t *testing.T) {
 		t.Fatal("coordinator never registered the fail-stop")
 	}
 	if m.Redispatches == 0 {
-		t.Fatal("no shards were re-dispatched off the dead worker")
+		t.Fatalf("no shards were re-dispatched off the dead worker: %+v", m)
 	}
 	if m.TasksCompleted != uint64(len(specs)) {
 		t.Fatalf("completed %d tasks, want %d", m.TasksCompleted, len(specs))

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"aaws/internal/jobs"
@@ -29,6 +30,11 @@ type HTTPServer struct {
 	coord *Coordinator
 	mux   *http.ServeMux
 	opts  HTTPOptions
+	// phase, when non-empty, marks the coordinator not yet serving
+	// (journal-replay during recovery): /readyz reports it degraded and
+	// submissions get 503 + Retry-After, same tri-state contract as
+	// aaws-serve.
+	phase atomic.Value // string
 }
 
 // NewHTTP wraps the coordinator in its HTTP API.
@@ -37,6 +43,7 @@ func NewHTTP(c *Coordinator, opts HTTPOptions) *HTTPServer {
 		opts.MaxBodyBytes = 1 << 20
 	}
 	s := &HTTPServer{coord: c, mux: http.NewServeMux(), opts: opts}
+	s.phase.Store("")
 	s.mux.HandleFunc("POST /v1/jobs", s.submitJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.getTask)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.getReport)
@@ -44,10 +51,31 @@ func NewHTTP(c *Coordinator, opts HTTPOptions) *HTTPServer {
 	s.mux.HandleFunc("GET /v1/cache/{hash}", s.cacheGet)
 	s.mux.HandleFunc("PUT /v1/cache/{hash}", s.cachePut)
 	s.mux.HandleFunc("GET /v1/workers", s.workers)
+	s.mux.HandleFunc("GET /v1/journal", s.journal)
 	s.mux.HandleFunc("GET /metrics", s.metrics)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
 	s.mux.HandleFunc("GET /readyz", s.readyz)
 	return s
+}
+
+// SetPhase marks (non-empty) or clears ("") a degraded startup phase.
+// aaws-coord sets "journal-replay" around Recover so load balancers and
+// retrying clients hold off until the replayed backlog is re-dispatched.
+func (s *HTTPServer) SetPhase(phase string) { s.phase.Store(phase) }
+
+// rejectDuringPhase answers submissions arriving mid-recovery with 503 +
+// Retry-After (replay is seconds, not minutes — 1s is the right poll).
+func (s *HTTPServer) rejectDuringPhase(w http.ResponseWriter) bool {
+	phase, _ := s.phase.Load().(string)
+	if phase == "" {
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"error":         fmt.Sprintf("coordinator is not ready: %s", phase),
+		"retry_after_s": 1,
+	})
+	return true
 }
 
 // ServeHTTP implements http.Handler.
@@ -108,6 +136,9 @@ func taskStatus(snap TaskSnapshot) map[string]any {
 }
 
 func (s *HTTPServer) submitJob(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDuringPhase(w) {
+		return
+	}
 	var req jobs.JobRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -135,6 +166,9 @@ func (s *HTTPServer) submitJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *HTTPServer) submitSweep(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDuringPhase(w) {
+		return
+	}
 	var req jobs.SweepRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -227,6 +261,26 @@ func (s *HTTPServer) cacheGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *HTTPServer) cachePut(w http.ResponseWriter, r *http.Request) {
 	hash := r.PathValue("hash")
+	// Epoch fence on the HTTP path: a fill stamped by a superseded worker
+	// registration (zombie behind a healed partition) is rejected, matching
+	// the wire protocol's frame fence. Unstamped fills stay accepted — the
+	// content validation below already guarantees they can't poison the
+	// tier — so plain curl and pre-fence workers keep working.
+	if name := r.Header.Get("X-AAWS-Worker"); name != "" {
+		if es := r.Header.Get("X-AAWS-Worker-Epoch"); es != "" {
+			epoch, err := strconv.ParseUint(es, 10, 64)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad X-AAWS-Worker-Epoch: %w", err))
+				return
+			}
+			if current, ok := s.coord.WorkerEpoch(name); ok && epoch < current {
+				s.coord.inst.staleCacheFills.Inc()
+				httpError(w, http.StatusConflict,
+					fmt.Errorf("stale worker epoch %d for %s (current %d)", epoch, name, current))
+				return
+			}
+		}
+	}
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxFrameBytes))
 	if err != nil {
 		httpError(w, http.StatusRequestEntityTooLarge, err)
@@ -254,6 +308,18 @@ func (s *HTTPServer) workers(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"workers": s.coord.Workers()})
 }
 
+// journal exposes the sweep journal's health snapshot (segment count, open
+// jobs, replayed/compacted totals) — the ops view for "is the WAL growing,
+// did recovery drain". 404 when the coordinator runs memory-only.
+func (s *HTTPServer) journal(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.coord.JournalMetrics()
+	if !ok {
+		httpError(w, http.StatusNotFound, errors.New("coordinator has no journal (memory-only)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
 func (s *HTTPServer) metrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_ = s.coord.Registry().Render(w)
@@ -270,9 +336,17 @@ func (s *HTTPServer) healthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// readyz reports degraded until at least one worker has registered: a
-// coordinator with no fleet accepts work it cannot run.
+// readyz reports degraded through startup phases — journal-replay during
+// recovery, then until at least one worker has registered (a coordinator
+// with no fleet accepts work it cannot run).
 func (s *HTTPServer) readyz(w http.ResponseWriter, r *http.Request) {
+	if phase, _ := s.phase.Load().(string); phase != "" {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "degraded",
+			"reason": phase,
+		})
+		return
+	}
 	if n := s.coord.WorkerCount(); n == 0 {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
 			"status": "degraded",

@@ -30,6 +30,10 @@ type instruments struct {
 	workerFailures  *obs.Counter // connections dropped or heartbeats timed out
 	workerCacheHits *obs.Counter // results the worker answered from its cache
 
+	tasksReplayed    *obs.Counter // tasks restored from the sweep journal after a crash
+	staleEpochFrames *obs.Counter // frames rejected by the registration-epoch fence
+	staleCacheFills  *obs.Counter // HTTP cache fills rejected by the epoch fence
+
 	workersConnected *obs.IntGauge
 	shardsInflight   *obs.IntGauge
 }
@@ -53,6 +57,9 @@ func newInstruments(reg *obs.Registry) *instruments {
 		workerRetries:    reg.Counter("aaws_fabric_worker_retries_total"),
 		workerFailures:   reg.Counter("aaws_fabric_worker_failures_total"),
 		workerCacheHits:  reg.Counter("aaws_fabric_worker_cache_hits_total"),
+		tasksReplayed:    reg.Counter("aaws_fabric_tasks_replayed_total"),
+		staleEpochFrames: reg.Counter("aaws_fabric_stale_epoch_frames_total"),
+		staleCacheFills:  reg.Counter("aaws_fabric_stale_cache_fills_total"),
 		workersConnected: reg.IntGauge("aaws_fabric_workers_connected"),
 		shardsInflight:   reg.IntGauge("aaws_fabric_shards_inflight"),
 	}
@@ -78,29 +85,39 @@ type Metrics struct {
 	WorkerRetries   uint64
 	WorkerFailures  uint64
 	WorkerCacheHits uint64
-	Workers         int
-	ShardsInflight  int
+	// Replayed counts tasks restored from the sweep journal by Recover;
+	// StaleEpochFrames and StaleCacheFills count zombie traffic rejected by
+	// the registration-epoch fence (wire frames and HTTP cache fills
+	// respectively).
+	Replayed         uint64
+	StaleEpochFrames uint64
+	StaleCacheFills  uint64
+	Workers          int
+	ShardsInflight   int
 }
 
 func (in *instruments) snapshot() Metrics {
 	return Metrics{
-		TasksSubmitted:  in.tasksSubmitted.Value(),
-		TasksCompleted:  in.tasksCompleted.Value(),
-		TasksFailed:     in.tasksFailed.Value(),
-		RemoteHits:      in.remoteHits.Value(),
-		RemoteMisses:    in.remoteMisses.Value(),
-		Coalesced:       in.coalesced.Value(),
-		Dispatched:      in.dispatched.Value(),
-		ShardsCompleted: in.shardsCompleted.Value(),
-		ShardsFailed:    in.shardsFailed.Value(),
-		HedgesFired:     in.hedgesFired.Value(),
-		HedgeWins:       in.hedgeWins.Value(),
-		Duplicates:      in.duplicates.Value(),
-		Redispatches:    in.redispatches.Value(),
-		WorkerRetries:   in.workerRetries.Value(),
-		WorkerFailures:  in.workerFailures.Value(),
-		WorkerCacheHits: in.workerCacheHits.Value(),
-		Workers:         int(in.workersConnected.Value()),
-		ShardsInflight:  int(in.shardsInflight.Value()),
+		TasksSubmitted:   in.tasksSubmitted.Value(),
+		TasksCompleted:   in.tasksCompleted.Value(),
+		TasksFailed:      in.tasksFailed.Value(),
+		RemoteHits:       in.remoteHits.Value(),
+		RemoteMisses:     in.remoteMisses.Value(),
+		Coalesced:        in.coalesced.Value(),
+		Dispatched:       in.dispatched.Value(),
+		ShardsCompleted:  in.shardsCompleted.Value(),
+		ShardsFailed:     in.shardsFailed.Value(),
+		HedgesFired:      in.hedgesFired.Value(),
+		HedgeWins:        in.hedgeWins.Value(),
+		Duplicates:       in.duplicates.Value(),
+		Redispatches:     in.redispatches.Value(),
+		WorkerRetries:    in.workerRetries.Value(),
+		WorkerFailures:   in.workerFailures.Value(),
+		WorkerCacheHits:  in.workerCacheHits.Value(),
+		Replayed:         in.tasksReplayed.Value(),
+		StaleEpochFrames: in.staleEpochFrames.Value(),
+		StaleCacheFills:  in.staleCacheFills.Value(),
+		Workers:          int(in.workersConnected.Value()),
+		ShardsInflight:   int(in.shardsInflight.Value()),
 	}
 }

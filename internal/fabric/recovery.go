@@ -1,0 +1,132 @@
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"aaws/internal/jobs"
+)
+
+// This file is the coordinator's crash-recovery path: Recover replays the
+// sweep journal's surviving submit records back into live tasks, and Kill is
+// the in-process SIGKILL analog the chaos harness uses to crash a
+// coordinator without the courtesy work Close performs.
+//
+// The recovery contract mirrors internal/jobs' executor recovery: task IDs
+// are preserved (a client polling f-<hash>-<seq> across the crash keeps its
+// handle), the sequence counter resumes past the journal's high-water mark,
+// and the replayed work re-enters the normal dispatch machinery — cache
+// first, then coalescing, then routing — so a recovered sweep's merged
+// fingerprint is bit-identical to an uninterrupted run.
+
+// Recover replays journaled-but-unresolved tasks into the coordinator,
+// returning how many were restored. Call it once, after NewCoordinator and
+// before serving traffic, with the pending slice OpenJournal returned.
+//
+// Each pending record becomes a live task with its pre-crash ID. Work whose
+// result landed in the (disk-backed) cache tier before the crash completes
+// immediately as a remote hit; the remainder coalesces by content address
+// and dispatches to whatever fleet is registered — or parks until a worker
+// connects, exactly like a fresh submission with no live workers.
+func (c *Coordinator) Recover(pending []jobs.Pending) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, ErrClosed
+	}
+	recovered := 0
+	for _, p := range pending {
+		if p.ID == "" || c.tasks[p.ID] != nil {
+			continue
+		}
+		spec := p.Spec
+		hash := p.SpecHash
+		if hash == "" {
+			h, err := jobs.SpecHash(spec)
+			if err != nil {
+				// A corrupt spec can't be re-run; resolve it in the journal
+				// so it doesn't replay forever.
+				if c.cfg.Store != nil {
+					c.cfg.Store.Fail(p.ID, fmt.Sprintf("unrecoverable spec: %v", err))
+				}
+				continue
+			}
+			hash = h
+		}
+		if p.Seq > c.seq {
+			c.seq = p.Seq
+		}
+		t := &Task{
+			ID:        p.ID,
+			SpecHash:  hash,
+			Spec:      spec,
+			state:     jobs.StateQueued,
+			replayed:  true,
+			journaled: true,
+			submitted: time.Now(),
+			done:      make(chan struct{}),
+		}
+		c.tasks[t.ID] = t
+		c.inst.tasksReplayed.Inc()
+		recovered++
+
+		// The disk-backed cache tier survives the crash, so any shard that
+		// committed before the kill answers here — nothing recomputes, and
+		// the terminal record the crash swallowed gets written now.
+		if data, ok := c.cfg.Cache.Get(hash); ok {
+			c.inst.remoteHits.Inc()
+			t.remoteHit = true
+			c.completeTaskLocked(t, data, nil, "")
+			continue
+		}
+		c.inst.remoteMisses.Inc()
+		if sh := c.shards[hash]; sh != nil {
+			sh.tasks = append(sh.tasks, t)
+			c.inst.coalesced.Inc()
+			continue
+		}
+		sh := &shard{
+			hash:     hash,
+			spec:     spec,
+			tasks:    []*Task{t},
+			assigned: make(map[string]time.Time),
+		}
+		c.shards[hash] = sh
+		c.inst.shardsInflight.Set(int64(len(c.shards)))
+		c.dispatchLocked(sh)
+	}
+	return recovered, nil
+}
+
+// Kill crashes the coordinator in place: listeners and worker connections
+// close and the monitor stops, but — unlike Close — no pending task is
+// resolved, nothing further is journaled, and no timers get the chance to
+// fire into a half-torn-down state. It models SIGKILL for in-process chaos
+// drills; the journal on disk is left exactly as a real crash would leave
+// it, ready for a fresh OpenJournal + Recover.
+func (c *Coordinator) Kill() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	close(c.stopMon)
+	for _, ln := range c.lns {
+		_ = ln.Close()
+	}
+	for _, w := range c.workers {
+		_ = w.fc.close()
+		w.up.Set(0)
+	}
+	c.workers = make(map[string]*remoteWorker)
+	c.inst.workersConnected.Set(0)
+	for _, sh := range c.shards {
+		if sh.hedgeTimer != nil {
+			sh.hedgeTimer.Stop()
+		}
+		if sh.retryTimer != nil {
+			sh.retryTimer.Stop()
+		}
+	}
+}

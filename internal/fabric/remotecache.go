@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,6 +25,13 @@ type RemoteCache struct {
 	base string
 	http *http.Client
 
+	// epochSource, when set, supplies the worker identity + registration
+	// epoch stamped on every fill (X-AAWS-Worker / X-AAWS-Worker-Epoch) so
+	// the coordinator can fence fills from superseded registrations. Stored
+	// atomically because aaws-serve builds the cache before the worker that
+	// owns the epoch exists (SetEpochSource binds it late).
+	epochSource atomic.Value // func() (string, uint64)
+
 	mu     sync.Mutex
 	flight map[string]*remoteFetch
 
@@ -39,13 +47,46 @@ type remoteFetch struct {
 	ok   bool
 }
 
+// RemoteCacheOptions tunes a RemoteCache.
+type RemoteCacheOptions struct {
+	// Timeout bounds each HTTP round trip (default 5s). A slow or dead
+	// coordinator degrades lookups to misses after this long, so size it to
+	// the fabric's latency, not the compute time it short-circuits.
+	Timeout time.Duration
+	// Epoch, when non-nil, supplies the worker name + registration epoch
+	// stamped on fills (see SetEpochSource for late binding).
+	Epoch func() (string, uint64)
+}
+
 // NewRemoteCache targets the coordinator's HTTP base URL, e.g.
-// "http://coord:8090".
+// "http://coord:8090", with default options.
 func NewRemoteCache(base string) *RemoteCache {
-	return &RemoteCache{
+	return NewRemoteCacheWith(base, RemoteCacheOptions{})
+}
+
+// NewRemoteCacheWith targets the coordinator's HTTP base URL with explicit
+// options.
+func NewRemoteCacheWith(base string, opts RemoteCacheOptions) *RemoteCache {
+	if opts.Timeout <= 0 {
+		opts.Timeout = 5 * time.Second
+	}
+	rc := &RemoteCache{
 		base:   base,
-		http:   &http.Client{Timeout: 5 * time.Second},
+		http:   &http.Client{Timeout: opts.Timeout},
 		flight: make(map[string]*remoteFetch),
+	}
+	if opts.Epoch != nil {
+		rc.epochSource.Store(opts.Epoch)
+	}
+	return rc
+}
+
+// SetEpochSource binds (or replaces) the fill-stamping identity source.
+// aaws-serve constructs the cache tier before the fabric worker exists, so
+// the worker's EpochInfo is attached here once both are built.
+func (rc *RemoteCache) SetEpochSource(fn func() (string, uint64)) {
+	if fn != nil {
+		rc.epochSource.Store(fn)
 	}
 }
 
@@ -109,6 +150,12 @@ func (rc *RemoteCache) Put(key string, data []byte) {
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if fn, _ := rc.epochSource.Load().(func() (string, uint64)); fn != nil {
+		if name, epoch := fn(); name != "" && epoch != 0 {
+			req.Header.Set("X-AAWS-Worker", name)
+			req.Header.Set("X-AAWS-Worker-Epoch", strconv.FormatUint(epoch, 10))
+		}
+	}
 	resp, err := rc.http.Do(req)
 	if err != nil {
 		rc.errs.Add(1)

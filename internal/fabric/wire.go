@@ -21,14 +21,19 @@ import (
 	"hash/crc32"
 	"net"
 	"sync"
+	"time"
 
 	"aaws/internal/core"
 )
 
 // ProtoVersion is the fabric wire-protocol version. A frame carrying any
 // other version is rejected at decode, so a mixed-version fleet fails fast
-// at registration instead of corrupting a sweep mid-flight.
-const ProtoVersion = 1
+// at registration instead of corrupting a sweep mid-flight. Version 2 added
+// epoch fencing: the coordinator assigns each registration a monotonic epoch
+// (carried on the hello_ack) and every subsequent worker frame must echo it,
+// so frames from a superseded connection — a zombie worker behind a healed
+// partition — are rejected instead of racing the replacement.
+const ProtoVersion = 2
 
 // Frame kinds. The worker opens with hello, the coordinator answers
 // hello_ack; after that the worker streams heartbeat and result frames while
@@ -56,6 +61,13 @@ type Frame struct {
 
 	// Worker identifies the sending node (hello, heartbeat).
 	Worker string `json:"worker,omitempty"`
+	// Epoch is the registration fence. The coordinator assigns a monotonic
+	// epoch per registration and returns it on the hello_ack; the worker
+	// echoes it on every heartbeat and result. A frame whose epoch does not
+	// match the worker's current registration is stale — in flight from a
+	// connection that has since been superseded — and is dropped without
+	// effect rather than racing the replacement.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Slots is the worker's executor pool size (hello; informational).
 	Slots int `json:"slots,omitempty"`
 	// Running is the worker's in-flight job count (heartbeat).
@@ -143,7 +155,14 @@ func DecodeFrame(line []byte) (Frame, error) {
 		if f.Worker == "" {
 			return Frame{}, fmt.Errorf("fabric: hello missing worker name")
 		}
-	case KindHelloAck, KindHeartbeat:
+	case KindHelloAck:
+		if f.Epoch == 0 {
+			return Frame{}, fmt.Errorf("fabric: hello_ack missing registration epoch")
+		}
+	case KindHeartbeat:
+		if f.Epoch == 0 {
+			return Frame{}, fmt.Errorf("fabric: heartbeat missing registration epoch")
+		}
 	case KindDispatch:
 		if f.Shard == "" || f.Spec == nil {
 			return Frame{}, fmt.Errorf("fabric: dispatch missing shard or spec")
@@ -151,6 +170,9 @@ func DecodeFrame(line []byte) (Frame, error) {
 	case KindResult:
 		if f.Shard == "" {
 			return Frame{}, fmt.Errorf("fabric: result missing shard")
+		}
+		if f.Epoch == 0 {
+			return Frame{}, fmt.Errorf("fabric: result missing registration epoch")
 		}
 		if len(f.Data) == 0 && f.Error == "" {
 			return Frame{}, fmt.Errorf("fabric: result carries neither data nor error")
@@ -170,6 +192,10 @@ type frameConn struct {
 	sc *bufio.Scanner
 
 	wmu sync.Mutex
+	// writeTimeout bounds each frame send (0 = unbounded). A peer that
+	// stops draining its socket turns the write into an error instead of a
+	// wedged goroutine; the caller's failure handling does the rest.
+	writeTimeout time.Duration
 }
 
 func newFrameConn(c net.Conn) *frameConn {
@@ -191,7 +217,8 @@ func (fc *frameConn) read() (Frame, error) {
 	return DecodeFrame(fc.sc.Bytes())
 }
 
-// write sends one frame, serialized against concurrent writers.
+// write sends one frame, serialized against concurrent writers and bounded
+// by the connection's write timeout.
 func (fc *frameConn) write(f Frame) error {
 	buf, err := EncodeFrame(f)
 	if err != nil {
@@ -199,6 +226,9 @@ func (fc *frameConn) write(f Frame) error {
 	}
 	fc.wmu.Lock()
 	defer fc.wmu.Unlock()
+	if fc.writeTimeout > 0 {
+		_ = fc.c.SetWriteDeadline(time.Now().Add(fc.writeTimeout))
+	}
 	_, err = fc.c.Write(buf)
 	return err
 }

@@ -27,11 +27,11 @@ func TestFrameRoundTrip(t *testing.T) {
 	spec := core.Spec{Kernel: "cilksort", System: core.Sys4B4L, Variant: wsrt.BasePSM, Seed: 42, Scale: 1.0}
 	frames := []fabric.Frame{
 		{Kind: fabric.KindHello, Worker: "node-1", Slots: 8},
-		{Kind: fabric.KindHelloAck},
-		{Kind: fabric.KindHeartbeat, Worker: "node-1", Running: 3},
+		{Kind: fabric.KindHelloAck, Epoch: 7},
+		{Kind: fabric.KindHeartbeat, Worker: "node-1", Epoch: 7, Running: 3},
 		{Kind: fabric.KindDispatch, Shard: "abc123", Spec: &spec},
-		{Kind: fabric.KindResult, Worker: "node-1", Shard: "abc123", Data: json.RawMessage(`{"SpecHash":"abc123"}`), CacheHit: true},
-		{Kind: fabric.KindResult, Worker: "node-1", Shard: "abc123", Error: "queue full", Retryable: true},
+		{Kind: fabric.KindResult, Worker: "node-1", Epoch: 7, Shard: "abc123", Data: json.RawMessage(`{"SpecHash":"abc123"}`), CacheHit: true},
+		{Kind: fabric.KindResult, Worker: "node-1", Epoch: 7, Shard: "abc123", Error: "queue full", Retryable: true},
 	}
 	for _, in := range frames {
 		out, err := fabric.DecodeFrame(mustEncode(t, in))
@@ -41,8 +41,8 @@ func TestFrameRoundTrip(t *testing.T) {
 		if out.V != fabric.ProtoVersion {
 			t.Fatalf("%s: version %d", in.Kind, out.V)
 		}
-		if out.Kind != in.Kind || out.Worker != in.Worker || out.Slots != in.Slots ||
-			out.Running != in.Running || out.Shard != in.Shard ||
+		if out.Kind != in.Kind || out.Worker != in.Worker || out.Epoch != in.Epoch ||
+			out.Slots != in.Slots || out.Running != in.Running || out.Shard != in.Shard ||
 			out.CacheHit != in.CacheHit || out.Error != in.Error || out.Retryable != in.Retryable {
 			t.Fatalf("%s: round trip mutated frame: %+v -> %+v", in.Kind, in, out)
 		}
@@ -62,7 +62,7 @@ func TestFrameRoundTrip(t *testing.T) {
 func TestFrameDataBytesExact(t *testing.T) {
 	payload := []byte(`{"Regions":{"BI<LA":1,"BI>=LA":2,"a&b":3},"SpecHash":"x"}`)
 	out, err := fabric.DecodeFrame(mustEncode(t, fabric.Frame{
-		Kind: fabric.KindResult, Shard: "x", Data: json.RawMessage(payload),
+		Kind: fabric.KindResult, Epoch: 1, Shard: "x", Data: json.RawMessage(payload),
 	}))
 	if err != nil {
 		t.Fatal(err)
@@ -90,11 +90,15 @@ func TestDecodeFrameRejects(t *testing.T) {
 		{"flipped payload byte", flipLast(good), ""},
 		{"not json", reframe(t, "{"), "payload"},
 		{"wrong version", reframe(t, `{"v":99,"kind":"hello","worker":"w"}`), "version"},
-		{"unknown kind", reframe(t, `{"v":1,"kind":"mystery"}`), "unknown frame kind"},
-		{"hello no worker", reframe(t, `{"v":1,"kind":"hello"}`), "missing worker"},
-		{"dispatch no spec", reframe(t, `{"v":1,"kind":"dispatch","shard":"x"}`), "missing shard or spec"},
-		{"result no shard", reframe(t, `{"v":1,"kind":"result","data":{}}`), "missing shard"},
-		{"result empty", reframe(t, `{"v":1,"kind":"result","shard":"x"}`), "neither data nor error"},
+		{"v1 frame", reframe(t, `{"v":1,"kind":"hello","worker":"w"}`), "version"},
+		{"unknown kind", reframe(t, `{"v":2,"kind":"mystery"}`), "unknown frame kind"},
+		{"hello no worker", reframe(t, `{"v":2,"kind":"hello"}`), "missing worker"},
+		{"ack no epoch", reframe(t, `{"v":2,"kind":"hello_ack"}`), "missing registration epoch"},
+		{"heartbeat no epoch", reframe(t, `{"v":2,"kind":"heartbeat","worker":"w"}`), "missing registration epoch"},
+		{"dispatch no spec", reframe(t, `{"v":2,"kind":"dispatch","shard":"x"}`), "missing shard or spec"},
+		{"result no shard", reframe(t, `{"v":2,"kind":"result","epoch":1,"data":{}}`), "missing shard"},
+		{"result no epoch", reframe(t, `{"v":2,"kind":"result","shard":"x","data":{}}`), "missing registration epoch"},
+		{"result empty", reframe(t, `{"v":2,"kind":"result","shard":"x","epoch":1}`), "neither data nor error"},
 	}
 	for _, tc := range cases {
 		_, err := fabric.DecodeFrame(tc.line)
@@ -129,10 +133,10 @@ func FuzzFrameDecode(f *testing.F) {
 	spec := core.Spec{Kernel: "cilksort", System: core.Sys4B4L, Variant: wsrt.BasePSM, Seed: 1, Scale: 1.0}
 	seeds := []fabric.Frame{
 		{Kind: fabric.KindHello, Worker: "w", Slots: 4},
-		{Kind: fabric.KindHelloAck},
-		{Kind: fabric.KindHeartbeat, Worker: "w", Running: 1},
+		{Kind: fabric.KindHelloAck, Epoch: 1},
+		{Kind: fabric.KindHeartbeat, Worker: "w", Epoch: 1, Running: 1},
 		{Kind: fabric.KindDispatch, Shard: "h", Spec: &spec},
-		{Kind: fabric.KindResult, Shard: "h", Data: json.RawMessage(`{"SpecHash":"h"}`)},
+		{Kind: fabric.KindResult, Epoch: 1, Shard: "h", Data: json.RawMessage(`{"SpecHash":"h"}`)},
 	}
 	for _, s := range seeds {
 		line, err := fabric.EncodeFrame(s)

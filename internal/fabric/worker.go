@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aaws/internal/jobs"
@@ -29,10 +30,18 @@ type WorkerConfig struct {
 	// HeartbeatEvery paces liveness frames (default 1s; keep well under the
 	// coordinator's HeartbeatTimeout).
 	HeartbeatEvery time.Duration
-	// ReconnectDelay paces re-registration after a lost coordinator
-	// connection (default 1s).
+	// ReconnectDelay is the base re-registration delay after a lost
+	// coordinator connection (default 1s). Consecutive failures back off
+	// exponentially from it — capped at ReconnectMax, scaled by a
+	// deterministic per-name jitter (jobs.RetryDelay) — and a successful
+	// registration resets the backoff.
 	ReconnectDelay time.Duration
-	// DialTimeout bounds one connection attempt (default 5s).
+	// ReconnectMax caps the reconnect backoff (default 30s, never below
+	// ReconnectDelay).
+	ReconnectMax time.Duration
+	// DialTimeout bounds one connection attempt and each frame write on an
+	// established session (default 5s), so a wedged coordinator socket
+	// surfaces as a session error instead of a stuck goroutine.
 	DialTimeout time.Duration
 }
 
@@ -45,6 +54,11 @@ type Worker struct {
 
 	readyOnce sync.Once
 	ready     chan struct{}
+	// epoch is the current registration's fence, assigned by the
+	// coordinator on the hello_ack and echoed on every heartbeat and
+	// result. Read outside the session goroutine by EpochInfo (HTTP cache
+	// fills stamp it), hence atomic.
+	epoch atomic.Uint64
 }
 
 // NewWorker validates cfg and returns a worker; call Run to connect.
@@ -67,6 +81,14 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.ReconnectDelay <= 0 {
 		cfg.ReconnectDelay = time.Second
 	}
+	if cfg.ReconnectMax <= 0 {
+		cfg.ReconnectMax = 30 * time.Second
+	}
+	if cfg.ReconnectMax < cfg.ReconnectDelay {
+		// A deliberately huge base delay (tests park dead workers this way)
+		// must not be cut down by the default cap.
+		cfg.ReconnectMax = cfg.ReconnectDelay
+	}
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 5 * time.Second
 	}
@@ -77,30 +99,44 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 // the signal /readyz waits on before routing traffic to a worker node.
 func (w *Worker) Ready() <-chan struct{} { return w.ready }
 
+// EpochInfo returns the worker's name and current registration epoch (0
+// before the first hello_ack). Cache fills to the coordinator stamp both so
+// the fence covers the HTTP path too, not just the wire protocol.
+func (w *Worker) EpochInfo() (string, uint64) { return w.cfg.Name, w.epoch.Load() }
+
 // Run connects, registers, and serves dispatches until ctx is canceled,
-// reconnecting on any connection loss.
+// reconnecting on any connection loss with capped-exponential backoff
+// (deterministic per-name jitter; reset by a successful registration).
 func (w *Worker) Run(ctx context.Context) error {
+	attempt := 0
 	for {
-		err := w.session(ctx)
+		registered, err := w.session(ctx)
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
 		_ = err // transient: log-free by design; the coordinator tracks liveness
+		if registered {
+			attempt = 0
+		}
+		delay := jobs.RetryDelay(w.cfg.ReconnectDelay, w.cfg.ReconnectMax, attempt, w.cfg.Name)
+		attempt++
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(w.cfg.ReconnectDelay):
+		case <-time.After(delay):
 		}
 	}
 }
 
-// session runs one coordinator connection to failure.
-func (w *Worker) session(ctx context.Context) error {
+// session runs one coordinator connection to failure, reporting whether
+// registration completed (the backoff reset signal).
+func (w *Worker) session(ctx context.Context) (registered bool, err error) {
 	conn, err := net.DialTimeout("tcp", w.cfg.CoordAddr, w.cfg.DialTimeout)
 	if err != nil {
-		return err
+		return false, err
 	}
 	fc := newFrameConn(conn)
+	fc.writeTimeout = w.cfg.DialTimeout
 	defer fc.close()
 	// Cancelation unblocks the reader by closing the connection.
 	stop := context.AfterFunc(ctx, func() { _ = fc.close() })
@@ -108,15 +144,17 @@ func (w *Worker) session(ctx context.Context) error {
 
 	slots := w.cfg.Executor.Metrics().Workers
 	if err := fc.write(Frame{Kind: KindHello, Worker: w.cfg.Name, Slots: slots}); err != nil {
-		return err
+		return false, err
 	}
 	ack, err := fc.read()
 	if err != nil {
-		return err
+		return false, err
 	}
 	if ack.Kind != KindHelloAck {
-		return fmt.Errorf("fabric: expected hello_ack, got %q", ack.Kind)
+		return false, fmt.Errorf("fabric: expected hello_ack, got %q", ack.Kind)
 	}
+	epoch := ack.Epoch
+	w.epoch.Store(epoch)
 	w.readyOnce.Do(func() { close(w.ready) })
 
 	// Heartbeats ride their own goroutine so a long dispatch backlog never
@@ -133,7 +171,7 @@ func (w *Worker) session(ctx context.Context) error {
 				return
 			case <-t.C:
 				running := w.cfg.Executor.Metrics().Running
-				if err := fc.write(Frame{Kind: KindHeartbeat, Worker: w.cfg.Name, Running: running}); err != nil {
+				if err := fc.write(Frame{Kind: KindHeartbeat, Worker: w.cfg.Name, Epoch: epoch, Running: running}); err != nil {
 					_ = fc.close()
 					return
 				}
@@ -144,25 +182,25 @@ func (w *Worker) session(ctx context.Context) error {
 	for {
 		f, err := fc.read()
 		if err != nil {
-			return err
+			return true, err
 		}
 		switch f.Kind {
 		case KindDispatch:
 			// Executor.Wait blocks until the shard finishes; each dispatch
 			// gets its own goroutine so the pipe stays full.
-			go w.execute(ctx, fc, f)
+			go w.execute(ctx, fc, f, epoch)
 		case KindHelloAck:
 			// Benign duplicate; ignore.
 		default:
-			return fmt.Errorf("fabric: unexpected %q frame from coordinator", f.Kind)
+			return true, fmt.Errorf("fabric: unexpected %q frame from coordinator", f.Kind)
 		}
 	}
 }
 
 // execute runs one dispatched shard through the local executor and streams
-// the result (or a typed failure) back.
-func (w *Worker) execute(ctx context.Context, fc *frameConn, f Frame) {
-	result := Frame{Kind: KindResult, Worker: w.cfg.Name, Shard: f.Shard}
+// the result (or a typed failure) back, stamped with the session's epoch.
+func (w *Worker) execute(ctx context.Context, fc *frameConn, f Frame, epoch uint64) {
+	result := Frame{Kind: KindResult, Worker: w.cfg.Name, Epoch: epoch, Shard: f.Shard}
 	job, err := w.cfg.Executor.Submit(*f.Spec, jobs.SubmitOptions{
 		Class:  jobs.ClassSweep,
 		Tenant: w.cfg.Tenant,

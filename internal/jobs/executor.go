@@ -890,18 +890,21 @@ func (ex *Executor) runJob(ctx context.Context, job *Job) (data []byte, res core
 		ex.m.Retries++
 		ex.mu.Unlock()
 		select {
-		case <-time.After(retryDelay(ex.cfg.RetryBaseDelay, ex.cfg.RetryMaxDelay, attempt, job.ID)):
+		case <-time.After(RetryDelay(ex.cfg.RetryBaseDelay, ex.cfg.RetryMaxDelay, attempt, job.ID)):
 		case <-ctx.Done():
 			return nil, core.Result{}, fmt.Errorf("jobs: canceled waiting to retry %q: %w", err, ctx.Err())
 		}
 	}
 }
 
-// retryDelay returns base·2^attempt capped at max, scaled by a
-// deterministic jitter in [0.5, 1.0) derived from the job ID and attempt —
-// reproducible (no global randomness) yet decorrelated across jobs, so a
-// burst of simultaneous transient failures does not retry in lockstep.
-func retryDelay(base, max time.Duration, attempt int, id string) time.Duration {
+// RetryDelay returns base·2^attempt capped at max, scaled by a
+// deterministic jitter in [0.5, 1.0) derived from the id and attempt —
+// reproducible (no global randomness) yet decorrelated across ids, so a
+// burst of simultaneous transient failures does not retry in lockstep. It
+// backs both the executor's transient-error retries and the fabric worker's
+// reconnect loop (id = worker name there, so a mass disconnect doesn't
+// reconnect in lockstep either).
+func RetryDelay(base, max time.Duration, attempt int, id string) time.Duration {
 	if attempt > 20 {
 		attempt = 20 // 2^20·base is already past any sane cap
 	}

@@ -203,6 +203,53 @@ func TestJournalRotationCompacts(t *testing.T) {
 	}
 }
 
+// FuzzJournalSegmentReplay writes arbitrary bytes as an on-disk journal
+// segment and opens it: whatever a crash (or an adversary) left behind,
+// OpenJournal must never panic, must skip what it cannot parse, and every
+// replayed job must be well-formed. This is the coordinator's recovery
+// surface — a corrupt sweep journal must degrade to fewer replayed tasks,
+// never to a wedged restart.
+func FuzzJournalSegmentReplay(f *testing.F) {
+	var valid []byte
+	for _, rec := range []jobs.Record{
+		{Kind: "submit", ID: "s-1", Seq: 1},
+		{Kind: "start", ID: "s-1", Attempt: 1},
+		{Kind: "done", ID: "s-1", ResultHash: "beef"},
+		{Kind: "submit", ID: "s-2", Seq: 2},
+	} {
+		line, err := jobs.EncodeRecord(rec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		valid = append(valid, line...)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-7]) // torn tail
+	f.Add([]byte(""))
+	f.Add([]byte("not a journal at all\n\x00\xff\xfe"))
+	f.Add(append([]byte("00000000 {}\n"), valid...))
+	f.Fuzz(func(t *testing.T, segment []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "journal-00000001.wal"), segment, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, pending, err := jobs.OpenJournal(dir, jobs.JournalConfig{NoSync: true})
+		if err != nil {
+			return // refusing the directory is fine; panicking is not
+		}
+		defer j.Close()
+		for _, p := range pending {
+			if p.ID == "" {
+				t.Fatalf("replayed a job with no ID: %+v", p)
+			}
+		}
+		// The opened journal must still accept writes after replaying trash.
+		if err := j.Submit(jobs.Pending{ID: "post-replay", Seq: j.MaxSeq() + 1}); err != nil {
+			t.Fatalf("journal unusable after corrupt replay: %v", err)
+		}
+	})
+}
+
 // FuzzJournalDecode throws arbitrary bytes at the record decoder: it must
 // never panic, and every accepted record must re-encode and decode again
 // (the decoder defines the format).
