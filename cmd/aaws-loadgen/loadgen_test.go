@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"aaws/internal/kernels"
 )
 
 // TestCorpusDeterministic pins the comparability guarantee: the same
@@ -47,6 +49,41 @@ func TestCorpusDeterministic(t *testing.T) {
 	for _, r := range seqA {
 		if floodSeeds[r.Seed] {
 			t.Fatalf("victim seed %d collides with the flood's seed space", r.Seed)
+		}
+	}
+}
+
+// TestBatchSweepCorpus checks the gang-dispatch scenario's sweep matrices:
+// every draw from the pure-sweep tenant is a sweep, widened to the
+// configured kernel count, with names the server-side kernel registry will
+// accept and no duplicate kernel within one matrix.
+func TestBatchSweepCorpus(t *testing.T) {
+	sc, ok := scenarios["batch-sweep"]
+	if !ok {
+		t.Fatal("batch-sweep scenario missing")
+	}
+	load := sc.Tenants[0] // sweeper-a: SweepFrac 1.0
+	crp := newCorpus(42, load)
+	for i := 0; i < 50; i++ {
+		r := crp.next()
+		if r.Kind != kindSweep {
+			t.Fatalf("draw %d: kind = %s, want sweep (SweepFrac 1.0)", i, r.Kind)
+		}
+		if len(r.SweepKernels) != load.SweepKernels {
+			t.Fatalf("draw %d: %d kernels, want %d", i, len(r.SweepKernels), load.SweepKernels)
+		}
+		seen := map[string]bool{}
+		for _, name := range r.SweepKernels {
+			if kernels.Get(name) == nil {
+				t.Fatalf("draw %d: kernel %q not in the registry", i, name)
+			}
+			if seen[name] {
+				t.Fatalf("draw %d: kernel %q repeated within one matrix", i, name)
+			}
+			seen[name] = true
+		}
+		if len(r.SweepSeeds) == 0 {
+			t.Fatalf("draw %d: sweep without seeds", i)
 		}
 	}
 }

@@ -174,8 +174,12 @@ func (cl *client) fire(ctx context.Context, tenant string, r genRequest, col *co
 	var resp *http.Response
 	var err error
 	if r.Kind == kindSweep {
+		names := r.SweepKernels
+		if len(names) == 0 {
+			names = []string{"cilksort"}
+		}
 		resp, err = cl.post(ctx, "/v1/sweeps", tenant, map[string]any{
-			"kernels": []string{"cilksort"},
+			"kernels": names,
 			"seeds":   r.SweepSeeds,
 			"scale":   1.0,
 		})

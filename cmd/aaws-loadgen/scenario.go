@@ -38,6 +38,12 @@ type tenantLoad struct {
 	SweepFrac float64
 	HotPool   int
 
+	// SweepKernels widens each sweep matrix to this many kernels (default
+	// 1). Multi-kernel matrices exercise the executor's gang dispatch and
+	// the partitioned batch path: every kernel × variant block shares a
+	// pinned engine, so wider sweeps amortize more per submission.
+	SweepKernels int
+
 	// Protected marks tenants whose latency/shed budgets matter (the
 	// victims, not the floods): warn-only budget checks apply to them.
 	Protected bool
@@ -70,7 +76,21 @@ var scenarios = map[string]scenario{
 			{Name: "replay-b", OpenQPS: 40, HotFrac: 1.0, HotPool: 6, Protected: true},
 		},
 	},
+	"batch-sweep": {
+		Name:        "batch-sweep",
+		Description: "gang-dispatch stress: closed-loop tenants pushing multi-kernel sweep matrices through the batch execution path while a protected interactive tenant rides alongside",
+		Tenants: []tenantLoad{
+			{Name: "sweeper-a", Closed: 2, SweepFrac: 1.0, SweepKernels: 3},
+			{Name: "sweeper-b", Closed: 1, SweepFrac: 0.7, ColdFrac: 0.3, SweepKernels: 2},
+			{Name: "interactive", OpenQPS: 10, HotFrac: 0.5, HotPool: 8, Protected: true},
+		},
+	},
 }
+
+// sweepKernelPool is the deterministic draw set for multi-kernel sweep
+// matrices (a cheap slice of the Table III kernels; the names must stay
+// valid kernel registry entries).
+var sweepKernelPool = []string{"cilksort", "matmul", "dict", "radix-1", "hull"}
 
 func scenarioNames() string {
 	names := make([]string, 0, len(scenarios))
@@ -106,11 +126,12 @@ func (k reqKind) String() string {
 }
 
 // genRequest is one request the corpus produced: a job submission (Seed set)
-// or a sweep submission (SweepSeeds set).
+// or a sweep submission (SweepSeeds set, plus the kernels of the matrix).
 type genRequest struct {
-	Kind       reqKind
-	Seed       uint64
-	SweepSeeds []uint64
+	Kind         reqKind
+	Seed         uint64
+	SweepSeeds   []uint64
+	SweepKernels []string
 }
 
 // corpus deterministically generates one tenant's request stream. Seeds are
@@ -149,13 +170,36 @@ func (c *corpus) next() genRequest {
 		c.coldNext++
 		return genRequest{Kind: kindCold, Seed: c.base + 1<<19 + c.coldNext}
 	case roll < c.load.HotFrac+c.load.ColdFrac+c.load.SweepFrac:
-		// A small sweep matrix: 3 fresh cells per submission.
-		seeds := make([]uint64, 3)
+		// A small sweep matrix widened to SweepKernels kernels drawn
+		// deterministically from the pool. Each submission lands as one
+		// executor gang, so a wide matrix runs on one worker through the
+		// partitioned batch path. The server expands every (kernel, seed)
+		// across all five variants, and gang admission counts each cell
+		// against the tenant's queue share, so the seed count shrinks as
+		// the kernel count grows to keep the matrix admissible (~15 cells)
+		// rather than atomically rejected.
+		n := c.load.SweepKernels
+		if n < 1 {
+			n = 1
+		}
+		if n > len(sweepKernelPool) {
+			n = len(sweepKernelPool)
+		}
+		seedsN := 1
+		if n == 1 {
+			seedsN = 3
+		}
+		seeds := make([]uint64, seedsN)
 		for i := range seeds {
 			c.coldNext++
 			seeds[i] = c.base + 1<<19 + c.coldNext
 		}
-		return genRequest{Kind: kindSweep, SweepSeeds: seeds}
+		start := c.rng.Intn(len(sweepKernelPool))
+		names := make([]string, n)
+		for i := range names {
+			names[i] = sweepKernelPool[(start+i)%len(sweepKernelPool)]
+		}
+		return genRequest{Kind: kindSweep, SweepSeeds: seeds, SweepKernels: names}
 	default:
 		// Interactive singles from a warm pool: repeats happen, but the
 		// pool is wide enough that many submissions still simulate.

@@ -66,17 +66,10 @@ func main() {
 		defer ex.Close()
 		runAll = ex.BatchRunner(context.Background())
 	} else {
-		runAll = func(specs []core.Spec) ([]core.Result, error) {
-			results := make([]core.Result, len(specs))
-			for i, spec := range specs {
-				res, err := core.Run(spec)
-				if err != nil {
-					return nil, err
-				}
-				results[i] = res
-			}
-			return results, nil
-		}
+		// Without the executor, the matrix still runs through the
+		// partitioned batch path: one pinned engine and one LUT resolve per
+		// (kernel, system, LUT-mode) partition.
+		runAll = core.RunBatch
 	}
 	// Count cells and simulation events for the -benchjson summary.
 	inner := runAll

@@ -9,7 +9,6 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
-	"sync/atomic"
 
 	"aaws/internal/dvfs"
 	"aaws/internal/fault"
@@ -228,16 +227,6 @@ func (r Result) SpeedupVsBig() float64 {
 	return r.SerialTimeBig() / r.Report.ExecTime.Seconds()
 }
 
-// Run executes one simulation per spec and returns the result. A zero
-// Scale defaults to 1.0; everything else must pass Spec.Validate. Internal
-// invariant violations (simulator or scheduler bugs surfacing as panics)
-// are converted to errors carrying the kernel/seed context needed to replay
-// them.
-// enginePool recycles engines across simulations (Engine.Reset keeps the
-// event arena and heap capacity), so sweeps and the jobs executor stop
-// re-allocating per run.
-var enginePool = sync.Pool{New: func() any { return sim.NewEngine() }}
-
 // lutKey identifies a DVFS lookup table by everything GenerateLUT depends
 // on. power.Params is a flat struct of float64s, so the key is comparable.
 type lutKey struct {
@@ -246,38 +235,140 @@ type lutKey struct {
 	mode       model.Mode
 }
 
-// lutCache memoizes generated lookup tables across runs. LUT generation is
-// by far the most expensive part of a small simulation (hundreds of
-// bisection-based optimizations), and a sweep regenerates the same handful
-// of tables for every cell. A LUT is never mutated after generation (the
-// tuner's Adjust returns copies), so sharing one across concurrent runs is
-// safe and cannot perturb schedules. The cache is size-capped because the
-// jobs service accepts caller-supplied LUTAlpha/LUTBeta, which would
-// otherwise grow the key space without bound; once full, extra
-// configurations fall through to direct generation.
-var (
-	lutCache     sync.Map // lutKey -> *model.LUT
-	lutCacheSize atomic.Int64
-)
+// lutNode is one entry in the LRU list (most recently used at head).
+type lutNode struct {
+	key        lutKey
+	lut        *model.LUT
+	prev, next *lutNode
+}
+
+// lutCache memoizes generated lookup tables across runs with size-capped
+// LRU eviction. LUT generation is by far the most expensive part of a
+// small simulation (hundreds of bisection-based optimizations), and a
+// sweep regenerates the same handful of tables for every cell. A LUT is
+// never mutated after generation (the tuner's Adjust returns copies), so
+// sharing one across concurrent runs is safe and cannot perturb schedules.
+// The cache is size-capped because the jobs service accepts
+// caller-supplied LUTAlpha/LUTBeta, which would otherwise grow the key
+// space without bound; once full, the least recently used table is
+// evicted, so a long-running server with diverse specs keeps serving its
+// working set from cache instead of degrading to uncached generation.
+var lutCache = struct {
+	sync.Mutex
+	m          map[lutKey]*lutNode
+	head, tail *lutNode
+	max        int
+}{m: map[lutKey]*lutNode{}, max: lutCacheMax}
 
 const lutCacheMax = 256
 
+// moveToFront makes n the head of the LRU list. Caller holds the lock.
+func lutMoveToFront(n *lutNode) {
+	c := &lutCache
+	if c.head == n {
+		return
+	}
+	// Unlink.
+	if n.prev != nil {
+		n.prev.next = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	}
+	if c.tail == n {
+		c.tail = n.prev
+	}
+	// Push front.
+	n.prev, n.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
 func cachedLUT(params power.Params, nBig, nLit int, mode model.Mode) *model.LUT {
 	key := lutKey{params: params, nBig: nBig, nLit: nLit, mode: mode}
-	if v, ok := lutCache.Load(key); ok {
-		return v.(*model.LUT)
+	c := &lutCache
+	c.Lock()
+	if n, ok := c.m[key]; ok {
+		lutMoveToFront(n)
+		c.Unlock()
+		return n.lut
 	}
+	c.Unlock()
+	// Generate outside the lock: generation takes milliseconds and must not
+	// serialize unrelated cache hits. Two goroutines racing on the same key
+	// may both generate; the table is deterministic, so either copy is
+	// interchangeable and the loser's work is merely wasted.
 	lut := model.GenerateLUT(model.Config{Params: params, NBig: nBig, NLit: nLit}, mode)
-	if lutCacheSize.Load() < lutCacheMax {
-		if _, loaded := lutCache.LoadOrStore(key, lut); !loaded {
-			lutCacheSize.Add(1)
-		}
+	c.Lock()
+	if n, ok := c.m[key]; ok {
+		lutMoveToFront(n)
+		c.Unlock()
+		return n.lut
 	}
+	n := &lutNode{key: key, lut: lut}
+	c.m[key] = n
+	lutMoveToFront(n)
+	if len(c.m) > c.max {
+		// Evict the least recently used entry.
+		victim := c.tail
+		c.tail = victim.prev
+		if c.tail != nil {
+			c.tail.next = nil
+		} else {
+			c.head = nil
+		}
+		delete(c.m, victim.key)
+	}
+	c.Unlock()
 	return lut
 }
 
+// Run executes one simulation per spec and returns the result. A zero
+// Scale defaults to 1.0; everything else must pass Spec.Validate. Internal
+// invariant violations (simulator or scheduler bugs surfacing as panics)
+// are converted to errors carrying the kernel/seed context needed to replay
+// them.
 func Run(spec Spec) (Result, error) {
 	return RunCtx(context.Background(), spec)
+}
+
+// cellEnv is the spec-invariant execution state one sweep cell needs: the
+// resolved kernel, core mix, power parameters, DVFS lookup table, a warm
+// simulation engine, and a reusable region tracker. RunCtx builds one per
+// call; the batch path builds one per partition and pins it across every
+// cell that shares the same partition signature.
+type cellEnv struct {
+	k          *kernels.Kernel
+	nBig, nLit int
+	p          power.Params
+	lut        *model.LUT
+	eng        *sim.Engine
+	tracker    *stats.Tracker
+}
+
+// newCellEnv resolves the environment for a validated spec: power params
+// from the kernel's Table III alpha/beta, the (cached) lookup table, a
+// warm engine from the retention cache, and a fresh tracker sized for the
+// core mix.
+func newCellEnv(spec Spec) cellEnv {
+	k := kernels.Get(spec.Kernel)
+	nBig, nLit := spec.counts()
+	p := power.DefaultParams().WithAlphaBeta(k.Alpha, k.Beta)
+	lutParams := p
+	if spec.LUTAlpha > 0 && spec.LUTBeta > 0 {
+		lutParams = p.WithAlphaBeta(spec.LUTAlpha, spec.LUTBeta)
+	}
+	lut := cachedLUT(lutParams, nBig, nLit, spec.Variant.LUTMode())
+	return cellEnv{
+		k: k, nBig: nBig, nLit: nLit, p: p, lut: lut,
+		eng:     engines.get(),
+		tracker: stats.NewTracker(coreClasses(nBig, nLit)),
+	}
 }
 
 // RunCtx is Run under a context: cancellation or a deadline aborts the
@@ -291,19 +382,26 @@ func RunCtx(ctx context.Context, spec Spec) (Result, error) {
 	if err := spec.Validate(); err != nil {
 		return Result{}, err
 	}
-	k := kernels.Get(spec.Kernel)
-	nBig, nLit := spec.counts()
-	p := power.DefaultParams().WithAlphaBeta(k.Alpha, k.Beta)
-	lutParams := p
-	if spec.LUTAlpha > 0 && spec.LUTBeta > 0 {
-		lutParams = p.WithAlphaBeta(spec.LUTAlpha, spec.LUTBeta)
+	env := newCellEnv(spec)
+	res, reuse, err := runCell(ctx, spec, &env)
+	if reuse {
+		engines.put(env.eng)
 	}
-	lut := cachedLUT(lutParams, nBig, nLit, spec.Variant.LUTMode())
+	return res, err
+}
 
-	eng := enginePool.Get().(*sim.Engine)
+// runCell executes one simulation cell in env. The engine is Reset and the
+// tracker cleared on entry, so a pinned env runs every cell from an
+// identical initial state and batch results are bit-identical to serial
+// ones. reuse reports whether the engine is safe to return to the warm
+// cache: aborted runs leave a drained root-program goroutine that may
+// still briefly reference the engine, so they forfeit it.
+func runCell(ctx context.Context, spec Spec, env *cellEnv) (_ Result, reuse bool, _ error) {
+	eng, k, p := env.eng, env.k, env.p
 	eng.Reset()
+	env.tracker.Reset()
 	mcfg := machine.Config{
-		BigCores: nBig, LittleCores: nLit, Params: p, LUT: lut, InterruptCycles: 20,
+		BigCores: env.nBig, LittleCores: env.nLit, Params: p, LUT: env.lut, InterruptCycles: 20,
 		TransitionNsPerStep: spec.TransitionNsPerStep,
 	}
 	if spec.InterruptCycles > 0 {
@@ -315,25 +413,21 @@ func RunCtx(ctx context.Context, spec Spec) (Result, error) {
 	}
 	m, err := machine.New(eng, mcfg)
 	if err != nil {
-		enginePool.Put(eng)
-		return Result{}, err
+		return Result{}, true, err
 	}
 
-	tracker := stats.NewTracker(coreClasses(nBig, nLit))
+	tracker := env.tracker
 	var rec *trace.Recorder
 	var st *obs.Trace
 	if spec.WithTrace {
-		rec = trace.NewRecorder(nBig + nLit)
+		rec = trace.NewRecorder(env.nBig + env.nLit)
 		st = obs.NewTrace(0)
 	}
-	m.OnState = func(now sim.Time, id int, stt power.CoreState) {
-		tracker.OnState(now, id, stt)
-		if rec != nil {
+	if rec != nil {
+		m.OnState = func(now sim.Time, id int, stt power.CoreState) {
+			tracker.OnState(now, id, stt)
 			rec.OnState(now, id, stt)
 		}
-	}
-	m.OnSerial = tracker.OnSerial
-	if rec != nil {
 		m.OnVoltage = func(now sim.Time, id int, v float64) {
 			rec.OnVoltage(now, id, v)
 			// Arg carries the commanded voltage in millivolts.
@@ -342,7 +436,10 @@ func RunCtx(ctx context.Context, spec Spec) (Result, error) {
 		m.Ctl.OnDecision = func(nBA, nLA int) {
 			st.Emit(eng.Now(), obs.KindDVFSDecision, -1, int64(nBA)<<32|int64(nLA))
 		}
+	} else {
+		m.OnState = tracker.OnState
 	}
+	m.OnSerial = tracker.OnSerial
 
 	rcfg := wsrt.DefaultConfig(spec.Variant)
 	rcfg.Seed = spec.Seed
@@ -362,7 +459,7 @@ func RunCtx(ctx context.Context, spec Spec) (Result, error) {
 	if spec.AdaptiveDVFS {
 		tuner := dvfs.NewTuner(eng, m.Ctl,
 			dvfs.Sensors{Retired: m.TotalRetired, Power: m.InstantPower},
-			p.TargetPower(nBig, nLit), p.VF, dvfs.DefaultTunerConfig(), rt.Running)
+			p.TargetPower(env.nBig, env.nLit), p.VF, dvfs.DefaultTunerConfig(), rt.Running)
 		m.Ctl.SetTuner(tuner)
 		tuner.Start()
 	}
@@ -370,18 +467,14 @@ func RunCtx(ctx context.Context, spec Spec) (Result, error) {
 	if spec.Faults != nil && spec.Faults.Enabled() {
 		inj = fault.New(*spec.Faults)
 		if err := inj.Attach(m); err != nil {
-			enginePool.Put(eng)
-			return Result{}, err
+			return Result{}, true, err
 		}
 	}
 	w := k.New(spec.Seed, spec.Scale)
 	rep, err := executeChecked(rt, w.Run, spec)
 	if err != nil {
-		// Aborted runs do not return the engine to the pool: the drained
-		// root-program goroutine may still briefly reference it.
-		return Result{}, err
+		return Result{}, false, err
 	}
-	enginePool.Put(eng)
 
 	res := Result{
 		Spec:        spec,
@@ -402,7 +495,7 @@ func RunCtx(ctx context.Context, spec Spec) (Result, error) {
 	if spec.Check {
 		res.CheckErr = w.Check()
 	}
-	return res, nil
+	return res, true, nil
 }
 
 // executeChecked runs the program under the liveness budget and converts

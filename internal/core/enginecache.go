@@ -1,0 +1,103 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"aaws/internal/sim"
+)
+
+// engineCache retains warm simulation engines across runs. Engine.Reset
+// keeps the event arena and heap capacity, so reusing an engine makes the
+// per-run allocation profile flat: sweeps, the jobs executor's HTTP
+// traffic, and fabric shard workers all draw from this cache, which is what
+// lets a request that arrives seconds after the last one still hit a warm
+// arena.
+//
+// Unlike the sync.Pool it replaces, the cache is bounded (an engine arena
+// sized by the largest run it ever hosted is worth at most maxWarmEngines
+// copies) and decays when idle: a janitor timer drops engines that have
+// not been used for engineIdleTTL, so a server that stops receiving sweep
+// traffic releases the arenas instead of pinning them until the next GC
+// cycle happens to clear a pool.
+type engineCache struct {
+	mu   sync.Mutex
+	idle []warmEngine // LIFO: most recently returned last
+	// armed reports whether the decay timer is scheduled.
+	armed bool
+	max   int
+	ttl   time.Duration
+	// now is stubbed in tests.
+	now func() time.Time
+}
+
+type warmEngine struct {
+	e     *sim.Engine
+	since time.Time // when the engine went idle
+}
+
+const (
+	maxWarmEngines = 8
+	engineIdleTTL  = 30 * time.Second
+)
+
+var engines = &engineCache{max: maxWarmEngines, ttl: engineIdleTTL, now: time.Now}
+
+// get returns the most recently used warm engine, or a fresh one. LIFO
+// order keeps the hottest arena in play and lets the oldest entries age
+// out. The caller must Reset the engine before use.
+func (c *engineCache) get() *sim.Engine {
+	c.mu.Lock()
+	if n := len(c.idle); n > 0 {
+		e := c.idle[n-1].e
+		c.idle[n-1] = warmEngine{}
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return e
+	}
+	c.mu.Unlock()
+	return sim.NewEngine()
+}
+
+// put returns an engine to the cache, dropping it if the cache is full,
+// and arms the idle-decay timer.
+func (c *engineCache) put(e *sim.Engine) {
+	c.mu.Lock()
+	if len(c.idle) < c.max {
+		c.idle = append(c.idle, warmEngine{e: e, since: c.now()})
+		if !c.armed {
+			c.armed = true
+			time.AfterFunc(c.ttl, c.decay)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// decay drops engines idle longer than ttl and re-arms while any remain.
+func (c *engineCache) decay() {
+	c.mu.Lock()
+	cutoff := c.now().Add(-c.ttl)
+	keep := c.idle[:0]
+	for _, w := range c.idle {
+		if w.since.After(cutoff) {
+			keep = append(keep, w)
+		}
+	}
+	for i := len(keep); i < len(c.idle); i++ {
+		c.idle[i] = warmEngine{}
+	}
+	c.idle = keep
+	if len(c.idle) > 0 {
+		time.AfterFunc(c.ttl, c.decay)
+	} else {
+		c.armed = false
+	}
+	c.mu.Unlock()
+}
+
+// warm reports how many idle engines are retained (test hook).
+func (c *engineCache) warm() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.idle)
+}

@@ -78,8 +78,9 @@ type SweepOptions struct {
 	Scale    float64
 	Check    bool
 	// RunAll executes the whole cell matrix and returns results in input
-	// order (nil = sequential Run per cell). The jobs executor plugs in
-	// here so sweeps run through the shared worker pool and result cache.
+	// order (nil = RunBatch, the partitioned batch path). The jobs executor
+	// plugs in here so sweeps run through the shared worker pool and result
+	// cache.
 	RunAll func([]Spec) ([]Result, error)
 }
 
@@ -108,17 +109,7 @@ func Sweep(opt SweepOptions) ([]Figure8Row, error) {
 	}
 	runAll := opt.RunAll
 	if runAll == nil {
-		runAll = func(specs []Spec) ([]Result, error) {
-			results := make([]Result, len(specs))
-			for i, spec := range specs {
-				res, err := Run(spec)
-				if err != nil {
-					return nil, err
-				}
-				results[i] = res
-			}
-			return results, nil
-		}
+		runAll = RunBatch
 	}
 	var specs []Spec
 	for _, name := range names {
@@ -239,21 +230,24 @@ type Table3Row struct {
 }
 
 // Table3 characterizes every kernel under the baseline runtime on both
-// systems.
+// systems. The whole matrix goes through the batch path, so each kernel's
+// two system rows share the warm-engine cache and every 4B4L row shares
+// one partition's pinned environment (likewise 1B7L).
 func Table3(seed uint64, scale float64) ([]Table3Row, error) {
+	all := kernels.All()
+	specs := make([]Spec, 0, 2*len(all))
+	for _, k := range all {
+		specs = append(specs,
+			Spec{Kernel: k.Name, System: Sys4B4L, Variant: wsrt.Base, Seed: seed, Scale: scale},
+			Spec{Kernel: k.Name, System: Sys1B7L, Variant: wsrt.Base, Seed: seed, Scale: scale})
+	}
+	results, err := RunBatch(specs)
+	if err != nil {
+		return nil, err
+	}
 	var rows []Table3Row
-	for _, k := range kernels.All() {
-		spec4 := Spec{Kernel: k.Name, System: Sys4B4L, Variant: wsrt.Base, Seed: seed, Scale: scale}
-		r4, err := Run(spec4)
-		if err != nil {
-			return nil, err
-		}
-		spec1 := spec4
-		spec1.System = Sys1B7L
-		r1, err := Run(spec1)
-		if err != nil {
-			return nil, err
-		}
+	for i, k := range all {
+		r4, r1 := results[2*i], results[2*i+1]
 		row := Table3Row{
 			Kernel:           k,
 			DInstM:           r4.SerialInstr / 1e6,

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aaws/internal/core"
 	"aaws/internal/jobs"
 )
 
@@ -179,6 +180,16 @@ func (w *Worker) session(ctx context.Context) (registered bool, err error) {
 		}
 	}()
 
+	// Dispatch frames funnel through a micro-batching loop: shards that
+	// arrive together (the coordinator keeps a multi-shard window open per
+	// worker) are submitted as one executor gang, so their cells share the
+	// partitioned batch path's pinned engines instead of paying a full
+	// executor round-trip each. The channel is buffered well past the
+	// coordinator's dispatch window so the session reader never blocks.
+	dispatches := make(chan Frame, 64)
+	defer close(dispatches)
+	go w.dispatchLoop(ctx, fc, dispatches, epoch)
+
 	for {
 		f, err := fc.read()
 		if err != nil {
@@ -186,9 +197,7 @@ func (w *Worker) session(ctx context.Context) (registered bool, err error) {
 		}
 		switch f.Kind {
 		case KindDispatch:
-			// Executor.Wait blocks until the shard finishes; each dispatch
-			// gets its own goroutine so the pipe stays full.
-			go w.execute(ctx, fc, f, epoch)
+			dispatches <- f
 		case KindHelloAck:
 			// Benign duplicate; ignore.
 		default:
@@ -197,25 +206,74 @@ func (w *Worker) session(ctx context.Context) (registered bool, err error) {
 	}
 }
 
-// execute runs one dispatched shard through the local executor and streams
-// the result (or a typed failure) back, stamped with the session's epoch.
-func (w *Worker) execute(ctx context.Context, fc *frameConn, f Frame, epoch uint64) {
-	result := Frame{Kind: KindResult, Worker: w.cfg.Name, Epoch: epoch, Shard: f.Shard}
-	job, err := w.cfg.Executor.Submit(*f.Spec, jobs.SubmitOptions{
+// maxShardBatch caps one micro-batch: enough to absorb a dispatch burst,
+// small enough that a slow cell cannot delay reporting a whole window.
+const maxShardBatch = 16
+
+// dispatchLoop gathers dispatch frames into micro-batches: it blocks for
+// the first frame, then greedily drains whatever else is already queued
+// (up to maxShardBatch) before submitting. A lone shard ships immediately —
+// batching only ever groups frames that were already waiting.
+func (w *Worker) dispatchLoop(ctx context.Context, fc *frameConn, dispatches <-chan Frame, epoch uint64) {
+	for {
+		f, ok := <-dispatches
+		if !ok {
+			return
+		}
+		batch := []Frame{f}
+	gather:
+		for len(batch) < maxShardBatch {
+			select {
+			case g, ok := <-dispatches:
+				if !ok {
+					break gather
+				}
+				batch = append(batch, g)
+			default:
+				break gather
+			}
+		}
+		w.executeBatch(ctx, fc, batch, epoch)
+	}
+}
+
+// executeBatch submits a micro-batch of shards as one executor gang and
+// spawns a reporter per shard; Executor.Wait blocks until a shard
+// finishes, so reporting rides its own goroutine and the dispatch loop
+// keeps draining.
+func (w *Worker) executeBatch(ctx context.Context, fc *frameConn, frames []Frame, epoch uint64) {
+	specs := make([]core.Spec, len(frames))
+	for i := range frames {
+		specs[i] = *frames[i].Spec
+	}
+	batch, err := w.cfg.Executor.SubmitBatch(specs, jobs.SubmitOptions{
 		Class:  jobs.ClassSweep,
 		Tenant: w.cfg.Tenant,
 	})
 	if err != nil {
-		result.Error = err.Error()
 		// Queue-full / draining / shed rejections are substrate conditions:
-		// the coordinator should try another node, not fail the shard.
-		if _, retryable := jobs.RetryAfterOf(err); retryable ||
-			errors.Is(err, jobs.ErrQueueFull) || errors.Is(err, jobs.ErrDraining) {
-			result.Retryable = true
+		// the coordinator should try another node, not fail the shard. A
+		// batch submission fails atomically, so every shard in it reports
+		// the same outcome.
+		_, retryable := jobs.RetryAfterOf(err)
+		retryable = retryable || errors.Is(err, jobs.ErrQueueFull) || errors.Is(err, jobs.ErrDraining)
+		for _, f := range frames {
+			_ = fc.write(Frame{
+				Kind: KindResult, Worker: w.cfg.Name, Epoch: epoch, Shard: f.Shard,
+				Error: err.Error(), Retryable: retryable,
+			})
 		}
-		_ = fc.write(result)
 		return
 	}
+	for i, job := range batch {
+		go w.report(ctx, fc, frames[i], job, epoch)
+	}
+}
+
+// report waits for one shard's job and streams the result (or a typed
+// failure) back, stamped with the session's epoch.
+func (w *Worker) report(ctx context.Context, fc *frameConn, f Frame, job *jobs.Job, epoch uint64) {
+	result := Frame{Kind: KindResult, Worker: w.cfg.Name, Epoch: epoch, Shard: f.Shard}
 	snap, err := w.cfg.Executor.Wait(ctx, job.ID)
 	if err != nil {
 		// Node shutting down mid-shard: best-effort retryable signal; the

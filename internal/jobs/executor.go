@@ -76,6 +76,10 @@ type Config struct {
 	QoS QoSConfig
 	// Runner overrides how specs execute (default core.RunCtx).
 	Runner Runner
+	// BatchRunner overrides how SubmitBatch gangs execute (default
+	// core.RunBatchCtx, the partitioned batch path that pins one engine
+	// and LUT per partition signature).
+	BatchRunner func(ctx context.Context, specs []core.Spec) ([]core.Result, error)
 }
 
 // SubmitOptions customize one submission.
@@ -175,6 +179,7 @@ type Executor struct {
 	queuedByPrio     map[int]int
 	queuedByClass    [2]int
 	queuedByTenant   map[string]int
+	gangQueued       int // fresh gang-member cells awaiting dispatch
 	sweepRunning     int
 	sweepWait        []*Job // sweep jobs holding for a free slot
 	avgRunSec        float64
@@ -212,6 +217,26 @@ func NewExecutor(cfg Config) *Executor {
 	}
 	if cfg.ProgressEvents == 0 {
 		cfg.ProgressEvents = 8 << 20
+	}
+	if cfg.BatchRunner == nil {
+		if cfg.Runner != nil {
+			// A substituted single-spec runner (tests, remote backends)
+			// keeps authority over gang cells too.
+			runner := cfg.Runner
+			cfg.BatchRunner = func(ctx context.Context, specs []core.Spec) ([]core.Result, error) {
+				results := make([]core.Result, len(specs))
+				for i, spec := range specs {
+					res, err := runner(ctx, spec)
+					if err != nil {
+						return nil, err
+					}
+					results[i] = res
+				}
+				return results, nil
+			}
+		} else {
+			cfg.BatchRunner = core.RunBatchCtx
+		}
 	}
 	if cfg.Runner == nil {
 		cfg.Runner = core.RunCtx
@@ -285,19 +310,35 @@ func (ex *Executor) Recover(pending []Pending) (int, error) {
 // admission control and the durable submit record (the compacted journal
 // already holds one).
 func (ex *Executor) submit(spec core.Spec, opts SubmitOptions, rep *Pending) (*Job, error) {
-	spec = Normalize(spec)
-	if err := spec.Validate(); err != nil {
-		return nil, err
-	}
-	hash, err := SpecHash(spec)
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	job, fresh, err := ex.submitLocked(spec, opts, rep)
 	if err != nil {
 		return nil, err
 	}
+	if fresh {
+		ex.enqueueLocked(job)
+		ex.cond.Signal()
+	}
+	return job, nil
+}
 
-	ex.mu.Lock()
-	defer ex.mu.Unlock()
+// submitLocked validates, admits, journals and registers one submission.
+// fresh reports that the job still needs dispatching — the caller either
+// enqueues it directly (Submit) or folds it into a gang (SubmitBatch).
+// Caller holds ex.mu.
+func (ex *Executor) submitLocked(spec core.Spec, opts SubmitOptions, rep *Pending) (*Job, bool, error) {
+	spec = Normalize(spec)
+	if err := spec.Validate(); err != nil {
+		return nil, false, err
+	}
+	hash, err := SpecHash(spec)
+	if err != nil {
+		return nil, false, err
+	}
+
 	if ex.draining || ex.closed {
-		return nil, ErrDraining
+		return nil, false, ErrDraining
 	}
 	timeout := opts.Timeout
 	if timeout == 0 {
@@ -342,13 +383,13 @@ func (ex *Executor) submit(spec core.Spec, opts SubmitOptions, rep *Pending) (*J
 			ex.m.CacheHits++
 			tc.CacheHits++
 			ex.completeLocked(job, data, nil)
-			return job, nil
+			return job, false, nil
 		}
 	}
 	if !opts.NoCache {
 		if primary, ok := ex.inflight[hash]; ok {
 			if err := ex.journalSubmitLocked(job); err != nil {
-				return nil, err
+				return nil, false, err
 			}
 			ex.jobs[job.ID] = job
 			ex.m.Submitted++
@@ -357,16 +398,16 @@ func (ex *Executor) submit(spec core.Spec, opts SubmitOptions, rep *Pending) (*J
 			ex.m.Coalesced++
 			tc.Coalesced++
 			primary.dups = append(primary.dups, job)
-			return job, nil
+			return job, false, nil
 		}
 	}
 	if rep == nil { // replay bypasses admission: the work was admitted once
 		if err := ex.admitLocked(job, timeout); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	}
 	if err := ex.journalSubmitLocked(job); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	ex.jobs[job.ID] = job
 	ex.m.Submitted++
@@ -374,9 +415,64 @@ func (ex *Executor) submit(spec core.Spec, opts SubmitOptions, rep *Pending) (*J
 	if !opts.NoCache {
 		ex.inflight[hash] = job
 	}
-	ex.enqueueLocked(job)
-	ex.cond.Signal()
-	return job, nil
+	return job, true, nil
+}
+
+// SubmitBatch validates and enqueues a gang of specs with shared options,
+// returning one job per spec in input order. Cache hits and coalesced
+// duplicates resolve per spec exactly as with Submit; the remaining fresh
+// jobs are dispatched together — one worker executes them all through the
+// batch runner (core.RunBatchCtx by default), so cells sharing a partition
+// signature run on one pinned engine with the LUT resolved once. The gang
+// is a single scheduler entry and a single sweep-class concurrency slot,
+// but every fresh member still counts against the admission bounds (queue
+// depth, per-tenant and per-priority shares), so a large batch is rejected
+// exactly where the same cells submitted one by one would be.
+// A rejected cell (admission, journal) cancels the batch's earlier fresh
+// members and fails the whole submission — a batch starts fully formed or
+// not at all. Canceling one queued member skips just that cell; canceling
+// a running member cancels the gang's shared context and with it the
+// remaining cells of the batch run.
+func (ex *Executor) SubmitBatch(specs []core.Spec, opts SubmitOptions) ([]*Job, error) {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	out := make([]*Job, len(specs))
+	var gang []*Job
+	for i, spec := range specs {
+		job, fresh, err := ex.submitLocked(spec, opts, nil)
+		if err != nil {
+			for _, g := range gang {
+				ex.memberDequeuedLocked(g)
+				ex.completeLocked(g, nil, context.Canceled)
+			}
+			return nil, fmt.Errorf("jobs: batch cell %d (%s/%s/%s): %w",
+				i, spec.Kernel, spec.System, spec.Variant, err)
+		}
+		out[i] = job
+		if fresh {
+			gang = append(gang, job)
+			ex.memberQueuedLocked(job)
+		}
+	}
+	if len(gang) > 0 {
+		ex.seq++
+		d := &Job{
+			ID:       fmt.Sprintf("batch-%d", ex.seq),
+			priority: opts.Priority,
+			class:    opts.Class,
+			tenant:   opts.Tenant,
+			seq:      ex.seq,
+			timeout:  gang[0].timeout,
+			state:    StateQueued,
+			gang:     gang,
+		}
+		// The dispatch job is the gang's single scheduler entry and single
+		// class entry; the members carry the depth and share accounting.
+		ex.queuedByClass[classIdx(d.class)]++
+		ex.sched.Push(d)
+		ex.cond.Signal()
+	}
+	return out, nil
 }
 
 // admitLocked applies overload protection to a fresh submission: the shared
@@ -389,7 +485,11 @@ func (ex *Executor) admitLocked(job *Job, timeout time.Duration) error {
 	adm := ex.cfg.Admission
 	est := ex.estWaitLocked(job.tenant, job.class)
 	tc := ex.tenantLocked(job.tenant)
-	if ex.sched.Len() >= ex.cfg.QueueDepth {
+	// Occupancy counts cells, not scheduler entries: gang members never
+	// enter the scheduler themselves, but each one is queued work, so a
+	// large batch fills the queue bound exactly as the same cells would
+	// submitted one by one.
+	if ex.sched.Len()+ex.gangQueued >= ex.cfg.QueueDepth {
 		tc.Rejected++
 		return &RetryAfterError{Err: ErrQueueFull, RetryAfter: maxDuration(est, time.Second)}
 	}
@@ -447,8 +547,45 @@ func (ex *Executor) enqueueLocked(job *Job) {
 	ex.sched.Push(job)
 }
 
-// dequeuedLocked undoes enqueueLocked's accounting for a popped job.
+// memberQueuedLocked counts a fresh gang member against admission
+// occupancy — queue depth, per-tenant and per-priority shares — without
+// entering the scheduler; the gang's dispatch job is the only scheduler
+// entry (and the only class entry: the batch runs as one unit on one
+// worker, matching the per-batch wait-estimate cost).
+func (ex *Executor) memberQueuedLocked(g *Job) {
+	g.inQueue = true
+	ex.gangQueued++
+	ex.queuedByPrio[g.priority]++
+	ex.queuedByTenant[g.tenant]++
+}
+
+// memberDequeuedLocked releases one gang member's admission accounting.
+func (ex *Executor) memberDequeuedLocked(g *Job) {
+	if !g.inQueue {
+		return
+	}
+	g.inQueue = false
+	ex.gangQueued--
+	ex.queuedByPrio[g.priority]--
+	if ex.queuedByPrio[g.priority] <= 0 {
+		delete(ex.queuedByPrio, g.priority)
+	}
+	ex.queuedByTenant[g.tenant]--
+	if ex.queuedByTenant[g.tenant] <= 0 {
+		delete(ex.queuedByTenant, g.tenant)
+	}
+}
+
+// dequeuedLocked undoes enqueue accounting for a popped job. For a gang
+// dispatch job that means the class entry plus every member's share.
 func (ex *Executor) dequeuedLocked(job *Job) {
+	if job.gang != nil {
+		ex.queuedByClass[classIdx(job.class)]--
+		for _, g := range job.gang {
+			ex.memberDequeuedLocked(g)
+		}
+		return
+	}
 	if job.inQueue {
 		job.inQueue = false
 		ex.queuedByPrio[job.priority]--
@@ -594,26 +731,23 @@ func (ex *Executor) Result(ctx context.Context, spec core.Spec, opts SubmitOptio
 }
 
 // BatchRunner adapts the executor to core.SweepOptions.RunAll: the whole
-// matrix is submitted up front so cells run concurrently across the worker
-// pool, then results are collected in submission order.
+// matrix is submitted as one gang (cache hits and duplicates still resolve
+// per cell), a worker runs the fresh cells through the partitioned batch
+// path, and results come back in submission order.
 func (ex *Executor) BatchRunner(ctx context.Context) func([]core.Spec) ([]core.Result, error) {
 	return func(specs []core.Spec) ([]core.Result, error) {
-		ids := make([]string, len(specs))
-		for i, spec := range specs {
-			job, err := ex.Submit(spec, SubmitOptions{})
-			if err != nil {
-				return nil, err
-			}
-			ids[i] = job.ID
+		batch, err := ex.SubmitBatch(specs, SubmitOptions{})
+		if err != nil {
+			return nil, err
 		}
 		results := make([]core.Result, len(specs))
-		for i, id := range ids {
-			snap, err := ex.Wait(ctx, id)
+		for i, job := range batch {
+			snap, err := ex.Wait(ctx, job.ID)
 			if err != nil {
 				return nil, err
 			}
 			if snap.State != StateDone {
-				return nil, fmt.Errorf("jobs: job %s %s: %w", id, snap.State, snap.Err)
+				return nil, fmt.Errorf("jobs: job %s %s: %w", job.ID, snap.State, snap.Err)
 			}
 			out, err := DecodeOutcome(snap.Data)
 			if err != nil {
@@ -647,16 +781,22 @@ func (ex *Executor) Drain(ctx context.Context) error {
 		return nil
 	case <-ctx.Done():
 		ex.mu.Lock()
-		for job := ex.sched.Pop(); job != nil; job = ex.sched.Pop() {
-			ex.dequeuedLocked(job)
-			if job.state == StateQueued {
+		cancelQueued := func(job *Job) {
+			for _, g := range job.gang { // gang members never sit in the queue themselves
+				if g.state == StateQueued {
+					ex.completeLocked(g, nil, context.Canceled)
+				}
+			}
+			if job.gang == nil && job.state == StateQueued {
 				ex.completeLocked(job, nil, context.Canceled)
 			}
 		}
+		for job := ex.sched.Pop(); job != nil; job = ex.sched.Pop() {
+			ex.dequeuedLocked(job)
+			cancelQueued(job)
+		}
 		for _, job := range ex.sweepWait {
-			if job.state == StateQueued {
-				ex.completeLocked(job, nil, context.Canceled)
-			}
+			cancelQueued(job)
 		}
 		ex.sweepWait = nil
 		for _, job := range ex.jobs {
@@ -696,7 +836,7 @@ func (ex *Executor) Metrics() Metrics {
 	ex.mu.Lock()
 	defer ex.mu.Unlock()
 	m := ex.m
-	m.QueueDepth = ex.sched.Len()
+	m.QueueDepth = ex.sched.Len() + ex.gangQueued
 	m.Running = ex.running
 	m.Workers = ex.cfg.Workers
 	m.Draining = ex.draining
@@ -764,8 +904,11 @@ func (ex *Executor) worker() {
 			}
 			j := ex.sched.Pop()
 			ex.dequeuedLocked(j)
-			if j.state != StateQueued { // canceled while queued
+			if j.gang == nil && j.state != StateQueued { // canceled while queued
 				continue
+			}
+			if j.gang != nil && !gangLive(j.gang) {
+				continue // every member canceled while queued
 			}
 			// The sweep class is concurrency-limited: batch jobs past
 			// the slot bound hold aside until a running one finishes,
@@ -782,6 +925,10 @@ func (ex *Executor) worker() {
 		ex.sched.Dispatched(job, ex.estCostLocked(job.class))
 		if job.class == ClassSweep {
 			ex.sweepRunning++
+		}
+		if job.gang != nil {
+			ex.runGang(job) // unlocks ex.mu
+			continue
 		}
 		job.state = StateRunning
 		job.started = time.Now()
@@ -849,6 +996,144 @@ func (ex *Executor) withProgress(ctx context.Context, job *Job) context.Context 
 		if ex.cfg.Journal != nil && events-lastJournaled >= stride {
 			lastJournaled = events
 			ex.cfg.Journal.Progress(job.ID, events)
+		}
+	})
+}
+
+// gangLive reports whether any gang member is still dispatchable.
+func gangLive(gang []*Job) bool {
+	for _, j := range gang {
+		if j.state == StateQueued {
+			return true
+		}
+	}
+	return false
+}
+
+// runGang executes a batch-dispatch job: every still-queued member runs in
+// one batch-runner call on this worker. The gang shares one context (and
+// one cancel), counts as one running job and one sweep-class slot, and its
+// wall-clock feeds the class cost EWMA as a single unit — matching how the
+// scheduler queued and billed it. Per-kernel latency is attributed as an
+// equal share of the batch duration. The local batch runner is
+// deterministic, so gangs do not retry transient failures the way single
+// jobs do. Called with ex.mu held; returns with it released.
+func (ex *Executor) runGang(d *Job) {
+	now := time.Now()
+	var live []*Job
+	for _, j := range d.gang {
+		if j.state == StateQueued {
+			live = append(live, j)
+		}
+	}
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if d.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, d.timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	specs := make([]core.Spec, len(live))
+	for i, j := range live {
+		j.state = StateRunning
+		j.started = now
+		j.cancel = cancel
+		j.attempts = 1
+		ex.inst.queueSeconds.Observe(now.Sub(j.submitted).Seconds())
+		specs[i] = j.Spec
+	}
+	ex.running++
+	ex.mu.Unlock()
+
+	if jl := ex.cfg.Journal; jl != nil {
+		for _, j := range live {
+			jl.Start(j.ID, 1)
+		}
+	}
+	results, err := ex.safeRunBatch(ex.withGangProgress(ctx, live), specs)
+	cancel()
+	if err == nil && len(results) != len(specs) {
+		err = fmt.Errorf("jobs: batch runner returned %d results for %d specs", len(results), len(specs))
+	}
+
+	ex.mu.Lock()
+	dur := time.Since(now).Seconds()
+	if ex.avgRunSec == 0 {
+		ex.avgRunSec = dur
+	} else {
+		ex.avgRunSec = 0.8*ex.avgRunSec + 0.2*dur
+	}
+	ci := classIdx(d.class)
+	if ex.avgRunSecByClass[ci] == 0 {
+		ex.avgRunSecByClass[ci] = dur
+	} else {
+		ex.avgRunSecByClass[ci] = 0.8*ex.avgRunSecByClass[ci] + 0.2*dur
+	}
+	ex.running--
+	if d.class == ClassSweep {
+		ex.sweepRunning--
+		ex.releaseSweepLocked()
+	}
+	if err != nil {
+		for _, j := range live {
+			if !j.state.Terminal() {
+				ex.completeLocked(j, nil, err)
+			}
+		}
+		ex.mu.Unlock()
+		return
+	}
+	share := dur / float64(len(live))
+	for i, j := range live {
+		res := results[i]
+		j.trace = res.Trace
+		j.sched = res.SchedTrace
+		data, derr := CanonicalJSON(NewOutcome(j.SpecHash, res))
+		if derr != nil {
+			ex.completeLocked(j, nil, derr)
+			continue
+		}
+		if !j.noCache && ex.cfg.Cache != nil {
+			ex.cfg.Cache.PutOwned(j.SpecHash, data, j.tenant)
+		}
+		km := ex.perKernel[j.Spec.Kernel]
+		km.Runs++
+		km.TotalSec += share
+		if share > km.MaxSec {
+			km.MaxSec = share
+		}
+		ex.perKernel[j.Spec.Kernel] = km
+		ex.inst.observeRun(&res, share)
+		ex.completeLocked(j, data, nil)
+	}
+	ex.mu.Unlock()
+}
+
+// safeRunBatch isolates panics escaping the batch runner, mirroring
+// safeRun for single jobs.
+func (ex *Executor) safeRunBatch(ctx context.Context, specs []core.Spec) (res []core.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("jobs: batch runner panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return ex.cfg.BatchRunner(ctx, specs)
+}
+
+// withGangProgress mirrors withProgress for a gang: every member reports
+// the running cell's event count, and the journal strides on the first
+// member's ID (progress records are advisory; the members' submit records
+// are what crash recovery replays).
+func (ex *Executor) withGangProgress(ctx context.Context, live []*Job) context.Context {
+	stride := ex.cfg.ProgressEvents
+	var lastJournaled uint64
+	return core.WithProgress(ctx, func(events uint64) {
+		for _, j := range live {
+			j.events.Store(events)
+		}
+		if ex.cfg.Journal != nil && events-lastJournaled >= stride {
+			lastJournaled = events
+			ex.cfg.Journal.Progress(live[0].ID, events)
 		}
 	})
 }

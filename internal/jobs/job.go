@@ -144,7 +144,7 @@ type Job struct {
 	coalesced bool   // collapsed onto an identical in-flight job
 	replayed  bool   // resubmitted from the journal after a crash
 	journaled bool   // a durable submit record exists for this job
-	inQueue   bool   // resident in the priority heap (admission accounting)
+	inQueue   bool   // holds admission accounting: heap residence for singles, a depth/share count for gang members
 	attempts  int    // simulation attempts (>1 means transient retries)
 	events    atomic.Uint64
 	trace     *trace.Recorder
@@ -157,6 +157,11 @@ type Job struct {
 	cancel func()        // cancels the running attempt's context
 	done   chan struct{} // closed on reaching a terminal state
 	dups   []*Job        // coalesced duplicates completed alongside this job
+	// gang marks a synthetic batch-dispatch job (SubmitBatch): the member
+	// jobs one worker executes together through the batch runner. Dispatch
+	// jobs live only in the scheduler — never in the executor's jobs map —
+	// so they cannot be addressed or canceled individually.
+	gang []*Job
 }
 
 // Done returns a channel closed when the job reaches a terminal state.

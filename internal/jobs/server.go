@@ -428,14 +428,17 @@ func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) {
 		Timeout:  time.Duration(req.TimeoutMs) * time.Millisecond,
 		NoCache:  req.NoCache,
 	}
+	// The matrix goes down as one gang: fresh cells run together through
+	// the partitioned batch path on a single worker (and a single
+	// sweep-class slot), while cache hits and duplicates still resolve per
+	// cell.
+	batch, err := s.ex.SubmitBatch(specs, opts)
+	if err != nil {
+		s.submitError(w, err)
+		return
+	}
 	var resp SweepResponse
-	for _, spec := range specs {
-		job, err := s.ex.Submit(spec, opts)
-		if err != nil {
-			s.submitError(w, fmt.Errorf("submitting %s/%s/%s: %w",
-				spec.Kernel, spec.System, spec.Variant, err))
-			return
-		}
+	for _, job := range batch {
 		resp.IDs = append(resp.IDs, job.ID)
 	}
 	resp.Count = len(resp.IDs)

@@ -13,8 +13,8 @@ import (
 
 type hull struct {
 	pts  []input.Point2
-	hull []int32 // produced hull vertex indices
-	want []int32 // reference hull (sorted indices)
+	hull []int32       // produced hull vertex indices
+	want lazy[[]int32] // reference hull (sorted indices)
 	leaf int
 }
 
@@ -58,7 +58,7 @@ func serialHull(pts []input.Point2) []int32 {
 func newHull(seed uint64, scale float64) Workload {
 	n := scaled(30000, scale)
 	pts := input.Kuzmin2D(seed, n)
-	return &hull{pts: pts, want: serialHull(pts), leaf: 512}
+	return &hull{pts: pts, want: deferred(func() []int32 { return serialHull(pts) }), leaf: 512}
 }
 
 func (k *hull) Run(r *wsrt.Run) {
@@ -235,7 +235,7 @@ func (k *hull) quickhullSerial(c *wsrt.Ctx, cand []int32, a, b int32, out *[]int
 
 func (k *hull) Check() error {
 	got := append([]int32(nil), k.hull...)
-	want := append([]int32(nil), k.want...)
+	want := append([]int32(nil), k.want.get()...)
 	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
 	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
 	if len(got) != len(want) {
@@ -261,7 +261,7 @@ type knn struct {
 	pts   []input.Point2
 	root  *qtNode
 	nn    []int32
-	want  []int32
+	want  lazy[[]int32]
 	grain int
 }
 
@@ -343,20 +343,23 @@ func newKNN(seed uint64, scale float64) Workload {
 	n := scaled(4000, scale)
 	pts := input.Cube2D(seed, n)
 	// Brute-force reference.
-	want := make([]int32, n)
-	for i := range pts {
-		best, bd := int32(-1), math.Inf(1)
-		for j := range pts {
-			if i == j {
-				continue
+	want := deferred(func() []int32 {
+		out := make([]int32, len(pts))
+		for i := range pts {
+			best, bd := int32(-1), math.Inf(1)
+			for j := range pts {
+				if i == j {
+					continue
+				}
+				dx, dy := pts[i].X-pts[j].X, pts[i].Y-pts[j].Y
+				if d := dx*dx + dy*dy; d < bd {
+					bd, best = d, int32(j)
+				}
 			}
-			dx, dy := pts[i].X-pts[j].X, pts[i].Y-pts[j].Y
-			if d := dx*dx + dy*dy; d < bd {
-				bd, best = d, int32(j)
-			}
+			out[i] = best
 		}
-		want[i] = best
-	}
+		return out
+	})
 	return &knn{pts: pts, want: want, grain: 32}
 }
 
@@ -439,7 +442,7 @@ func (k *knn) Check() error {
 			dx, dy := k.pts[a].X-k.pts[b].X, k.pts[a].Y-k.pts[b].Y
 			return dx*dx + dy*dy
 		}
-		if got, want := d(int32(i), k.nn[i]), d(int32(i), k.want[i]); got > want*(1+1e-12) {
+		if got, want := d(int32(i), k.nn[i]), d(int32(i), k.want.get()[i]); got > want*(1+1e-12) {
 			return fmt.Errorf("knn: point %d: got distance %g, want %g", i, got, want)
 		}
 	}
@@ -452,7 +455,7 @@ type nbody struct {
 	pts   []input.Point3
 	mass  []float64
 	force [][3]float64
-	want  [][3]float64
+	want  lazy[[][3]float64]
 	grain int
 }
 
@@ -466,7 +469,7 @@ func newNbody(seed uint64, scale float64) Workload {
 		mass[i] = 0.5 + float64(rng>>40)/float64(1<<24)
 	}
 	k := &nbody{pts: pts, mass: mass, grain: 8}
-	k.want = k.computeSerial()
+	k.want = deferred(k.computeSerial)
 	return k
 }
 
@@ -514,10 +517,11 @@ func (k *nbody) Run(r *wsrt.Run) {
 }
 
 func (k *nbody) Check() error {
+	want := k.want.get()
 	for i := range k.force {
 		for d := 0; d < 3; d++ {
-			if k.force[i][d] != k.want[i][d] {
-				return fmt.Errorf("nbody: body %d dim %d: %g != %g", i, d, k.force[i][d], k.want[i][d])
+			if k.force[i][d] != want[i][d] {
+				return fmt.Errorf("nbody: body %d dim %d: %g != %g", i, d, k.force[i][d], want[i][d])
 			}
 		}
 	}

@@ -39,14 +39,14 @@ func serialBFSLevels(g *input.Graph, src int32) []int32 {
 type bfsND struct {
 	g      *input.Graph
 	levels []int32
-	want   []int32
+	want   lazy[[]int32]
 	grain  int
 }
 
 func newBFSND(seed uint64, scale float64) Workload {
 	n := scaled(20000, scale)
 	g := input.RandLocalGraph(seed, 5, n)
-	return &bfsND{g: g, want: serialBFSLevels(g, 0), grain: 64}
+	return &bfsND{g: g, want: deferred(func() []int32 { return serialBFSLevels(g, 0) }), grain: 64}
 }
 
 func (k *bfsND) Run(r *wsrt.Run) {
@@ -91,7 +91,7 @@ func (k *bfsND) Run(r *wsrt.Run) {
 }
 
 func (k *bfsND) Check() error {
-	return checkEqualInt32("bfs-nd levels", k.levels, k.want)
+	return checkEqualInt32("bfs-nd levels", k.levels, k.want.get())
 }
 
 // ---- bfs-d: deterministic BFS with reserve-and-commit phases (PBBS) ----
@@ -103,14 +103,14 @@ type bfsD struct {
 	g      *input.Graph
 	levels []int32
 	parent []int32
-	want   []int32
+	want   lazy[[]int32]
 	grain  int
 }
 
 func newBFSD(seed uint64, scale float64) Workload {
 	n := scaled(20000, scale)
 	g := input.RandLocalGraph(seed, 5, n)
-	return &bfsD{g: g, want: serialBFSLevels(g, 0), grain: 64}
+	return &bfsD{g: g, want: deferred(func() []int32 { return serialBFSLevels(g, 0) }), grain: 64}
 }
 
 func (k *bfsD) Run(r *wsrt.Run) {
@@ -172,7 +172,7 @@ func (k *bfsD) Run(r *wsrt.Run) {
 }
 
 func (k *bfsD) Check() error {
-	if err := checkEqualInt32("bfs-d levels", k.levels, k.want); err != nil {
+	if err := checkEqualInt32("bfs-d levels", k.levels, k.want.get()); err != nil {
 		return err
 	}
 	// Deterministic parents: each parent must be the min-id neighbor in
@@ -274,7 +274,7 @@ type sptree struct {
 	edges     []input.Edge
 	parentUF  []int32
 	treeEdges int
-	wantComps int
+	wantComps lazy[int]
 	grain     int
 }
 
@@ -282,27 +282,30 @@ func newSptree(seed uint64, scale float64) Workload {
 	n := scaled(20000, scale)
 	edges := input.RandLocalEdges(seed^0x77, 5, n)
 	// Reference component count via serial union-find.
-	parent := make([]int32, n)
-	for i := range parent {
-		parent[i] = int32(i)
-	}
-	var find func(x int32) int32
-	find = func(x int32) int32 {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
+	wantComps := deferred(func() int {
+		parent := make([]int32, n)
+		for i := range parent {
+			parent[i] = int32(i)
 		}
-		return x
-	}
-	comps := n
-	for _, e := range edges {
-		ru, rv := find(e.U), find(e.V)
-		if ru != rv {
-			parent[ru] = rv
-			comps--
+		var find func(x int32) int32
+		find = func(x int32) int32 {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
 		}
-	}
-	return &sptree{n: n, edges: edges, wantComps: comps, grain: 128}
+		comps := n
+		for _, e := range edges {
+			ru, rv := find(e.U), find(e.V)
+			if ru != rv {
+				parent[ru] = rv
+				comps--
+			}
+		}
+		return comps
+	})
+	return &sptree{n: n, edges: edges, wantComps: wantComps, grain: 128}
 }
 
 func (k *sptree) find(x int32, hops *int) int32 {
@@ -351,7 +354,7 @@ func (k *sptree) Run(r *wsrt.Run) {
 func (k *sptree) Check() error {
 	// A spanning forest has n - components tree edges, regardless of which
 	// edges were selected.
-	want := k.n - k.wantComps
+	want := k.n - k.wantComps.get()
 	if k.treeEdges != want {
 		return fmt.Errorf("sptree: %d tree edges, want %d", k.treeEdges, want)
 	}
@@ -364,8 +367,8 @@ func (k *sptree) Check() error {
 			comps++
 		}
 	}
-	if comps != k.wantComps {
-		return fmt.Errorf("sptree: %d components, want %d", comps, k.wantComps)
+	if comps != k.wantComps.get() {
+		return fmt.Errorf("sptree: %d components, want %d", comps, k.wantComps.get())
 	}
 	return nil
 }

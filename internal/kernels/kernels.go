@@ -46,6 +46,32 @@ type Workload interface {
 	Check() error
 }
 
+// lazy defers a Check-only serial reference. Sweeps run with Check=false
+// and must not pay for references they never read — several references
+// (matmul's serial product, nbody's direct sums, suffix arrays) cost as
+// much as the workload itself. The closure runs at most once, on first
+// get; anything it captures must be unaffected by Run, so constructors
+// snapshot inputs that Run mutates (a copy is far cheaper than the
+// reference computation it defers). Laziness never touches the simulated
+// schedule: references are host-side bookkeeping, and the instruction
+// costs charged during Run are computed by Run itself.
+type lazy[T any] struct {
+	f func() T
+	v T
+}
+
+// deferred wraps f as a lazily-computed value.
+func deferred[T any](f func() T) lazy[T] { return lazy[T]{f: f} }
+
+// get computes the value on first use and caches it.
+func (l *lazy[T]) get() T {
+	if l.f != nil {
+		l.v = l.f()
+		l.f = nil
+	}
+	return l.v
+}
+
 // Kernel is a registry entry with the paper's Table III metadata.
 type Kernel struct {
 	Name  string

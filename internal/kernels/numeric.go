@@ -13,7 +13,7 @@ import (
 type matmul struct {
 	n       int
 	a, b, c []float64
-	want    []float64
+	want    lazy[[]float64]
 	leaf    int
 }
 
@@ -34,8 +34,12 @@ func newMatmul(seed uint64, scale float64) Workload {
 	}
 	k := &matmul{n: n, a: a, b: b, c: make([]float64, n*n), leaf: 16}
 	// Reference: same blocked order serially for bit-exact comparison.
-	k.want = make([]float64, n*n)
-	k.blockSerial(k.want, 0, 0, 0, 0, 0, 0, n)
+	// Run never writes a or b, so the closure needs no snapshot.
+	k.want = deferred(func() []float64 {
+		w := make([]float64, n*n)
+		k.blockSerial(w, 0, 0, 0, 0, 0, 0, n)
+		return w
+	})
 	return k
 }
 
@@ -112,7 +116,7 @@ func (k *matmul) Run(r *wsrt.Run) {
 }
 
 func (k *matmul) Check() error {
-	return checkEqualF64("matmul", k.c, k.want)
+	return checkEqualF64("matmul", k.c, k.want.get())
 }
 
 // ---- clsky: tiled Cholesky factorization (Cilk "cholesky" stand-in) ----
@@ -120,7 +124,7 @@ func (k *matmul) Check() error {
 type clsky struct {
 	n, tile int
 	a       []float64 // factored in place (lower triangle)
-	want    []float64
+	want    lazy[[]float64]
 }
 
 func newClsky(seed uint64, scale float64) Workload {
@@ -151,20 +155,24 @@ func newClsky(seed uint64, scale float64) Workload {
 		}
 	}
 	k := &clsky{n: n, tile: tile, a: append([]float64(nil), a...)}
-	// Serial reference using the identical tiled algorithm.
-	k.want = append([]float64(nil), a...)
-	nt := n / tile
-	for kk := 0; kk < nt; kk++ {
-		k.potrf(k.want, kk)
-		for i := kk + 1; i < nt; i++ {
-			k.trsm(k.want, i, kk)
-		}
-		for i := kk + 1; i < nt; i++ {
-			for j := kk + 1; j <= i; j++ {
-				k.update(k.want, i, j, kk)
+	// Serial reference using the identical tiled algorithm; a stays
+	// pristine (k.a is its own copy), so the closure factors it on demand.
+	k.want = deferred(func() []float64 {
+		w := append([]float64(nil), a...)
+		nt := n / tile
+		for kk := 0; kk < nt; kk++ {
+			k.potrf(w, kk)
+			for i := kk + 1; i < nt; i++ {
+				k.trsm(w, i, kk)
+			}
+			for i := kk + 1; i < nt; i++ {
+				for j := kk + 1; j <= i; j++ {
+					k.update(w, i, j, kk)
+				}
 			}
 		}
-	}
+		return w
+	})
 	return k
 }
 
@@ -258,7 +266,7 @@ func (k *clsky) Run(r *wsrt.Run) {
 }
 
 func (k *clsky) Check() error {
-	return checkEqualF64("clsky", k.a, k.want)
+	return checkEqualF64("clsky", k.a, k.want.get())
 }
 
 // ---- heat: 2D Jacobi heat diffusion (Cilk) ----
@@ -266,7 +274,7 @@ func (k *clsky) Check() error {
 type heat struct {
 	nx, ny, steps int
 	grid, next    []float64
-	want          []float64
+	want          lazy[[]float64]
 }
 
 func newHeat(seed uint64, scale float64) Workload {
@@ -279,14 +287,16 @@ func newHeat(seed uint64, scale float64) Workload {
 	}
 	k := &heat{nx: nx, ny: ny, steps: steps,
 		grid: append([]float64(nil), grid...), next: make([]float64, nx*ny)}
-	// Serial reference.
-	cur := append([]float64(nil), grid...)
-	nxt := make([]float64, nx*ny)
-	for s := 0; s < steps; s++ {
-		k.step(cur, nxt)
-		cur, nxt = nxt, cur
-	}
-	k.want = cur
+	// Serial reference from the pristine initial grid (k.grid is a copy).
+	k.want = deferred(func() []float64 {
+		cur := append([]float64(nil), grid...)
+		nxt := make([]float64, nx*ny)
+		for s := 0; s < steps; s++ {
+			k.step(cur, nxt)
+			cur, nxt = nxt, cur
+		}
+		return cur
+	})
 	return k
 }
 
@@ -354,7 +364,7 @@ func (k *heat) Run(r *wsrt.Run) {
 }
 
 func (k *heat) Check() error {
-	return checkEqualF64("heat", k.grid, k.want)
+	return checkEqualF64("heat", k.grid, k.want.get())
 }
 
 // ---- bscholes: Black-Scholes option pricing (PARSEC) ----
@@ -363,7 +373,7 @@ type bscholes struct {
 	opts   []input.Option
 	rounds int
 	prices []float64
-	want   []float64
+	want   lazy[[]float64]
 	grain  int
 }
 
@@ -395,10 +405,13 @@ func newBscholes(seed uint64, scale float64) Workload {
 	n := scaled(1024, scale)
 	opts := input.Options(seed, n)
 	k := &bscholes{opts: opts, rounds: 8, grain: max(1, n/64)}
-	k.want = make([]float64, n)
-	for i, o := range opts {
-		k.want[i] = price(o)
-	}
+	k.want = deferred(func() []float64 {
+		w := make([]float64, len(opts))
+		for i, o := range opts {
+			w[i] = price(o)
+		}
+		return w
+	})
 	return k
 }
 
@@ -421,7 +434,7 @@ func (k *bscholes) Run(r *wsrt.Run) {
 }
 
 func (k *bscholes) Check() error {
-	return checkEqualF64("bscholes", k.prices, k.want)
+	return checkEqualF64("bscholes", k.prices, k.want.get())
 }
 
 func max(a, b int) int {

@@ -16,7 +16,7 @@ type dict struct {
 	table   []int32
 	mask    int
 	found   int
-	want    int
+	want    lazy[int]
 	grain   int
 }
 
@@ -35,16 +35,19 @@ func newDict(seed uint64, scale float64) Workload {
 	keys := input.ExptSeqInt(seed, n)
 	queries := input.ExptSeqInt(seed^0xbeef, n/2)
 	// Reference: how many queries hit the key set.
-	set := map[int32]bool{}
-	for _, k := range keys {
-		set[k] = true
-	}
-	want := 0
-	for _, q := range queries {
-		if set[q] {
-			want++
+	want := deferred(func() int {
+		set := map[int32]bool{}
+		for _, k := range keys {
+			set[k] = true
 		}
-	}
+		hits := 0
+		for _, q := range queries {
+			if set[q] {
+				hits++
+			}
+		}
+		return hits
+	})
 	tabSize := 1
 	for tabSize < 2*n {
 		tabSize <<= 1
@@ -108,8 +111,8 @@ func (k *dict) Run(r *wsrt.Run) {
 }
 
 func (k *dict) Check() error {
-	if k.found != k.want {
-		return fmt.Errorf("dict: %d lookups hit, want %d", k.found, k.want)
+	if k.found != k.want.get() {
+		return fmt.Errorf("dict: %d lookups hit, want %d", k.found, k.want.get())
 	}
 	return nil
 }
@@ -122,7 +125,7 @@ type rdups struct {
 	table []int32 // index of first claiming pair, -1 empty
 	mask  int
 	kept  int
-	want  int
+	want  lazy[int]
 	grain int
 }
 
@@ -138,15 +141,18 @@ func hashStr(s string) uint32 {
 func newRdups(seed uint64, scale float64) Workload {
 	n := scaled(100000, scale)
 	words, vals := input.TrigramPairs(seed, n)
-	set := map[string]bool{}
-	for _, w := range words {
-		set[w] = true
-	}
+	want := deferred(func() int {
+		set := map[string]bool{}
+		for _, w := range words {
+			set[w] = true
+		}
+		return len(set)
+	})
 	tabSize := 1
 	for tabSize < 2*n {
 		tabSize <<= 1
 	}
-	return &rdups{words: words, vals: vals, want: len(set), mask: tabSize - 1,
+	return &rdups{words: words, vals: vals, want: want, mask: tabSize - 1,
 		table: make([]int32, tabSize), grain: 512}
 }
 
@@ -190,8 +196,8 @@ func (k *rdups) Run(r *wsrt.Run) {
 }
 
 func (k *rdups) Check() error {
-	if k.kept != k.want {
-		return fmt.Errorf("rdups: kept %d distinct, want %d", k.kept, k.want)
+	if k.kept != k.want.get() {
+		return fmt.Errorf("rdups: kept %d distinct, want %d", k.kept, k.want.get())
 	}
 	return nil
 }
@@ -201,7 +207,7 @@ func (k *rdups) Check() error {
 type sarray struct {
 	text []byte
 	sa   []int32
-	want []int32
+	want lazy[[]int32]
 }
 
 func serialSuffixArray(text []byte) []int32 {
@@ -227,7 +233,7 @@ func serialSuffixArray(text []byte) []int32 {
 func newSarray(seed uint64, scale float64) Workload {
 	n := scaled(10000, scale)
 	text := input.TrigramString(seed, n)
-	return &sarray{text: text, want: serialSuffixArray(text)}
+	return &sarray{text: text, want: deferred(func() []int32 { return serialSuffixArray(text) })}
 }
 
 // saCtx carries the prefix-doubling state across phases.
@@ -355,7 +361,7 @@ func parallelQsortIdx(c *wsrt.Ctx, idx []int32, lo, hi, leaf int, less func(a, b
 }
 
 func (k *sarray) Check() error {
-	return checkEqualInt32("sarray", k.sa, k.want)
+	return checkEqualInt32("sarray", k.sa, k.want.get())
 }
 
 func init() {

@@ -104,17 +104,19 @@ func serialSortCostInt32(a []int32) float64 {
 type cilksort struct {
 	data []int32
 	tmp  []int32
-	want []int32
+	want lazy[[]int32]
 	leaf int
 }
 
 func newCilksort(seed uint64, scale float64) Workload {
 	n := scaled(60000, scale)
 	data := input.RandomSeqInt(seed, n)
+	// Run sorts data in place, so the reference closure snapshots it now.
+	orig := append([]int32(nil), data...)
 	return &cilksort{
 		data: data,
 		tmp:  make([]int32, n),
-		want: sortedCopyInt32(data),
+		want: deferred(func() []int32 { return sortedCopyInt32(orig) }),
 		leaf: 512,
 	}
 }
@@ -206,7 +208,7 @@ func (k *cilksort) merge(c *wsrt.Ctx, src []int32, a1, b1, a2, b2 int, dst []int
 }
 
 func (k *cilksort) Check() error {
-	return checkEqualInt32("cilksort", k.data, k.want)
+	return checkEqualInt32("cilksort", k.data, k.want.get())
 }
 
 // ---- qsort: parallel quicksort, recursive spawn-and-sync (PBBS) ----
@@ -216,14 +218,15 @@ func (k *cilksort) Check() error {
 // discusses.
 type qsortF64 struct {
 	data []float64
-	want []float64
+	want lazy[[]float64]
 	leaf int
 }
 
 func newQsort1(seed uint64, scale float64) Workload {
 	n := scaled(25000, scale)
 	data := input.ExptSeqFloat(seed, n)
-	return &qsortF64{data: data, want: sortedCopyF64(data), leaf: 256}
+	orig := append([]float64(nil), data...)
+	return &qsortF64{data: data, want: deferred(func() []float64 { return sortedCopyF64(orig) }), leaf: 256}
 }
 
 func (k *qsortF64) Run(r *wsrt.Run) {
@@ -276,21 +279,22 @@ func (k *qsortF64) qsort(c *wsrt.Ctx, lo, hi int) {
 }
 
 func (k *qsortF64) Check() error {
-	return checkEqualF64("qsort-1", k.data, k.want)
+	return checkEqualF64("qsort-1", k.data, k.want.get())
 }
 
 // qsortStr is qsort-2: trigram strings; comparisons cost per inspected
 // character.
 type qsortStr struct {
 	data []string
-	want []string
+	want lazy[[]string]
 	leaf int
 }
 
 func newQsort2(seed uint64, scale float64) Workload {
 	n := scaled(30000, scale)
 	data := input.TrigramWords(seed, n)
-	return &qsortStr{data: data, want: sortedCopyStr(data), leaf: 256}
+	orig := append([]string(nil), data...)
+	return &qsortStr{data: data, want: deferred(func() []string { return sortedCopyStr(orig) }), leaf: 256}
 }
 
 func (k *qsortStr) Run(r *wsrt.Run) {
@@ -351,8 +355,8 @@ func (k *qsortStr) qsort(c *wsrt.Ctx, lo, hi int) {
 
 func (k *qsortStr) Check() error {
 	for i := range k.data {
-		if k.data[i] != k.want[i] {
-			return fmt.Errorf("qsort-2: element %d: %q != %q", i, k.data[i], k.want[i])
+		if k.data[i] != k.want.get()[i] {
+			return fmt.Errorf("qsort-2: element %d: %q != %q", i, k.data[i], k.want.get()[i])
 		}
 	}
 	return nil
@@ -362,7 +366,7 @@ func (k *qsortStr) Check() error {
 
 type sampsort struct {
 	data    []float64
-	want    []float64
+	want    lazy[[]float64]
 	buckets int
 	blocks  int
 }
@@ -370,7 +374,8 @@ type sampsort struct {
 func newSampsort(seed uint64, scale float64) Workload {
 	n := scaled(25000, scale)
 	data := input.ExptSeqFloat(seed^0x5a, n)
-	return &sampsort{data: data, want: sortedCopyF64(data), buckets: 32, blocks: 32}
+	orig := append([]float64(nil), data...)
+	return &sampsort{data: data, want: deferred(func() []float64 { return sortedCopyF64(orig) }), buckets: 32, blocks: 32}
 }
 
 func (k *sampsort) Run(r *wsrt.Run) {
@@ -479,7 +484,7 @@ func (k *sampsort) Run(r *wsrt.Run) {
 }
 
 func (k *sampsort) Check() error {
-	return checkEqualF64("sampsort", k.data, k.want)
+	return checkEqualF64("sampsort", k.data, k.want.get())
 }
 
 // ---- radix: LSD radix sort, parallel count+scatter per pass (PBBS) ----
@@ -487,20 +492,22 @@ func (k *sampsort) Check() error {
 type radix struct {
 	name   string
 	data   []int32
-	want   []int32
+	want   lazy[[]int32]
 	blocks int
 }
 
 func newRadix1(seed uint64, scale float64) Workload {
 	n := scaled(80000, scale)
 	data := input.RandomSeqInt(seed, n)
-	return &radix{name: "radix-1", data: data, want: sortedCopyInt32(data), blocks: 32}
+	orig := append([]int32(nil), data...)
+	return &radix{name: "radix-1", data: data, want: deferred(func() []int32 { return sortedCopyInt32(orig) }), blocks: 32}
 }
 
 func newRadix2(seed uint64, scale float64) Workload {
 	n := scaled(60000, scale)
 	data := input.ExptSeqInt(seed, n)
-	return &radix{name: "radix-2", data: data, want: sortedCopyInt32(data), blocks: 32}
+	orig := append([]int32(nil), data...)
+	return &radix{name: "radix-2", data: data, want: deferred(func() []int32 { return sortedCopyInt32(orig) }), blocks: 32}
 }
 
 func (k *radix) Run(r *wsrt.Run) {
@@ -576,7 +583,7 @@ func (k *radix) Run(r *wsrt.Run) {
 }
 
 func (k *radix) Check() error {
-	return checkEqualInt32(k.name, k.data, k.want)
+	return checkEqualInt32(k.name, k.data, k.want.get())
 }
 
 func init() {

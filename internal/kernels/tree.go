@@ -130,7 +130,7 @@ type uts struct {
 	spawnD   int
 	rootSeed uint64
 	count    int64
-	want     int64
+	want     lazy[int64]
 }
 
 // utsChildren derives node id's child count deterministically.
@@ -194,7 +194,7 @@ func newUTS(seed uint64, scale float64) Workload {
 	if scale < 0.5 {
 		k.b0 = 3.4
 	}
-	k.want = k.countSerial(k.rootSeed, 0)
+	k.want = deferred(func() int64 { return k.countSerial(k.rootSeed, 0) })
 	return k
 }
 
@@ -227,8 +227,8 @@ func (k *uts) Run(r *wsrt.Run) {
 }
 
 func (k *uts) Check() error {
-	if k.count != k.want {
-		return fmt.Errorf("uts: visited %d nodes, want %d", k.count, k.want)
+	if k.count != k.want.get() {
+		return fmt.Errorf("uts: visited %d nodes, want %d", k.count, k.want.get())
 	}
 	return nil
 }

@@ -7,12 +7,20 @@
 // single-threaded, so any two runs with the same seed produce identical
 // schedules.
 //
-// The engine is allocation-free in steady state: event records live in a
-// pooled arena recycled through an intrusive free list, the priority queue
-// is a 4-ary heap of arena indices, and callers hold small value-type
-// handles validated by generation counters. Execution order depends only on
-// the total order (when, seq) — seq is unique per scheduling call — so it
-// is independent of heap arity, node placement, and compaction timing.
+// The engine is allocation-free in steady state and lays its event records
+// out struct-of-arrays: the arena is a pair of dense parallel slices — a
+// 16-byte metadata record (timestamp, generation, free-link) and a separate
+// callback slice, kept apart so the garbage collector scans only the
+// pointer-bearing array. The priority queue is a 4-ary heap whose entries
+// embed the full ordering key (when, seq) alongside the record index, so
+// sift comparisons never dereference the arena — a sift touches only the
+// contiguous heap slice. Callers hold small value-type handles validated by
+// generation counters; cancellation is encoded in the generation's parity
+// (odd = cancelled-in-queue), which both invalidates outstanding handles
+// and marks the queued record in a single increment. Execution order
+// depends only on the total order (when, seq) — seq is unique per
+// scheduling call — so it is independent of heap arity, node placement, and
+// compaction timing.
 package sim
 
 import "fmt"
@@ -56,17 +64,31 @@ func (t Time) String() string {
 // rounding to the nearest picosecond.
 func FromSeconds(s float64) Time { return Time(s*float64(Second) + 0.5) }
 
-// node is one pooled event record in the engine's arena. A node is either
-// live (queued in the heap), cancelled (still queued, skipped on pop), or
-// free (on the free list awaiting reuse).
-type node struct {
-	when      Time
-	seq       uint64 // tie-break: FIFO among equal timestamps
-	fn        func()
-	gen       uint32 // bumped on every release; stale handles mismatch
-	pos       int32  // heap position, -1 when not queued
-	next      int32  // free-list link, -1 at end
-	cancelled bool
+// entry is one heap slot. It embeds the complete ordering key so sifts
+// compare entries in place without loading the record they refer to.
+type entry struct {
+	when Time
+	seq  uint64 // tie-break: FIFO among equal timestamps
+	idx  int32  // arena record id
+}
+
+// before reports whether a orders strictly before b under (when, seq).
+func (a entry) before(b entry) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+// meta is the non-pointer half of one arena record: 16 bytes, padding-free.
+// gen is bumped on every state transition; an even value means the record
+// is live or free, odd means it is cancelled but still queued. Handles
+// capture the (even) generation at scheduling time, so a single increment
+// on cancel both marks the queued record and invalidates its handles.
+type meta struct {
+	when Time
+	gen  uint32
+	next int32 // free-list link, -1 at end; meaningful only when free
 }
 
 // Event is a value-type handle to a scheduled callback. Events are
@@ -81,31 +103,17 @@ type Event struct {
 	gen uint32
 }
 
-// live returns the node the handle refers to, or nil if the handle is the
-// zero Event or refers to a record that has since been recycled.
-func (ev Event) live() *node {
-	if ev.eng == nil || int(ev.idx) >= len(ev.eng.nodes) {
-		return nil
-	}
-	n := &ev.eng.nodes[ev.idx]
-	if n.gen != ev.gen {
-		return nil
-	}
-	return n
-}
-
 // Pending reports whether the event is still queued and will fire.
 // It is false once the event fires, is cancelled, or the handle is stale.
 func (ev Event) Pending() bool {
-	n := ev.live()
-	return n != nil && !n.cancelled
+	return ev.eng != nil && int(ev.idx) < len(ev.eng.meta) && ev.eng.meta[ev.idx].gen == ev.gen
 }
 
 // When returns the timestamp the event is scheduled for, or 0 if the
 // handle is no longer pending.
 func (ev Event) When() Time {
-	if n := ev.live(); n != nil && !n.cancelled {
-		return n.when
+	if ev.Pending() {
+		return ev.eng.meta[ev.idx].when
 	}
 	return 0
 }
@@ -114,18 +122,19 @@ func (ev Event) When() Time {
 // this call cancelled a pending event; cancelling an event that already
 // fired or was already cancelled is a no-op returning false.
 func (ev Event) Cancel() bool {
-	n := ev.live()
-	if n == nil || n.cancelled {
+	if !ev.Pending() {
 		return false
 	}
-	n.cancelled = true
 	e := ev.eng
+	// Odd generation = cancelled-in-queue; the record stays allocated (its
+	// heap entry still references it) until pop or sweep releases it.
+	e.meta[ev.idx].gen++
 	e.live--
-	e.cancelled++
+	e.ncancelled++
 	// Eager compaction: once cancelled records dominate the queue, sweep
 	// them out in one O(n) pass so a cancel-heavy phase cannot hold the
 	// heap (and the arena) at its high-water mark indefinitely.
-	if e.cancelled >= sweepMin && e.cancelled*2 > len(e.heap) {
+	if e.ncancelled >= sweepMin && e.ncancelled*2 > len(e.heap) {
 		e.sweep()
 	}
 	return true
@@ -139,23 +148,30 @@ const sweepMin = 64
 //
 // The zero value is not usable; construct with NewEngine.
 type Engine struct {
-	now       Time
-	seq       uint64
-	popped    uint64 // number of events executed (for stats/limits)
-	nodes     []node
-	free      int32 // head of the intrusive free list, -1 when empty
-	heap      []int32
-	live      int // queued events that will fire (excludes cancelled)
-	cancelled int // queued events that were cancelled but not yet removed
-	maxLive   int // high-water mark of live (pending-queue introspection)
+	now    Time
+	seq    uint64
+	popped uint64 // number of events executed (for stats/limits)
+
+	// Record arena, struct-of-arrays: meta carries the scalar fields, fn
+	// the callbacks. Equal lengths always; grown together by alloc.
+	meta []meta
+	fn   []func()
+
+	free int32 // head of the intrusive free list, -1 when empty
+	heap []entry
+
+	live       int // queued events that will fire (excludes cancelled)
+	ncancelled int // queued events cancelled but not yet removed
+	maxLive    int // high-water mark of live (pending-queue introspection)
 }
 
 // NewEngine returns an Engine with the clock at zero.
 func NewEngine() *Engine {
 	return &Engine{
-		nodes: make([]node, 0, 1024),
-		heap:  make([]int32, 0, 1024),
-		free:  -1,
+		meta: make([]meta, 0, 1024),
+		fn:   make([]func(), 0, 1024),
+		heap: make([]entry, 0, 1024),
+		free: -1,
 	}
 }
 
@@ -166,16 +182,16 @@ func NewEngine() *Engine {
 // not pending rather than aliasing events of the next run.
 func (e *Engine) Reset() {
 	e.now, e.seq, e.popped = 0, 0, 0
-	e.live, e.cancelled, e.maxLive = 0, 0, 0
+	e.live, e.ncancelled, e.maxLive = 0, 0, 0
 	e.heap = e.heap[:0]
 	e.free = -1
-	for i := range e.nodes {
-		n := &e.nodes[i]
-		n.gen++
-		n.fn = nil
-		n.cancelled = false
-		n.pos = -1
-		n.next = e.free
+	for i := range e.meta {
+		m := &e.meta[i]
+		// Advance to the next even (free) generation: +2 if live or free,
+		// +1 if a cancelled record (odd) was still queued at Reset.
+		m.gen = (m.gen + 2) &^ 1
+		m.next = e.free
+		e.fn[i] = nil
 		e.free = int32(i)
 	}
 }
@@ -204,22 +220,24 @@ func (e *Engine) queued() int { return len(e.heap) }
 func (e *Engine) alloc() int32 {
 	if e.free >= 0 {
 		idx := e.free
-		e.free = e.nodes[idx].next
+		e.free = e.meta[idx].next
 		return idx
 	}
-	e.nodes = append(e.nodes, node{})
-	return int32(len(e.nodes) - 1)
+	e.meta = append(e.meta, meta{next: -1})
+	e.fn = append(e.fn, nil)
+	return int32(len(e.meta) - 1)
 }
 
 // release recycles a record onto the free list, invalidating all handles
-// to it by bumping the generation.
+// to it by advancing the generation to the next even (free) value. The
+// callback pointer is deliberately left in place — clearing it here would
+// cost a write barrier per pop; stale pointers are overwritten on reuse
+// and cleared wholesale by Reset, which is when a retained engine must
+// stop pinning the previous run's object graph.
 func (e *Engine) release(idx int32) {
-	n := &e.nodes[idx]
-	n.gen++
-	n.fn = nil
-	n.cancelled = false
-	n.pos = -1
-	n.next = e.free
+	m := &e.meta[idx]
+	m.gen = (m.gen + 2) &^ 1
+	m.next = e.free
 	e.free = idx
 }
 
@@ -227,29 +245,49 @@ func (e *Engine) release(idx int32) {
 // panics: it indicates a model bug that would silently corrupt causality.
 func (e *Engine) At(when Time, fn func()) Event {
 	if when < e.now {
-		panic(fmt.Sprintf("sim: scheduling at %v before now %v", when, e.now))
+		panicPast(when, e.now)
 	}
+	return e.schedule(when, fn)
+}
+
+func panicPast(when, now Time) {
+	panic(fmt.Sprintf("sim: scheduling at %v before now %v", when, now))
+}
+
+// After schedules fn to run delay picoseconds from now. A non-negative
+// delay cannot land before now, so no past-check is needed on this path.
+func (e *Engine) After(delay Time, fn func()) Event {
+	if delay < 0 {
+		panicNegative(delay)
+	}
+	return e.schedule(e.now+delay, fn)
+}
+
+func panicNegative(delay Time) {
+	panic(fmt.Sprintf("sim: negative delay %v", delay))
+}
+
+// schedule is the shared scheduling core: allocate a record, stamp it, and
+// insert the key-embedded heap entry (push hand-inlined — the tail insert
+// needs no sift, and siftUp stays out of line for that case).
+func (e *Engine) schedule(when Time, fn func()) Event {
 	idx := e.alloc()
-	n := &e.nodes[idx]
-	n.when = when
-	n.seq = e.seq
-	n.fn = fn
-	n.next = -1
+	m := &e.meta[idx]
+	m.when = when
+	e.fn[idx] = fn
+	seq := e.seq
 	e.seq++
 	e.live++
 	if e.live > e.maxLive {
 		e.maxLive = e.live
 	}
-	e.push(idx)
-	return Event{eng: e, idx: idx, gen: n.gen}
-}
-
-// After schedules fn to run delay picoseconds from now.
-func (e *Engine) After(delay Time, fn func()) Event {
-	if delay < 0 {
-		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	k := entry{when: when, seq: seq, idx: idx}
+	h := append(e.heap, k)
+	e.heap = h
+	if i := len(h) - 1; i > 0 {
+		e.siftUp(i, k)
 	}
-	return e.At(e.now+delay, fn)
+	return Event{eng: e, idx: idx, gen: m.gen}
 }
 
 // Step executes the next event. It returns false if the queue is empty.
@@ -257,17 +295,25 @@ func (e *Engine) After(delay Time, fn func()) Event {
 // callback the event's own handle already reads as not pending.
 func (e *Engine) Step() bool {
 	for len(e.heap) > 0 {
-		idx := e.removeTop()
-		n := &e.nodes[idx]
-		if n.cancelled {
-			e.cancelled--
+		h := e.heap
+		top := h[0]
+		// Inlined removeTop: shrink, then sift the displaced tail key down.
+		last := len(h) - 1
+		k := h[last]
+		e.heap = h[:last]
+		if last > 0 {
+			e.down(0, k)
+		}
+		idx := top.idx
+		if e.meta[idx].gen&1 != 0 { // cancelled in queue
+			e.ncancelled--
 			e.release(idx)
 			continue
 		}
-		when, fn := n.when, n.fn
+		fn := e.fn[idx]
 		e.live--
 		e.release(idx)
-		e.now = when
+		e.now = top.when
 		e.popped++
 		fn()
 		return true
@@ -307,94 +353,91 @@ func (e *Engine) RunUntil(deadline Time) {
 // cancelled records eagerly from the top of the heap.
 func (e *Engine) peekWhen() (Time, bool) {
 	for len(e.heap) > 0 {
-		idx := e.heap[0]
-		if n := &e.nodes[idx]; !n.cancelled {
-			return n.when, true
+		h := e.heap
+		top := h[0]
+		if e.meta[top.idx].gen&1 == 0 {
+			return top.when, true
 		}
-		e.removeTop()
-		e.cancelled--
-		e.release(idx)
+		last := len(h) - 1
+		k := h[last]
+		e.heap = h[:last]
+		if last > 0 {
+			e.down(0, k)
+		}
+		e.ncancelled--
+		e.release(top.idx)
 	}
 	return 0, false
 }
 
-// ---- 4-ary heap of arena indices ordered by (when, seq) ----
+// ---- 4-ary heap of key-embedded entries ordered by (when, seq) ----
 //
-// Four children per parent keeps the tree shallow and the child scan
-// within one cache line of int32 indices; ordering is a strict total
-// order because seq is unique, so pop order never depends on layout.
+// Four children per parent keeps the tree shallow; entries carry their
+// ordering keys inline, so a sift is pure slice traffic — no arena loads.
+// Ordering is a strict total order because seq is unique, so pop order
+// never depends on layout. Sifts move a hole instead of swapping: the
+// displaced key is written exactly once at its final position.
 
-func (e *Engine) less(a, b int32) bool {
-	na, nb := &e.nodes[a], &e.nodes[b]
-	if na.when != nb.when {
-		return na.when < nb.when
-	}
-	return na.seq < nb.seq
-}
-
-func (e *Engine) push(idx int32) {
-	i := len(e.heap)
-	e.heap = append(e.heap, idx)
-	e.nodes[idx].pos = int32(i)
-	e.up(i)
-}
-
-// removeTop detaches and returns the root record's index, restoring the
-// heap property. The caller releases (or fires) the record.
-func (e *Engine) removeTop() int32 {
-	h := e.heap
-	idx := h[0]
-	last := len(h) - 1
-	h[0] = h[last]
-	e.nodes[h[0]].pos = 0
-	e.heap = h[:last]
-	if last > 0 {
-		e.down(0)
-	}
-	e.nodes[idx].pos = -1
-	return idx
-}
-
-func (e *Engine) up(i int) {
+// siftUp moves the hole at i toward the root until k's parent orders at or
+// before k, then places k once. The append in schedule already wrote k at
+// the tail, so the no-movement case is a single redundant store. Kept out
+// of line to keep the scheduling core tight; the tail insert needs no sift.
+//
+//go:noinline
+func (e *Engine) siftUp(i int, k entry) {
 	h := e.heap
 	for i > 0 {
 		p := (i - 1) >> 2
-		if !e.less(h[i], h[p]) {
+		if !k.before(h[p]) {
 			break
 		}
-		h[i], h[p] = h[p], h[i]
-		e.nodes[h[i]].pos = int32(i)
-		e.nodes[h[p]].pos = int32(p)
+		h[i] = h[p]
 		i = p
 	}
+	h[i] = k
 }
 
-func (e *Engine) down(i int) {
+// down sifts the hole at i downward and places k in its final slot. Full
+// child groups use a branch-reduced tournament min-of-4 — two independent
+// pair minima, then their minimum — so the comparisons pipeline instead of
+// chaining through one running best.
+func (e *Engine) down(i int, k entry) {
 	h := e.heap
 	n := len(h)
 	for {
-		first := i<<2 + 1
-		if first >= n {
-			return
+		c := i<<2 + 1
+		if c >= n {
+			break
 		}
-		best := first
-		end := first + 4
-		if end > n {
-			end = n
-		}
-		for c := first + 1; c < end; c++ {
-			if e.less(h[c], h[best]) {
-				best = c
+		var best int
+		if c+4 <= n {
+			ab, cd := c, c+2
+			if h[c+1].before(h[ab]) {
+				ab = c + 1
+			}
+			if h[c+3].before(h[cd]) {
+				cd = c + 3
+			}
+			if h[cd].before(h[ab]) {
+				best = cd
+			} else {
+				best = ab
+			}
+		} else {
+			best = c
+			for j := c + 1; j < n; j++ {
+				if h[j].before(h[best]) {
+					best = j
+				}
 			}
 		}
-		if !e.less(h[best], h[i]) {
-			return
+		if !h[best].before(k) {
+			break
 		}
-		h[i], h[best] = h[best], h[i]
-		e.nodes[h[i]].pos = int32(i)
-		e.nodes[h[best]].pos = int32(best)
+		h[i] = h[best]
 		i = best
 	}
+	h[i] = k
 }
 
 // sweep compacts the heap in place, releasing every cancelled record and
@@ -404,21 +447,17 @@ func (e *Engine) down(i int) {
 func (e *Engine) sweep() {
 	h := e.heap
 	w := 0
-	for _, idx := range h {
-		if e.nodes[idx].cancelled {
-			e.release(idx)
+	for _, k := range h {
+		if e.meta[k.idx].gen&1 != 0 {
+			e.release(k.idx)
 			continue
 		}
-		h[w] = idx
+		h[w] = k
 		w++
 	}
-	h = h[:w]
-	e.heap = h
-	e.cancelled = 0
-	for i, idx := range h {
-		e.nodes[idx].pos = int32(i)
-	}
+	e.heap = h[:w]
+	e.ncancelled = 0
 	for i := (w - 2) >> 2; i >= 0; i-- {
-		e.down(i)
+		e.down(i, h[i])
 	}
 }

@@ -161,3 +161,16 @@ func (t *Tracker) Finish(now sim.Time) Breakdown {
 
 // Breakdown returns the accumulated durations so far.
 func (t *Tracker) Breakdown() Breakdown { return t.b }
+
+// Reset returns the tracker to its initial state (all cores waiting at
+// time 0) so it can be reused for another run over the same core classes.
+// The batch execution path resets one tracker per cell instead of
+// allocating a fresh one.
+func (t *Tracker) Reset() {
+	for i := range t.states {
+		t.states[i] = power.StateWaiting
+	}
+	t.serial = false
+	t.last = 0
+	t.b = Breakdown{}
+}
