@@ -99,6 +99,18 @@ func main() {
 		fmt.Printf("  %-24s %8.1f ns/op  %6.1f allocs/op\n", name, m["ns_per_op"], m["allocs_per_op"])
 	}
 
+	// Elastic park/wake latency rides along in every mode. It is warn-only
+	// by construction: only engine/* rows can gate, and wall-clock rows are
+	// tolerance-compared anyway.
+	em, err := elasticBenchmark()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aaws-bench:", err)
+		os.Exit(1)
+	}
+	res.Benchmarks["elastic/park_wake"] = em
+	fmt.Printf("  %-24s %8.1f ns/op  (%.0f parks, %.0f wakes over %.0f ms)\n",
+		"elastic/park_wake", em["ns_per_op"], em["parks"], em["wakes"], em["wall_ms"])
+
 	// Order matters: quick runs first so its number stays comparable to the
 	// cold-process CI smoke run; the default sweep follows (cold except the
 	// quick kernels' LUTs); the batch benchmark runs last, fully warm.
@@ -262,6 +274,43 @@ func engineBenchmarks() map[string]Metrics {
 	}
 	e.Run(0)
 	return out
+}
+
+// elasticBenchmark times the elastic park/wake machinery end to end: the
+// imbalanced static loop under the base variant parks its starved workers
+// and wakes them on surplus every run. ns_per_op is the run's host wall
+// time amortized per park-or-wake transition — an upper bound on the
+// semaphore bookkeeping plus its simulated-event scheduling, and a direct
+// regression signal for the parking hot path.
+func elasticBenchmark() (Metrics, error) {
+	spec := core.DefaultSpec("loop-static", core.Sys4B4L, wsrt.Base)
+	spec.Elastic = true
+	spec.Check = false
+	const rounds = 20
+	if _, err := core.Run(spec); err != nil { // warm LUT and engine caches
+		return nil, err
+	}
+	var parks, wakes int
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		res, err := core.Run(spec)
+		if err != nil {
+			return nil, err
+		}
+		parks += res.Report.ElasticParks
+		wakes += res.Report.ElasticWakes
+	}
+	wall := time.Since(start)
+	transitions := parks + wakes
+	if transitions == 0 {
+		return nil, fmt.Errorf("elastic benchmark: no park/wake transitions (parking never fired)")
+	}
+	return Metrics{
+		"wall_ms":   float64(wall.Milliseconds()),
+		"parks":     float64(parks) / rounds,
+		"wakes":     float64(wakes) / rounds,
+		"ns_per_op": float64(wall.Nanoseconds()) / float64(transitions),
+	}, nil
 }
 
 // profiles carries the optional pprof destinations for one measured run.

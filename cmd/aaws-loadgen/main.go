@@ -61,9 +61,11 @@ func main() {
 	out := flag.String("out", "", "JSON report path (default stdout)")
 	policyLabel := flag.String("policy-label", "", "qos_policy label for the report when driving an external server")
 	check := flag.Bool("check", false, "exit 1 on invariant violations")
+	elastic := flag.Bool("elastic", false, "submit every job and sweep with elastic work-stealing enabled")
 	budgetP99 := flag.Float64("budget-p99-ms", 0, "warn when a protected tenant's p99 exceeds this (ms, 0 = off)")
 	budgetShed := flag.Float64("budget-shed", -1, "warn when a protected tenant's shed rate exceeds this (fraction, <0 = off)")
 	flag.Parse()
+	elasticJobs = *elastic
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, err)

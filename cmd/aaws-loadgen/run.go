@@ -155,14 +155,22 @@ func (cl *client) await(ctx context.Context, id string) bool {
 	}
 }
 
+// elasticJobs, set by the -elastic flag, adds elastic work-stealing to
+// every generated submission (single jobs and sweeps alike).
+var elasticJobs bool
+
 // jobBody builds the submission body for a single-job request.
 func jobBody(r genRequest) map[string]any {
-	return map[string]any{
+	body := map[string]any{
 		"kernel":  "cilksort",
 		"variant": "base+psm",
 		"seed":    r.Seed,
 		"scale":   1.0,
 	}
+	if elasticJobs {
+		body["elastic"] = true
+	}
+	return body
 }
 
 // fire executes one generated request end to end and reports its outcome.
@@ -178,11 +186,15 @@ func (cl *client) fire(ctx context.Context, tenant string, r genRequest, col *co
 		if len(names) == 0 {
 			names = []string{"cilksort"}
 		}
-		resp, err = cl.post(ctx, "/v1/sweeps", tenant, map[string]any{
+		sweep := map[string]any{
 			"kernels": names,
 			"seeds":   r.SweepSeeds,
 			"scale":   1.0,
-		})
+		}
+		if elasticJobs {
+			sweep["elastic"] = true
+		}
+		resp, err = cl.post(ctx, "/v1/sweeps", tenant, sweep)
 	} else {
 		resp, err = cl.post(ctx, "/v1/jobs", tenant, jobBody(r))
 	}

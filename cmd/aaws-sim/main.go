@@ -30,15 +30,22 @@ func main() {
 	randomVictim := flag.Bool("random-victim", false, "use random instead of occupancy-based victim selection")
 	nBig := flag.Int("nbig", 0, "custom big-core count (with -nlit; overrides -system)")
 	nLit := flag.Int("nlit", 0, "custom little-core count (with -nbig)")
+	elastic := flag.Bool("elastic", false, "elastic work-stealing: park steal-looping workers, wake on surplus")
+	topology := flag.String("topology", "", "N-way topology, fastest class first: COUNT[xSPEED/POWER],... (e.g. 1x4/3,2x2.5/1.8,4; overrides -system core mix)")
 	perWorker := flag.Bool("per-worker", false, "print per-worker statistics")
 	list := flag.Bool("list", false, "list kernels and exit")
 	flag.Parse()
 
 	if *list {
-		fmt.Printf("%-10s %-7s %-28s %-6s %5s %5s %6s\n",
+		fmt.Printf("%-12s %-7s %-28s %-6s %5s %5s %6s\n",
 			"name", "suite", "input", "pm", "alpha", "beta", "mpki")
 		for _, k := range kernels.All() {
-			fmt.Printf("%-10s %-7s %-28s %-6s %5.1f %5.1f %6.2f\n",
+			fmt.Printf("%-12s %-7s %-28s %-6s %5.1f %5.1f %6.2f\n",
+				k.Name, k.Suite, k.Input, k.PM, k.Alpha, k.Beta, k.MPKI)
+		}
+		fmt.Println("extensions (beyond Table III; excluded from default sweeps):")
+		for _, k := range kernels.Extensions() {
+			fmt.Printf("%-12s %-7s %-28s %-6s %5.1f %5.1f %6.2f\n",
 				k.Name, k.Suite, k.Input, k.PM, k.Alpha, k.Beta, k.MPKI)
 		}
 		return
@@ -64,6 +71,15 @@ func main() {
 		spec.Victim = wsrt.RandomVictim
 	}
 	spec.NBig, spec.NLit = *nBig, *nLit
+	spec.Elastic = *elastic
+	if *topology != "" {
+		topo, err := core.ParseTopology(*topology)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		spec.Topology = topo
+	}
 	if err := spec.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -83,6 +99,9 @@ func main() {
 	if *nBig > 0 {
 		sysName = fmt.Sprintf("%dB%dL", *nBig, *nLit)
 	}
+	if *topology != "" {
+		sysName = "topo " + core.FormatTopology(spec.Topology)
+	}
 	fmt.Printf("%s on %s under %s (seed %d, scale %.2f)\n", *kernel, sysName, v, *seed, *scale)
 	fmt.Printf("  result validated against serial reference: OK\n")
 	fmt.Printf("  execution time        %v\n", rep.ExecTime)
@@ -91,6 +110,9 @@ func main() {
 	fmt.Printf("  tasks                 %d spawned, %d executed\n", rep.TasksSpawned, rep.TasksExecuted)
 	fmt.Printf("  steals                %d ok, %d failed probes\n", rep.Steals, rep.FailedSteals)
 	fmt.Printf("  mugs                  %d ok, %d lost races (%d attempts)\n", rep.Mugs, rep.FailedMugs, rep.MugAttempts)
+	if *elastic {
+		fmt.Printf("  elastic               %d parks, %d wakes\n", rep.ElasticParks, rep.ElasticWakes)
+	}
 	fmt.Printf("  DVFS                  %d decisions, %d regulator transitions (%.2f per 10us)\n",
 		rep.DVFSDecisions, rep.DVFSTransitions,
 		float64(rep.DVFSTransitions)/(rep.ExecTime.Micros()/10))

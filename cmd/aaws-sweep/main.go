@@ -31,6 +31,8 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "input size multiplier")
 	seed := flag.Uint64("seed", 42, "seed")
 	list := flag.String("kernels", "", "comma-separated kernel subset (default all)")
+	elastic := flag.Bool("elastic", false, "elastic work-stealing for every cell")
+	topology := flag.String("topology", "", "N-way topology for every cell: COUNT[xSPEED/POWER],... (overrides the system core mix)")
 	csv := flag.Bool("csv", false, "CSV output")
 	useCache := flag.Bool("cache", false, "run cells through the jobs executor with a content-addressed result cache")
 	cacheDir := flag.String("cache-dir", "", "on-disk result store (implies -cache; reused across invocations)")
@@ -96,6 +98,15 @@ func main() {
 		opt.Scale = *scale
 		opt.Seed = *seed
 		opt.RunAll = runAll
+		opt.Elastic = *elastic
+		if *topology != "" {
+			topo, err := core.ParseTopology(*topology)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			opt.Topology = topo
+		}
 		if *list != "" {
 			opt.Kernels = strings.Split(*list, ",")
 		}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"aaws/internal/kernels"
 	"aaws/internal/model"
 )
 
@@ -36,11 +37,30 @@ type partitionKey struct {
 	interruptCycles   int     // resolved (0 means the default 20)
 	transitionNs      float64
 	memStall          bool
+	// topo is the resolved N-way topology signature; empty for legacy
+	// 2-class cells, including topologies that collapse onto the legacy
+	// machine (those share the legacy partition, and its environment, by
+	// design). Elastic mode is deliberately NOT part of the key: like the
+	// variant and seed it is a per-cell runtime knob applied by runCell.
+	topo string
 }
 
 // partitionKeyOf computes the signature of a validated spec.
 func partitionKeyOf(spec Spec) partitionKey {
 	nBig, nLit := spec.counts()
+	topoSig := ""
+	if len(spec.Topology) > 0 {
+		t, err := resolveTopology(spec.Topology, kernels.Get(spec.Kernel))
+		if err != nil {
+			panic(err) // unreachable: the batch validated every spec
+		}
+		if t.legacy {
+			nBig, nLit = t.nBig, t.nLit
+		} else {
+			nBig, nLit = 0, 0
+			topoSig = t.sig
+		}
+	}
 	return partitionKey{
 		kernel:          spec.Kernel,
 		nBig:            nBig,
@@ -51,6 +71,7 @@ func partitionKeyOf(spec Spec) partitionKey {
 		interruptCycles: spec.InterruptCycles,
 		transitionNs:    spec.TransitionNsPerStep,
 		memStall:        spec.MemStall,
+		topo:            topoSig,
 	}
 }
 

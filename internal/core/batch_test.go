@@ -76,13 +76,13 @@ func TestBatchOrderIndependence(t *testing.T) {
 	if testing.Short() {
 		specs = specs[:4*len(wsrt.Variants)]
 	}
-	want := make(map[Spec]uint64, len(specs))
+	want := make(map[string]uint64, len(specs))
 	for _, spec := range specs {
 		res, err := Run(spec)
 		if err != nil {
 			t.Fatalf("%s/%s: serial: %v", spec.Kernel, spec.Variant, err)
 		}
-		want[spec] = fingerprintResult(res)
+		want[specKey(spec)] = fingerprintResult(res)
 	}
 	rng := rand.New(rand.NewSource(1))
 	for trial := 0; trial < 3; trial++ {
@@ -95,7 +95,7 @@ func TestBatchOrderIndependence(t *testing.T) {
 			t.Fatalf("trial %d: RunBatch: %v", trial, err)
 		}
 		for i, res := range results {
-			if got := fingerprintResult(res); got != want[shuffled[i]] {
+			if got := fingerprintResult(res); got != want[specKey(shuffled[i])] {
 				t.Errorf("trial %d: result %d (%s/%s) not the serial result for its input position",
 					trial, i, shuffled[i].Kernel, shuffled[i].Variant)
 			}

@@ -97,6 +97,19 @@ type Spec struct {
 	// core mix — the model, LUT generation, runtime, and region tracking
 	// all generalize to arbitrary shapes.
 	NBig, NLit int
+	// Topology, when non-empty, replaces the 2-class core mix with an
+	// N-way class list (fastest first; see CoreClass for defaults and the
+	// legacy-collapse rule). Mutually exclusive with NBig/NLit, and — like
+	// every field added after the seed — omitted from the canonical spec
+	// encoding when unset, so existing spec hashes are unchanged.
+	Topology []CoreClass `json:",omitempty"`
+	// Elastic enables elastic work-stealing: waiting workers park on a
+	// simulated semaphore at rest power and are woken by deque surplus,
+	// instead of spinning (see wsrt.Config.Elastic).
+	Elastic bool `json:",omitempty"`
+	// ElasticWakeCycles overrides the park-to-running wake latency in
+	// nominal cycles (0 = the default 200; see wsrt.Config.ElasticWakeCycles).
+	ElasticWakeCycles float64 `json:",omitempty"`
 	// CacheModel switches steal/mug migration penalties from fixed
 	// constants to the Table I cache-hierarchy model driven by each
 	// task's working-set estimate (high-fidelity mode).
@@ -145,9 +158,28 @@ func (s Spec) Validate() error {
 	if !known {
 		return fmt.Errorf("core: unknown runtime variant %d", int(s.Variant))
 	}
-	if s.Faults != nil {
+	numCores := 0
+	if len(s.Topology) > 0 {
+		if s.NBig > 0 || s.NLit > 0 {
+			return fmt.Errorf("core: Topology and NBig/NLit are mutually exclusive")
+		}
+		if s.AdaptiveDVFS {
+			return fmt.Errorf("core: adaptive DVFS is not supported with an N-way topology")
+		}
+		if s.LUTAlpha > 0 || s.LUTBeta > 0 {
+			return fmt.Errorf("core: LUTAlpha/LUTBeta overrides are not supported with an N-way topology")
+		}
+		t, err := resolveTopology(s.Topology, kernels.Get(s.Kernel))
+		if err != nil {
+			return err
+		}
+		numCores = t.numCores()
+	} else {
 		nBig, nLit := s.counts()
-		if err := s.Faults.Validate(nBig + nLit); err != nil {
+		numCores = nBig + nLit
+	}
+	if s.Faults != nil {
+		if err := s.Faults.Validate(numCores); err != nil {
 			return err
 		}
 	}
@@ -227,12 +259,16 @@ func (r Result) SpeedupVsBig() float64 {
 	return r.SerialTimeBig() / r.Report.ExecTime.Seconds()
 }
 
-// lutKey identifies a DVFS lookup table by everything GenerateLUT depends
+// lutKey identifies a DVFS lookup table by everything generation depends
 // on. power.Params is a flat struct of float64s, so the key is comparable.
+// topo is empty for legacy 2-class tables; for N-way tables it is the
+// resolved topology signature (which pins every class's count, speed and
+// power) and the params/nBig/nLit fields stay zero.
 type lutKey struct {
 	params     power.Params
 	nBig, nLit int
 	mode       model.Mode
+	topo       string
 }
 
 // lutNode is one entry in the LRU list (most recently used at head).
@@ -349,15 +385,37 @@ type cellEnv struct {
 	lut        *model.LUT
 	eng        *sim.Engine
 	tracker    *stats.Tracker
+	// topo is non-nil on the N-way path: a topology that did not collapse
+	// onto the legacy 2-class machine.
+	topo *topology
 }
 
 // newCellEnv resolves the environment for a validated spec: power params
 // from the kernel's Table III alpha/beta, the (cached) lookup table, a
 // warm engine from the retention cache, and a fresh tracker sized for the
-// core mix.
+// core mix. An N-way topology that collapses onto the kernel's big.LITTLE
+// pair resolves to exactly the legacy environment.
 func newCellEnv(spec Spec) cellEnv {
 	k := kernels.Get(spec.Kernel)
 	nBig, nLit := spec.counts()
+	if len(spec.Topology) > 0 {
+		t, err := resolveTopology(spec.Topology, k)
+		if err != nil {
+			// Unreachable after Validate; fail loudly rather than run a
+			// machine the spec did not describe.
+			panic(err)
+		}
+		if !t.legacy {
+			return cellEnv{
+				k: k, p: power.DefaultParams().WithAlphaBeta(k.Alpha, k.Beta),
+				lut:     cachedNWayLUT(t, spec.Variant.LUTMode()),
+				eng:     engines.get(),
+				tracker: stats.NewTracker(t.trackerClasses()),
+				topo:    &t,
+			}
+		}
+		nBig, nLit = t.nBig, t.nLit
+	}
 	p := power.DefaultParams().WithAlphaBeta(k.Alpha, k.Beta)
 	lutParams := p
 	if spec.LUTAlpha > 0 && spec.LUTBeta > 0 {
@@ -404,6 +462,12 @@ func runCell(ctx context.Context, spec Spec, env *cellEnv) (_ Result, reuse bool
 		BigCores: env.nBig, LittleCores: env.nLit, Params: p, LUT: env.lut, InterruptCycles: 20,
 		TransitionNsPerStep: spec.TransitionNsPerStep,
 	}
+	numCores := env.nBig + env.nLit
+	if env.topo != nil {
+		mcfg.BigCores, mcfg.LittleCores = 0, 0
+		mcfg.Classes = env.topo.machineClasses()
+		numCores = env.topo.numCores()
+	}
 	if spec.InterruptCycles > 0 {
 		mcfg.InterruptCycles = spec.InterruptCycles
 	}
@@ -420,7 +484,7 @@ func runCell(ctx context.Context, spec Spec, env *cellEnv) (_ Result, reuse bool
 	var rec *trace.Recorder
 	var st *obs.Trace
 	if spec.WithTrace {
-		rec = trace.NewRecorder(env.nBig + env.nLit)
+		rec = trace.NewRecorder(numCores)
 		st = obs.NewTrace(0)
 	}
 	if rec != nil {
@@ -446,6 +510,8 @@ func runCell(ctx context.Context, spec Spec, env *cellEnv) (_ Result, reuse bool
 	rcfg.Victim = spec.Victim
 	rcfg.CacheMigration = spec.CacheModel
 	rcfg.Sched = spec.Sched
+	rcfg.Elastic = spec.Elastic
+	rcfg.ElasticWakeCycles = spec.ElasticWakeCycles
 	if spec.DisableBiasing {
 		rcfg.Biasing = false
 	}
@@ -469,6 +535,10 @@ func runCell(ctx context.Context, spec Spec, env *cellEnv) (_ Result, reuse bool
 		if err := inj.Attach(m); err != nil {
 			return Result{}, true, err
 		}
+		// A fault scheduled after the program completes must not fire: the
+		// post-run event drain would otherwise flip idle-core states behind
+		// the region tracker's back (its clock follows ExecTime).
+		inj.SetAlive(rt.Running)
 	}
 	w := k.New(spec.Seed, spec.Scale)
 	rep, err := executeChecked(rt, w.Run, spec)

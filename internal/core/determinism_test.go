@@ -35,7 +35,7 @@ func TestPooledEngineDeterminism(t *testing.T) {
 		systems = systems[:1]
 	}
 	// Warm the engine pool so the second pass runs on reused engines.
-	first := make(map[Spec]uint64)
+	first := make(map[string]uint64)
 	var specs []Spec
 	for _, sys := range systems {
 		for _, kn := range names {
@@ -51,16 +51,20 @@ func TestPooledEngineDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s/%s/%s: %v", spec.Kernel, spec.Variant, spec.System, err)
 		}
-		first[spec] = fingerprintResult(res)
+		first[specKey(spec)] = fingerprintResult(res)
 	}
 	for _, spec := range specs {
 		res, err := Run(spec)
 		if err != nil {
 			t.Fatalf("%s/%s/%s rerun: %v", spec.Kernel, spec.Variant, spec.System, err)
 		}
-		if got := fingerprintResult(res); got != first[spec] {
+		if got := fingerprintResult(res); got != first[specKey(spec)] {
 			t.Errorf("%s/%s/%s: schedule diverged across pooled reruns: %x != %x",
-				spec.Kernel, spec.Variant, spec.System, got, first[spec])
+				spec.Kernel, spec.Variant, spec.System, got, first[specKey(spec)])
 		}
 	}
 }
+
+// specKey is a comparable stand-in for Spec as a map key: Spec itself
+// stopped being comparable when the Topology slice field was added.
+func specKey(s Spec) string { return fmt.Sprintf("%+v", s) }

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"aaws/internal/fault"
+	"aaws/internal/wsrt"
+)
+
+// elasticTopologies are the machine shapes the elastic property tests
+// cycle through: the legacy 2-class systems plus N-way topologies that
+// exercise the generalized machine, including a middle class and a
+// single-core fastest class.
+var elasticTopologies = []struct {
+	name string
+	sys  System
+	topo []CoreClass
+}{
+	{name: "4B4L", sys: Sys4B4L},
+	{name: "1B7L", sys: Sys1B7L},
+	// N-way shapes keep 8 cores (fault schedules address cores 0-7) and
+	// explicit class-0 speeds (a kernel-default beta can undercut a middle
+	// class, which the fastest-first ordering check rejects).
+	{name: "3way", sys: Sys4B4L, topo: []CoreClass{{Count: 1, Speed: 4, Power: 3}, {Count: 3, Speed: 2, Power: 1.8}, {Count: 4}}},
+	{name: "4way", sys: Sys4B4L, topo: []CoreClass{{Count: 1, Speed: 4, Power: 3}, {Count: 2, Speed: 2.4, Power: 2.2}, {Count: 2, Speed: 1.6, Power: 1.5}, {Count: 3}}},
+}
+
+// TestElasticExactlyOnceUnderFaults is the elastic-scheduling safety
+// property: with workers parking and waking — composed with fail-stop
+// faults, message loss and regulator faults, on legacy and N-way machines —
+// every task still executes exactly once (Verify checks the kernel result
+// against its serial reference and the created == executed invariant).
+func TestElasticExactlyOnceUnderFaults(t *testing.T) {
+	variants := []wsrt.Variant{wsrt.Base, wsrt.BasePS, wsrt.BasePSM, wsrt.BaseM}
+	kernelNames := []string{"cilksort", "lock-qbig", "loop-dynamic"}
+	i := 0
+	prop := func(cfg fault.Config) bool {
+		v := variants[i%len(variants)]
+		top := elasticTopologies[i%len(elasticTopologies)]
+		kernel := kernelNames[i%len(kernelNames)]
+		i++
+		spec := DefaultSpec(kernel, top.sys, v)
+		spec.Scale = 0.5
+		spec.Elastic = true
+		spec.Topology = top.topo
+		spec.Faults = &cfg
+		res, err := Run(spec)
+		if err != nil {
+			t.Logf("%s/%s/%v faults %+v: run failed: %v", kernel, top.name, v, cfg, err)
+			return false
+		}
+		if err := res.Verify(); err != nil {
+			t.Logf("%s/%s/%v faults %+v: verify failed: %v", kernel, top.name, v, cfg, err)
+			return false
+		}
+		return true
+	}
+	qc := &quick.Config{
+		MaxCount: 24,
+		Rand:     rand.New(rand.NewSource(424242)),
+		Values: func(v []reflect.Value, rng *rand.Rand) {
+			v[0] = reflect.ValueOf(randFaults(rng))
+		},
+	}
+	if err := quick.Check(prop, qc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestElasticDeterminism: elastic runs replay bit-identically — parking and
+// waking are simulated events like any other, so the same spec produces the
+// same schedule, park counts, and energy.
+func TestElasticDeterminism(t *testing.T) {
+	for _, top := range elasticTopologies {
+		spec := DefaultSpec("loop-static", top.sys, wsrt.Base)
+		spec.Scale = 0.5
+		spec.Elastic = true
+		spec.Topology = top.topo
+		fp := func() string {
+			res, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Verify(); err != nil {
+				t.Fatal(err)
+			}
+			return fmt.Sprintf("%+v|%+v|%g", res.Report, res.Regions, res.SerialInstr)
+		}
+		if a, b := fp(), fp(); a != b {
+			t.Errorf("%s: same elastic spec produced different results", top.name)
+		}
+	}
+}
+
+// TestElasticOffBitIdentity: Elastic=false runs through exactly the legacy
+// code path — a spec with the flag off fingerprints identically to the same
+// spec before the flag existed (here: to a second run, plus the stats
+// fields stay zero so canonical result bytes cannot change).
+func TestElasticOffBitIdentity(t *testing.T) {
+	for _, v := range wsrt.Variants {
+		spec := DefaultSpec("cilksort", Sys4B4L, v)
+		spec.Scale = 0.5
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Report.ElasticParks != 0 || res.Report.ElasticWakes != 0 {
+			t.Errorf("%v: elastic counters nonzero with Elastic=false: %d parks %d wakes",
+				v, res.Report.ElasticParks, res.Report.ElasticWakes)
+		}
+	}
+}
+
+// TestElasticParksOnImbalance: the static loop's tail chunk starves most
+// workers; with elastic on they must actually park, and parking must not
+// cost execution time relative to spinning.
+func TestElasticParksOnImbalance(t *testing.T) {
+	spin := DefaultSpec("loop-static", Sys4B4L, wsrt.Base)
+	spin.Scale = 0.5
+	el := spin
+	el.Elastic = true
+	rs, err := Run(spin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Run(el)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Report.ElasticParks == 0 {
+		t.Fatal("elastic run of loop-static parked nothing")
+	}
+	if re.Report.TotalEnergy >= rs.Report.TotalEnergy {
+		t.Errorf("elastic energy %g >= spinning energy %g on an imbalanced loop",
+			re.Report.TotalEnergy, rs.Report.TotalEnergy)
+	}
+	slack := 1.10
+	if float64(re.Report.ExecTime) > float64(rs.Report.ExecTime)*slack {
+		t.Errorf("elastic time %v more than 10%% over spinning time %v",
+			re.Report.ExecTime, rs.Report.ExecTime)
+	}
+}
+
+// TestEngineCacheJanitorRace drives the warm-engine janitor (decay timer)
+// against concurrent RunBatch calls with mixed topology signatures. Run
+// under -race this proves the cache's ttl/now state and idle list are
+// properly guarded while partitioned batches check engines in and out.
+func TestEngineCacheJanitorRace(t *testing.T) {
+	engines.mu.Lock()
+	oldTTL := engines.ttl
+	engines.ttl = time.Millisecond
+	engines.mu.Unlock()
+	defer func() {
+		engines.mu.Lock()
+		engines.ttl = oldTTL
+		engines.mu.Unlock()
+	}()
+
+	topos := [][]CoreClass{
+		nil,
+		{{Count: 2}, {Count: 2}},
+		{{Count: 1, Speed: 4, Power: 3}, {Count: 1, Speed: 1.5, Power: 1.8}, {Count: 2}},
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 3; iter++ {
+				spec := DefaultSpec("cilksort", Sys4B4L, wsrt.Base)
+				spec.Scale = 0.2
+				spec.Topology = topos[(g+iter)%len(topos)]
+				if _, err := RunBatch([]Spec{spec, spec}); err != nil {
+					t.Error(err)
+					return
+				}
+				// Let the 1 ms janitor interleave with the next batch.
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestElasticWakeLatencyScalesWithCycles: the park/wake handshake charges
+// the configured wake cycles as simulated time, so a pathological wake
+// latency must slow the run down (sanity that the knob is actually wired).
+func TestElasticWakeLatencyScalesWithCycles(t *testing.T) {
+	fast := DefaultSpec("loop-dynamic", Sys4B4L, wsrt.Base)
+	fast.Scale = 0.5
+	fast.Elastic = true
+	slow := fast
+	slow.ElasticWakeCycles = 200_000
+	rf, err := Run(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Report.ElasticWakes > 0 && rs.Report.ExecTime <= rf.Report.ExecTime {
+		t.Errorf("1000x wake latency did not slow the run: %v vs %v (%d wakes)",
+			rs.Report.ExecTime, rf.Report.ExecTime, rs.Report.ElasticWakes)
+	}
+}

@@ -77,6 +77,12 @@ type SweepOptions struct {
 	Seed     uint64
 	Scale    float64
 	Check    bool
+	// Elastic turns on elastic work-stealing (semaphore-style parking of
+	// steal-looping workers) for every cell in the sweep.
+	Elastic bool
+	// Topology, when non-nil, replaces System's 2-class core mix with an
+	// N-way class list for every cell (System still labels the rows).
+	Topology []CoreClass
 	// RunAll executes the whole cell matrix and returns results in input
 	// order (nil = RunBatch, the partitioned batch path). The jobs executor
 	// plugs in here so sweeps run through the shared worker pool and result
@@ -117,6 +123,7 @@ func Sweep(opt SweepOptions) ([]Figure8Row, error) {
 			specs = append(specs, Spec{
 				Kernel: name, System: opt.System, Variant: v,
 				Seed: opt.Seed, Scale: opt.Scale, Check: opt.Check,
+				Elastic: opt.Elastic, Topology: opt.Topology,
 			})
 		}
 	}

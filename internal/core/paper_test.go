@@ -1,9 +1,13 @@
 package core
 
 import (
+	"encoding/json"
+	"os"
 	"sync"
 	"testing"
 
+	"aaws/internal/kernels"
+	"aaws/internal/sim"
 	"aaws/internal/wsrt"
 )
 
@@ -181,5 +185,228 @@ func TestTable3SystemOrdering(t *testing.T) {
 			t.Errorf("%s: non-positive speedup (%.3f, %.3f)",
 				r.Kernel.Name, r.Speedup4B4LvsIO, r.Speedup1B7LvsIO)
 		}
+	}
+}
+
+// ---- elastic-scheduling and extension-kernel conformance bands ----
+//
+// The bands live in examples/conformance/elastic_bands.json so the numbers
+// are reviewable artifacts, not constants buried in test code. They pin the
+// elastic headline (parking saves energy without costing time), the lock
+// family's asymmetry-aware ordering, the loop-scheduling ordering, and an
+// N-way topology sanity row.
+
+type elasticBands struct {
+	Seed    uint64  `json:"seed"`
+	Scale   float64 `json:"scale"`
+	Elastic []struct {
+		Variant         string  `json:"variant"`
+		MaxTimeRatio    float64 `json:"max_time_ratio"`
+		MaxEnergyRatio  float64 `json:"max_energy_ratio"`
+		MinEnergyBetter int     `json:"min_energy_better"`
+		AllKernelsPark  bool    `json:"all_kernels_park"`
+	} `json:"elastic"`
+	Locks struct {
+		Variants         []string   `json:"variants"`
+		TasOverQueueMin  float64    `json:"tas_over_queue_min"`
+		QueueOverQbigMin float64    `json:"queue_over_qbig_min"`
+		TasTimeUs        [2]float64 `json:"tas_time_us"`
+	} `json:"locks"`
+	Loops struct {
+		DynamicOverStaticMax float64    `json:"dynamic_over_static_max"`
+		GuidedOverStaticMax  float64    `json:"guided_over_static_max"`
+		StaticTimeUs         [2]float64 `json:"static_time_us"`
+	} `json:"loops"`
+	FourWay struct {
+		Topology              string     `json:"topology"`
+		Kernel                string     `json:"kernel"`
+		TimeMs                [2]float64 `json:"time_ms"`
+		ElasticMaxTimeRatio   float64    `json:"elastic_max_time_ratio"`
+		ElasticMaxEnergyRatio float64    `json:"elastic_max_energy_ratio"`
+	} `json:"fourway"`
+}
+
+func loadElasticBands(t *testing.T) elasticBands {
+	t.Helper()
+	blob, err := os.ReadFile("../../examples/conformance/elastic_bands.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b elasticBands
+	if err := json.Unmarshal(blob, &b); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestElasticConformanceBands pins the elastic-vs-spin comparison across the
+// full default kernel set: under base (spin-waiting thieves), parking must
+// cut energy on nearly every kernel without a meaningful time cost; under
+// base+psm (sprinting already rests idle cores) it must compose benignly.
+func TestElasticConformanceBands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix elastic comparison skipped in -short mode")
+	}
+	bands := loadElasticBands(t)
+	for _, eb := range bands.Elastic {
+		v, ok := wsrt.ParseVariant(eb.Variant)
+		if !ok {
+			t.Fatalf("bad variant %q in bands file", eb.Variant)
+		}
+		energyBetter, total := 0, 0
+		for _, kname := range kernels.Names() {
+			spin := DefaultSpec(kname, Sys4B4L, v)
+			spin.Seed, spin.Scale = bands.Seed, bands.Scale
+			el := spin
+			el.Elastic = true
+			rs, err := Run(spin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			re, err := Run(el)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total++
+			tr := float64(re.Report.ExecTime) / float64(rs.Report.ExecTime)
+			er := re.Report.TotalEnergy / rs.Report.TotalEnergy
+			if er < 1 {
+				energyBetter++
+			}
+			if tr > eb.MaxTimeRatio {
+				t.Errorf("%s/%s: elastic time ratio %.4f > %.4f", eb.Variant, kname, tr, eb.MaxTimeRatio)
+			}
+			if er > eb.MaxEnergyRatio {
+				t.Errorf("%s/%s: elastic energy ratio %.4f > %.4f", eb.Variant, kname, er, eb.MaxEnergyRatio)
+			}
+			if eb.AllKernelsPark && re.Report.ElasticParks == 0 {
+				t.Errorf("%s/%s: no worker ever parked", eb.Variant, kname)
+			}
+		}
+		t.Logf("%s: %d/%d kernels use less energy with elastic stealing", eb.Variant, energyBetter, total)
+		if energyBetter < eb.MinEnergyBetter {
+			t.Errorf("%s: only %d/%d kernels improved energy (band floor %d)",
+				eb.Variant, energyBetter, total, eb.MinEnergyBetter)
+		}
+	}
+}
+
+// TestLockKernelOrdering pins the lock family's story: the asymmetry-aware
+// queue lock (big-core fast path) beats the fair queue lock, which beats
+// test-and-set, on both the base and full runtimes.
+func TestLockKernelOrdering(t *testing.T) {
+	bands := loadElasticBands(t)
+	for _, vname := range bands.Locks.Variants {
+		v, ok := wsrt.ParseVariant(vname)
+		if !ok {
+			t.Fatalf("bad variant %q in bands file", vname)
+		}
+		times := map[string]float64{}
+		for _, kname := range []string{"lock-tas", "lock-queue", "lock-qbig"} {
+			spec := DefaultSpec(kname, Sys4B4L, v)
+			spec.Seed, spec.Scale = bands.Seed, bands.Scale
+			spec.Check = true
+			res, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Verify(); err != nil {
+				t.Fatalf("%s/%s: %v", vname, kname, err)
+			}
+			times[kname] = float64(res.Report.ExecTime)
+		}
+		t.Logf("%s: tas %.1fus queue %.1fus qbig %.1fus", vname,
+			times["lock-tas"]/float64(sim.Microsecond),
+			times["lock-queue"]/float64(sim.Microsecond),
+			times["lock-qbig"]/float64(sim.Microsecond))
+		if r := times["lock-tas"] / times["lock-queue"]; r < bands.Locks.TasOverQueueMin {
+			t.Errorf("%s: tas/queue time ratio %.3f below band floor %.3f", vname, r, bands.Locks.TasOverQueueMin)
+		}
+		if r := times["lock-queue"] / times["lock-qbig"]; r < bands.Locks.QueueOverQbigMin {
+			t.Errorf("%s: queue/qbig time ratio %.3f below band floor %.3f", vname, r, bands.Locks.QueueOverQbigMin)
+		}
+		tasUs := times["lock-tas"] / float64(sim.Microsecond)
+		if vname == "base" && (tasUs < bands.Locks.TasTimeUs[0] || tasUs > bands.Locks.TasTimeUs[1]) {
+			t.Errorf("base lock-tas time %.1fus outside [%.0f, %.0f]us", tasUs, bands.Locks.TasTimeUs[0], bands.Locks.TasTimeUs[1])
+		}
+	}
+}
+
+// TestLoopSchedulingOrdering pins the loop-scheduling family: on the
+// triangular workload, dynamic and guided self-scheduling must clearly beat
+// a static partition on an asymmetric machine (the fast cores absorb the
+// expensive tail chunks).
+func TestLoopSchedulingOrdering(t *testing.T) {
+	bands := loadElasticBands(t)
+	times := map[string]float64{}
+	for _, kname := range []string{"loop-static", "loop-dynamic", "loop-guided"} {
+		spec := DefaultSpec(kname, Sys4B4L, wsrt.Base)
+		spec.Seed, spec.Scale = bands.Seed, bands.Scale
+		spec.Check = true
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Verify(); err != nil {
+			t.Fatalf("%s: %v", kname, err)
+		}
+		times[kname] = float64(res.Report.ExecTime)
+	}
+	t.Logf("static %.1fus dynamic %.1fus guided %.1fus",
+		times["loop-static"]/float64(sim.Microsecond),
+		times["loop-dynamic"]/float64(sim.Microsecond),
+		times["loop-guided"]/float64(sim.Microsecond))
+	if r := times["loop-dynamic"] / times["loop-static"]; r > bands.Loops.DynamicOverStaticMax {
+		t.Errorf("dynamic/static time ratio %.3f above band ceiling %.3f", r, bands.Loops.DynamicOverStaticMax)
+	}
+	if r := times["loop-guided"] / times["loop-static"]; r > bands.Loops.GuidedOverStaticMax {
+		t.Errorf("guided/static time ratio %.3f above band ceiling %.3f", r, bands.Loops.GuidedOverStaticMax)
+	}
+	staticUs := times["loop-static"] / float64(sim.Microsecond)
+	if staticUs < bands.Loops.StaticTimeUs[0] || staticUs > bands.Loops.StaticTimeUs[1] {
+		t.Errorf("loop-static time %.1fus outside [%.0f, %.0f]us", staticUs, bands.Loops.StaticTimeUs[0], bands.Loops.StaticTimeUs[1])
+	}
+}
+
+// TestFourWayTopologySanity pins one N-way row: a 4-class machine runs the
+// reference kernel inside its absolute time band, its result verifies, and
+// elastic stealing still lands in the win-win quadrant there.
+func TestFourWayTopologySanity(t *testing.T) {
+	bands := loadElasticBands(t)
+	topo, err := ParseTopology(bands.FourWay.Topology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := DefaultSpec(bands.FourWay.Kernel, Sys4B4L, wsrt.Base)
+	spec.Seed, spec.Scale = bands.Seed, bands.Scale
+	spec.Check = true
+	spec.Topology = topo
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	ms := float64(res.Report.ExecTime) / float64(sim.Millisecond)
+	t.Logf("4-way %s: %.3fms, energy %.4g", bands.FourWay.Kernel, ms, res.Report.TotalEnergy)
+	if ms < bands.FourWay.TimeMs[0] || ms > bands.FourWay.TimeMs[1] {
+		t.Errorf("4-way %s time %.3fms outside [%.2f, %.2f]ms",
+			bands.FourWay.Kernel, ms, bands.FourWay.TimeMs[0], bands.FourWay.TimeMs[1])
+	}
+	el := spec
+	el.Elastic = true
+	re, err := Run(el)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Report.ElasticParks == 0 {
+		t.Error("4-way elastic run never parked")
+	}
+	if r := float64(re.Report.ExecTime) / float64(res.Report.ExecTime); r > bands.FourWay.ElasticMaxTimeRatio {
+		t.Errorf("4-way elastic time ratio %.4f > %.4f", r, bands.FourWay.ElasticMaxTimeRatio)
+	}
+	if r := re.Report.TotalEnergy / res.Report.TotalEnergy; r > bands.FourWay.ElasticMaxEnergyRatio {
+		t.Errorf("4-way elastic energy ratio %.4f > %.4f", r, bands.FourWay.ElasticMaxEnergyRatio)
 	}
 }

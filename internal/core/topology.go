@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"aaws/internal/kernels"
+	"aaws/internal/machine"
+	"aaws/internal/model"
+	"aaws/internal/power"
+)
+
+// CoreClass is one class of an N-way heterogeneous topology, ordered
+// fastest first (class 0 hosts logical thread 0). Speed is the class's IPC
+// as a multiple of the paper's baseline little core (the role beta plays
+// for big cores); Power is its dynamic-power coefficient (alpha's role).
+// Zero values resolve to defaults: class 0 inherits the kernel's Table III
+// beta/alpha, the last class is the baseline little core (1/1), and
+// intermediate classes must be explicit. A 2-entry topology resolving to
+// exactly (beta, alpha)/(1, 1) collapses onto the legacy big.LITTLE path
+// and reproduces its results bit for bit.
+//
+// Every field carries omitempty so specs without a topology serialize to
+// the same canonical bytes — and therefore the same content hashes — as
+// before the field existed.
+type CoreClass struct {
+	Name  string  `json:",omitempty"`
+	Count int     `json:",omitempty"`
+	Speed float64 `json:",omitempty"`
+	Power float64 `json:",omitempty"`
+}
+
+// Topology shape limits: enough room for any plausible asymmetric SoC
+// while keeping LUT sizes (product of counts+1) and validation bounded.
+const (
+	maxTopologyClasses = 8
+	maxTopologyCores   = 64
+)
+
+// topology is a spec topology resolved against a kernel: defaults applied,
+// legacy collapse decided, per-class power parameters and the canonical
+// signature (the partition/LUT cache key component) computed.
+type topology struct {
+	legacy     bool
+	nBig, nLit int // legacy core mix (legacy == true)
+
+	counts []int
+	params []power.Params // per-class, class encoded as power.Big
+	sig    string
+}
+
+// resolveTopology applies defaults and validates spec.Topology against
+// kernel k. It must only be called with len(spec.Topology) > 0.
+func resolveTopology(topo []CoreClass, k *kernels.Kernel) (topology, error) {
+	if len(topo) > maxTopologyClasses {
+		return topology{}, fmt.Errorf("core: topology has %d classes (max %d)", len(topo), maxTopologyClasses)
+	}
+	var t topology
+	total := 0
+	speeds := make([]float64, len(topo))
+	powers := make([]float64, len(topo))
+	for i, cl := range topo {
+		if cl.Count < 1 {
+			return topology{}, fmt.Errorf("core: topology class %d has count %d (need >= 1)", i, cl.Count)
+		}
+		total += cl.Count
+		s, p := cl.Speed, cl.Power
+		switch {
+		case i == 0:
+			if s == 0 {
+				s = k.Beta
+			}
+			if p == 0 {
+				p = k.Alpha
+			}
+		case i == len(topo)-1:
+			if s == 0 {
+				s = 1
+			}
+			if p == 0 {
+				p = 1
+			}
+		default:
+			if s == 0 || p == 0 {
+				return topology{}, fmt.Errorf("core: topology class %d needs explicit speed and power (only the first and last class have defaults)", i)
+			}
+		}
+		if s < 0 || p < 0 || math.IsInf(s, 0) || math.IsInf(p, 0) || math.IsNaN(s) || math.IsNaN(p) {
+			return topology{}, fmt.Errorf("core: topology class %d has invalid speed/power %g/%g", i, cl.Speed, cl.Power)
+		}
+		speeds[i], powers[i] = s, p
+	}
+	if total > maxTopologyCores {
+		return topology{}, fmt.Errorf("core: topology has %d cores (max %d)", total, maxTopologyCores)
+	}
+	for i := 1; i < len(speeds); i++ {
+		if speeds[i] > speeds[i-1] {
+			return topology{}, fmt.Errorf("core: topology classes must be ordered fastest first (class %d speed %g > class %d speed %g)",
+				i, speeds[i], i-1, speeds[i-1])
+		}
+	}
+
+	// A 2-entry topology resolving to exactly the kernel's big.LITTLE pair
+	// takes the legacy path wholesale: same machine, same LUT, same
+	// partition — bit-identical results by construction.
+	if len(topo) == 2 && speeds[0] == k.Beta && powers[0] == k.Alpha && speeds[1] == 1 && powers[1] == 1 {
+		t.legacy = true
+		t.nBig, t.nLit = topo[0].Count, topo[1].Count
+		return t, nil
+	}
+
+	t.counts = make([]int, len(topo))
+	t.params = make([]power.Params, len(topo))
+	var sig strings.Builder
+	for i := range topo {
+		t.counts[i] = topo[i].Count
+		// Each class becomes the power.Big side of its own parameter set:
+		// IPC(Big) = speed, Alpha = power, and the leakage current derives
+		// from the class's own nominal dynamic power (the same lambda rule
+		// the paper applies to its big core).
+		t.params[i] = power.DefaultParams().WithAlphaBeta(powers[i], speeds[i])
+		if i > 0 {
+			sig.WriteByte(',')
+		}
+		sig.WriteString(strconv.Itoa(topo[i].Count))
+		sig.WriteByte('x')
+		sig.WriteString(strconv.FormatFloat(speeds[i], 'g', -1, 64))
+		sig.WriteByte('/')
+		sig.WriteString(strconv.FormatFloat(powers[i], 'g', -1, 64))
+	}
+	t.sig = sig.String()
+	return t, nil
+}
+
+// numCores returns the topology's total core count.
+func (t topology) numCores() int {
+	if t.legacy {
+		return t.nBig + t.nLit
+	}
+	n := 0
+	for _, c := range t.counts {
+		n += c
+	}
+	return n
+}
+
+// machineClasses projects the topology onto machine.ClassConfig.
+func (t topology) machineClasses() []machine.ClassConfig {
+	out := make([]machine.ClassConfig, len(t.counts))
+	for i := range t.counts {
+		out[i] = machine.ClassConfig{Count: t.counts[i], Params: t.params[i]}
+	}
+	return out
+}
+
+// modelClasses projects the topology onto the N-way optimizer's config.
+func (t topology) modelClasses() model.NConfig {
+	cls := make([]model.NClass, len(t.counts))
+	for i := range t.counts {
+		cls[i] = model.NClass{Count: t.counts[i], Params: t.params[i]}
+	}
+	return model.NConfig{Classes: cls}
+}
+
+// trackerClasses maps ranks onto the 2-class region tracker: the fastest
+// class plays "big", everything else "little".
+func (t topology) trackerClasses() []power.CoreClass {
+	cls := make([]power.CoreClass, 0, t.numCores())
+	for rank, count := range t.counts {
+		class := power.Little
+		if rank == 0 {
+			class = power.Big
+		}
+		for i := 0; i < count; i++ {
+			cls = append(cls, class)
+		}
+	}
+	return cls
+}
+
+// ParseTopology parses the CLI form of a topology: comma-separated classes
+// "COUNT[xSPEED/POWER]", fastest first, e.g. "1x4/3,2x2.5/1.8,4" (a bare
+// COUNT leaves speed/power to the positional defaults). It returns the
+// unresolved class list; kernel-dependent defaults apply at run time.
+func ParseTopology(s string) ([]CoreClass, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("core: empty topology")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]CoreClass, 0, len(parts))
+	for i, part := range parts {
+		part = strings.TrimSpace(part)
+		countStr, rest, hasSpec := strings.Cut(part, "x")
+		count, err := strconv.Atoi(strings.TrimSpace(countStr))
+		if err != nil {
+			return nil, fmt.Errorf("core: topology class %d: bad count %q", i, countStr)
+		}
+		cl := CoreClass{Count: count}
+		if hasSpec {
+			speedStr, powerStr, hasPower := strings.Cut(rest, "/")
+			cl.Speed, err = strconv.ParseFloat(strings.TrimSpace(speedStr), 64)
+			if err != nil {
+				return nil, fmt.Errorf("core: topology class %d: bad speed %q", i, speedStr)
+			}
+			if hasPower {
+				cl.Power, err = strconv.ParseFloat(strings.TrimSpace(powerStr), 64)
+				if err != nil {
+					return nil, fmt.Errorf("core: topology class %d: bad power %q", i, powerStr)
+				}
+			}
+		}
+		out = append(out, cl)
+	}
+	return out, nil
+}
+
+// FormatTopology renders a class list back to the CLI form parsed by
+// ParseTopology (zero speed/power prints as a bare count).
+func FormatTopology(topo []CoreClass) string {
+	var b strings.Builder
+	for i, cl := range topo {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(cl.Count))
+		if cl.Speed != 0 || cl.Power != 0 {
+			b.WriteByte('x')
+			b.WriteString(strconv.FormatFloat(cl.Speed, 'g', -1, 64))
+			b.WriteByte('/')
+			b.WriteString(strconv.FormatFloat(cl.Power, 'g', -1, 64))
+		}
+	}
+	return b.String()
+}
+
+// cachedNWayLUT memoizes N-way lookup tables in the same LRU as the legacy
+// tables, keyed by the resolved topology signature (which pins every
+// parameter generation depends on) and the mode.
+func cachedNWayLUT(t topology, mode model.Mode) *model.LUT {
+	key := lutKey{topo: t.sig, mode: mode}
+	c := &lutCache
+	c.Lock()
+	if n, ok := c.m[key]; ok {
+		lutMoveToFront(n)
+		c.Unlock()
+		return n.lut
+	}
+	c.Unlock()
+	lut := model.GenerateNWayLUT(t.modelClasses(), mode)
+	c.Lock()
+	defer c.Unlock()
+	if n, ok := c.m[key]; ok {
+		lutMoveToFront(n)
+		return n.lut
+	}
+	n := &lutNode{key: key, lut: lut}
+	c.m[key] = n
+	lutMoveToFront(n)
+	if len(c.m) > c.max {
+		victim := c.tail
+		c.tail = victim.prev
+		if c.tail != nil {
+			c.tail.next = nil
+		} else {
+			c.head = nil
+		}
+		delete(c.m, victim.key)
+	}
+	return lut
+}

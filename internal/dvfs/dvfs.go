@@ -27,6 +27,12 @@ type Controller struct {
 	serial  bool   // serial-region bit
 	serCore int    // core executing the serial region
 
+	// ranks maps core id to its class rank when the LUT carries an N-way
+	// table (nil on legacy 2-class machines); actBuf is the reusable
+	// per-class activity vector for N-way lookups.
+	ranks  []int
+	actBuf []int
+
 	inFlight    int  // regulators still settling from the current decision
 	pendingEval bool // an activity change arrived during a transition
 
@@ -96,6 +102,14 @@ func New(eng *sim.Engine, lut *model.LUT, classes []power.CoreClass, regs []*vr.
 
 // LUT returns the controller's lookup table.
 func (c *Controller) LUT() *model.LUT { return c.lut }
+
+// ConfigureNWay switches the controller onto the LUT's N-way table:
+// ranks[i] is core i's class rank, indexing the per-class voltage vectors.
+// Must be called before the first decision on an N-way machine.
+func (c *Controller) ConfigureNWay(ranks []int) {
+	c.ranks = ranks
+	c.actBuf = make([]int, len(c.lut.NWay.Counts))
+}
 
 // ActivityBit returns core id's activity bit as last toggled by a hint.
 func (c *Controller) ActivityBit(id int) bool { return c.active[id] }
@@ -192,6 +206,10 @@ func (c *Controller) evaluate() {
 		return
 	}
 	c.decisions++
+	if c.lut.NWay != nil && c.ranks != nil {
+		c.evaluateNWay()
+		return
+	}
 	nBA, nLA := c.counts()
 	if c.OnDecision != nil {
 		c.OnDecision(nBA, nLA)
@@ -212,6 +230,57 @@ func (c *Controller) evaluate() {
 			c.command(i, t)
 		}
 	}
+}
+
+// evaluateNWay is the N-way decision body: the activity bits roll up into
+// a per-class activity vector, the NWay table supplies per-class voltages,
+// and each core is commanded by its rank. Serial-sprinting and rest
+// semantics match the legacy path. The online tuner is legacy-only
+// (core.Validate rejects adaptive DVFS on N-way topologies).
+func (c *Controller) evaluateNWay() {
+	for k := range c.actBuf {
+		c.actBuf[k] = 0
+	}
+	total := 0
+	for i, a := range c.active {
+		if a {
+			c.actBuf[c.ranks[i]]++
+			total++
+		}
+	}
+	if c.OnDecision != nil {
+		// The legacy observer signature approximates the split as
+		// (rank-0 active, everything-else active).
+		c.OnDecision(c.actBuf[0], total-c.actBuf[0])
+	}
+	entry := c.lut.NWay.Lookup(c.actBuf)
+	restV := c.lut.VRest
+	for i, r := range c.regs {
+		if c.offline[i] {
+			continue
+		}
+		t := c.targetForNWay(i, entry, restV)
+		if t != r.Target() {
+			c.transitions++
+			c.inFlight++
+			c.command(i, t)
+		}
+	}
+}
+
+// targetForNWay computes the commanded voltage for core id from an N-way
+// table entry.
+func (c *Controller) targetForNWay(id int, entry []float64, restV float64) float64 {
+	if c.serial && c.lut.SerialSprint {
+		if id == c.serCore {
+			return c.lut.SerialV
+		}
+		return restV
+	}
+	if !c.active[id] {
+		return restV
+	}
+	return entry[c.ranks[id]]
 }
 
 // command issues one regulator transition and arms its deadline. The

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -46,7 +47,7 @@ func TestFrameRoundTrip(t *testing.T) {
 			out.CacheHit != in.CacheHit || out.Error != in.Error || out.Retryable != in.Retryable {
 			t.Fatalf("%s: round trip mutated frame: %+v -> %+v", in.Kind, in, out)
 		}
-		if in.Spec != nil && *out.Spec != *in.Spec {
+		if in.Spec != nil && !reflect.DeepEqual(*out.Spec, *in.Spec) {
 			t.Fatalf("%s: spec mutated: %+v -> %+v", in.Kind, *in.Spec, *out.Spec)
 		}
 		if !bytes.Equal(out.Data, in.Data) {

@@ -149,6 +149,7 @@ type Injector struct {
 	msgRng *sim.Rand
 	vrRng  *sim.Rand
 	stats  Stats
+	alive  func() bool
 }
 
 // New returns an injector for the given schedule.
@@ -162,6 +163,15 @@ func New(cfg Config) *Injector {
 
 // Stats returns the faults injected so far.
 func (in *Injector) Stats() Stats { return in.stats }
+
+// SetAlive installs a liveness gate consulted by the scheduled fail-stop and
+// throttle events. A fault whose absolute time lands after the program has
+// completed (the schedule can outlast a fast kernel) is skipped: the machine
+// is idle, so the fault cannot affect the result — injecting it would only
+// perturb the post-run accounting drain.
+func (in *Injector) SetAlive(f func() bool) { in.alive = f }
+
+func (in *Injector) live() bool { return in.alive == nil || in.alive() }
 
 // Attach validates the schedule against m, installs the network and
 // regulator hooks, and schedules the core fail-stops and throttles. It must
@@ -199,7 +209,7 @@ func (in *Injector) Attach(m *machine.Machine) error {
 	for _, f := range fails {
 		f := f
 		m.Eng.At(f.At, func() {
-			if m.Failed(f.Core) {
+			if m.Failed(f.Core) || !in.live() {
 				return
 			}
 			in.stats.CoreFails++
@@ -218,12 +228,18 @@ func (in *Injector) Attach(m *machine.Machine) error {
 	for _, t := range throttles {
 		t := t
 		m.Eng.At(t.At, func() {
+			if !in.live() {
+				return
+			}
 			in.stats.Throttles++
 			if err := m.ThrottleCore(t.Core, t.Factor); err != nil {
 				panic(err) // validated above; unreachable
 			}
 		})
 		m.Eng.At(t.At+t.For, func() {
+			if !in.live() {
+				return
+			}
 			if err := m.ThrottleCore(t.Core, 1); err != nil {
 				panic(err)
 			}

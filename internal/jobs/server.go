@@ -130,6 +130,10 @@ type JobRequest struct {
 	Check   *bool   `json:"check,omitempty"`
 	NBig    int     `json:"nbig,omitempty"`
 	NLit    int     `json:"nlit,omitempty"`
+	// Elastic turns on elastic work-stealing; Topology replaces the
+	// system's 2-class core mix with an N-way class list.
+	Elastic  bool             `json:"elastic,omitempty"`
+	Topology []core.CoreClass `json:"topology,omitempty"`
 
 	WithTrace      bool          `json:"with_trace,omitempty"`
 	MemStall       bool          `json:"mem_stall,omitempty"`
@@ -176,6 +180,8 @@ func (req JobRequest) ToSpec() (core.Spec, error) {
 		DisableBiasing: req.DisableBiasing,
 		NBig:           req.NBig,
 		NLit:           req.NLit,
+		Elastic:        req.Elastic,
+		Topology:       req.Topology,
 		MaxEvents:      req.MaxEvents,
 		Faults:         req.Faults,
 	}
@@ -341,6 +347,10 @@ type SweepRequest struct {
 	Seeds    []uint64 `json:"seeds,omitempty"`
 	Scale    float64  `json:"scale,omitempty"`
 	Check    bool     `json:"check,omitempty"`
+	// Elastic turns on elastic work-stealing for every cell; Topology
+	// replaces each system's 2-class core mix with an N-way class list.
+	Elastic  bool             `json:"elastic,omitempty"`
+	Topology []core.CoreClass `json:"topology,omitempty"`
 
 	Priority  int   `json:"priority,omitempty"`
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
@@ -393,6 +403,7 @@ func (req SweepRequest) Specs() ([]core.Spec, error) {
 					specs = append(specs, core.Spec{
 						Kernel: kname, System: sys, Variant: v,
 						Seed: seed, Scale: req.Scale, Check: req.Check,
+						Elastic: req.Elastic, Topology: req.Topology,
 					})
 				}
 			}

@@ -44,10 +44,54 @@ type Config struct {
 	// latency (0 = the paper's 40 ns). Section IV-D's sensitivity study
 	// sweeps this to 250 ns.
 	TransitionNsPerStep float64
+	// Classes, when non-empty, selects the N-way topology path instead of
+	// the 2-class BigCores/LittleCores mix: cores are laid out class by
+	// class in rank order (rank 0 = fastest, hosting logical thread 0), and
+	// each class carries its own power parameters encoded as the power.Big
+	// side of its Params. The LUT must carry a matching NWay table.
+	Classes []ClassConfig
+}
+
+// ClassConfig is one core class of an N-way machine.
+type ClassConfig struct {
+	Count int
+	// Params encodes the class as power.Big of its own parameter set:
+	// IPC(Big) = class speed, Alpha = class dynamic-power coefficient.
+	Params power.Params
 }
 
 // Validate checks the configuration.
 func (c Config) Validate() error {
+	if len(c.Classes) > 0 {
+		if c.BigCores != 0 || c.LittleCores != 0 {
+			return fmt.Errorf("machine: Classes and BigCores/LittleCores are mutually exclusive")
+		}
+		if c.Classes[0].Count < 1 {
+			return fmt.Errorf("machine: class 0 needs at least one core (logical thread 0 lives there)")
+		}
+		for i, cl := range c.Classes {
+			if cl.Count < 1 {
+				return fmt.Errorf("machine: class %d has count %d (need >= 1)", i, cl.Count)
+			}
+		}
+		if c.LUT == nil {
+			return fmt.Errorf("machine: nil DVFS LUT")
+		}
+		if c.LUT.NWay == nil {
+			return fmt.Errorf("machine: N-way machine needs a LUT with an NWay table")
+		}
+		if len(c.LUT.NWay.Counts) != len(c.Classes) {
+			return fmt.Errorf("machine: LUT has %d classes but machine has %d",
+				len(c.LUT.NWay.Counts), len(c.Classes))
+		}
+		for i, cl := range c.Classes {
+			if c.LUT.NWay.Counts[i] != cl.Count {
+				return fmt.Errorf("machine: LUT class %d count %d but machine has %d",
+					i, c.LUT.NWay.Counts[i], cl.Count)
+			}
+		}
+		return nil
+	}
 	if c.BigCores < 1 {
 		return fmt.Errorf("machine: need at least one big core (logical thread 0 lives there), got %d", c.BigCores)
 	}
@@ -92,6 +136,16 @@ type Machine struct {
 	Acc    []*power.Accountant
 	states []power.CoreState
 	failed []bool
+	parked []bool
+	// ranks maps core id to its class rank (0 = fastest). On a legacy
+	// 2-class machine big cores are rank 0 and little cores rank 1.
+	ranks []int
+	// accParams/accClass are the per-core power parameters and class used
+	// for instantaneous power. On a legacy machine every core shares
+	// Cfg.Params with its own class; on an N-way machine each core carries
+	// its class's Params with the class encoded as power.Big.
+	accParams []power.Params
+	accClass  []power.CoreClass
 
 	// Optional observers.
 	OnState   StateSink
@@ -112,30 +166,77 @@ func New(eng *sim.Engine, cfg Config) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	nway := len(cfg.Classes) > 0
 	n := cfg.BigCores + cfg.LittleCores
-	m := &Machine{
-		Eng:    eng,
-		Cfg:    cfg,
-		Cores:  make([]*cpu.Core, n),
-		Regs:   make([]*vr.Regulator, n),
-		Acc:    make([]*power.Accountant, n),
-		states: make([]power.CoreState, n),
-		failed: make([]bool, n),
-	}
-	classes := make([]power.CoreClass, n)
-	for i := 0; i < n; i++ {
-		class := power.Little
-		if i < cfg.BigCores {
-			class = power.Big
+	if nway {
+		n = 0
+		for _, cl := range cfg.Classes {
+			n += cl.Count
 		}
-		classes[i] = class
+	}
+	m := &Machine{
+		Eng:       eng,
+		Cfg:       cfg,
+		Cores:     make([]*cpu.Core, n),
+		Regs:      make([]*vr.Regulator, n),
+		Acc:       make([]*power.Accountant, n),
+		states:    make([]power.CoreState, n),
+		failed:    make([]bool, n),
+		parked:    make([]bool, n),
+		ranks:     make([]int, n),
+		accParams: make([]power.Params, n),
+		accClass:  make([]power.CoreClass, n),
+	}
+	// Per-core construction inputs. Legacy machines keep the exact seed
+	// layout (big cores first, shared Params); N-way machines lay cores out
+	// class by class in rank order, each class encoded as the power.Big
+	// side of its own Params so the cpu/accountant math is unchanged.
+	classes := make([]power.CoreClass, n)
+	if nway {
+		id := 0
+		for rank, cl := range cfg.Classes {
+			for k := 0; k < cl.Count; k++ {
+				m.ranks[id] = rank
+				m.accParams[id] = cl.Params
+				m.accClass[id] = power.Big
+				// The DVFS controller's legacy class split only feeds its
+				// (nBig, nLit) activity counting, which the NWay path
+				// replaces; map rank 0 to Big so diagnostics stay sane.
+				classes[id] = power.Little
+				if rank == 0 {
+					classes[id] = power.Big
+				}
+				id++
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			class := power.Little
+			rank := 1
+			if i < cfg.BigCores {
+				class = power.Big
+				rank = 0
+			}
+			classes[i] = class
+			m.ranks[i] = rank
+			m.accParams[i] = cfg.Params
+			m.accClass[i] = class
+		}
+	}
+	for i := 0; i < n; i++ {
 		reg := vr.New(eng, vf.VNominal)
 		if cfg.TransitionNsPerStep > 0 {
 			reg.SetStepLatencyNs(cfg.TransitionNsPerStep)
 		}
-		core := cpu.New(eng, i, class, cfg.Params, reg)
+		cpuClass := classes[i]
+		params := cfg.Params
+		if nway {
+			cpuClass = power.Big
+			params = m.accParams[i]
+		}
+		core := cpu.New(eng, i, cpuClass, params, reg)
 		core.SetMemStallPs(cfg.MemStallPsPerInstr)
-		acct := power.NewAccountant(cfg.Params, class, eng.Now())
+		acct := power.NewAccountant(params, m.accClass[i], eng.Now())
 		i := i
 		reg.OnChange = func() {
 			core.Retime()
@@ -152,14 +253,42 @@ func New(eng *sim.Engine, cfg Config) (*Machine, error) {
 	intLat := sim.Time(float64(cfg.InterruptCycles) / vf.FNominal * float64(sim.Second))
 	m.Net = icn.New(eng, n, intLat)
 	m.Ctl = dvfs.New(eng, cfg.LUT, classes, m.Regs)
+	if nway {
+		m.Ctl.ConfigureNWay(m.ranks)
+	}
 	return m, nil
 }
 
 // NumCores returns the total core count.
 func (m *Machine) NumCores() int { return len(m.Cores) }
 
-// Class returns the class of core id.
+// Class returns the class of core id. On an N-way machine every core
+// reports power.Big (each class is the Big side of its own Params); use
+// Rank for scheduling decisions.
 func (m *Machine) Class(id int) power.CoreClass { return m.Cores[id].Class }
+
+// Rank returns core id's class rank: 0 is the fastest class. On a legacy
+// 2-class machine big cores are rank 0 and little cores rank 1.
+func (m *Machine) Rank(id int) int { return m.ranks[id] }
+
+// NumClasses returns the number of core classes (2 for a legacy machine).
+func (m *Machine) NumClasses() int {
+	if len(m.Cfg.Classes) > 0 {
+		return len(m.Cfg.Classes)
+	}
+	return 2
+}
+
+// SetParked marks core id as parked on the elastic semaphore (or unparks
+// it). A parked core draws rest power regardless of controller state — the
+// simulated analog of blocking on a kernel futex rather than spinning.
+func (m *Machine) SetParked(id int, on bool) {
+	if m.parked[id] == on {
+		return
+	}
+	m.parked[id] = on
+	m.RefreshState(id)
+}
 
 // State returns the true scheduling state of core id.
 func (m *Machine) State(id int) power.CoreState { return m.states[id] }
@@ -191,8 +320,9 @@ func (m *Machine) RefreshState(id int) {
 }
 
 func (m *Machine) effectiveState(id int, s power.CoreState) power.CoreState {
-	// A fail-stopped core draws leakage only, whatever the runtime reports.
-	if m.failed[id] {
+	// A fail-stopped or elastically parked core draws leakage only,
+	// whatever the runtime reports.
+	if m.failed[id] || m.parked[id] {
 		return power.StateResting
 	}
 	if s != power.StateWaiting {
@@ -297,15 +427,15 @@ func (m *Machine) TotalRetired() float64 {
 // state and effective voltage right now.
 func (m *Machine) InstantPower() float64 {
 	p := 0.0
-	for i, core := range m.Cores {
+	for i := range m.Cores {
 		v := m.Regs[i].Effective()
 		switch m.states[i] {
 		case power.StateActive:
-			p += m.Cfg.Params.ActivePower(core.Class, v)
+			p += m.accParams[i].ActivePower(m.accClass[i], v)
 		case power.StateWaiting:
-			p += m.Cfg.Params.WaitPower(core.Class, v)
+			p += m.accParams[i].WaitPower(m.accClass[i], v)
 		default:
-			p += m.Cfg.Params.RestPower(core.Class)
+			p += m.accParams[i].RestPower(m.accClass[i])
 		}
 	}
 	return p

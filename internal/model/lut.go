@@ -31,6 +31,10 @@ type LUT struct {
 	// VRest is the voltage commanded for inactive cores (VMin when
 	// RestInactive, VNominal otherwise).
 	VRest float64
+	// NWay, when non-nil, carries the N-way generalization: per-class
+	// voltage vectors keyed by the full activity vector. The controller
+	// consults it instead of Entries, and NBig/NLit are zero.
+	NWay *NTable
 }
 
 // Lookup returns the voltages for the active cores given the activity

@@ -69,6 +69,10 @@ const (
 	KindCoreFail
 	// KindRescue is a task reclaimed from fail-stopped core Core.
 	KindRescue
+	// KindElasticPark is a worker parking on the elastic semaphore.
+	KindElasticPark
+	// KindElasticWake is a parked worker woken by surplus (Arg = waker).
+	KindElasticWake
 )
 
 var kindNames = [...]string{
@@ -90,6 +94,8 @@ var kindNames = [...]string{
 	KindDVFSDecision: "dvfs-decision",
 	KindCoreFail:     "core-fail",
 	KindRescue:       "rescue",
+	KindElasticPark:  "elastic-park",
+	KindElasticWake:  "elastic-wake",
 }
 
 // String implements fmt.Stringer.

@@ -220,6 +220,23 @@ type Config struct {
 	CacheMigration bool
 	// Migration parameterizes the cache-migration model.
 	Migration cache.MigrationModel
+	// Elastic enables elastic work-stealing (taskparts-style): a worker
+	// whose steal probes keep failing parks on a simulated counting
+	// semaphore — drawing rest power like a futex-blocked thread — instead
+	// of spinning, and is woken when another worker accumulates surplus
+	// (more than one task in its deque). Wakers prefer the fastest parked
+	// class. Off (the default) preserves the paper's always-spin behavior
+	// bit-identically. Worker 0 never parks, guaranteeing liveness.
+	Elastic bool
+	// ElasticParkProbes is the number of consecutive failed steal probes
+	// before a worker parks (minimum 2, so the activity-hint hysteresis has
+	// fired first). 0 selects the default of 4.
+	ElasticParkProbes int
+	// ElasticWakeCycles is the simulated wake-from-park latency in
+	// nominal-frequency cycles (semaphore post + OS wakeup; far cheaper
+	// than a mug swap, far pricier than a spin iteration). 0 selects the
+	// default of 200.
+	ElasticWakeCycles float64
 }
 
 // DefaultConfig returns the runtime configuration used throughout the

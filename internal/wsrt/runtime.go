@@ -7,6 +7,7 @@ import (
 	"aaws/internal/obs"
 	"aaws/internal/power"
 	"aaws/internal/sim"
+	"aaws/internal/vf"
 )
 
 // Stats counts scheduler events over a run.
@@ -28,6 +29,11 @@ type Stats struct {
 	CoreFails           int     // fail-stops absorbed by the scheduler
 	AppInstr            float64 // instructions charged by kernel bodies
 	SerialInstr         float64 // instructions charged by root serial work
+
+	// Elastic-scheduling counters (omitempty keeps legacy result bytes —
+	// and therefore every committed fingerprint — unchanged when off).
+	ElasticParks int `json:",omitempty"` // workers parked on the semaphore
+	ElasticWakes int `json:",omitempty"` // parked workers woken by surplus
 }
 
 // WorkerStats is the per-worker slice of the scheduler statistics.
@@ -171,6 +177,10 @@ type Runtime struct {
 	stopping  bool // the program finished; workers shut down
 	endTime   sim.Time
 
+	// Elastic-scheduling parameters, resolved from Config at construction.
+	parkThreshold  int      // consecutive failed probes before parking
+	elasticWakeLat sim.Time // semaphore-post to steal-loop-entry latency
+
 	// shared is the central FIFO used in SchedSharing mode.
 	shared []*task
 }
@@ -198,6 +208,23 @@ func New(m *machine.Machine, cfg Config) *Runtime {
 		rng:     sim.NewRand(cfg.Seed),
 		rootReq: make(chan rootReq),
 		rootAck: make(chan struct{}),
+	}
+	if cfg.Elastic {
+		th := cfg.ElasticParkProbes
+		if th == 0 {
+			th = 4
+		}
+		if th < 2 {
+			// The activity-hint hysteresis fires on the second failed probe;
+			// parking earlier would park with the hint still asserted.
+			th = 2
+		}
+		rt.parkThreshold = th
+		wc := cfg.ElasticWakeCycles
+		if wc <= 0 {
+			wc = 200
+		}
+		rt.elasticWakeLat = sim.Time(wc / vf.FNominal * float64(sim.Second))
 	}
 	for i, core := range m.Cores {
 		rt.workers = append(rt.workers, newWorker(rt, i, core))
@@ -227,20 +254,68 @@ func (rt *Runtime) Running() bool { return !rt.stopping }
 // Config returns the runtime configuration.
 func (rt *Runtime) Config() Config { return rt.cfg }
 
-// anyBigInactive reports whether some big core is not doing useful work
-// (consulted by work-biasing through the shared-memory activity table).
-// Fail-stopped cores are excluded: a dead big core will never pick up work,
-// and counting it would block little cores in the biased spin forever.
-func (rt *Runtime) anyBigInactive() bool {
+// anyFasterInactive reports whether some core of a faster class than rank
+// is not doing useful work (consulted by work-biasing through the
+// shared-memory activity table). On a 2-class machine this is exactly the
+// paper's "any big core inactive" check for a little worker. Fail-stopped
+// cores are excluded: a dead core will never pick up work, and counting it
+// would block slower cores in the biased spin forever.
+func (rt *Runtime) anyFasterInactive(rank int) bool {
 	for _, w := range rt.workers {
 		if w.state == wsFailed {
 			continue
 		}
-		if w.big() && !w.active() {
+		if w.rank < rank && !w.active() {
 			return true
 		}
 	}
 	return false
+}
+
+// ---- elastic scheduling (taskparts-style surplus/semaphore protocol) ----
+
+// surplusExists reports whether any surviving worker holds more than one
+// enqueued task. While surplus exists a failing thief keeps probing (it
+// would steal on its next attempt) instead of parking.
+func (rt *Runtime) surplusExists() bool {
+	for _, w := range rt.workers {
+		if w.state == wsFailed {
+			continue
+		}
+		if w.dq.Size() > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// signalWork posts the semaphore n times on behalf of waker: up to n parked
+// workers begin waking, fastest class first (ties to the lowest id).
+func (rt *Runtime) signalWork(n, waker int) {
+	for ; n > 0; n-- {
+		var best *worker
+		for _, w := range rt.workers {
+			if w.state != wsParked {
+				continue
+			}
+			if best == nil || w.rank < best.rank {
+				best = w
+			}
+		}
+		if best == nil {
+			return
+		}
+		rt.wake(best, waker)
+	}
+}
+
+// wake begins unparking w: after the simulated semaphore-post/OS-wakeup
+// latency it re-enters the steal loop with a fresh probe budget.
+func (rt *Runtime) wake(w *worker, waker int) {
+	rt.stats.ElasticWakes++
+	w.emit(obs.KindElasticWake, int64(waker))
+	w.state = wsWaking
+	w.pendingEv = rt.eng.After(rt.elasticWakeLat, w.wakeFn)
 }
 
 // pickMuggee selects the active little worker to mug: the one with the
@@ -426,6 +501,12 @@ func (rt *Runtime) rescue(t *task, dead *worker) {
 			continue
 		}
 		h.dq.Push(t)
+		if h.state == wsParked {
+			// The heir must be woken: a parked worker never re-checks its
+			// deque on its own, and the rescued task would be stranded if
+			// every other worker parked too.
+			rt.wake(h, dead.id)
+		}
 		return
 	}
 	panic("wsrt: no surviving worker to rescue tasks")

@@ -55,6 +55,11 @@ type Ctx struct {
 // kernels that keep per-worker scratch state.
 func (c *Ctx) WorkerID() int { return c.w.id }
 
+// WorkerRank returns the executing core's class rank (0 = fastest class;
+// big cores on the paper's 2-class machines). Asymmetry-aware kernels —
+// the big-core-preferring queue lock, guided loop scheduling — branch on it.
+func (c *Ctx) WorkerRank() int { return c.w.rank }
+
 // NumWorkers returns the number of workers in the runtime.
 func (c *Ctx) NumWorkers() int { return len(c.w.rt.workers) }
 

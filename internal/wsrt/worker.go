@@ -24,11 +24,13 @@ const (
 	wsSwap                   // executing the mug register-swap sequence
 	wsStopped                // program finished
 	wsFailed                 // core fail-stopped; scheduler state reclaimed
+	wsParked                 // elastic: blocked on the counting semaphore
+	wsWaking                 // elastic: semaphore posted, wake latency in flight
 )
 
 func (s wstate) String() string {
 	return [...]string{"root", "serial", "running", "stealing", "spinning",
-		"mug-send", "swap", "stopped", "failed"}[s]
+		"mug-send", "swap", "stopped", "failed", "parked", "waking"}[s]
 }
 
 // mugKind is the interrupt-message kind used by work-mugging.
@@ -51,10 +53,15 @@ type worker struct {
 	resolveStealFn func()
 	mugTimeoutFn   func()
 	taskDoneFn     func() // taskDone(w.cur) for the core's completion event
+	wakeFn         func() // elastic: unpark after the wake latency elapses
 
 	// ctx is the reusable spawn context handed to task bodies; runBody
 	// resets it per task instead of allocating a fresh one.
 	ctx Ctx
+
+	// rank is the worker's core-class rank (0 = fastest). On a legacy
+	// 2-class machine big cores are rank 0 and little cores rank 1.
+	rank int
 
 	failed    int     // consecutive failed steal probes since last work
 	backoff   float64 // extra instructions added to the next probe
@@ -80,7 +87,8 @@ type worker struct {
 }
 
 func newWorker(rt *Runtime, id int, core *cpu.Core) *worker {
-	w := &worker{rt: rt, id: id, core: core, dq: deque.New[task](), state: wsStealing}
+	w := &worker{rt: rt, id: id, core: core, dq: deque.New[task](), state: wsStealing,
+		rank: rt.m.Rank(id)}
 	w.resumeFn = func() {
 		w.pendingEv = sim.Event{}
 		w.loop()
@@ -88,11 +96,22 @@ func newWorker(rt *Runtime, id int, core *cpu.Core) *worker {
 	w.resolveStealFn = w.resolveSteal
 	w.mugTimeoutFn = w.mugTimeout
 	w.taskDoneFn = func() { w.taskDone(w.cur) }
+	w.wakeFn = func() {
+		w.pendingEv = sim.Event{}
+		w.rt.m.SetParked(w.id, false)
+		// A woken worker gets a fresh round of probes before it may park
+		// again; the activity hint stays off until it actually finds work.
+		w.failed = 0
+		w.backoff = 0
+		w.state = wsStealing
+		w.loop()
+	}
 	return w
 }
 
-// big reports whether the worker runs on a big core.
-func (w *worker) big() bool { return w.core.Class == power.Big }
+// big reports whether the worker runs on a core of the fastest class (a
+// big core on the paper's 2-class machines).
+func (w *worker) big() bool { return w.rank == 0 }
 
 // emit records one scheduler event attributed to this worker's core. A nil
 // configured trace makes this a single-branch no-op (see Runtime.emit).
@@ -157,10 +176,18 @@ func (w *worker) shareWait() {
 }
 
 // stealLoop schedules the next steal probe (or a biased spin iteration).
+// With elastic scheduling on, a worker whose probes keep failing parks on
+// the counting semaphore instead — unless surplus already exists somewhere
+// (it should keep probing to claim it) or it is worker 0 (which must stay
+// responsive to the root program, guaranteeing liveness).
 func (w *worker) stealLoop() {
 	cfg := &w.rt.cfg
 	w.rt.m.SetState(w.id, power.StateWaiting)
-	if cfg.Biasing && !w.big() && w.rt.anyBigInactive() {
+	if cfg.Elastic && w.id != 0 && w.failed >= w.rt.parkThreshold && !w.rt.surplusExists() {
+		w.park()
+		return
+	}
+	if cfg.Biasing && !w.big() && w.rt.anyFasterInactive(w.rank) {
 		// Work-biasing: little cores may not steal while a big core is
 		// inactive (Section III-C).
 		w.state = wsSpinning
@@ -252,6 +279,17 @@ func (w *worker) pickVictim() *worker {
 		}
 	}
 	return best
+}
+
+// park blocks the worker on the elastic semaphore: it stops generating
+// probe events entirely and the machine accounts it at rest power (the
+// simulated analog of futex-blocking instead of spinning). The worker wakes
+// only through Runtime.wake when another worker raises surplus.
+func (w *worker) park() {
+	w.state = wsParked
+	w.rt.stats.ElasticParks++
+	w.emit(obs.KindElasticPark, 0)
+	w.rt.m.SetParked(w.id, true)
 }
 
 // noteFailedProbe implements the steal-loop hysteresis of Section III-A:
@@ -370,6 +408,14 @@ func (w *worker) runBody(t *task) {
 		}
 	}
 	w.rt.stats.TasksSpawned += len(ctx.children)
+	if cfg.Elastic && cfg.Sched != SchedSharing {
+		// Surplus: this worker holds more enqueued tasks than it can run
+		// next. Post the semaphore once per surplus task (capped by how
+		// many workers are parked; wakers prefer the fastest class).
+		if s := w.dq.Size(); s > 1 {
+			w.rt.signalWork(s-1, w.id)
+		}
+	}
 }
 
 // taskDone fires when the task's charged work has retired.
@@ -410,6 +456,11 @@ func (w *worker) completeJoin(j *join) {
 			w.rt.pushShared(j.cont)
 		} else {
 			w.dq.Push(j.cont)
+			if w.rt.cfg.Elastic {
+				if s := w.dq.Size(); s > 1 {
+					w.rt.signalWork(s-1, w.id)
+				}
+			}
 		}
 	}
 	if j.onZero != nil {
